@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["run_once"]
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return it.
+
+    The experiments are minutes-long simulations; statistical timing rounds
+    would multiply that for no insight, so every benchmark uses one round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures and reports
+its rows through the ``report`` fixture; the collected reports are printed
+in the terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits
+the paper-shaped numbers alongside the timing table.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales simulation horizons: 0.1 gives a
+quick smoke pass, 4 gives tighter statistics than EXPERIMENTS.md used.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import bench_scale
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Collect a titled text block for the terminal summary."""
+
+    def add(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return add
+
+
+@pytest.fixture
+def scale() -> float:
+    """The configured horizon scale factor."""
+    return bench_scale()
+
+
+def pytest_terminal_summary(terminalreporter):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

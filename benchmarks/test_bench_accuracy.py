@@ -1,0 +1,50 @@
+"""Section 4.1 — accuracy of Solutions 1/2 vs exact, and relative runtimes.
+
+Paper: errors under ~5 % while utilization stays below ~30 % (and the
+validity conditions hold); past that the approximations drift optimistic.
+Runtimes on the 1993 SUN-4/280: two weeks / seven hours / 5–7 minutes for
+Solutions 0/1/2 — we reproduce the ordering, not the absolute pain.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.accuracy import run_accuracy_sweep, run_runtime_comparison
+
+
+def test_accuracy_table(benchmark, report):
+    points = run_once(
+        benchmark,
+        lambda: run_accuracy_sweep(
+            service_rates=(30.0, 40.0, 60.0, 20.0, 15.0),
+            modulating_bounds=(16, 80),
+        ),
+    )
+    report(
+        "Section 4.1 accuracy (paper: <5% error below 30% load, drift above)",
+        "\n".join(point.describe() for point in points),
+    )
+    in_region = [p for p in points if p.utilization <= 0.30]
+    out_region = [p for p in points if p.utilization > 0.40]
+    assert all(p.error_solution2 < 0.08 for p in in_region)
+    assert all(
+        p.error_solution2 > max(q.error_solution2 for q in in_region)
+        for p in out_region
+    )
+    # Solutions 1 and 2 track each other far more tightly than either
+    # tracks the exact answer (the paper's <1% observation).
+    assert all(p.solutions_12_gap < 0.02 for p in points)
+
+
+def test_runtime_ordering(benchmark, report):
+    comparison = run_once(benchmark, lambda: run_runtime_comparison())
+    report(
+        "Section 4.1 runtimes (paper: 2 weeks / 7 hours / 5-7 minutes)",
+        comparison.describe(),
+    )
+    assert (
+        comparison.seconds_solution0
+        > comparison.seconds_solution1
+        > comparison.seconds_solution2
+    )

@@ -1,0 +1,49 @@
+"""Sections 6–7 — broadband control: bandwidth gap, admission region, overlay.
+
+Not a numbered figure, but the paper's point: size links with HAP, not
+Poisson (misengineering penalty), precompute admissible-call regions into
+lookup tables, and design the CL overlay on those rules.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.control_study import (
+    run_admission_study,
+    run_bandwidth_gap,
+    run_overlay_design,
+)
+
+
+def test_bandwidth_misengineering_gap(benchmark, report):
+    points = run_once(benchmark, lambda: run_bandwidth_gap())
+    report(
+        "Section 6 bandwidth sizing (paper: Poisson sizing underprovisions)",
+        "\n".join(point.describe() for point in points),
+    )
+    for point in points:
+        assert point.bandwidth_hap > 1.03 * point.bandwidth_poisson
+        assert point.delay_if_poisson_sized > point.delay_target
+
+
+def test_admission_region_and_table(benchmark, report):
+    table, (n1_max, n2_max) = run_once(benchmark, lambda: run_admission_study())
+    staircase = ", ".join(f"({a},{b})" for a, b in table.boundary[:8])
+    report(
+        "Section 7 admission region (staircase head + Hui intercepts)",
+        f"boundary head: {staircase} ...\n"
+        f"linear approximation: n1/{n1_max:.0f} + n2/{n2_max:.0f} <= 1\n"
+        f"table size: {table.size} rows, target T <= {table.delay_target}",
+    )
+    assert table.size > 1
+    assert table.admit(0, int(n2_max) - 1)
+    assert not table.admit(int(n1_max) + 1, 0)
+
+
+def test_cl_overlay_design(benchmark, report):
+    design = run_once(benchmark, lambda: run_overlay_design())
+    report("Section 7 CL overlay design", design.describe())
+    assert design.total_bandwidth > 0
+    for link, bandwidth in design.link_bandwidth.items():
+        assert bandwidth > design.link_bandwidth_poisson[link]

@@ -1,0 +1,28 @@
+"""Figure 8 — equal lambda-bar, different branching, different burstiness.
+
+Paper: merging/splitting branches preserves lambda-bar (Equation 5) but the
+shape with all leaves under one application, (l=1, m=4), is the burstiest:
+ordering (c) > (b) > (a).
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.fig08 import run_fig8
+
+
+def test_fig8_burstiness_ordering(benchmark, report):
+    results = run_once(benchmark, lambda: run_fig8(idc_horizon=50.0))
+    report(
+        "Figure 8 (paper: same rate; burstiness (1,4) > (2,2) > (4,1))",
+        "\n".join(r.describe() for r in results),
+    )
+    rates = [r.report.mean_rate for r in results]
+    assert max(rates) - min(rates) < 1e-9 * max(rates)
+    delays = [r.delay_solution2 for r in results]
+    assert delays[0] < delays[1] < delays[2]
+    cv2 = [r.report.rate_cv2 for r in results]
+    assert cv2[0] < cv2[1] < cv2[2]
+    idcs = [r.report.idc for r in results]
+    assert idcs[0] < idcs[2]

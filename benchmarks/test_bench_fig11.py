@@ -1,0 +1,36 @@
+"""Figure 11 — average delay versus server capacity at lambda-bar = 8.25.
+
+Paper: the HAP/Poisson delay gap is ~15 % at mu'' = 30 and explodes to
+~200x at 64 % utilization (mu'' = 13).  Our exact (Solution 0 / QBD) column
+reproduces both ends: ratio ≈ 1.13 at mu'' = 30 and ≈ 200x at mu'' = 13.
+The simulation column undershoots badly at high load on any affordable
+horizon — the mean there is carried by extremely rare mega-bursts, which is
+precisely the paper's Figure-13/15 point.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.fig11_12 import run_fig11
+
+
+def test_fig11_delay_vs_capacity(benchmark, report, scale):
+    points = run_once(
+        benchmark,
+        lambda: run_fig11(
+            capacities=(13.0, 15.0, 17.0, 20.0, 25.0, 30.0, 40.0),
+            horizon=300_000.0 * scale,
+        ),
+    )
+    report(
+        "Figure 11 (paper: ratio ~1.15 at mu''=30, ~200x at rho=0.64)",
+        "\n".join(point.describe() for point in points),
+    )
+    ratios = [point.ratio_vs_mm1 for point in points]
+    # The gap grows monotonically as capacity shrinks...
+    assert all(a > b for a, b in zip(ratios, ratios[1:]))
+    # ...reaching the paper's two quoted anchors.
+    assert 100.0 < ratios[0] < 400.0  # paper: ~200x at mu''=13
+    at_30 = ratios[5]
+    assert 1.05 < at_30 < 1.30  # paper: 1.15 at mu''=30

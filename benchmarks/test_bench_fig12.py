@@ -1,0 +1,31 @@
+"""Figure 12 — average delay versus message arrival rate at mu'' = 17.
+
+Paper: the load is swept through the user arrival rate; the HAP-vs-Poisson
+gap grows sharply with lambda-bar, mirroring Figure 11 from the other axis.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.fig11_12 import run_fig12
+
+
+def test_fig12_delay_vs_arrival_rate(benchmark, report, scale):
+    points = run_once(
+        benchmark,
+        lambda: run_fig12(
+            user_rates=(0.002, 0.003, 0.004, 0.0055, 0.007, 0.008),
+            horizon=300_000.0 * scale,
+        ),
+    )
+    report(
+        "Figure 12 (paper: delay vs lambda-bar at mu''=17; gap grows with load)",
+        "\n".join(point.describe() for point in points),
+    )
+    # Exact delay grows with load, and the HAP/Poisson gap widens.
+    delays = [point.delay_exact for point in points]
+    assert all(a < b for a, b in zip(delays, delays[1:]))
+    ratios = [point.ratio_vs_mm1 for point in points]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[0] < 2.0  # gentle at light load

@@ -1,0 +1,29 @@
+"""Figure 13 — fluctuation of the HAP simulation's running-mean delay.
+
+Paper: HAP runs are hard to converge — the running mean keeps lurching as
+occasional multi-minute congestion events land, while the equal-load
+Poisson estimate flattens quickly.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.fig13_18 import run_fig13
+
+
+def test_fig13_running_mean_fluctuation(benchmark, report, scale):
+    result = run_once(
+        benchmark, lambda: run_fig13(horizon=600_000.0 * scale)
+    )
+    series = result.hap_running_mean
+    checkpoints = [int(len(series) * f) - 1 for f in (0.25, 0.5, 0.75, 1.0)]
+    rows = [result.describe(), "", "progress  HAP-running-mean  Poisson-running-mean"]
+    for index in checkpoints:
+        poisson_index = min(index, len(result.poisson_running_mean) - 1)
+        rows.append(
+            f"{(index + 1) / len(series):<9.2f} {series[index]:<17.5f} "
+            f"{result.poisson_running_mean[poisson_index]:<.5f}"
+        )
+    report("Figure 13 (paper: HAP fluctuates long after Poisson settles)", "\n".join(rows))
+    assert result.hap_fluctuation > 3.0 * result.poisson_fluctuation

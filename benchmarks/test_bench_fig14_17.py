@@ -1,0 +1,42 @@
+"""Figures 14–17 — congestion "mountains" and the populations behind them.
+
+One traced run at mu'' = 17 yields: the queue-length mountains in a
+one-hour window (Fig 14), the peak busy period (Fig 15 — the paper's seed
+saw >17 000 messages for ~80 minutes; Poisson peaks at 29), and the user /
+application populations at the peak's onset (Figs 16–17: 13 users vs mean
+5.5, 49 applications vs mean 27.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import run_once
+
+from repro.experiments.fig13_18 import run_fig14_to_17
+
+
+def test_fig14_to_17_mountains(benchmark, report, scale):
+    result = run_once(
+        benchmark, lambda: run_fig14_to_17(horizon=600_000.0 * scale)
+    )
+    window_times, window_values = result.one_hour_window
+    rows = [
+        result.describe(),
+        "",
+        f"one-hour window around the peak: {len(window_times)} samples, "
+        f"max queue {window_values.max():.0f}, "
+        f"mean queue {window_values.mean():.1f}",
+    ]
+    stats = result.simulation.busy_stats
+    rows.append(f"busy periods: {stats.describe()}")
+    report(
+        "Figures 14-17 (paper: peak 17000 msgs/80 min; 13 users, 49 apps at onset)",
+        "\n".join(rows),
+    )
+    # Mountains far beyond anything Poisson produces (its peak was 29).
+    assert result.peak_height > 100
+    # Congestion persists for minutes, not milliseconds.
+    assert result.peak_width > 60.0
+    # Burst onset finds above-average populations.
+    assert result.users_at_peak_onset > result.simulation.mean_users
+    assert result.apps_at_peak_onset > result.simulation.mean_apps

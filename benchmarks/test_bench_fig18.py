@@ -1,0 +1,32 @@
+"""Figure 18 — busy/idle-period statistics, HAP versus Poisson at mu'' = 15.
+
+Paper: both have busy fraction ≈ 55 % and similar means, but HAP's
+variances dwarf Poisson's (618x busy, 15x idle, 66x height) and HAP has
+~19 % fewer busy periods (fewer, longer mountains).
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.fig13_18 import run_fig18
+
+
+def test_fig18_busy_period_statistics(benchmark, report, scale):
+    result = run_once(
+        benchmark, lambda: run_fig18(horizon=600_000.0 * scale)
+    )
+    report(
+        "Figure 18 (paper: variance ratios 618x/15x/66x, 19% fewer periods, "
+        "busy ~55%)",
+        result.describe(),
+    )
+    # The variance gaps live in rare mountains; short smoke runs
+    # (REPRO_BENCH_SCALE << 1) sample few of them, so thresholds scale.
+    full = scale >= 0.5
+    assert result.busy_variance_ratio > (30.0 if full else 5.0)
+    assert result.height_variance_ratio > (10.0 if full else 1.5)
+    assert result.idle_variance_ratio > (2.0 if full else 1.2)
+    assert result.mountain_count_deficit > 0.05
+    assert abs(result.hap.busy_fraction - 0.55) < 0.1
+    assert abs(result.poisson.busy_fraction - 0.55) < 0.1

@@ -1,0 +1,31 @@
+"""Section 6's protocol remedies: fragmentation and window flow control.
+
+Paper: "window flow control ... reduces the burst length at message level,
+and block operations, by fragmenting messages into blocks along with
+window flow control, [reduce] the burst length."  The benchmark pushes the
+same workload through a raw, a fragmented, and a windowed configuration of
+the same-capacity server and reports where the burst went.
+"""
+
+from __future__ import annotations
+
+from _util import run_once
+
+from repro.experiments.protocol_study import run_protocol_study
+
+
+def test_protocol_remedies(benchmark, report, scale):
+    result = run_once(
+        benchmark,
+        lambda: run_protocol_study(horizon=200_000.0 * scale),
+    )
+    report(
+        "Section 6 protocol remedies (windowing caps the shared queue)",
+        result.describe(),
+    )
+    # Windowing bounds the shared queue at the window size...
+    assert result.windowed.network_peak <= 8
+    # ...cutting its delay by an order of magnitude...
+    assert result.windowed.network_delay < 0.3 * result.raw.network_delay
+    # ...while the edge buffer, not the network, absorbs the burst.
+    assert result.windowed.edge_peak > 10 * result.windowed.network_peak

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Broadband admission control and bandwidth allocation (Sections 6-7).
+
+Three control-plane computations on HAP workloads:
+
+1. bandwidth allocation — the smallest service rate meeting a delay target,
+   by the Poisson rule and by the HAP rule (the misengineering gap);
+2. admission control by population bounds — the Figure-20 mechanism;
+3. an admissible-call region for a two-application-type node, compressed to
+   Hui's linear rule and a lookup table.
+
+Run:  python examples/broadband_admission.py
+"""
+
+from __future__ import annotations
+
+from repro.control.admission_table import (
+    build_admission_table,
+    linear_region_approximation,
+)
+from repro.control.bandwidth import bandwidth_for_delay_target
+from repro.core.admission import solve_bounded_solution2
+from repro.core.solution2 import solve_solution2
+from repro.experiments.configs import base_parameters
+from repro.experiments.control_study import two_type_hap
+
+
+def bandwidth_story() -> None:
+    params = base_parameters()
+    lam = params.mean_message_rate
+    print("== bandwidth allocation ==")
+    print(f"workload: lambda-bar = {lam:g} msgs/s; target mean delay 0.15 s")
+    target = 0.15
+    poisson_mu = lam + 1.0 / target
+    hap_mu = bandwidth_for_delay_target(params, target)
+    actual = solve_solution2(params, poisson_mu).mean_delay
+    print(f"  Poisson sizing : mu = {poisson_mu:.2f} msgs/s")
+    print(f"  HAP sizing     : mu = {hap_mu:.2f} msgs/s "
+          f"(+{100 * (hap_mu / poisson_mu - 1):.1f} %)")
+    print(f"  if you trust Poisson, the link actually delivers "
+          f"T = {actual:.3f} s > {target} s target\n")
+
+
+def bounding_story() -> None:
+    print("== admission by population bounds (Figure 20) ==")
+    params = base_parameters()
+    unbounded = solve_solution2(params)
+    bounded = solve_bounded_solution2(params, max_users=12, max_apps=60)
+    print(f"  unbounded : lambda-bar {params.mean_message_rate:.3g}, "
+          f"delay {unbounded.mean_delay:.4f} s")
+    print(f"  bounded 12 users / 60 apps: lambda-bar {bounded.mean_rate:.3g}, "
+          f"delay {bounded.mean_delay:.4f} s "
+          f"({100 * (1 - bounded.mean_delay / unbounded.mean_delay):.1f} % lower)\n")
+
+
+def region_story() -> None:
+    print("== admissible-call region (two application types) ==")
+    params = two_type_hap()
+    table = build_admission_table(params, delay_target=0.12, max_population=60)
+    n1_max, n2_max = linear_region_approximation(list(table.boundary))
+    print(f"  delay target 0.12 s -> staircase with {table.size} rows")
+    print(f"  Hui linear rule: n_interactive/{n1_max:.0f} + "
+          f"n_transfer/{n2_max:.0f} <= 1")
+    for mix in [(0, int(n2_max)), (int(n1_max // 2), int(n2_max // 2)),
+                (int(n1_max), 0), (int(n1_max), int(n2_max))]:
+        verdict = "admit" if table.admit(*mix) else "REJECT"
+        print(f"  request mix {mix}: {verdict}")
+
+
+def main() -> None:
+    bandwidth_story()
+    bounding_story()
+    region_story()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A heterogeneous campus gateway — the paper's Figure-5 example HAP.
+
+Four application types share a gateway queue:
+
+* a programming environment (interactive keystrokes + file transfers),
+* a database front-end (short queries only),
+* a graphics tool (fixed-size image transfers),
+* a multimedia app (everything, including voice/video-like streams).
+
+The example sizes the gateway three ways — Poisson, a moment-matched
+2-state MMPP (the "conventional" model the paper argues against), and the
+HAP closed form — then checks them all against simulation.
+
+Run:  python examples/campus_gateway.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ApplicationType, HAPParameters, MessageType
+from repro.core.burstiness import exact_rate_moments
+from repro.core.solution2 import solve_solution2
+from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.markov.mmpp import fit_mmpp2_to_moments
+from repro.queueing.mm1 import solve_mm1
+from repro.sim.replication import simulate_hap_mm1
+
+SERVICE_RATE = 60.0  # gateway drains 60 messages/s
+
+
+def build_gateway_workload() -> HAPParameters:
+    """The Figure-5 style mix, scaled to a small campus gateway."""
+    keystroke = MessageType(0.5, SERVICE_RATE, name="interactive")
+    transfer = MessageType(0.05, SERVICE_RATE, name="file-transfer")
+    query = MessageType(0.8, SERVICE_RATE, name="db-query")
+    image = MessageType(0.2, SERVICE_RATE, name="image")
+    stream = MessageType(1.5, SERVICE_RATE, name="media-chunk")
+
+    programming = ApplicationType(
+        0.02, 0.01, (keystroke, transfer), name="programming"
+    )
+    database = ApplicationType(0.03, 0.02, (query,), name="database")
+    graphics = ApplicationType(0.01, 0.02, (image,), name="graphics")
+    multimedia = ApplicationType(
+        0.005, 0.01, (keystroke, image, stream), name="multimedia"
+    )
+    return HAPParameters(
+        user_arrival_rate=0.004,
+        user_departure_rate=0.001,
+        applications=(programming, database, graphics, multimedia),
+        name="campus-gateway",
+    )
+
+
+def main() -> None:
+    params = build_gateway_workload()
+    print(params.describe())
+    lam = params.mean_message_rate
+    print(f"\noffered load: {lam:.3g} msgs/s on a {SERVICE_RATE:g} msgs/s gateway "
+          f"(rho = {lam / SERVICE_RATE:.2f})\n")
+
+    # --- three models of the same workload -----------------------------
+    mm1 = solve_mm1(lam, SERVICE_RATE)
+    print(f"Poisson        : delay {mm1.mean_delay * 1e3:8.2f} ms")
+
+    mean, variance = exact_rate_moments(params)
+    # Decay chosen from the slowest modulating level (users).
+    mmpp2 = fit_mmpp2_to_moments(mean, variance, params.user_departure_rate)
+    flat = solve_mmpp_m1(mmpp2, SERVICE_RATE)
+    print(f"2-state MMPP   : delay {flat.mean_delay() * 1e3:8.2f} ms "
+          "(moment-matched, hierarchy collapsed)")
+
+    sol2 = solve_solution2(params, SERVICE_RATE)
+    print(f"HAP Solution 2 : delay {sol2.mean_delay * 1e3:8.2f} ms "
+          f"(sigma {sol2.sigma:.3f})")
+
+    sim = simulate_hap_mm1(
+        params, horizon=200_000.0, seed=7, service_rate=SERVICE_RATE
+    )
+    print(f"HAP simulation : delay {sim.mean_delay * 1e3:8.2f} ms "
+          f"({sim.messages_served} messages)\n")
+
+    # --- per-type share of the load -------------------------------------
+    print("per-application-type share of lambda-bar:")
+    for app in params.applications:
+        share = (
+            params.mean_users * app.offered_instances * app.total_message_rate
+        ) / lam
+        print(f"  {app.name:<12} {100 * share:5.1f} %")
+
+    ratio = sim.mean_delay / mm1.mean_delay
+    print(
+        f"\nPoisson underestimates this gateway's delay by "
+        f"{ratio:.1f}x at rho = {lam / SERVICE_RATE:.2f} — and the gap widens "
+        "rapidly if the gateway is sized any tighter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Designing a connectionless overlay on an ATM mesh (Section 7).
+
+Routes three LAN-to-LAN HAP demands over a small switch topology, merges
+the demands sharing each link (Equation 4 is additive over application
+types), and sizes every link for a 0.2 s delay target with the HAP rule —
+reporting how much a Poisson-based design would have under-provisioned.
+
+Run:  python examples/overlay_design.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.control.overlay import design_cl_overlay
+from repro.core.params import HAPParameters
+
+
+def lan_demand(name: str, user_rate: float) -> HAPParameters:
+    """A LAN community: interactive plus bulk application types."""
+    return HAPParameters.symmetric(
+        user_arrival_rate=user_rate,
+        user_departure_rate=0.001,
+        app_arrival_rate=0.01,
+        app_departure_rate=0.01,
+        message_arrival_rate=0.1,
+        message_service_rate=20.0,  # placeholder; links are sized below
+        num_app_types=3,
+        num_message_types=2,
+        name=name,
+    )
+
+
+def main() -> None:
+    topology = nx.Graph()
+    topology.add_edges_from(
+        [
+            ("lan-eng", "atm-1"),
+            ("lan-cs", "atm-1"),
+            ("atm-1", "atm-2"),
+            ("atm-2", "atm-3"),
+            ("atm-3", "lan-admin"),
+            ("atm-2", "lan-lib"),
+        ]
+    )
+    demands = {
+        "eng->admin": ("lan-eng", "lan-admin", lan_demand("eng", 0.004)),
+        "cs->admin": ("lan-cs", "lan-admin", lan_demand("cs", 0.004)),
+        "eng->lib": ("lan-eng", "lan-lib", lan_demand("eng2", 0.004)),
+    }
+
+    design = design_cl_overlay(topology, demands, delay_target=0.2)
+
+    print("routes:")
+    for demand_id, path in design.routes.items():
+        print(f"  {demand_id:<11} {' -> '.join(path)}")
+    print()
+    print(design.describe())
+    print()
+    poisson_total = sum(design.link_bandwidth_poisson.values())
+    print(
+        f"designing with Poisson would provision {poisson_total:.1f} msgs/s "
+        f"in total;\nthe HAP rule demands {design.total_bandwidth:.1f} "
+        f"(+{100 * (design.total_bandwidth / poisson_total - 1):.1f} %) to "
+        "actually meet the 0.2 s target on every link."
+    )
+
+
+if __name__ == "__main__":
+    main()

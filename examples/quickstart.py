@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: build the paper's HAP, analyze it three ways, simulate it.
+
+Reproduces the Section-4 headline comparison on the paper's base
+parameters and prints every number next to its Poisson (M/M/1) baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import HAP
+
+
+def main() -> None:
+    # The paper's base parameter set (Section 4):
+    # lambda=0.0055, mu=0.001, lambda'=0.01, mu'=0.01, lambda''=0.1,
+    # mu''=20, l=5 application types, m=3 message types each.
+    hap = HAP.symmetric(
+        user_arrival_rate=0.0055,
+        user_departure_rate=0.001,
+        app_arrival_rate=0.01,
+        app_departure_rate=0.01,
+        message_arrival_rate=0.1,
+        message_service_rate=20.0,
+        num_app_types=5,
+        num_message_types=3,
+        name="paper-base",
+    )
+
+    print(hap.describe())
+    print()
+    print(f"lambda-bar (Equation 4): {hap.mean_message_rate:.4g} msgs/s")
+    print(f"mean users / applications: {hap.mean_users:g} / {hap.mean_applications:g}")
+    print()
+
+    mm1 = hap.poisson_baseline()
+    print(f"M/M/1 baseline delay     : {mm1.mean_delay:.4f} s")
+
+    sol2 = hap.solve(solution=2)
+    print(
+        f"Solution 2 (closed form) : delay {sol2.mean_delay:.4f} s, "
+        f"sigma {sol2.sigma:.3f}"
+    )
+
+    sol1 = hap.solve(solution=1)
+    print(
+        f"Solution 1 (chain solve) : delay {sol1.mean_delay:.4f} s, "
+        f"sigma {sol1.sigma:.3f}"
+    )
+
+    # Solution 0 is exact; a reduced truncation keeps this example snappy.
+    sol0 = hap.solve(solution=0, backend="qbd", modulating_bounds=(16, 80))
+    print(
+        f"Solution 0 (exact QBD)   : delay {sol0.mean_delay:.4f} s, "
+        f"sigma {sol0.sigma:.3f}  "
+        f"<- {sol0.mean_delay / mm1.mean_delay:.1f}x the Poisson prediction"
+    )
+
+    result = hap.simulate(horizon=100_000.0, seed=1)
+    print(
+        f"Simulation (1e5 s)       : delay {result.mean_delay:.4f} s, "
+        f"sigma {result.sigma:.3f}, served {result.messages_served} messages"
+    )
+    print()
+    print(
+        "The paper's point in one line: Solutions 1/2 (which drop the\n"
+        "correlation between interarrivals) sit near Poisson, while the\n"
+        "exact solve and the simulation show the real, much larger delay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — a full reproduction of "HAP: A New Model for Packet Arrivals"
+(Lin, Tsai, Huang, Gerla; SIGCOMM 1993).
+
+HAP (Hierarchical Arrival Process) models network traffic as a three-level
+hierarchy — users invoke applications, applications emit messages — and
+shows that the resulting multi-time-scale correlation makes queueing delay
+dramatically worse than Poisson or flat-MMPP models predict.
+
+Quick start
+-----------
+>>> from repro import HAP
+>>> hap = HAP.symmetric(
+...     user_arrival_rate=0.0055, user_departure_rate=0.001,
+...     app_arrival_rate=0.01, app_departure_rate=0.01,
+...     message_arrival_rate=0.1, message_service_rate=20.0,
+...     num_app_types=5, num_message_types=3,
+... )
+>>> round(hap.mean_message_rate, 2)     # the paper's lambda-bar
+8.25
+>>> sol = hap.solve(solution=2)         # closed-form queueing analysis
+>>> result = hap.simulate(horizon=1e4)  # event-driven simulation
+
+Package map
+-----------
+* :mod:`repro.core` — the HAP model, HAP-CS, on–off special cases, the
+  MMPP mapping, and the paper's Solutions 0/1/2.
+* :mod:`repro.markov` — CTMC/MMPP substrate and the matrix-geometric
+  MMPP/M/1 solver.
+* :mod:`repro.queueing` — M/M/1, M/G/1, G/M/1 (σ-algorithm) closed forms.
+* :mod:`repro.sim` — the discrete-event simulator and traffic sources.
+* :mod:`repro.analysis` — statistics, convergence and comparison helpers.
+* :mod:`repro.control` — broadband-network control applications: admission
+  tables, bandwidth allocation, CL overlay design.
+* :mod:`repro.experiments` — the paper's parameter sets and per-figure
+  experiment runners used by the benchmark suite.
+"""
+
+from repro.core import (
+    HAP,
+    ApplicationType,
+    ClientServerApplicationType,
+    ClientServerHAPParameters,
+    ClientServerMessageType,
+    HAPParameters,
+    InterarrivalDistribution,
+    InterruptedPoisson,
+    MessageType,
+    TwoLevelHAP,
+    solve_bounded_solution2,
+    solve_solution0,
+    solve_solution1,
+    solve_solution2,
+)
+from repro.queueing import solve_gm1, solve_mg1, solve_mm1
+from repro.sim import simulate_hap_mm1, simulate_source_mm1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HAP",
+    "ApplicationType",
+    "ClientServerApplicationType",
+    "ClientServerHAPParameters",
+    "ClientServerMessageType",
+    "HAPParameters",
+    "InterarrivalDistribution",
+    "InterruptedPoisson",
+    "MessageType",
+    "TwoLevelHAP",
+    "__version__",
+    "simulate_hap_mm1",
+    "simulate_source_mm1",
+    "solve_bounded_solution2",
+    "solve_gm1",
+    "solve_mg1",
+    "solve_mm1",
+    "solve_solution0",
+    "solve_solution1",
+    "solve_solution2",
+]

@@ -1,0 +1,37 @@
+"""Result analysis: statistics, convergence diagnostics, comparison tables."""
+
+from repro.analysis.comparison import ComparisonRow, comparison_table, format_table
+from repro.analysis.convergence import (
+    batch_means,
+    running_mean,
+    running_mean_fluctuation,
+)
+from repro.analysis.statistics import (
+    confidence_interval,
+    relative_error,
+    summarize,
+)
+from repro.analysis.traces import (
+    empirical_idc,
+    empirical_interarrival_ccdf,
+    interarrival_times,
+    peak_to_mean_ratio,
+    rate_in_windows,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "batch_means",
+    "comparison_table",
+    "confidence_interval",
+    "empirical_idc",
+    "empirical_interarrival_ccdf",
+    "format_table",
+    "interarrival_times",
+    "peak_to_mean_ratio",
+    "rate_in_windows",
+    "relative_error",
+    "running_mean",
+    "running_mean_fluctuation",
+    "summarize",
+]

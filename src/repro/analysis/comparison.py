@@ -1,0 +1,66 @@
+"""HAP-versus-baseline comparison tables.
+
+Every numerical section of the paper boils down to a small table: a sweep
+variable, HAP's number, Poisson's number, and their ratio.  These helpers
+build and render such tables uniformly so each benchmark prints rows in the
+same shape the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComparisonRow", "comparison_table", "format_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One sweep point: a label plus named values."""
+
+    label: str
+    values: dict[str, float] = field(default_factory=dict)
+
+
+def comparison_table(
+    labels, columns: dict[str, list[float]]
+) -> list[ComparisonRow]:
+    """Zip per-column value lists into rows.
+
+    Raises
+    ------
+    ValueError
+        When column lengths disagree with the number of labels.
+    """
+    labels = list(labels)
+    for name, values in columns.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"column {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    return [
+        ComparisonRow(
+            label=str(label),
+            values={name: values[k] for name, values in columns.items()},
+        )
+        for k, label in enumerate(labels)
+    ]
+
+
+def format_table(rows: list[ComparisonRow], precision: int = 4) -> str:
+    """Render rows as an aligned text table (used by benchmark printouts)."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].values.keys())
+    header = ["label"] + columns
+    body = [
+        [row.label] + [f"{row.values[c]:.{precision}g}" for c in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[k]), *(len(line[k]) for line in body))
+        for k in range(len(header))
+    ]
+    def render(line):
+        return "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+
+    return "\n".join([render(header)] + [render(line) for line in body])

@@ -1,0 +1,73 @@
+"""Small statistics helpers shared by tests, benchmarks and examples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "confidence_interval", "relative_error", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        return (
+            f"n={self.count} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values) -> Summary:
+    """Summarize a sequence of numbers.
+
+    Raises
+    ------
+    ValueError
+        On an empty sample.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else math.nan,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def confidence_interval(
+    values, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """(mean, low, high) Student-t confidence interval for the mean."""
+    from scipy.stats import t as student_t
+
+    array = np.asarray(list(values), dtype=float)
+    if array.size < 2:
+        raise ValueError("need at least two values for a confidence interval")
+    mean = float(array.mean())
+    half = float(
+        student_t.ppf(0.5 + confidence / 2.0, df=array.size - 1)
+        * array.std(ddof=1)
+        / math.sqrt(array.size)
+    )
+    return mean, mean - half, mean + half
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """``|estimate - reference| / |reference|`` (NaN when reference is 0)."""
+    if reference == 0:
+        return math.nan
+    return abs(estimate - reference) / abs(reference)

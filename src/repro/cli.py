@@ -1,0 +1,177 @@
+"""Command-line interface: analyze, simulate, and size HAP workloads.
+
+Three subcommands, mirroring how a network engineer would use the library:
+
+* ``analyze``  — closed-form and (optionally) exact queueing analysis of a
+  symmetric HAP against its Poisson baseline.
+* ``simulate`` — an event-driven run with the headline statistics.
+* ``size``     — minimum bandwidth for a mean-delay target.
+
+Examples
+--------
+::
+
+    python -m repro.cli analyze --lam 0.0055 --mu 0.001 --lam1 0.01 \
+        --mu1 0.01 --lam2 0.1 --mu2 20 -l 5 -m 3
+    python -m repro.cli simulate --horizon 1e5 --seed 7
+    python -m repro.cli size --delay-target 0.1
+
+All parameters default to the paper's Section-4 base set, so bare
+subcommands reproduce paper numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.model import HAP
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_hap_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lam", type=float, default=0.0055, help="user arrival rate lambda"
+    )
+    parser.add_argument(
+        "--mu", type=float, default=0.001, help="user departure rate mu"
+    )
+    parser.add_argument(
+        "--lam1", type=float, default=0.01, help="application arrival rate lambda'"
+    )
+    parser.add_argument(
+        "--mu1", type=float, default=0.01, help="application departure rate mu'"
+    )
+    parser.add_argument(
+        "--lam2", type=float, default=0.1, help="message arrival rate lambda''"
+    )
+    parser.add_argument(
+        "--mu2", type=float, default=20.0, help="message service rate mu''"
+    )
+    parser.add_argument(
+        "-l", "--app-types", type=int, default=5, help="application types l"
+    )
+    parser.add_argument(
+        "-m", "--message-types", type=int, default=3, help="message types m"
+    )
+
+
+def _hap_from_args(args: argparse.Namespace) -> HAP:
+    return HAP.symmetric(
+        user_arrival_rate=args.lam,
+        user_departure_rate=args.mu,
+        app_arrival_rate=args.lam1,
+        app_departure_rate=args.mu1,
+        message_arrival_rate=args.lam2,
+        message_service_rate=args.mu2,
+        num_app_types=args.app_types,
+        num_message_types=args.message_types,
+        name="cli",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HAP (SIGCOMM '93) analysis, simulation and sizing.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="closed-form (and optionally exact) queueing analysis"
+    )
+    _add_hap_arguments(analyze)
+    analyze.add_argument(
+        "--exact",
+        action="store_true",
+        help="also run the exact Solution-0 QBD solve (slower)",
+    )
+
+    simulate = commands.add_parser("simulate", help="event-driven simulation")
+    _add_hap_arguments(simulate)
+    simulate.add_argument("--horizon", type=float, default=100_000.0)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    size = commands.add_parser(
+        "size", help="minimum bandwidth for a mean-delay target"
+    )
+    _add_hap_arguments(size)
+    size.add_argument("--delay-target", type=float, required=True)
+    return parser
+
+
+def _command_analyze(args: argparse.Namespace, out) -> int:
+    hap = _hap_from_args(args)
+    print(hap.describe(), file=out)
+    mm1 = hap.poisson_baseline()
+    print(f"utilization          : {hap.params.utilization():.3f}", file=out)
+    print(f"M/M/1 baseline delay : {mm1.mean_delay:.6g} s", file=out)
+    sol2 = hap.solve(solution=2)
+    print(
+        f"Solution 2           : delay {sol2.mean_delay:.6g} s "
+        f"(sigma {sol2.sigma:.4f})",
+        file=out,
+    )
+    if args.exact:
+        sol0 = hap.solve(solution=0, backend="qbd")
+        print(
+            f"Solution 0 (exact)   : delay {sol0.mean_delay:.6g} s "
+            f"(sigma {sol0.sigma:.4f}, "
+            f"{sol0.mean_delay / mm1.mean_delay:.2f}x Poisson)",
+            file=out,
+        )
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace, out) -> int:
+    hap = _hap_from_args(args)
+    result = hap.simulate(horizon=args.horizon, seed=args.seed)
+    print(f"messages served      : {result.messages_served}", file=out)
+    print(f"mean delay           : {result.mean_delay:.6g} s", file=out)
+    print(f"sigma (arrival-busy) : {result.sigma:.4f}", file=out)
+    print(f"utilization          : {result.utilization:.4f}", file=out)
+    print(f"mean users / apps    : {result.mean_users:.2f} / "
+          f"{result.mean_apps:.2f}", file=out)
+    return 0
+
+
+def _command_size(args: argparse.Namespace, out) -> int:
+    from repro.control.bandwidth import bandwidth_for_delay_target
+
+    hap = _hap_from_args(args)
+    lam = hap.mean_message_rate
+    if args.delay_target <= 0:
+        print("error: delay target must be positive", file=out)
+        return 2
+    poisson = lam + 1.0 / args.delay_target
+    sized = bandwidth_for_delay_target(hap.params, args.delay_target)
+    print(f"offered load         : {lam:.6g} msgs/s", file=out)
+    print(f"Poisson sizing       : mu = {poisson:.6g}", file=out)
+    print(f"HAP sizing           : mu = {sized:.6g} "
+          f"(+{100 * (sized / poisson - 1):.1f}%)", file=out)
+    utilization = lam / sized
+    if utilization > 0.30:
+        print(
+            f"warning: design lands at {utilization:.0%} utilization — "
+            "outside Solution 2's validity region; size with "
+            "solver='solution0' (see repro.control.bandwidth).",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _command_analyze(args, out)
+    if args.command == "simulate":
+        return _command_simulate(args, out)
+    return _command_size(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

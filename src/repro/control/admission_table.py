@@ -1,0 +1,221 @@
+"""Admission control: admissible workload and the decision table.
+
+Section 7 of the paper sketches the deployment story: compute, offline, the
+admissible number of connections per application type (for a delay/loss
+requirement), store the region boundary in a table at each ATM interface,
+and admit an incoming VC/VP request with a table lookup.  It cites Hui's
+linear approximation for representing the region.
+
+We implement exactly that pipeline on top of Solution 2 (the fast solver the
+paper recommends for control-plane use at utilizations under ~30 %):
+
+* :func:`max_admissible_user_rate` — largest user arrival rate keeping the
+  Solution-2 delay under a target (bisection).
+* :func:`admissible_region` — for a 2-application-type HAP, the maximal
+  per-type population mix ``(n_1, n_2)`` meeting the delay target.
+* :func:`linear_region_approximation` — Hui-style half-plane
+  ``n_1 / N_1 + n_2 / N_2 <= 1`` fitted to the region's axis intercepts.
+* :func:`build_admission_table` / :class:`AdmissionTable` — the precomputed
+  lookup used on the admission fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.params import HAPParameters
+from repro.core.solution2 import solve_solution2
+
+__all__ = [
+    "AdmissionTable",
+    "admissible_region",
+    "build_admission_table",
+    "linear_region_approximation",
+    "max_admissible_user_rate",
+]
+
+
+def _delay_at_user_rate(
+    params: HAPParameters, user_rate: float, service_rate: float
+) -> float:
+    """Solution-2 delay after swapping in a new user arrival rate.
+
+    Returns +inf for unstable loads, which the bisection treats as
+    "not admissible".
+    """
+    candidate = replace(params, user_arrival_rate=user_rate)
+    if candidate.mean_message_rate >= service_rate:
+        return float("inf")
+    try:
+        return solve_solution2(candidate, service_rate).mean_delay
+    except (ValueError, ArithmeticError):
+        return float("inf")
+
+
+def max_admissible_user_rate(
+    params: HAPParameters,
+    delay_target: float,
+    service_rate: float | None = None,
+    tol: float = 1e-4,
+) -> float:
+    """Largest ``lambda`` (user arrival rate) with Solution-2 delay <= target.
+
+    Monotonicity of delay in ``lambda`` makes bisection safe.  Raises
+    ``ValueError`` when even a vanishing load misses the target (i.e. the
+    target is below one service time).
+    """
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    if delay_target <= 1.0 / service_rate:
+        raise ValueError(
+            f"delay target {delay_target:g} is at or below one mean service "
+            f"time {1.0 / service_rate:g}; nothing is admissible"
+        )
+    low = 0.0
+    high = params.user_arrival_rate
+    # Grow the bracket until the target is violated (or we hit instability).
+    while _delay_at_user_rate(params, high, service_rate) <= delay_target:
+        low = high
+        high *= 2.0
+        if high > 1e6 * params.user_arrival_rate:
+            return high  # effectively unconstrained
+    while (high - low) / max(high, 1e-300) > tol:
+        mid = 0.5 * (low + high)
+        if _delay_at_user_rate(params, mid, service_rate) <= delay_target:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def _delay_for_population_mix(
+    params: HAPParameters,
+    populations: tuple[float, ...],
+    service_rate: float,
+) -> float:
+    """Solution-2 delay when application populations are *pinned*.
+
+    For admission control over connection-oriented services, the control
+    variable is the number of admitted connections of each type, not the
+    free-running population.  We model "``n_i`` connections of type ``i``"
+    by scaling each type's invocation rate so its mean population equals
+    ``n_i`` (the fluid-equivalent load), keeping everything else intact.
+    """
+    apps = []
+    for app, target in zip(params.applications, populations):
+        mean_now = params.mean_users * app.offered_instances
+        if target <= 0:
+            continue
+        scale = target / mean_now
+        apps.append(replace(app, arrival_rate=app.arrival_rate * scale))
+    if not apps:
+        return 0.0
+    candidate = replace(params, applications=tuple(apps))
+    if candidate.mean_message_rate >= service_rate:
+        return float("inf")
+    try:
+        return solve_solution2(candidate, service_rate).mean_delay
+    except (ValueError, ArithmeticError):
+        return float("inf")
+
+
+def admissible_region(
+    params: HAPParameters,
+    delay_target: float,
+    service_rate: float | None = None,
+    max_population: int = 200,
+) -> list[tuple[int, int]]:
+    """Admissible (n_1, n_2) mixes for a 2-application-type HAP.
+
+    Returns, for each ``n_1``, the largest ``n_2`` such that pinning mean
+    populations at ``(n_1, n_2)`` keeps Solution-2 delay within target —
+    the staircase boundary of the paper's "admissible call region".
+    """
+    if params.num_app_types != 2:
+        raise ValueError("admissible_region is defined for exactly 2 app types")
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    boundary: list[tuple[int, int]] = []
+    for n1 in range(max_population + 1):
+        best_n2 = -1
+        low, high = 0, max_population
+        # n2 feasibility is monotone: binary search the boundary.
+        while low <= high:
+            mid = (low + high) // 2
+            delay = _delay_for_population_mix(
+                params, (float(n1), float(mid)), service_rate
+            )
+            if delay <= delay_target:
+                best_n2 = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        if best_n2 < 0:
+            break
+        boundary.append((n1, best_n2))
+    return boundary
+
+
+def linear_region_approximation(
+    boundary: list[tuple[int, int]],
+) -> tuple[float, float]:
+    """Fit Hui's linear region ``n1 / N1 + n2 / N2 <= 1``.
+
+    ``N1`` and ``N2`` are the axis intercepts of the staircase boundary;
+    the half-plane through them is the classical conservative-but-compact
+    approximation the paper cites for table-free admission.
+    """
+    if not boundary:
+        raise ValueError("empty admissible region")
+    n2_at_zero = next((n2 for n1, n2 in boundary if n1 == 0), None)
+    if n2_at_zero is None:
+        raise ValueError("boundary must include the n1 = 0 axis point")
+    n1_max = max(n1 for n1, n2 in boundary)
+    if n1_max == 0 or n2_at_zero == 0:
+        raise ValueError("degenerate region; intercepts must be positive")
+    return float(n1_max), float(n2_at_zero)
+
+
+@dataclass(frozen=True)
+class AdmissionTable:
+    """Precomputed admission decisions for population mixes.
+
+    Attributes
+    ----------
+    boundary:
+        ``boundary[n1]`` = max admissible ``n2`` (monotone non-increasing).
+    delay_target:
+        The delay requirement the table enforces.
+    """
+
+    boundary: tuple[tuple[int, int], ...]
+    delay_target: float
+
+    def admit(self, n1: int, n2: int) -> bool:
+        """O(log) table lookup: is the mix ``(n1, n2)`` admissible?"""
+        if n1 < 0 or n2 < 0:
+            raise ValueError("populations cannot be negative")
+        limits = dict(self.boundary)
+        if n1 not in limits:
+            return False
+        return n2 <= limits[n1]
+
+    @property
+    def size(self) -> int:
+        """Number of stored boundary points."""
+        return len(self.boundary)
+
+
+def build_admission_table(
+    params: HAPParameters,
+    delay_target: float,
+    service_rate: float | None = None,
+    max_population: int = 200,
+) -> AdmissionTable:
+    """Precompute the admissible region into a lookup table (Section 7)."""
+    boundary = admissible_region(
+        params, delay_target, service_rate, max_population
+    )
+    return AdmissionTable(boundary=tuple(boundary), delay_target=delay_target)

@@ -1,0 +1,170 @@
+"""Bounded HAPs — the paper's admission control study (Figure 20).
+
+Section 5 bounds the numbers of concurrent users and applications (12 and 60
+in the paper, against unbounded means 5.5 and 27.5) and finds that the bound
+reduces both ``lambda-bar`` *and* burstiness, more so at higher load: cutting
+the top of the population distribution cuts exactly the states that generate
+the long bursts.
+
+With bounds, the M/M/∞ levels become finite birth–death stations whose
+stationary distributions are *truncated Poissons* (the loss-station analogue
+of the Erlang-B result), so the Solution-2 conditioning survives intact and
+the interarrival distribution becomes a finite hyper-exponential mixture:
+
+    Abar(t) = (1 / lambda-bar_b) * sum_x P_trunc(x)
+              * sum_y y * beta * P_trunc(y | x) * exp(-y beta t)
+
+:func:`solve_bounded_solution2` implements that for symmetric HAPs;
+:func:`bounded_modulating_mmpp` builds the *exact* bounded modulating chain
+for use with Solutions 0/1 when the separation assumption is in doubt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mmpp_mapping import MappedMMPP, symmetric_hap_to_mmpp
+from repro.core.params import HAPParameters
+from repro.markov.birth_death import truncated_poisson_pmf
+from repro.queueing.gm1 import GM1Solution, solve_gm1
+
+__all__ = [
+    "BoundedSolution2Result",
+    "bounded_mean_message_rate",
+    "bounded_modulating_mmpp",
+    "solve_bounded_solution2",
+]
+
+
+def _require_symmetric(params: HAPParameters) -> None:
+    if not params.is_symmetric:
+        raise ValueError(
+            "bounded Solution 2 uses the collapsed (x, y) chain and "
+            "therefore needs a symmetric HAP"
+        )
+
+
+def _bounded_mixture(
+    params: HAPParameters, max_users: int, max_apps: int
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """(weights, rates, lambda-bar) of the bounded Palm mixture."""
+    _require_symmetric(params)
+    if max_users < 1 or max_apps < 1:
+        raise ValueError("bounds must be at least 1")
+    app = params.applications[0]
+    beta = app.total_message_rate  # message rate per live application
+    c = params.num_app_types * app.offered_instances  # offered apps per user
+    user_pmf = truncated_poisson_pmf(params.mean_users, max_users)
+    y_values = np.arange(max_apps + 1, dtype=float)
+    state_rates = y_values * beta
+    weighted = np.zeros(max_apps + 1)
+    for x, p_x in enumerate(user_pmf):
+        y_pmf = truncated_poisson_pmf(x * c, max_apps)
+        weighted += p_x * y_pmf * state_rates
+    mean_rate = float(weighted.sum())
+    if mean_rate <= 0:
+        raise ArithmeticError("bounded HAP generates no traffic")
+    active = state_rates > 0
+    weights = weighted[active] / mean_rate
+    return weights, state_rates[active], mean_rate
+
+
+def bounded_mean_message_rate(
+    params: HAPParameters, max_users: int, max_apps: int
+) -> float:
+    """``lambda-bar`` of the bounded HAP (always below the unbounded value)."""
+    _, _, mean_rate = _bounded_mixture(params, max_users, max_apps)
+    return mean_rate
+
+
+@dataclass(frozen=True)
+class BoundedSolution2Result:
+    """Solution-2 output for a bounded HAP.
+
+    Attributes
+    ----------
+    max_users, max_apps:
+        The admission-control limits in force.
+    mean_rate:
+        Bounded ``lambda-bar``.
+    gm1:
+        The underlying G/M/1 solution.
+    """
+
+    params: HAPParameters
+    service_rate: float
+    max_users: int
+    max_apps: int
+    mean_rate: float
+    gm1: GM1Solution
+
+    @property
+    def sigma(self) -> float:
+        """Probability an arrival finds the server busy."""
+        return self.gm1.sigma
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean message delay."""
+        return self.gm1.mean_delay
+
+    @property
+    def utilization(self) -> float:
+        """Offered load of the bounded system."""
+        return self.mean_rate / self.service_rate
+
+
+def solve_bounded_solution2(
+    params: HAPParameters,
+    max_users: int,
+    max_apps: int,
+    service_rate: float | None = None,
+    method: str = "brent",
+) -> BoundedSolution2Result:
+    """Solution 2 with user/application admission limits (Figure 20).
+
+    Parameters
+    ----------
+    params:
+        A symmetric HAP.
+    max_users, max_apps:
+        Hard limits on concurrent users and total applications (arrivals
+        beyond the limit are blocked, as in an Erlang loss station).
+    service_rate:
+        ``mu''``; defaults to the common message service rate.
+    method:
+        σ-root method, ``"brent"`` or ``"paper"``.
+    """
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    weights, rates, mean_rate = _bounded_mixture(params, max_users, max_apps)
+
+    def laplace(s: float) -> float:
+        return float(np.sum(weights * rates / (rates + s)))
+
+    gm1 = solve_gm1(laplace, service_rate, mean_rate, method=method)
+    return BoundedSolution2Result(
+        params=params,
+        service_rate=service_rate,
+        max_users=max_users,
+        max_apps=max_apps,
+        mean_rate=mean_rate,
+        gm1=gm1,
+    )
+
+
+def bounded_modulating_mmpp(
+    params: HAPParameters, max_users: int, max_apps: int
+) -> MappedMMPP:
+    """The *exact* bounded modulating chain (no separation assumption).
+
+    This is simply the collapsed Figure-7 chain with the truncation bounds
+    set to the admission limits: the box boundary now models intentional
+    blocking rather than numerical truncation.  Feed it to
+    :func:`repro.markov.matrix_geometric.solve_mmpp_m1` for an exact bounded
+    HAP/M/1 answer.
+    """
+    _require_symmetric(params)
+    return symmetric_hap_to_mmpp(params, x_max=max_users, y_max=max_apps)

@@ -1,0 +1,104 @@
+"""Closed-form first moments of a HAP (Equations 4–5 and Figure 8).
+
+Equation 4 gives the long-run message rate
+
+    lambda-bar = (lambda / mu) * sum_i (lambda_i / mu_i) * sum_j lambda_ij
+
+by modelling the user and application levels as M/M/∞ stations.  Equation 5
+is its symmetric special case ``(lambda/mu)(lambda'/mu') l m lambda''``, from
+which the paper observes that *merging or splitting branches preserves
+lambda-bar as long as the number of leaves is constant* (Figure 8) — even
+though burstiness differs.  :func:`equivalent_rate_family` constructs such
+families for the burstiness study.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import HAPParameters
+
+__all__ = [
+    "equivalent_rate_family",
+    "mean_applications",
+    "mean_message_rate",
+    "mean_users",
+    "symmetric_mean_message_rate",
+]
+
+
+def mean_message_rate(params: HAPParameters) -> float:
+    """Equation 4 — long-run message arrival rate ``lambda-bar``."""
+    return params.mean_message_rate
+
+
+def mean_users(params: HAPParameters) -> float:
+    """Mean user population ``x-bar = lambda / mu``."""
+    return params.mean_users
+
+
+def mean_applications(params: HAPParameters) -> float:
+    """Mean application population ``y-bar``."""
+    return params.mean_applications
+
+
+def symmetric_mean_message_rate(
+    user_arrival_rate: float,
+    user_departure_rate: float,
+    app_arrival_rate: float,
+    app_departure_rate: float,
+    message_arrival_rate: float,
+    num_app_types: int,
+    num_message_types: int,
+) -> float:
+    """Equation 5 — ``(lambda/mu)(lambda'/mu') l m lambda''``."""
+    return (
+        (user_arrival_rate / user_departure_rate)
+        * (app_arrival_rate / app_departure_rate)
+        * num_app_types
+        * num_message_types
+        * message_arrival_rate
+    )
+
+
+def equivalent_rate_family(
+    base: HAPParameters, leaf_counts: list[tuple[int, int]]
+) -> list[HAPParameters]:
+    """Build symmetric HAPs with identical ``lambda-bar`` but different shape.
+
+    Parameters
+    ----------
+    base:
+        A *symmetric* HAP whose per-leaf rates are reused.
+    leaf_counts:
+        List of ``(l, m)`` pairs; every pair must have the same product
+        ``l * m`` (same number of leaves), which by Equation 5 pins
+        ``lambda-bar``.
+
+    Returns
+    -------
+    One :class:`HAPParameters` per ``(l, m)`` pair, named ``"l=..,m=.."``.
+    Figure 8's intuition — fewer applications each carrying more message
+    types is burstier — is checked against these in the benchmarks.
+    """
+    if not base.is_symmetric:
+        raise ValueError("equivalent_rate_family needs a symmetric base HAP")
+    products = {l * m for l, m in leaf_counts}
+    if len(products) != 1:
+        raise ValueError(
+            f"all (l, m) pairs must share the same leaf count, got {leaf_counts}"
+        )
+    app = base.applications[0]
+    msg = app.messages[0]
+    return [
+        HAPParameters.symmetric(
+            user_arrival_rate=base.user_arrival_rate,
+            user_departure_rate=base.user_departure_rate,
+            app_arrival_rate=app.arrival_rate,
+            app_departure_rate=app.departure_rate,
+            message_arrival_rate=msg.arrival_rate,
+            message_service_rate=msg.service_rate,
+            num_app_types=l,
+            num_message_types=m,
+            name=f"l={l},m={m}",
+        )
+        for l, m in leaf_counts
+    ]

@@ -1,0 +1,187 @@
+"""Burstiness metrics for HAP and friends.
+
+The paper uses "burstiness" qualitatively (variability of interarrival
+times); this module pins it down with three standard, mutually consistent
+metrics so the Figure-8 ordering claim — same ``lambda-bar``, different
+shape, burstiness ``(l=1,m=4) > (l=2,m=2) > (l=4,m=1)`` — can be tested
+numerically:
+
+* squared coefficient of variation (SCV) of the interarrival time, from the
+  Solution-2 closed form (1 for Poisson, larger = burstier);
+* stationary rate variance and peak-to-mean ratio of the modulating rate;
+* index of dispersion for counts (IDC) through the MMPP mapping.
+
+All three agree on the Figure-8 ordering; the benchmark prints all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interarrival import InterarrivalDistribution
+from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+from repro.core.params import HAPParameters
+
+__all__ = [
+    "BurstinessReport",
+    "burstiness_report",
+    "exact_rate_moments",
+    "rate_moments",
+]
+
+
+def rate_moments(params: HAPParameters) -> tuple[float, float]:
+    """Separation-limit mean and variance of the modulating message rate.
+
+    Uses the conditional-Poisson structure that also underlies Solution 2
+    (``y_i | x ~ Poisson(x a_i)``): with ``a_i = lambda_i / mu_i`` and
+    ``Lambda_i``,
+
+        E[R]   = u * sum_i a_i Lambda_i
+        Var(R) = u * sum_i a_i Lambda_i^2               (within-user Poisson)
+               + Var(x) * (sum_i a_i Lambda_i)^2        (user-count mixing)
+
+    with ``u = Var(x) = lambda / mu``.  This is exact in the time-scale-
+    separation limit (users much slower than applications); for comparable
+    churn rates use :func:`exact_rate_moments`, whose variance is smaller
+    because the application populations cannot fully track the user count.
+    """
+    u = params.mean_users
+    first = sum(
+        app.offered_instances * app.total_message_rate
+        for app in params.applications
+    )
+    second = sum(
+        app.offered_instances * app.total_message_rate**2
+        for app in params.applications
+    )
+    mean = u * first
+    variance = u * second + u * first**2
+    return mean, variance
+
+
+def exact_rate_moments(params: HAPParameters) -> tuple[float, float]:
+    """Exact stationary mean and variance of the modulating rate.
+
+    No separation assumption: closes the moment equations of the modulating
+    chain (users M/M/∞; type-``i`` applications born at ``x * lambda_i``,
+    dying at ``mu_i`` each).  The stationary identities are
+
+        Cov(x, y_i)    = u lambda_i / (mu + mu_i)
+        Var(y_i)       = y-bar_i + u lambda_i^2 / (mu_i (mu + mu_i))
+        Cov(y_i, y_j)  = u lambda_i lambda_j
+                         * (1/(mu + mu_i) + 1/(mu + mu_j)) / (mu_i + mu_j)
+
+    and ``Var(R) = sum_ij Lambda_i Lambda_j Cov(y_i, y_j)`` (with the
+    variance terms on the diagonal).  In the slow-user limit these collapse
+    to :func:`rate_moments`; the test suite checks both against the
+    truncated chain.
+    """
+    u = params.mean_users
+    mu = params.user_departure_rate
+    apps = params.applications
+    mean = u * sum(
+        app.offered_instances * app.total_message_rate for app in apps
+    )
+    variance = 0.0
+    for i, app_i in enumerate(apps):
+        lam_i, mu_i = app_i.arrival_rate, app_i.departure_rate
+        big_i = app_i.total_message_rate
+        mean_yi = u * lam_i / mu_i
+        var_yi = mean_yi + u * lam_i**2 / (mu_i * (mu + mu_i))
+        variance += big_i**2 * var_yi
+        for j, app_j in enumerate(apps):
+            if j == i:
+                continue
+            lam_j, mu_j = app_j.arrival_rate, app_j.departure_rate
+            big_j = app_j.total_message_rate
+            cov = (
+                u
+                * lam_i
+                * lam_j
+                * (1.0 / (mu + mu_i) + 1.0 / (mu + mu_j))
+                / (mu_i + mu_j)
+            )
+            variance += big_i * big_j * cov
+    return mean, variance
+
+
+@dataclass(frozen=True)
+class BurstinessReport:
+    """Burstiness metrics for one HAP.
+
+    Attributes
+    ----------
+    mean_rate:
+        ``lambda-bar``.
+    rate_variance:
+        Stationary variance of the modulating rate.
+    rate_cv2:
+        ``Var(R) / E[R]^2`` — the normalized rate variability.
+    interarrival_scv:
+        SCV of the Solution-2 interarrival distribution.
+    density_at_zero_ratio:
+        ``a(0) / lambda-bar`` — how much likelier a short gap is than under
+        Poisson (which has ratio exactly 1).
+    idc_horizon, idc:
+        Index of dispersion for counts at the given horizon (None when the
+        MMPP route was skipped).
+    """
+
+    name: str
+    mean_rate: float
+    rate_variance: float
+    rate_cv2: float
+    interarrival_scv: float
+    density_at_zero_ratio: float
+    idc_horizon: float | None = None
+    idc: float | None = None
+
+    def describe(self) -> str:
+        """One comparison row."""
+        idc_part = (
+            f" IDC({self.idc_horizon:g})={self.idc:.2f}" if self.idc is not None else ""
+        )
+        return (
+            f"{self.name}: lambda-bar={self.mean_rate:.4g} "
+            f"rate-CV2={self.rate_cv2:.4g} SCV={self.interarrival_scv:.4g} "
+            f"a(0)/rate={self.density_at_zero_ratio:.4g}{idc_part}"
+        )
+
+
+def burstiness_report(
+    params: HAPParameters,
+    idc_horizon: float | None = None,
+) -> BurstinessReport:
+    """Compute all burstiness metrics for one HAP.
+
+    Parameters
+    ----------
+    params:
+        The HAP (symmetric HAPs additionally get an IDC when
+        ``idc_horizon`` is set — the MMPP route needs the collapsed chain
+        to stay small).
+    idc_horizon:
+        Time horizon for the IDC (e.g. several mean interarrivals); None
+        skips the (more expensive) MMPP computation.
+    """
+    mean, variance = rate_moments(params)
+    dist = InterarrivalDistribution(params)
+    idc_value = None
+    if idc_horizon is not None:
+        mapped = symmetric_hap_to_mmpp(params) if params.is_symmetric else None
+        if mapped is None:
+            from repro.core.mmpp_mapping import hap_to_mmpp
+
+            mapped = hap_to_mmpp(params)
+        idc_value = mapped.mmpp.index_of_dispersion(idc_horizon)
+    return BurstinessReport(
+        name=params.name or "hap",
+        mean_rate=mean,
+        rate_variance=variance,
+        rate_cv2=variance / mean**2,
+        interarrival_scv=dist.scv(),
+        density_at_zero_ratio=dist.density_at_zero() / mean,
+        idc_horizon=idc_horizon,
+        idc=idc_value,
+    )

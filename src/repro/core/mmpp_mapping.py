@@ -1,0 +1,211 @@
+"""Mapping HAP onto (truncated) MMPPs — the paper's Section 3.1.
+
+HAP's modulating state is ``(x, y_1, ..., y_l)``: the user count and the
+per-type application counts.  Transitions connect neighbouring states only:
+
+    x -> x + 1        at rate lambda
+    x -> x - 1        at rate x * mu
+    y_i -> y_i + 1    at rate x * lambda_i     (invocations need a user)
+    y_i -> y_i - 1    at rate y_i * mu_i
+
+and the message arrival rate in a state is ``sum_i y_i * Lambda_i``.  The
+infinite lattice is truncated to a box (Section 3.2.1's boundary convention:
+out-of-bound transitions are dropped).
+
+For the symmetric model the paper collapses the chain to ``(x, y)`` with
+``y`` the total application count (Figure 7); :func:`symmetric_hap_to_mmpp`
+builds that far smaller chain, which is what Solutions 0/1 and the QBD
+cross-check use at the paper's parameter sizes.
+
+Bounding ``x`` and ``y`` *intentionally* (rather than for numerical
+truncation) is the paper's admission-control mechanism (Figure 20); the same
+functions serve both purposes — only the interpretation of the bound differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import HAPParameters
+from repro.markov.mmpp import MMPP
+from repro.markov.truncation import StateSpace, build_generator
+
+__all__ = [
+    "MappedMMPP",
+    "default_bounds",
+    "hap_to_mmpp",
+    "symmetric_hap_to_mmpp",
+]
+
+#: How many standard deviations beyond the mean the default truncation keeps.
+_DEFAULT_SPREAD = 6.0
+
+
+@dataclass(frozen=True)
+class MappedMMPP:
+    """An MMPP produced from a HAP plus its state-space bookkeeping.
+
+    Attributes
+    ----------
+    mmpp:
+        The truncated MMPP.
+    space:
+        State space whose dense index matches the MMPP's state index.
+    boundary_mass:
+        Stationary probability of states on the truncation boundary — a
+        quick check that the box was large enough (should be tiny unless the
+        bound is an intentional admission-control limit).
+    """
+
+    mmpp: MMPP
+    space: StateSpace
+    boundary_mass: float
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean message rate of the truncated chain."""
+        return self.mmpp.mean_rate()
+
+
+def default_bounds(params: HAPParameters, spread: float = _DEFAULT_SPREAD) -> tuple[int, ...]:
+    """Truncation box covering ``mean + spread * std`` per coordinate.
+
+    The user population is Poisson (variance = mean), but an application
+    population is a *mixed* Poisson over the random user count, which makes
+    it over-dispersed:
+
+        Var(y_i) = x-bar * a_i * (1 + a_i),   a_i = lambda_i / mu_i.
+
+    Under-truncating the application level silently shaves off exactly the
+    burst states that dominate HAP's queueing delay, so the default box uses
+    the true variance.
+    """
+    bounds = [_spread_bound(params.mean_users, params.mean_users, spread)]
+    for app in params.applications:
+        a_i = app.offered_instances
+        mean_instances = params.mean_users * a_i
+        variance = params.mean_users * a_i * (1.0 + a_i)
+        bounds.append(_spread_bound(mean_instances, variance, spread))
+    return tuple(bounds)
+
+
+def _spread_bound(mean: float, variance: float, spread: float) -> int:
+    return max(2, int(np.ceil(mean + spread * np.sqrt(max(variance, 1.0)))))
+
+
+def hap_to_mmpp(
+    params: HAPParameters,
+    bounds: tuple[int, ...] | None = None,
+) -> MappedMMPP:
+    """Build the general ``(x, y_1, .., y_l)`` truncated MMPP.
+
+    Parameters
+    ----------
+    params:
+        The HAP description.
+    bounds:
+        Inclusive bounds ``(x_max, y1_max, .., yl_max)``; defaults to
+        :func:`default_bounds`.  State-space size is the product of
+        ``bound + 1`` over coordinates — keep ``l`` small or use
+        :func:`symmetric_hap_to_mmpp` for symmetric models.
+    """
+    if bounds is None:
+        bounds = default_bounds(params)
+    if len(bounds) != params.num_app_types + 1:
+        raise ValueError(
+            f"need {params.num_app_types + 1} bounds (x plus one per app type), "
+            f"got {len(bounds)}"
+        )
+    space = StateSpace(bounds)
+    lam = params.user_arrival_rate
+    mu = params.user_departure_rate
+    apps = params.applications
+
+    def transitions(state):
+        x = state[0]
+        yield (x + 1, *state[1:]), lam
+        if x > 0:
+            yield (x - 1, *state[1:]), x * mu
+        for i, app in enumerate(apps):
+            y = state[1 + i]
+            up = list(state)
+            up[1 + i] = y + 1
+            yield tuple(up), x * app.arrival_rate
+            if y > 0:
+                down = list(state)
+                down[1 + i] = y - 1
+                yield tuple(down), y * app.departure_rate
+
+    generator = build_generator(space, transitions)
+    coords = space.coordinate_arrays()
+    rates = np.zeros(space.size)
+    for i, app in enumerate(apps):
+        rates += coords[1 + i] * app.total_message_rate
+    mmpp = MMPP(generator, rates)
+    return MappedMMPP(
+        mmpp=mmpp, space=space, boundary_mass=_boundary_mass(mmpp, space)
+    )
+
+
+def symmetric_hap_to_mmpp(
+    params: HAPParameters,
+    x_max: int | None = None,
+    y_max: int | None = None,
+) -> MappedMMPP:
+    """Build the collapsed ``(x, y)`` MMPP for a symmetric HAP (Figure 7).
+
+    ``y`` is the total application count across all ``l`` types; invocations
+    occur at ``x * l * lambda'`` and the message rate is ``y * m * lambda''``.
+
+    Raises
+    ------
+    ValueError
+        If the HAP is not symmetric — the collapse needs exchangeable types.
+    """
+    if not params.is_symmetric:
+        raise ValueError("symmetric_hap_to_mmpp needs a symmetric HAP")
+    app = params.applications[0]
+    per_app_rate = app.total_message_rate
+    invoke_rate = params.num_app_types * app.arrival_rate
+    if x_max is None:
+        x_max = _spread_bound(
+            params.mean_users, params.mean_users, _DEFAULT_SPREAD
+        )
+    if y_max is None:
+        # Total apps: mixed Poisson with c = l * lambda'/mu' per user.
+        c_total = params.num_app_types * app.offered_instances
+        variance = params.mean_users * c_total * (1.0 + c_total)
+        y_max = _spread_bound(params.mean_applications, variance, _DEFAULT_SPREAD)
+    space = StateSpace((x_max, y_max))
+    lam = params.user_arrival_rate
+    mu = params.user_departure_rate
+    mu_app = app.departure_rate
+
+    def transitions(state):
+        x, y = state
+        yield (x + 1, y), lam
+        if x > 0:
+            yield (x - 1, y), x * mu
+        yield (x, y + 1), x * invoke_rate
+        if y > 0:
+            yield (x, y - 1), y * mu_app
+
+    generator = build_generator(space, transitions)
+    xs, ys = space.coordinate_arrays()
+    rates = ys * per_app_rate
+    mmpp = MMPP(generator, rates.astype(float))
+    return MappedMMPP(
+        mmpp=mmpp, space=space, boundary_mass=_boundary_mass(mmpp, space)
+    )
+
+
+def _boundary_mass(mmpp: MMPP, space: StateSpace) -> float:
+    """Total stationary probability of states touching the box boundary."""
+    pi = mmpp.stationary_distribution()
+    coords = space.coordinate_arrays()
+    on_boundary = np.zeros(space.size, dtype=bool)
+    for k, bound in enumerate(space.bounds):
+        on_boundary |= coords[k] == bound
+    return float(pi[on_boundary].sum())

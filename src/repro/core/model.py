@@ -1,0 +1,191 @@
+"""The `HAP` facade — one object tying the whole library together.
+
+``HAP`` wraps a :class:`~repro.core.params.HAPParameters` and exposes every
+capability behind a uniform, discoverable API:
+
+>>> from repro import HAP
+>>> hap = HAP.symmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20.0, 5, 3)
+>>> round(hap.mean_message_rate, 2)
+8.25
+>>> sol = hap.solve(solution=2)          # closed-form Solution 2
+>>> result = hap.simulate(horizon=1e4)   # discrete-event simulation
+
+Power users can always drop to the underlying modules; the facade only
+forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interarrival import InterarrivalDistribution
+from repro.core.mmpp_mapping import (
+    MappedMMPP,
+    hap_to_mmpp,
+    symmetric_hap_to_mmpp,
+)
+from repro.core.params import HAPParameters
+from repro.core.solution0 import Solution0Result, solve_solution0
+from repro.core.solution1 import Solution1Result, solve_solution1
+from repro.core.solution2 import Solution2Result, solve_solution2
+
+__all__ = ["HAP"]
+
+
+@dataclass(frozen=True)
+class HAP:
+    """A Hierarchical Arrival Process with analysis and simulation attached.
+
+    Attributes
+    ----------
+    params:
+        The immutable parameter set (see
+        :class:`~repro.core.params.HAPParameters`).
+    """
+
+    params: HAPParameters
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def symmetric(
+        cls,
+        user_arrival_rate: float,
+        user_departure_rate: float,
+        app_arrival_rate: float,
+        app_departure_rate: float,
+        message_arrival_rate: float,
+        message_service_rate: float,
+        num_app_types: int,
+        num_message_types: int,
+        name: str = "",
+    ) -> "HAP":
+        """Build the paper's simplified symmetric HAP (see
+        :meth:`repro.core.params.HAPParameters.symmetric`)."""
+        return cls(
+            HAPParameters.symmetric(
+                user_arrival_rate,
+                user_departure_rate,
+                app_arrival_rate,
+                app_departure_rate,
+                message_arrival_rate,
+                message_service_rate,
+                num_app_types,
+                num_message_types,
+                name=name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # First moments
+    # ------------------------------------------------------------------
+    @property
+    def mean_message_rate(self) -> float:
+        """Equation 4's ``lambda-bar``."""
+        return self.params.mean_message_rate
+
+    @property
+    def mean_users(self) -> float:
+        """``x-bar``."""
+        return self.params.mean_users
+
+    @property
+    def mean_applications(self) -> float:
+        """``y-bar``."""
+        return self.params.mean_applications
+
+    # ------------------------------------------------------------------
+    # Distributions and mappings
+    # ------------------------------------------------------------------
+    def interarrival(self) -> InterarrivalDistribution:
+        """The Solution-2 closed-form message interarrival distribution."""
+        return InterarrivalDistribution(self.params)
+
+    def to_mmpp(self, bounds=None, collapse_symmetric: bool = True) -> MappedMMPP:
+        """Truncated MMPP representation (Section 3.1's mapping)."""
+        if collapse_symmetric and self.params.is_symmetric:
+            if bounds is None:
+                return symmetric_hap_to_mmpp(self.params)
+            x_max, y_max = bounds
+            return symmetric_hap_to_mmpp(self.params, x_max=x_max, y_max=y_max)
+        return hap_to_mmpp(self.params, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    # Queueing analysis
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        solution: int = 2,
+        service_rate: float | None = None,
+        **kwargs,
+    ) -> Solution0Result | Solution1Result | Solution2Result:
+        """Analyze the HAP/M/1 queue with the requested paper solution.
+
+        Parameters
+        ----------
+        solution:
+            0 (exact, slowest), 1 (steady-state approximation) or
+            2 (closed form, default).
+        service_rate:
+            ``mu''``; defaults to the common message service rate.
+        kwargs:
+            Forwarded to the specific solver (bounds, backend, method, ...).
+        """
+        if solution == 0:
+            return solve_solution0(self.params, service_rate, **kwargs)
+        if solution == 1:
+            return solve_solution1(self.params, service_rate, **kwargs)
+        if solution == 2:
+            return solve_solution2(self.params, service_rate, **kwargs)
+        raise ValueError(f"solution must be 0, 1 or 2, got {solution!r}")
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        horizon: float,
+        seed: int = 0,
+        service_rate: float | None = None,
+        **kwargs,
+    ):
+        """Discrete-event simulation of HAP/M/1 (see
+        :func:`repro.sim.replication.simulate_hap_mm1`)."""
+        from repro.sim.replication import simulate_hap_mm1
+
+        return simulate_hap_mm1(
+            self.params, horizon, seed=seed, service_rate=service_rate, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def poisson_baseline(self, service_rate: float | None = None):
+        """The load-equivalent M/M/1 every figure compares against."""
+        from repro.queueing.mm1 import solve_mm1
+
+        if service_rate is None:
+            service_rate = self.params.common_service_rate()
+        return solve_mm1(self.mean_message_rate, service_rate)
+
+    def delay_ratio_vs_poisson(
+        self, solution: int = 2, service_rate: float | None = None, **kwargs
+    ) -> float:
+        """HAP delay divided by same-load M/M/1 delay (the headline metric)."""
+        hap_delay = self.solve(solution, service_rate, **kwargs).mean_delay
+        return hap_delay / self.poisson_baseline(service_rate).mean_delay
+
+    def scaled(self, level: str, kind: str, factor: float) -> "HAP":
+        """Perturbed copy (see :meth:`HAPParameters.scaled`)."""
+        return HAP(self.params.scaled(level, kind, factor))
+
+    def with_service_rate(self, service_rate: float) -> "HAP":
+        """Copy with a different ``mu''`` (Figure 11's sweep)."""
+        return HAP(self.params.with_service_rate(service_rate))
+
+    def describe(self) -> str:
+        """Human-readable parameter summary."""
+        return self.params.describe()

@@ -1,0 +1,180 @@
+"""ON–OFF traffic models as 2-level HAPs (Section 2's observation).
+
+The paper remarks that the classical on–off call/burst models
+[Hui 88; Schoute 88; Kuehn 89] are 2-level HAPs: "a burst can arrive only
+when the call it belongs to is active; the ON–OFF model is a 2-level HAP
+with only one message type."
+
+Two standard flavours are implemented:
+
+* :class:`TwoLevelHAP` — *sessions* (the upper level) arrive Poisson and
+  live exponentially; a live session emits messages at a fixed rate.  Its
+  modulating chain is M/M/∞, so every Solution-2 formula specializes in
+  closed form (these are the one-level analogues of Equations 4–11 and are
+  verified against the 3-level formulas in the tests).
+* :class:`InterruptedPoisson` — a single source alternating ON/OFF (an IPP,
+  i.e. a 2-state MMPP); ``n_superposed`` builds the binomial superposition
+  used in classical voice-multiplexing studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.mmpp import MMPP
+from repro.markov.truncation import StateSpace
+from repro.core.mmpp_mapping import MappedMMPP
+
+__all__ = ["InterruptedPoisson", "TwoLevelHAP"]
+
+
+@dataclass(frozen=True)
+class TwoLevelHAP:
+    """Sessions arrive Poisson; live sessions emit messages.
+
+    Parameters
+    ----------
+    session_arrival_rate:
+        Poisson arrival rate of sessions (calls).
+    session_departure_rate:
+        Rate at which a live session ends.
+    message_rate:
+        Message (burst) emission rate of one live session.
+    """
+
+    session_arrival_rate: float
+    session_departure_rate: float
+    message_rate: float
+
+    def __post_init__(self) -> None:
+        if min(
+            self.session_arrival_rate,
+            self.session_departure_rate,
+            self.message_rate,
+        ) <= 0:
+            raise ValueError("all rates must be positive")
+
+    @property
+    def mean_sessions(self) -> float:
+        """``a = lambda_s / mu_s`` (M/M/∞ occupancy)."""
+        return self.session_arrival_rate / self.session_departure_rate
+
+    @property
+    def mean_message_rate(self) -> float:
+        """``lambda-bar = a * Lambda`` — the 2-level Equation 4."""
+        return self.mean_sessions * self.message_rate
+
+    # ------------------------------------------------------------------
+    # Closed-form interarrival distribution (2-level Solution 2)
+    # ------------------------------------------------------------------
+    def interarrival_ccdf(self, t: np.ndarray) -> np.ndarray:
+        """``Abar(t) = exp(-Lambda t) exp(-a (1 - exp(-Lambda t)))``.
+
+        One conditioning level instead of two: the session count is Poisson
+        ``a`` and the Palm weighting telescopes exactly as in the 3-level
+        derivation.
+        """
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        decay = np.exp(-self.message_rate * t)
+        return decay * np.exp(-self.mean_sessions * (1.0 - decay))
+
+    def interarrival_density(self, t: np.ndarray) -> np.ndarray:
+        """``a(t) = -Abar'(t)`` in closed form."""
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        decay = np.exp(-self.message_rate * t)
+        prefactor = self.message_rate * decay * (1.0 + self.mean_sessions * decay)
+        return prefactor * np.exp(-self.mean_sessions * (1.0 - decay))
+
+    def density_at_zero(self) -> float:
+        """``a(0) = Lambda (1 + a)`` — exceeds ``lambda-bar`` iff ``a < 1 + a``."""
+        return self.message_rate * (1.0 + self.mean_sessions)
+
+    def to_mmpp(self, max_sessions: int | None = None) -> MappedMMPP:
+        """Truncated M/M/∞-modulated MMPP representation.
+
+        The modulating chain is a birth–death chain on the session count.
+        """
+        if max_sessions is None:
+            mean = self.mean_sessions
+            max_sessions = max(2, int(np.ceil(mean + 8.0 * np.sqrt(max(mean, 1.0)))))
+        from repro.markov.truncation import build_generator
+
+        space = StateSpace((max_sessions,))
+
+        def transitions(state):
+            (n,) = state
+            yield (n + 1,), self.session_arrival_rate
+            if n > 0:
+                yield (n - 1,), n * self.session_departure_rate
+
+        generator = build_generator(space, transitions)
+        rates = np.arange(max_sessions + 1, dtype=float) * self.message_rate
+        mmpp = MMPP(generator, rates)
+        pi = mmpp.stationary_distribution()
+        return MappedMMPP(mmpp=mmpp, space=space, boundary_mass=float(pi[-1]))
+
+
+@dataclass(frozen=True)
+class InterruptedPoisson:
+    """A single ON–OFF (IPP) source.
+
+    Parameters
+    ----------
+    on_rate:
+        Rate of OFF -> ON transitions.
+    off_rate:
+        Rate of ON -> OFF transitions.
+    peak_rate:
+        Arrival rate while ON.
+    """
+
+    on_rate: float
+    off_rate: float
+    peak_rate: float
+
+    def __post_init__(self) -> None:
+        if min(self.on_rate, self.off_rate, self.peak_rate) <= 0:
+            raise ValueError("all rates must be positive")
+
+    @property
+    def on_fraction(self) -> float:
+        """Stationary probability of being ON."""
+        return self.on_rate / (self.on_rate + self.off_rate)
+
+    @property
+    def mean_rate(self) -> float:
+        """``peak_rate * on_fraction``."""
+        return self.peak_rate * self.on_fraction
+
+    def to_mmpp(self) -> MMPP:
+        """The exact 2-state MMPP (state 0 = OFF, 1 = ON)."""
+        generator = np.array(
+            [[-self.on_rate, self.on_rate], [self.off_rate, -self.off_rate]]
+        )
+        return MMPP(generator, np.array([0.0, self.peak_rate]))
+
+    def n_superposed(self, n: int) -> MMPP:
+        """Superposition of ``n`` independent copies (binomial modulating chain).
+
+        State ``k`` = number of sources ON; rate ``k * peak_rate``.  Much
+        smaller than the 2^n Kronecker product and exactly equivalent by
+        exchangeability.
+        """
+        if n < 1:
+            raise ValueError("need at least one source")
+        from repro.markov.truncation import build_generator
+
+        space = StateSpace((n,))
+
+        def transitions(state):
+            (k,) = state
+            if k < n:
+                yield (k + 1,), (n - k) * self.on_rate
+            if k > 0:
+                yield (k - 1,), k * self.off_rate
+
+        generator = build_generator(space, transitions)
+        rates = np.arange(n + 1, dtype=float) * self.peak_rate
+        return MMPP(generator, rates)

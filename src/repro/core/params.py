@@ -1,0 +1,338 @@
+"""Parameter objects for the HAP model.
+
+A HAP (Section 2 of the paper) is described by rates at three levels:
+
+* ``lambda`` / ``mu`` — user interarrival and departure rates,
+* ``lambda_i`` / ``mu_i`` — invocation and departure rates for application
+  type ``i`` (applications are invoked only while their user is present, but
+  survive the user's departure),
+* ``lambda_ij`` / ``mu_ij`` — arrival rate and queue service rate for message
+  type ``j`` of application type ``i`` (messages are generated only while
+  their application is alive).
+
+All distributions are exponential with these rates, matching the paper's
+analysis assumption; the simulator accepts distribution overrides separately
+(see :mod:`repro.sim.random_streams`).
+
+The frozen dataclasses here are pure descriptions — every solver, mapper and
+simulator in the library consumes them.  :meth:`HAPParameters.symmetric`
+builds the paper's simplified model (``lambda_i = lambda'``,
+``mu_i = mu'``, ``lambda_ij = lambda''`` for all i, j), which is what every
+numerical section of the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ApplicationType", "HAPParameters", "Level", "MessageType", "RateKind"]
+
+#: Hierarchy levels accepted by :meth:`HAPParameters.scaled`.
+Level = str  # "user" | "application" | "message"
+
+#: Which rate(s) to scale at a level.
+RateKind = str  # "arrival" | "departure" | "both"
+
+_LEVELS = ("user", "application", "message")
+_KINDS = ("arrival", "departure", "both")
+
+
+def _check_positive(value: float, label: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{label} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True)
+class MessageType:
+    """One message type within an application type.
+
+    Attributes
+    ----------
+    arrival_rate:
+        ``lambda_ij`` — rate at which a live application instance emits
+        messages of this type.
+    service_rate:
+        ``mu_ij`` — exponential service rate of this message type at the
+        downstream queue.  The paper's HAP/M/1 analysis requires a common
+        service rate across types; :meth:`HAPParameters.common_service_rate`
+        enforces that where needed.
+    name:
+        Optional label (e.g. ``"interactive"``, ``"file-transfer"``).
+    """
+
+    arrival_rate: float
+    service_rate: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_positive(self.arrival_rate, "message arrival rate")
+        _check_positive(self.service_rate, "message service rate")
+
+
+@dataclass(frozen=True)
+class ApplicationType:
+    """One application type: its invocation dynamics and message types.
+
+    Attributes
+    ----------
+    arrival_rate:
+        ``lambda_i`` — invocation rate of this type *per present user*.
+    departure_rate:
+        ``mu_i`` — departure rate of a running instance (independent of the
+        invoking user's presence).
+    messages:
+        The ``m_i`` message types this application generates.
+    name:
+        Optional label (e.g. ``"programming"``, ``"multimedia"``).
+    """
+
+    arrival_rate: float
+    departure_rate: float
+    messages: tuple[MessageType, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_positive(self.arrival_rate, "application arrival rate")
+        _check_positive(self.departure_rate, "application departure rate")
+        if not self.messages:
+            raise ValueError("an application type needs at least one message type")
+        object.__setattr__(self, "messages", tuple(self.messages))
+
+    @property
+    def num_message_types(self) -> int:
+        """``m_i``."""
+        return len(self.messages)
+
+    @property
+    def total_message_rate(self) -> float:
+        """``Lambda_i = sum_j lambda_ij`` — message rate of a live instance."""
+        return sum(msg.arrival_rate for msg in self.messages)
+
+    @property
+    def offered_instances(self) -> float:
+        """``lambda_i / mu_i`` — mean live instances per present user."""
+        return self.arrival_rate / self.departure_rate
+
+
+@dataclass(frozen=True)
+class HAPParameters:
+    """A complete 3-level HAP parameter set.
+
+    Attributes
+    ----------
+    user_arrival_rate:
+        ``lambda`` — Poisson rate of user arrivals at the node.
+    user_departure_rate:
+        ``mu`` — departure rate of a present user.
+    applications:
+        The ``l`` application types.
+    name:
+        Optional label for reports.
+    """
+
+    user_arrival_rate: float
+    user_departure_rate: float
+    applications: tuple[ApplicationType, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_positive(self.user_arrival_rate, "user arrival rate")
+        _check_positive(self.user_departure_rate, "user departure rate")
+        if not self.applications:
+            raise ValueError("a HAP needs at least one application type")
+        object.__setattr__(self, "applications", tuple(self.applications))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def symmetric(
+        cls,
+        user_arrival_rate: float,
+        user_departure_rate: float,
+        app_arrival_rate: float,
+        app_departure_rate: float,
+        message_arrival_rate: float,
+        message_service_rate: float,
+        num_app_types: int,
+        num_message_types: int,
+        name: str = "",
+    ) -> "HAPParameters":
+        """The paper's simplified HAP (``lambda_i = lambda'`` etc.).
+
+        Parameters mirror the paper's notation: ``lambda, mu, lambda', mu',
+        lambda'', mu''``, plus ``l`` application types each with ``m``
+        message types.
+        """
+        if num_app_types < 1 or num_message_types < 1:
+            raise ValueError("need at least one application and message type")
+        message = MessageType(
+            arrival_rate=message_arrival_rate, service_rate=message_service_rate
+        )
+        application = ApplicationType(
+            arrival_rate=app_arrival_rate,
+            departure_rate=app_departure_rate,
+            messages=(message,) * num_message_types,
+        )
+        return cls(
+            user_arrival_rate=user_arrival_rate,
+            user_departure_rate=user_departure_rate,
+            applications=(application,) * num_app_types,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def num_app_types(self) -> int:
+        """``l``."""
+        return len(self.applications)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when all types share rates (the paper's simplified model)."""
+        first = self.applications[0]
+        msg = first.messages[0]
+        return all(
+            app.arrival_rate == first.arrival_rate
+            and app.departure_rate == first.departure_rate
+            and app.num_message_types == first.num_message_types
+            and all(
+                m.arrival_rate == msg.arrival_rate
+                and m.service_rate == msg.service_rate
+                for m in app.messages
+            )
+            for app in self.applications
+        )
+
+    def common_service_rate(self) -> float:
+        """The shared ``mu''`` of all message types.
+
+        Raises
+        ------
+        ValueError
+            When message types carry different service rates — HAP/M/1
+            analysis (and the paper's Solutions) requires a common rate.
+        """
+        rates = {
+            msg.service_rate for app in self.applications for msg in app.messages
+        }
+        if len(rates) != 1:
+            raise ValueError(
+                "message types have heterogeneous service rates "
+                f"{sorted(rates)}; HAP/M/1 analysis needs a common mu''"
+            )
+        return rates.pop()
+
+    # ------------------------------------------------------------------
+    # First moments (closed forms of Section 3.2.3)
+    # ------------------------------------------------------------------
+    @property
+    def mean_users(self) -> float:
+        """``x-bar = lambda / mu`` (M/M/∞ at the user level)."""
+        return self.user_arrival_rate / self.user_departure_rate
+
+    @property
+    def mean_applications(self) -> float:
+        """``y-bar = x-bar * sum_i lambda_i / mu_i``."""
+        return self.mean_users * sum(
+            app.offered_instances for app in self.applications
+        )
+
+    @property
+    def mean_message_rate(self) -> float:
+        """Equation 4: ``lambda-bar = (lambda/mu) sum_i (lambda_i/mu_i) Lambda_i``."""
+        return self.mean_users * sum(
+            app.offered_instances * app.total_message_rate
+            for app in self.applications
+        )
+
+    def utilization(self, service_rate: float | None = None) -> float:
+        """Offered load ``lambda-bar / mu''`` at the message queue."""
+        mu = self.common_service_rate() if service_rate is None else service_rate
+        _check_positive(mu, "service rate")
+        return self.mean_message_rate / mu
+
+    # ------------------------------------------------------------------
+    # Perturbations (the Section 5 parameter studies)
+    # ------------------------------------------------------------------
+    def scaled(self, level: Level, kind: RateKind, factor: float) -> "HAPParameters":
+        """Return a copy with one level's rate(s) multiplied by ``factor``.
+
+        This is the operation behind Figure 19 (perturbing ``lambda`` vs
+        ``lambda'`` vs ``lambda''`` by ±5 % steps) and the Section-5
+        arrival-versus-departure study (scaling both by the same factor
+        leaves ``lambda-bar`` unchanged but shortens bursts).
+        """
+        _check_positive(factor, "scale factor")
+        if level not in _LEVELS:
+            raise ValueError(f"level must be one of {_LEVELS}, got {level!r}")
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        scale_arrival = factor if kind in ("arrival", "both") else 1.0
+        scale_departure = factor if kind in ("departure", "both") else 1.0
+        if level == "user":
+            return replace(
+                self,
+                user_arrival_rate=self.user_arrival_rate * scale_arrival,
+                user_departure_rate=self.user_departure_rate * scale_departure,
+            )
+        if level == "application":
+            apps = tuple(
+                replace(
+                    app,
+                    arrival_rate=app.arrival_rate * scale_arrival,
+                    departure_rate=app.departure_rate * scale_departure,
+                )
+                for app in self.applications
+            )
+            return replace(self, applications=apps)
+        apps = tuple(
+            replace(
+                app,
+                messages=tuple(
+                    replace(
+                        msg,
+                        arrival_rate=msg.arrival_rate * scale_arrival,
+                        # "departure" at message level is queue service.
+                        service_rate=msg.service_rate * scale_departure,
+                    )
+                    for msg in app.messages
+                ),
+            )
+            for app in self.applications
+        )
+        return replace(self, applications=apps)
+
+    def with_service_rate(self, service_rate: float) -> "HAPParameters":
+        """Copy with every message type's ``mu''`` replaced (Figure 11 sweep)."""
+        _check_positive(service_rate, "service rate")
+        apps = tuple(
+            replace(
+                app,
+                messages=tuple(
+                    replace(msg, service_rate=service_rate) for msg in app.messages
+                ),
+            )
+            for app in self.applications
+        )
+        return replace(self, applications=apps)
+
+    def describe(self) -> str:
+        """A short human-readable summary used by examples and benchmarks."""
+        lines = [
+            f"HAP {self.name or '(unnamed)'}: "
+            f"lambda={self.user_arrival_rate:g} mu={self.user_departure_rate:g} "
+            f"l={self.num_app_types}",
+            f"  mean users={self.mean_users:g} "
+            f"mean apps={self.mean_applications:g} "
+            f"mean message rate={self.mean_message_rate:g}",
+        ]
+        for i, app in enumerate(self.applications, start=1):
+            lines.append(
+                f"  app {i} {app.name or ''}: lambda_i={app.arrival_rate:g} "
+                f"mu_i={app.departure_rate:g} m_i={app.num_message_types} "
+                f"Lambda_i={app.total_message_rate:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""The paper's worked example HAPs (Figure 5), as ready-made presets.
+
+Figure 5(a): one homogeneous user class running four application types over
+five message types — A interactive, B file transfer, C image transfer,
+D voice call, E compressed video:
+
+* type 1 — a programming environment (interactive + file transfer),
+* type 2 — a database query front-end (short interactive only),
+* type 3 — a graphics-intensive tool (fixed-size images),
+* type 4 — a multimedia application (all five message types).
+
+Figure 5(b) splits the same workload into four *heterogeneous user types*,
+each running one application type — the paper's illustration that a mixed
+community is just a superposition of per-class HAPs (and our
+:func:`repro.control.overlay.merge_haps` inverts the split exactly, which
+the tests verify).
+
+Rates are illustrative (the paper prints none for Figure 5); they are
+chosen so the presets are immediately usable against a 50-100 msgs/s
+server and sum to the same totals across the (a) and (b) forms.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ApplicationType, HAPParameters, MessageType
+
+__all__ = [
+    "figure5_application_types",
+    "figure5_homogeneous",
+    "figure5_user_classes",
+]
+
+#: Common queue service rate for the preset message types.
+_SERVICE_RATE = 50.0
+
+
+def _messages() -> dict[str, MessageType]:
+    return {
+        "A": MessageType(0.6, _SERVICE_RATE, name="interactive"),
+        "B": MessageType(0.05, _SERVICE_RATE, name="file-transfer"),
+        "C": MessageType(0.15, _SERVICE_RATE, name="image"),
+        "D": MessageType(1.0, _SERVICE_RATE, name="voice"),
+        "E": MessageType(2.0, _SERVICE_RATE, name="video"),
+    }
+
+
+def figure5_application_types() -> tuple[ApplicationType, ...]:
+    """The four Figure-5 application types."""
+    msg = _messages()
+    return (
+        ApplicationType(
+            arrival_rate=0.02,
+            departure_rate=0.01,
+            messages=(msg["A"], msg["B"]),
+            name="programming",
+        ),
+        ApplicationType(
+            arrival_rate=0.03,
+            departure_rate=0.02,
+            messages=(msg["A"],),
+            name="database",
+        ),
+        ApplicationType(
+            arrival_rate=0.008,
+            departure_rate=0.02,
+            messages=(msg["C"],),
+            name="graphics",
+        ),
+        ApplicationType(
+            arrival_rate=0.004,
+            departure_rate=0.01,
+            messages=(msg["A"], msg["B"], msg["C"], msg["D"], msg["E"]),
+            name="multimedia",
+        ),
+    )
+
+
+def figure5_homogeneous(
+    user_arrival_rate: float = 0.003,
+    user_departure_rate: float = 0.001,
+) -> HAPParameters:
+    """Figure 5(a): one user class invoking all four application types."""
+    return HAPParameters(
+        user_arrival_rate=user_arrival_rate,
+        user_departure_rate=user_departure_rate,
+        applications=figure5_application_types(),
+        name="figure5a",
+    )
+
+
+def figure5_user_classes(
+    user_arrival_rate: float = 0.003,
+    user_departure_rate: float = 0.001,
+) -> tuple[HAPParameters, ...]:
+    """Figure 5(b): four heterogeneous user classes, one app type each.
+
+    Each class keeps the *same* user-population dynamics, so by Equation
+    4's linearity the four classes superpose exactly to Figure 5(a)'s
+    message rate (the tests assert it).
+    """
+    return tuple(
+        HAPParameters(
+            user_arrival_rate=user_arrival_rate,
+            user_departure_rate=user_departure_rate,
+            applications=(app,),
+            name=f"figure5b-{app.name}",
+        )
+        for app in figure5_application_types()
+    )

@@ -1,0 +1,162 @@
+"""Solution 2 — closed-form conditional-probability analysis of HAP/M/1.
+
+The fastest of the paper's three solutions (5–7 minutes on a 1993 SUN-4/280;
+milliseconds here): the message interarrival time gets the closed form of
+:mod:`repro.core.interarrival`, its Laplace transform is evaluated by
+quadrature, and the queue is solved as G/M/1 through the σ root.
+
+Validity (Section 4.1): lower-level rates must be well above upper-level
+rates (condition 1b), neighbouring modulating states must not differ too much
+in rate (condition 2), and the load should be light — past roughly 30 %
+utilization the loss of correlation between successive interarrivals makes
+Solutions 1 and 2 drift optimistic.  :func:`condition_report` quantifies all
+three conditions for a parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interarrival import InterarrivalDistribution
+from repro.core.params import HAPParameters
+from repro.queueing.gm1 import GM1Solution, solve_gm1
+
+__all__ = ["Solution2Result", "condition_report", "solve_solution2"]
+
+
+@dataclass(frozen=True)
+class Solution2Result:
+    """Output of Solution 2 for a HAP/M/1 queue.
+
+    Attributes
+    ----------
+    params:
+        The analyzed HAP.
+    service_rate:
+        The queue's ``mu''``.
+    gm1:
+        Underlying G/M/1 solution (σ, delay, waiting-time distribution).
+    interarrival:
+        The closed-form interarrival distribution used.
+    """
+
+    params: HAPParameters
+    service_rate: float
+    gm1: GM1Solution
+    interarrival: InterarrivalDistribution
+
+    @property
+    def sigma(self) -> float:
+        """Probability an arrival finds the server busy."""
+        return self.gm1.sigma
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean message delay ``T = 1 / (mu'' (1 - sigma))``."""
+        return self.gm1.mean_delay
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number of messages in system (Little)."""
+        return self.gm1.mean_queue_length
+
+    @property
+    def utilization(self) -> float:
+        """Offered load ``lambda-bar / mu''``."""
+        return self.gm1.utilization
+
+    def waiting_time_cdf(self, y):
+        """``W(y) = 1 - sigma exp(-mu''(1 - sigma) y)``."""
+        return self.gm1.waiting_time_cdf(y)
+
+
+def solve_solution2(
+    params: HAPParameters,
+    service_rate: float | None = None,
+    method: str = "brent",
+) -> Solution2Result:
+    """Run Solution 2 on a HAP.
+
+    Parameters
+    ----------
+    params:
+        HAP description (any shape — the closed form is general).
+    service_rate:
+        Queue service rate ``mu''``; defaults to the common rate of the
+        message types.
+    method:
+        σ-root method: ``"brent"`` (default) or ``"paper"`` (the published
+        averaging iteration).
+    """
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    interarrival = InterarrivalDistribution(params)
+    gm1 = solve_gm1(
+        interarrival.laplace,
+        service_rate,
+        params.mean_message_rate,
+        method=method,
+    )
+    return Solution2Result(
+        params=params,
+        service_rate=service_rate,
+        gm1=gm1,
+        interarrival=interarrival,
+    )
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Quantified Section-4.1 validity conditions for Solutions 1 and 2.
+
+    Attributes
+    ----------
+    level_separation_user_app:
+        Application-level rates divided by user-level rates (condition 1:
+        should be well above 1; the paper's rule of thumb is >= 5).
+    level_separation_app_message:
+        Message-level over application-level rates.
+    neighbour_rate_jump:
+        Relative message-rate change when one application arrives at the
+        *mean* population — the paper's condition 2 says a state's rate
+        should stay within roughly 2x of its neighbours'.
+    utilization:
+        Offered load; condition 3 wants this under ~0.30.
+    """
+
+    level_separation_user_app: float
+    level_separation_app_message: float
+    neighbour_rate_jump: float
+    utilization: float
+
+    @property
+    def satisfied(self) -> bool:
+        """The paper's empirical rule: separations >= 5, jump <= 1, rho <= 0.3."""
+        return (
+            self.level_separation_user_app >= 5.0
+            and self.level_separation_app_message >= 5.0
+            and self.neighbour_rate_jump <= 1.0
+            and self.utilization <= 0.30
+        )
+
+
+def condition_report(
+    params: HAPParameters, service_rate: float | None = None
+) -> ConditionReport:
+    """Evaluate the three approximation conditions for a parameter set."""
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    user_scale = max(params.user_arrival_rate, params.user_departure_rate)
+    app_scale = max(
+        max(app.arrival_rate, app.departure_rate) for app in params.applications
+    )
+    message_scale = min(app.total_message_rate for app in params.applications)
+    mean_apps = max(params.mean_applications, 1.0)
+    biggest_app_rate = max(app.total_message_rate for app in params.applications)
+    return ConditionReport(
+        level_separation_user_app=app_scale / user_scale,
+        level_separation_app_message=message_scale / app_scale,
+        neighbour_rate_jump=biggest_app_rate
+        / (mean_apps * min(app.total_message_rate for app in params.applications)),
+        utilization=params.mean_message_rate / service_rate,
+    )

@@ -1,0 +1,107 @@
+"""The paper's parameter sets and reference numbers.
+
+Section 4 fixes one base parameter set and varies a single knob per figure:
+
+    lambda = 0.0055, mu = 0.001, lambda' = 0.01, mu' = 0.01,
+    lambda'' = 0.1,  mu'' = 20 (17 in Sections 4.3–4.4, 15 in Figure 18),
+    l = 5, m = 3
+    =>  lambda-bar = 8.25, x-bar = 5.5, y-bar = 27.5.
+
+Figure 9's interarrival comparison uses lambda-bar = 7.5, which (together
+with its quoted a(0) = 9.28 ≈ 0.3·(1 + 5 + 25) = 9.3) pins lambda = 0.005.
+
+``paper_reference()`` collects the numbers the paper prints, so every
+benchmark and EXPERIMENTS.md compares against a single source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.params import HAPParameters
+
+__all__ = ["base_parameters", "bench_scale", "fig9_parameters", "paper_reference"]
+
+
+def base_parameters(
+    service_rate: float = 20.0,
+    user_arrival_rate: float = 0.0055,
+    name: str = "paper-base",
+) -> HAPParameters:
+    """The Section-4 base HAP (``mu''`` per figure: 20, 17 or 15)."""
+    return HAPParameters.symmetric(
+        user_arrival_rate=user_arrival_rate,
+        user_departure_rate=0.001,
+        app_arrival_rate=0.01,
+        app_departure_rate=0.01,
+        message_arrival_rate=0.1,
+        message_service_rate=service_rate,
+        num_app_types=5,
+        num_message_types=3,
+        name=name,
+    )
+
+
+def fig9_parameters(service_rate: float = 20.0) -> HAPParameters:
+    """The Figure-9 variant: lambda = 0.005, lambda-bar = 7.5."""
+    return base_parameters(
+        service_rate=service_rate, user_arrival_rate=0.005, name="fig9"
+    )
+
+
+def bench_scale() -> float:
+    """Global benchmark scale factor from ``REPRO_BENCH_SCALE``.
+
+    Values below 1 shrink simulation horizons (quicker, noisier); above 1
+    lengthen them.  Defaults to 1.0 — roughly the sizes used to produce
+    EXPERIMENTS.md.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def paper_reference() -> dict:
+    """Numbers printed in the paper, keyed by experiment id."""
+    return {
+        "headline": {
+            "lambda_bar": 8.25,
+            "sigma": 0.50,
+            "utilization": 0.42,
+            "delay_solution0_and_sim": 0.55,
+            "delay_solution12": 0.10,
+            "delay_mm1": 0.085,
+            "ratio_solution0_vs_mm1": 6.47,
+        },
+        "fig9": {
+            "lambda_bar": 7.5,
+            "hap_density_at_zero": 9.28,
+            "poisson_density_at_zero": 7.5,
+            "intersections": (0.077, 0.53),
+            "mean_interarrival": 0.133,
+        },
+        "fig11": {
+            "ratio_at_capacity_30": 1.1522,  # HAP delay 15.22 % above Poisson
+            "ratio_at_utilization_0.64": 200.0,
+        },
+        "fig16_17": {
+            "users_at_burst_onset": 13,
+            "apps_at_burst_onset": 49,
+            "mean_users": 5.5,
+            "mean_apps": 27.5,
+        },
+        "fig18": {
+            "busy_fraction": 0.55,
+            "busy_variance_ratio": 618.0,
+            "idle_variance_ratio": 15.0,
+            "height_variance_ratio": 66.0,
+            "mountain_count_deficit": 0.19,  # HAP has 19 % fewer busy periods
+            "poisson_peak_height": 29,
+            "hap_peak_height": 17000,
+        },
+        "sec5": {
+            "joint_10pct_scaling_delay_change": -0.01,  # ±10 % both => ∓1 %
+        },
+        "accuracy": {
+            "error_bound_when_conditions_hold": 0.05,
+            "utilization_validity_limit": 0.30,
+        },
+    }

@@ -1,0 +1,274 @@
+"""Figures 13–18 — short-term behaviour: fluctuation, mountains, busy periods.
+
+One long HAP run (``mu'' = 17``) feeds Figures 13–17:
+
+* Figure 13 — the running mean of delay keeps fluctuating (multi-time-scale
+  dynamics plus occasional congestion events);
+* Figure 14 — the queue-length trace over a one-hour window shows
+  "mountains";
+* Figure 15 — the peak busy period (the paper's run had a mountain over
+  17 000 messages lasting ~80 minutes; a tail event of their seed — we
+  report our own peak and, always, Poisson's tiny one);
+* Figures 16/17 — user and application populations at the onset of the peak
+  busy period sit far above their means (13 vs 5.5 and 49 vs 27.5 in the
+  paper).
+
+Figure 18 compares busy/idle-period and height statistics between HAP and
+Poisson at ``mu'' = 15``: means are similar, variances are wildly apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.convergence import running_mean, running_mean_fluctuation
+from repro.experiments.configs import base_parameters
+from repro.sim.busy_periods import BusyPeriodStats
+from repro.sim.replication import (
+    SimulationResult,
+    simulate_hap_mm1,
+    simulate_source_mm1,
+)
+from repro.sim.sources import PoissonSource
+
+__all__ = [
+    "Fig13Result",
+    "Fig18Result",
+    "MountainResult",
+    "run_fig13",
+    "run_fig14_to_17",
+    "run_fig18",
+]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Running-mean fluctuation of HAP versus Poisson delay estimates."""
+
+    hap_running_mean: np.ndarray
+    poisson_running_mean: np.ndarray
+    hap_fluctuation: float
+    poisson_fluctuation: float
+
+    def describe(self) -> str:
+        """Fluctuation in the final half of each run."""
+        return (
+            f"running-mean fluctuation (last half): "
+            f"HAP={self.hap_fluctuation:.4f} "
+            f"Poisson={self.poisson_fluctuation:.4f} "
+            f"(paper: HAP visibly unconverged where Poisson is flat)"
+        )
+
+
+def run_fig13(
+    horizon: float = 600_000.0,
+    seed: int = 13,
+    service_rate: float = 17.0,
+) -> Fig13Result:
+    """Compare convergence of the two delay estimators.
+
+    Uses per-message delays recorded by dedicated runs; the running mean of
+    those delays is exactly the paper's y-axis.
+    """
+    params = base_parameters(service_rate=service_rate)
+    hap_delays = _delay_sequence_hap(params, horizon, seed, service_rate)
+    poisson_delays = _delay_sequence_poisson(
+        params.mean_message_rate, horizon, seed, service_rate
+    )
+    return Fig13Result(
+        hap_running_mean=running_mean(hap_delays),
+        poisson_running_mean=running_mean(poisson_delays),
+        hap_fluctuation=running_mean_fluctuation(hap_delays),
+        poisson_fluctuation=running_mean_fluctuation(poisson_delays),
+    )
+
+
+def _delay_sequence_hap(params, horizon, seed, service_rate) -> np.ndarray:
+    """Per-message delays of one HAP run, in completion order."""
+    from repro.sim.engine import Simulator
+    from repro.sim.random_streams import Exponential, RandomStreams
+    from repro.sim.server import FCFSQueue
+    from repro.sim.sources import HAPSource
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    queue = FCFSQueue(
+        sim, Exponential(service_rate), streams.get("server"), record_delays=True
+    )
+    source = HAPSource(sim, params, streams.get("hap-source"), queue.arrive)
+    source.prepopulate()
+    source.start()
+    sim.run_until(horizon)
+    return np.asarray(queue.delay_log)
+
+
+def _delay_sequence_poisson(rate, horizon, seed, service_rate) -> np.ndarray:
+    from repro.sim.engine import Simulator
+    from repro.sim.random_streams import Exponential, RandomStreams
+    from repro.sim.server import FCFSQueue
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    queue = FCFSQueue(
+        sim, Exponential(service_rate), streams.get("server"), record_delays=True
+    )
+    source = PoissonSource(sim, rate, streams.get("source"), queue.arrive)
+    source.start()
+    sim.run_until(horizon)
+    return np.asarray(queue.delay_log)
+
+
+@dataclass(frozen=True)
+class MountainResult:
+    """Figures 14–17 from one traced HAP run."""
+
+    simulation: SimulationResult
+    peak_height: float
+    peak_start: float
+    peak_width: float
+    users_at_peak_onset: float
+    apps_at_peak_onset: float
+    one_hour_window: tuple[np.ndarray, np.ndarray]
+
+    def describe(self) -> str:
+        """The Figure-15/16/17 numbers."""
+        return "\n".join(
+            [
+                f"peak busy period: height={self.peak_height:.0f} messages, "
+                f"width={self.peak_width:.0f} s "
+                "(paper's seed saw 17000 messages / ~80 min)",
+                f"populations at its onset: users={self.users_at_peak_onset:.0f} "
+                f"(mean {self.simulation.mean_users:.1f}), "
+                f"apps={self.apps_at_peak_onset:.0f} "
+                f"(mean {self.simulation.mean_apps:.1f}) "
+                "(paper: 13 vs 5.5 and 49 vs 27.5)",
+            ]
+        )
+
+
+def run_fig14_to_17(
+    horizon: float = 600_000.0,
+    seed: int = 14,
+    service_rate: float = 17.0,
+) -> MountainResult:
+    """One traced run: mountains, the peak one, and populations at onset."""
+    params = base_parameters(service_rate=service_rate)
+    result = simulate_hap_mm1(
+        params,
+        horizon=horizon,
+        seed=seed,
+        service_rate=service_rate,
+        trace_stride=1,
+        population_trace_stride=1,
+        collect_busy_periods=True,
+    )
+    # Locate the peak mountain directly from the queue-length trace.
+    times, values = result.queue_trace
+    peak_index = int(np.argmax(values))
+    peak_height = float(values[peak_index])
+    peak_time = float(times[peak_index])
+    # Walk outwards to the surrounding empty-queue instants.
+    left = peak_index
+    while left > 0 and values[left] > 0:
+        left -= 1
+    right = peak_index
+    while right < len(values) - 1 and values[right] > 0:
+        right += 1
+    peak_start, peak_end = float(times[left]), float(times[right])
+
+    users_at_onset = _value_at(result.user_trace, peak_start)
+    apps_at_onset = _value_at(result.app_trace, peak_start)
+    window_start = max(times[0], peak_time - 1800.0)
+    window = (
+        times[(times >= window_start) & (times <= window_start + 3600.0)],
+        values[(times >= window_start) & (times <= window_start + 3600.0)],
+    )
+    return MountainResult(
+        simulation=result,
+        peak_height=peak_height,
+        peak_start=peak_start,
+        peak_width=peak_end - peak_start,
+        users_at_peak_onset=users_at_onset,
+        apps_at_peak_onset=apps_at_onset,
+        one_hour_window=window,
+    )
+
+
+def _value_at(trace: tuple[np.ndarray, np.ndarray] | None, time: float) -> float:
+    if trace is None or len(trace[0]) == 0:
+        return float("nan")
+    times, values = trace
+    index = int(np.searchsorted(times, time, side="right")) - 1
+    return float(values[max(index, 0)])
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    """Busy/idle statistics, HAP versus Poisson at the same load."""
+
+    hap: BusyPeriodStats
+    poisson: BusyPeriodStats
+
+    @property
+    def busy_variance_ratio(self) -> float:
+        """Paper: 618x."""
+        return self.hap.var_busy / self.poisson.var_busy
+
+    @property
+    def idle_variance_ratio(self) -> float:
+        """Paper: 15x."""
+        return self.hap.var_idle / self.poisson.var_idle
+
+    @property
+    def height_variance_ratio(self) -> float:
+        """Paper: 66x."""
+        return self.hap.var_height / self.poisson.var_height
+
+    @property
+    def mountain_count_deficit(self) -> float:
+        """Fraction fewer HAP busy periods (paper: ~19 %)."""
+        return 1.0 - self.hap.num_busy_periods / self.poisson.num_busy_periods
+
+    def describe(self) -> str:
+        """The Figure-18 table."""
+        return "\n".join(
+            [
+                "HAP     : " + self.hap.describe(),
+                "Poisson : " + self.poisson.describe(),
+                f"variance ratios busy/idle/height = "
+                f"{self.busy_variance_ratio:.0f}x / "
+                f"{self.idle_variance_ratio:.0f}x / "
+                f"{self.height_variance_ratio:.0f}x "
+                "(paper: 618x / 15x / 66x)",
+                f"HAP has {100 * self.mountain_count_deficit:.0f}% fewer busy "
+                "periods (paper: 19%)",
+            ]
+        )
+
+
+def run_fig18(
+    horizon: float = 600_000.0,
+    seed: int = 18,
+    service_rate: float = 15.0,
+) -> Fig18Result:
+    """Busy/idle/height statistics for HAP and the load-matched Poisson."""
+    params = base_parameters(service_rate=service_rate)
+    hap = simulate_hap_mm1(
+        params,
+        horizon=horizon,
+        seed=seed,
+        service_rate=service_rate,
+        collect_busy_periods=True,
+    )
+    poisson = simulate_source_mm1(
+        lambda sim, rng, emit: PoissonSource(
+            sim, params.mean_message_rate, rng, emit
+        ),
+        horizon=horizon,
+        service_rate=service_rate,
+        seed=seed,
+        collect_busy_periods=True,
+    )
+    return Fig18Result(hap=hap.busy_stats, poisson=poisson.busy_stats)

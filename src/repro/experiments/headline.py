@@ -1,0 +1,112 @@
+"""Section-4 headline experiment: all three solutions + simulation + M/M/1.
+
+The paper's opening numbers (base parameters, ``mu'' = 20``):
+
+    lambda-bar = 8.25, sigma = 0.50, rho = 0.42,
+    HAP/M/1 delay = 0.55 by Solution 0 and simulation,
+                    0.10 by Solutions 1 and 2,
+    M/M/1 delay    = 0.085  (HAP 6.47x higher by Solution 0 / simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.solution0 import solve_solution0
+from repro.core.solution1 import solve_solution1
+from repro.core.solution2 import solve_solution2
+from repro.experiments.configs import base_parameters
+from repro.queueing.mm1 import solve_mm1
+from repro.sim.replication import simulate_hap_mm1
+
+__all__ = ["HeadlineResult", "run_headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Delays and sigmas from every route to the same queue."""
+
+    lambda_bar: float
+    delay_solution0: float
+    sigma_solution0: float
+    utilization_solution0: float
+    delay_solution1: float
+    sigma_solution1: float
+    delay_solution2: float
+    sigma_solution2: float
+    delay_simulation: float
+    sigma_simulation: float
+    delay_mm1: float
+
+    @property
+    def ratio_solution0_vs_mm1(self) -> float:
+        """The 6.47x of the paper."""
+        return self.delay_solution0 / self.delay_mm1
+
+    @property
+    def ratio_solution2_vs_mm1(self) -> float:
+        """The paper's "17.65 % higher" (its 0.10 / 0.085)."""
+        return self.delay_solution2 / self.delay_mm1
+
+    def describe(self) -> str:
+        """Rows shaped like the paper's Section-4 paragraph."""
+        return "\n".join(
+            [
+                f"lambda-bar            = {self.lambda_bar:.4g}",
+                f"Solution 0 : delay={self.delay_solution0:.4g} "
+                f"sigma={self.sigma_solution0:.3f} rho={self.utilization_solution0:.3f}",
+                f"Solution 1 : delay={self.delay_solution1:.4g} "
+                f"sigma={self.sigma_solution1:.3f}",
+                f"Solution 2 : delay={self.delay_solution2:.4g} "
+                f"sigma={self.sigma_solution2:.3f}",
+                f"Simulation : delay={self.delay_simulation:.4g} "
+                f"sigma={self.sigma_simulation:.3f}",
+                f"M/M/1      : delay={self.delay_mm1:.4g}",
+                f"Solution0/MM1 ratio = {self.ratio_solution0_vs_mm1:.2f} "
+                "(paper: 6.47)",
+                f"Solution2/MM1 ratio = {self.ratio_solution2_vs_mm1:.2f} "
+                "(paper: 1.18)",
+            ]
+        )
+
+
+def run_headline(
+    sim_horizon: float = 400_000.0,
+    seed: int = 7,
+    solution0_bounds: tuple[int, int] | None = None,
+) -> HeadlineResult:
+    """Run the full Section-4 cross-method comparison.
+
+    Parameters
+    ----------
+    sim_horizon:
+        Simulated seconds (the paper's own Figure 13 shows convergence needs
+        a lot; 4e5 s keeps the benchmark affordable and lands within the
+        run-to-run fluctuation band).
+    seed:
+        Simulation seed.
+    solution0_bounds:
+        Modulating-chain truncation for Solution 0 (None = automatic; pass
+        something small like (14, 70) to trade accuracy for speed).
+    """
+    params = base_parameters(service_rate=20.0)
+    mm1 = solve_mm1(params.mean_message_rate, 20.0)
+    sol0 = solve_solution0(
+        params, backend="qbd", modulating_bounds=solution0_bounds
+    )
+    sol1 = solve_solution1(params)
+    sol2 = solve_solution2(params)
+    sim = simulate_hap_mm1(params, horizon=sim_horizon, seed=seed)
+    return HeadlineResult(
+        lambda_bar=params.mean_message_rate,
+        delay_solution0=sol0.mean_delay,
+        sigma_solution0=sol0.sigma,
+        utilization_solution0=sol0.utilization,
+        delay_solution1=sol1.mean_delay,
+        sigma_solution1=sol1.sigma,
+        delay_solution2=sol2.mean_delay,
+        sigma_solution2=sol2.sigma,
+        delay_simulation=sim.mean_delay,
+        sigma_simulation=sim.sigma,
+        delay_mm1=mm1.mean_delay,
+    )

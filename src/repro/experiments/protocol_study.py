@@ -1,0 +1,152 @@
+"""Section 6's protocol remedies, measured: windowing moves the burst.
+
+One HAP workload is pushed through the same-capacity network queue three
+ways:
+
+* raw messages (the paper's baseline);
+* fragmented into blocks (same offered work, finer granularity);
+* fragmented *and* window-flow-controlled at the edge.
+
+The network queue's peak length and delay collapse under windowing — the
+paper's claim — while the edge buffer absorbs the wait, which is the part
+the paper leaves implicit and the numbers make plain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import base_parameters
+from repro.sim.engine import Simulator
+from repro.sim.protocol import Fragmenter, WindowRegulator
+from repro.sim.random_streams import Exponential, RandomStreams
+from repro.sim.server import FCFSQueue
+from repro.sim.sources import HAPSource
+
+__all__ = ["ProtocolStudyResult", "run_protocol_study"]
+
+
+@dataclass(frozen=True)
+class ProtocolArm:
+    """One configuration's measurements."""
+
+    label: str
+    network_delay: float
+    network_peak: float
+    edge_delay: float
+    edge_peak: float
+
+    @property
+    def end_to_end_delay(self) -> float:
+        """Edge holding plus network time."""
+        return self.network_delay + self.edge_delay
+
+    def describe(self) -> str:
+        """One comparison row."""
+        return (
+            f"{self.label:<22} network: delay {self.network_delay:.4f} s "
+            f"peak {self.network_peak:5.0f} | edge: delay "
+            f"{self.edge_delay:.4f} s peak {self.edge_peak:5.0f} | "
+            f"end-to-end {self.end_to_end_delay:.4f} s"
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolStudyResult:
+    """The three arms side by side."""
+
+    raw: ProtocolArm
+    fragmented: ProtocolArm
+    windowed: ProtocolArm
+
+    def describe(self) -> str:
+        """The comparison table."""
+        return "\n".join(
+            arm.describe() for arm in (self.raw, self.fragmented, self.windowed)
+        )
+
+
+def _run_arm(
+    label: str,
+    horizon: float,
+    seed: int,
+    service_rate: float,
+    blocks: int,
+    window: int | None,
+) -> ProtocolArm:
+    params = base_parameters(service_rate=service_rate)
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    regulator_holder: list[WindowRegulator] = []
+
+    def on_departure(sim_, message):
+        if regulator_holder:
+            regulator_holder[0].handle_departure(sim_, message)
+
+    # Packets carry 1/blocks of a message's work: scale the service rate.
+    queue = FCFSQueue(
+        sim,
+        Exponential(service_rate * blocks),
+        streams.get("server"),
+        warmup=0.05 * horizon,
+        trace_stride=1,
+        on_departure=on_departure,
+    )
+    if window is not None:
+        regulator = WindowRegulator(sim, queue.arrive, window=window)
+        regulator_holder.append(regulator)
+        entry = regulator.offer
+    else:
+        entry = queue.arrive
+    accept = Fragmenter(entry, blocks=blocks) if blocks > 1 else entry
+
+    source = HAPSource(
+        sim, params, streams.get("hap"), accept, track_populations=False
+    )
+    source.prepopulate()
+    source.start()
+    sim.run_until(horizon)
+    queue.finalize()
+    if regulator_holder:
+        regulator_holder[0].finalize()
+        edge_delay = regulator_holder[0].holding_delay.mean
+        edge_peak = regulator_holder[0].buffer_length.maximum
+        if edge_delay != edge_delay:  # NaN when nothing was ever held
+            edge_delay = 0.0
+    else:
+        edge_delay, edge_peak = 0.0, 0.0
+    return ProtocolArm(
+        label=label,
+        network_delay=queue.mean_delay,
+        network_peak=queue.queue_length.maximum,
+        edge_delay=edge_delay,
+        edge_peak=edge_peak,
+    )
+
+
+def run_protocol_study(
+    horizon: float = 200_000.0,
+    seed: int = 61,
+    service_rate: float = 17.0,
+    blocks: int = 4,
+    window: int = 8,
+) -> ProtocolStudyResult:
+    """Compare raw, fragmented, and windowed transport of the same HAP.
+
+    All arms offer identical work to an identical-capacity server (packet
+    service is ``blocks`` times faster than message service).
+    """
+    return ProtocolStudyResult(
+        raw=_run_arm("raw messages", horizon, seed, service_rate, 1, None),
+        fragmented=_run_arm(
+            f"{blocks}-block fragments", horizon, seed, service_rate, blocks, None
+        ),
+        windowed=_run_arm(
+            f"{blocks}-block + window {window}",
+            horizon,
+            seed,
+            service_rate,
+            blocks,
+            window,
+        ),
+    )

@@ -1,0 +1,150 @@
+"""Birth–death chains and their classical special cases.
+
+HAP's user and application levels behave like M/M/∞ stations (Section 3.2.3
+of the paper models them exactly that way), and the paper's admission-control
+study (Figure 20) bounds those levels, which turns them into Erlang-loss-like
+truncated chains.  This module provides those building blocks plus a general
+finite birth–death chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.ctmc import CTMC
+
+__all__ = [
+    "BirthDeathChain",
+    "erlang_blocking_probability",
+    "mm1_queue_length_distribution",
+    "mminf_stationary",
+    "truncated_poisson_pmf",
+]
+
+
+@dataclass(frozen=True)
+class BirthDeathChain:
+    """A finite birth–death chain on states ``0 .. n``.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``birth_rates[k]`` is the rate of the ``k -> k + 1`` transition,
+        for ``k = 0 .. n - 1``.
+    death_rates:
+        ``death_rates[k]`` is the rate of the ``k + 1 -> k`` transition,
+        for ``k = 0 .. n - 1``.
+    """
+
+    birth_rates: tuple[float, ...]
+    death_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.birth_rates) != len(self.death_rates):
+            raise ValueError("birth and death rate vectors must match in length")
+        if any(rate < 0 for rate in self.birth_rates + self.death_rates):
+            raise ValueError("rates must be non-negative")
+        if any(rate == 0 for rate in self.death_rates):
+            raise ValueError("death rates must be positive for irreducibility")
+
+    @property
+    def num_states(self) -> int:
+        """Number of states (``n + 1`` for states ``0 .. n``)."""
+        return len(self.birth_rates) + 1
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Product-form stationary distribution.
+
+        ``pi[k] ∝ prod_{j<k} birth[j] / death[j]``, computed in log space to
+        stay stable for long chains with extreme rate ratios.
+        """
+        births = np.asarray(self.birth_rates, dtype=float)
+        deaths = np.asarray(self.death_rates, dtype=float)
+        with np.errstate(divide="ignore"):
+            log_ratios = np.log(births) - np.log(deaths)
+        log_pi = np.concatenate([[0.0], np.cumsum(log_ratios)])
+        log_pi -= log_pi.max()
+        pi = np.exp(log_pi)
+        return pi / pi.sum()
+
+    def to_ctmc(self) -> CTMC:
+        """Build the sparse generator matrix for this chain."""
+        n = self.num_states
+        if n == 1:
+            return CTMC(sp.csr_matrix((1, 1)))
+        births = np.asarray(self.birth_rates, dtype=float)
+        deaths = np.asarray(self.death_rates, dtype=float)
+        main = np.concatenate(
+            [-(births + np.concatenate([[0.0], deaths[:-1]])), [-deaths[-1]]]
+        )
+        generator = sp.diags(
+            [deaths, main, births], offsets=[-1, 0, 1], format="csr"
+        )
+        return CTMC(generator)
+
+
+def mminf_stationary(arrival_rate: float, service_rate: float, max_states: int) -> np.ndarray:
+    """Stationary distribution of an M/M/∞ station truncated at ``max_states``.
+
+    The untruncated distribution is Poisson(``arrival_rate / service_rate``);
+    truncation renormalizes the head of that Poisson.  This is exactly how the
+    paper models HAP's user and application populations (Solution 2).
+    """
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("need arrival_rate >= 0 and service_rate > 0")
+    return truncated_poisson_pmf(arrival_rate / service_rate, max_states)
+
+
+def truncated_poisson_pmf(mean: float, max_value: int) -> np.ndarray:
+    """Poisson(``mean``) pmf renormalized on ``0 .. max_value``.
+
+    Computed in log space for numerical stability at large means.
+    """
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    if mean == 0:
+        pmf = np.zeros(max_value + 1)
+        pmf[0] = 1.0
+        return pmf
+    ks = np.arange(max_value + 1)
+    from scipy.special import gammaln
+
+    log_pmf = ks * np.log(mean) - mean - gammaln(ks + 1)
+    log_pmf -= log_pmf.max()
+    pmf = np.exp(log_pmf)
+    return pmf / pmf.sum()
+
+
+def erlang_blocking_probability(offered_load: float, servers: int) -> float:
+    """Erlang-B blocking probability, via the stable recurrence.
+
+    Used by the admission-control study: bounding the number of users at
+    ``c`` turns the user level into an M/M/c/c loss station whose blocking
+    probability is Erlang-B.
+    """
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if servers < 0:
+        raise ValueError("server count must be non-negative")
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking
+
+
+def mm1_queue_length_distribution(utilization: float, max_length: int) -> np.ndarray:
+    """Geometric M/M/1 queue-length distribution ``(1 - rho) rho^k``.
+
+    Returned over ``0 .. max_length`` without renormalization, so the tail
+    mass beyond ``max_length`` is simply absent; callers that need a proper
+    pmf should check ``1 - result.sum()``.
+    """
+    if not 0 <= utilization < 1:
+        raise ValueError("utilization must lie in [0, 1)")
+    ks = np.arange(max_length + 1)
+    return (1.0 - utilization) * utilization**ks

@@ -1,0 +1,215 @@
+"""Continuous-time Markov chains given by a generator matrix.
+
+A CTMC on a finite state space is described by its generator (rate) matrix
+``Q``: ``Q[i, j]`` for ``i != j`` is the transition rate from state ``i`` to
+state ``j``, and each diagonal entry is minus the total outflow rate of its
+row, so every row sums to zero.
+
+The class accepts dense numpy arrays or scipy sparse matrices and chooses the
+appropriate linear-algebra path for each operation.  It is deliberately
+minimal: the HAP solvers (:mod:`repro.core`) only need stationary
+distributions, transient distributions (for autocovariance/IDC computations),
+and sample paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from scipy.linalg import expm
+
+__all__ = ["CTMC"]
+
+#: Tolerance used when validating that generator rows sum to zero.
+_ROW_SUM_TOL = 1e-8
+
+
+def _as_dense(matrix) -> np.ndarray:
+    """Return ``matrix`` as a dense float array."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=float)
+    return np.asarray(matrix, dtype=float)
+
+
+@dataclass
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    generator:
+        Square generator matrix ``Q`` (dense array or scipy sparse matrix).
+        Rows must sum to zero and off-diagonal entries must be non-negative.
+    validate:
+        When true (the default) the generator is checked on construction.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> chain = CTMC(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+    >>> chain.stationary_distribution()
+    array([0.66666667, 0.33333333])
+    """
+
+    generator: object
+    validate: bool = True
+    _stationary: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        shape = self.generator.shape
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise ValueError(f"generator must be square, got shape {shape}")
+        if self.validate:
+            self._validate_generator()
+
+    def _validate_generator(self) -> None:
+        q = self.generator
+        if sp.issparse(q):
+            row_sums = np.asarray(q.sum(axis=1)).ravel()
+            coo = q.tocoo()
+            off_diag = coo.data[coo.row != coo.col]
+        else:
+            q = np.asarray(q, dtype=float)
+            row_sums = q.sum(axis=1)
+            off_diag = q[~np.eye(q.shape[0], dtype=bool)]
+        if np.any(off_diag < -_ROW_SUM_TOL):
+            raise ValueError("generator has negative off-diagonal rates")
+        max_rate = float(np.abs(row_sums).max(initial=0.0))
+        scale = max(1.0, float(np.abs(off_diag).max(initial=1.0)))
+        if max_rate > _ROW_SUM_TOL * scale * self.num_states:
+            raise ValueError(
+                f"generator rows must sum to zero (max deviation {max_rate:g})"
+            )
+
+    @property
+    def num_states(self) -> int:
+        """Number of states in the chain."""
+        return self.generator.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve ``pi @ Q = 0`` with ``sum(pi) == 1``.
+
+        The singular system is made non-singular by replacing one balance
+        equation with the normalization constraint, the standard trick for
+        irreducible chains.  The result is cached.
+        """
+        if self._stationary is not None:
+            return self._stationary
+        n = self.num_states
+        if n == 1:
+            self._stationary = np.ones(1)
+            return self._stationary
+        if sp.issparse(self.generator):
+            a = self.generator.T.tolil(copy=True)
+            a[n - 1, :] = 1.0
+            b = np.zeros(n)
+            b[n - 1] = 1.0
+            pi = spla.spsolve(a.tocsc(), b)
+        else:
+            a = np.asarray(self.generator, dtype=float).T.copy()
+            a[n - 1, :] = 1.0
+            b = np.zeros(n)
+            b[n - 1] = 1.0
+            pi = np.linalg.solve(a, b)
+        pi = np.maximum(pi, 0.0)
+        total = pi.sum()
+        if total <= 0.0:
+            raise ArithmeticError("stationary solve produced a zero vector")
+        self._stationary = pi / total
+        return self._stationary
+
+    def transient_distribution(self, initial: np.ndarray, t: float) -> np.ndarray:
+        """Distribution at time ``t`` starting from row vector ``initial``.
+
+        Uses the matrix exponential for dense generators and uniformization
+        for sparse ones (whose exponential would densify).
+        """
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        initial = np.asarray(initial, dtype=float)
+        if sp.issparse(self.generator):
+            return self._uniformized(initial, t)
+        return initial @ expm(np.asarray(self.generator, dtype=float) * t)
+
+    def _uniformized(self, initial: np.ndarray, t: float, tol: float = 1e-12) -> np.ndarray:
+        """Uniformization: ``p(t) = sum_k Poisson(k; qt) initial P^k``."""
+        q = self.generator
+        rate = float(-min(q.diagonal().min(), 0.0))
+        if rate == 0.0 or t == 0.0:
+            return initial.copy()
+        transition = sp.eye(self.num_states, format="csr") + q.tocsr() / rate
+        mean_jumps = rate * t
+        # Poisson tail bound: iterate far enough to capture 1 - tol of mass.
+        max_terms = int(mean_jumps + 10.0 * np.sqrt(mean_jumps) + 50.0)
+        weight = np.exp(-mean_jumps)
+        term = initial.copy()
+        result = weight * term
+        accumulated = weight
+        for k in range(1, max_terms + 1):
+            term = term @ transition
+            weight *= mean_jumps / k
+            result += weight * term
+            accumulated += weight
+            if 1.0 - accumulated < tol:
+                break
+        return result
+
+    def holding_rates(self) -> np.ndarray:
+        """Total outflow rate of each state (``-diag(Q)``)."""
+        return -np.asarray(self.generator.diagonal(), dtype=float)
+
+    def embedded_transition_matrix(self) -> np.ndarray:
+        """Jump-chain transition probabilities (dense).
+
+        Absorbing states (zero outflow) self-loop with probability one.
+        """
+        q = _as_dense(self.generator)
+        rates = -np.diag(q)
+        probs = np.zeros_like(q)
+        for i, rate in enumerate(rates):
+            if rate > 0:
+                probs[i] = q[i] / rate
+                probs[i, i] = 0.0
+            else:
+                probs[i, i] = 1.0
+        return probs
+
+    def simulate_path(
+        self,
+        initial_state: int,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate a sample path up to time ``horizon``.
+
+        Returns ``(times, states)`` where ``states[k]`` is occupied on
+        ``[times[k], times[k + 1])`` and ``times[0] == 0``.
+        """
+        if not 0 <= initial_state < self.num_states:
+            raise ValueError("initial_state out of range")
+        jump_probs = self.embedded_transition_matrix()
+        rates = self.holding_rates()
+        times = [0.0]
+        states = [initial_state]
+        now, state = 0.0, initial_state
+        while True:
+            rate = rates[state]
+            if rate <= 0.0:
+                break
+            now += rng.exponential(1.0 / rate)
+            if now >= horizon:
+                break
+            state = int(rng.choice(self.num_states, p=jump_probs[state]))
+            times.append(now)
+            states.append(state)
+        return np.asarray(times), np.asarray(states, dtype=int)
+
+    def expected_value(self, values: np.ndarray) -> float:
+        """Stationary expectation of a per-state value vector."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.num_states,):
+            raise ValueError("values must have one entry per state")
+        return float(self.stationary_distribution() @ values)

@@ -1,0 +1,159 @@
+"""Truncated multi-dimensional state spaces and sparse generator assembly.
+
+HAP's modulating chain lives on ``(x, y_1, ..., y_l)`` — the numbers of user
+and per-type application instances — which is infinite in every coordinate.
+All algorithmic solutions truncate it.  The paper (Section 3.2.1) justifies
+simply zeroing transitions into out-of-bound states: because the chain is
+continuous-time there are no self-loops, so dropping an out-of-bound
+transition just removes that rate from the diagonal balance.
+
+:class:`StateSpace` enumerates the box ``0..bounds[0] x ... x 0..bounds[d-1]``
+with a dense index, and :func:`build_generator` assembles a sparse generator
+from a per-state transition enumeration function.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["StateSpace", "build_generator"]
+
+#: A transition function maps a state tuple to ``(successor, rate)`` pairs.
+TransitionFn = Callable[[tuple[int, ...]], Iterable[tuple[tuple[int, ...], float]]]
+
+
+class StateSpace:
+    """A box-truncated integer lattice with mixed-radix indexing.
+
+    Parameters
+    ----------
+    bounds:
+        Inclusive upper bound per coordinate; the space is the product of
+        ``range(bounds[k] + 1)``.
+
+    Examples
+    --------
+    >>> space = StateSpace((2, 1))
+    >>> space.size
+    6
+    >>> space.index((2, 1))
+    5
+    >>> space.state(5)
+    (2, 1)
+    """
+
+    def __init__(self, bounds: tuple[int, ...] | list[int]):
+        bounds = tuple(int(b) for b in bounds)
+        if not bounds:
+            raise ValueError("need at least one dimension")
+        if any(b < 0 for b in bounds):
+            raise ValueError("bounds must be non-negative")
+        self.bounds = bounds
+        self._radices = np.array(bounds, dtype=np.int64) + 1
+        # Mixed-radix place values, last coordinate varying fastest.
+        self._places = np.concatenate(
+            [np.cumprod(self._radices[::-1])[-2::-1], [1]]
+        ).astype(np.int64)
+        self.size = int(np.prod(self._radices))
+
+    @property
+    def ndim(self) -> int:
+        """Number of coordinates."""
+        return len(self.bounds)
+
+    def contains(self, state: tuple[int, ...]) -> bool:
+        """True when every coordinate of ``state`` lies inside the box."""
+        return len(state) == self.ndim and all(
+            0 <= coord <= bound for coord, bound in zip(state, self.bounds)
+        )
+
+    def index(self, state: tuple[int, ...]) -> int:
+        """Dense index of ``state`` (mixed-radix encoding)."""
+        if not self.contains(state):
+            raise KeyError(f"state {state} outside bounds {self.bounds}")
+        return int(np.dot(self._places, state))
+
+    def state(self, index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside 0..{self.size - 1}")
+        coords = []
+        remainder = index
+        for place in self._places:
+            coords.append(int(remainder // place))
+            remainder %= place
+        return tuple(coords)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for index in range(self.size):
+            yield self.state(index)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def coordinate_arrays(self) -> list[np.ndarray]:
+        """Per-coordinate value arrays aligned with the dense index.
+
+        ``coordinate_arrays()[k][i]`` is coordinate ``k`` of ``state(i)``;
+        useful for vectorizing per-state rate functions.
+        """
+        grids = np.meshgrid(
+            *[np.arange(b + 1) for b in self.bounds], indexing="ij"
+        )
+        return [grid.ravel() for grid in grids]
+
+
+def build_generator(
+    space: StateSpace,
+    transitions: TransitionFn,
+    clip_out_of_bounds: bool = True,
+) -> sp.csr_matrix:
+    """Assemble the sparse generator for ``space`` from a transition function.
+
+    Parameters
+    ----------
+    space:
+        The truncated state space.
+    transitions:
+        Called once per state; yields ``(successor_state, rate)`` pairs.
+        Rates must be non-negative; zero rates are skipped.
+    clip_out_of_bounds:
+        When true (the paper's convention) transitions leaving the box are
+        dropped, which also removes their rate from the diagonal — i.e. the
+        boundary reflects.  When false such transitions raise ``KeyError``.
+
+    Returns
+    -------
+    A CSR generator matrix with zero row sums.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for source_index, state in enumerate(space):
+        outflow = 0.0
+        for successor, rate in transitions(state):
+            if rate < 0:
+                raise ValueError(f"negative rate {rate} from state {state}")
+            if rate == 0.0:
+                continue
+            if not space.contains(successor):
+                if clip_out_of_bounds:
+                    continue
+                raise KeyError(
+                    f"transition {state} -> {successor} leaves the state space"
+                )
+            rows.append(source_index)
+            cols.append(space.index(successor))
+            vals.append(rate)
+            outflow += rate
+        if outflow > 0.0:
+            rows.append(source_index)
+            cols.append(source_index)
+            vals.append(-outflow)
+    generator = sp.coo_matrix(
+        (vals, (rows, cols)), shape=(space.size, space.size)
+    )
+    return generator.tocsr()

@@ -1,0 +1,40 @@
+"""Analytic queueing-theory substrate.
+
+Classical single-server results used throughout the reproduction:
+
+* :mod:`repro.queueing.mm1` — M/M/1, the paper's Poisson baseline.
+* :mod:`repro.queueing.mg1` — M/G/1 Pollaczek–Khinchine results.
+* :mod:`repro.queueing.gm1` — G/M/1 via the root ``sigma`` of
+  ``A*(mu - mu sigma) = sigma``, including the paper's averaging
+  "σ-algorithm" and a fast Brent variant.
+* :mod:`repro.queueing.littles_law` — Little's-law helpers.
+* :mod:`repro.queueing.laplace` — numerical Laplace transforms of densities
+  and complementary CDFs.
+"""
+
+from repro.queueing.gm1 import (
+    GM1Solution,
+    sigma_fixed_point_paper,
+    solve_gm1,
+)
+from repro.queueing.laplace import (
+    laplace_of_density,
+    laplace_of_interarrival_from_ccdf,
+)
+from repro.queueing.littles_law import mean_delay_from_queue, mean_queue_from_delay
+from repro.queueing.mg1 import MG1Solution, solve_mg1
+from repro.queueing.mm1 import MM1Solution, solve_mm1
+
+__all__ = [
+    "GM1Solution",
+    "MG1Solution",
+    "MM1Solution",
+    "laplace_of_density",
+    "laplace_of_interarrival_from_ccdf",
+    "mean_delay_from_queue",
+    "mean_queue_from_delay",
+    "sigma_fixed_point_paper",
+    "solve_gm1",
+    "solve_mg1",
+    "solve_mm1",
+]

@@ -1,0 +1,41 @@
+"""Little's-law helpers.
+
+The paper leans on Little's result twice: Solution 0 converts the mean number
+of messages in the chain to mean delay, and the simulator cross-checks its
+delay tally against the time-averaged queue length.  Keeping the conversions
+in one place makes those cross-checks explicit in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mean_delay_from_queue", "mean_queue_from_delay"]
+
+
+def mean_delay_from_queue(mean_queue_length: float, arrival_rate: float) -> float:
+    """``T = N / lambda``.
+
+    Raises
+    ------
+    ValueError
+        If the arrival rate is not positive or the queue length is negative.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if mean_queue_length < 0:
+        raise ValueError("mean queue length cannot be negative")
+    return mean_queue_length / arrival_rate
+
+
+def mean_queue_from_delay(mean_delay: float, arrival_rate: float) -> float:
+    """``N = lambda T``.
+
+    Raises
+    ------
+    ValueError
+        If the arrival rate is not positive or the delay is negative.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if mean_delay < 0:
+        raise ValueError("mean delay cannot be negative")
+    return arrival_rate * mean_delay

@@ -1,0 +1,87 @@
+"""The M/G/1 queue (Pollaczek–Khinchine).
+
+Not used by the paper's headline results (its server is exponential) but part
+of the substrate: the HAP-CS example uses deterministic response processing,
+and the library is meant to be adoptable beyond the single experiment set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MG1Solution", "solve_mg1"]
+
+
+@dataclass(frozen=True)
+class MG1Solution:
+    """Stationary quantities of an M/G/1 queue from service moments.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_mean:
+        First moment of service time ``E[S]``.
+    service_second_moment:
+        Second moment ``E[S^2]``.
+    """
+
+    arrival_rate: float
+    service_mean: float
+    service_second_moment: float
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda E[S]``."""
+        return self.arrival_rate * self.service_mean
+
+    @property
+    def service_scv(self) -> float:
+        """Squared coefficient of variation of service time."""
+        return self.service_second_moment / self.service_mean**2 - 1.0
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """P-K mean wait ``lambda E[S^2] / (2 (1 - rho))``."""
+        return (
+            self.arrival_rate
+            * self.service_second_moment
+            / (2.0 * (1.0 - self.utilization))
+        )
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean time in system (wait plus service)."""
+        return self.mean_waiting_time + self.service_mean
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system by Little's law."""
+        return self.arrival_rate * self.mean_delay
+
+
+def solve_mg1(
+    arrival_rate: float,
+    service_mean: float,
+    service_second_moment: float,
+) -> MG1Solution:
+    """Validate inputs and return the M/G/1 closed forms.
+
+    Raises
+    ------
+    ValueError
+        On non-positive rates/moments, a second moment below the square of
+        the mean (impossible), or an unstable queue.
+    """
+    if arrival_rate <= 0 or service_mean <= 0:
+        raise ValueError("arrival rate and service mean must be positive")
+    # Tolerate float rounding at the deterministic boundary E[S^2] == E[S]^2.
+    if service_second_moment < service_mean**2 * (1.0 - 1e-12):
+        raise ValueError("E[S^2] cannot be below (E[S])^2")
+    if arrival_rate * service_mean >= 1.0:
+        raise ValueError("unstable M/G/1: rho >= 1")
+    return MG1Solution(
+        arrival_rate=arrival_rate,
+        service_mean=service_mean,
+        service_second_moment=service_second_moment,
+    )

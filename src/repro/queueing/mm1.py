@@ -1,0 +1,100 @@
+"""The M/M/1 queue — the paper's Poisson baseline.
+
+Every HAP result in the paper is reported against the M/M/1 queue with the
+same mean arrival rate (``lambda-bar``) and the same server, so these small
+closed forms appear in nearly every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MM1Solution", "solve_mm1"]
+
+
+@dataclass(frozen=True)
+class MM1Solution:
+    """Closed-form stationary quantities of an M/M/1 queue.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Poisson arrival rate ``lambda``.
+    service_rate:
+        Exponential service rate ``mu``.
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean time in system ``T = 1 / (mu - lambda)``."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        return self.mean_delay - 1.0 / self.service_rate
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system ``rho / (1 - rho)``."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def probability_busy(self) -> float:
+        """Probability an arrival finds the server busy (PASTA: ``rho``)."""
+        return self.utilization
+
+    def queue_length_pmf(self, max_length: int) -> np.ndarray:
+        """``P(N = k) = (1 - rho) rho^k`` for ``k = 0 .. max_length``."""
+        rho = self.utilization
+        return (1.0 - rho) * rho ** np.arange(max_length + 1)
+
+    def delay_ccdf(self, t: np.ndarray) -> np.ndarray:
+        """``P(T > t) = exp(-(mu - lambda) t)`` (system time is exponential)."""
+        t = np.asarray(t, dtype=float)
+        return np.exp(-(self.service_rate - self.arrival_rate) * t)
+
+    def mean_busy_period(self) -> float:
+        """Mean busy-period length ``1 / (mu - lambda)``."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def busy_period_variance(self) -> float:
+        """Variance of the M/M/1 busy period.
+
+        ``Var[B] = (1 + rho) / (mu^2 (1 - rho)^3)`` — the comparison point
+        for the paper's Figure 18 busy-period statistics.
+        """
+        rho = self.utilization
+        return (1.0 + rho) / (self.service_rate**2 * (1.0 - rho) ** 3)
+
+    def mean_idle_period(self) -> float:
+        """Mean idle-period length ``1 / lambda``."""
+        return 1.0 / self.arrival_rate
+
+
+def solve_mm1(arrival_rate: float, service_rate: float) -> MM1Solution:
+    """Validate stability and return the M/M/1 closed forms.
+
+    Raises
+    ------
+    ValueError
+        On non-positive rates or an unstable queue (``lambda >= mu``).
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= service_rate:
+        raise ValueError(
+            f"unstable M/M/1: lambda {arrival_rate:g} >= mu {service_rate:g}"
+        )
+    return MM1Solution(arrival_rate=arrival_rate, service_rate=service_rate)

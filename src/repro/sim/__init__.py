@@ -1,0 +1,78 @@
+"""Discrete-event simulation substrate.
+
+The paper validates every analytic result against an event-driven simulator;
+this package is that simulator:
+
+* :mod:`repro.sim.engine` — the event loop (heap scheduler with cancellable
+  events).
+* :mod:`repro.sim.random_streams` — seeded, named random-number substreams
+  and the distribution objects the sources draw from.
+* :mod:`repro.sim.sources` — traffic sources: the full HAP hierarchy,
+  HAP-CS, Poisson, MMPP, on–off/IPP, and packet trains.
+* :mod:`repro.sim.server` — the FCFS exponential (or general) single-server
+  queue the messages feed.
+* :mod:`repro.sim.monitors` — tallies, time-weighted statistics and traces.
+* :mod:`repro.sim.busy_periods` — busy-period / "mountain" analysis
+  (Figures 14, 15, 18).
+* :mod:`repro.sim.replication` — warmup handling, replications, batch means,
+  and the high-level :func:`repro.sim.replication.simulate_hap_mm1` driver.
+"""
+
+from repro.sim.busy_periods import BusyPeriod, BusyPeriodStats, analyze_busy_periods
+from repro.sim.engine import Event, Simulator
+from repro.sim.monitors import Tally, TimeWeightedValue, TraceRecorder
+from repro.sim.network import TandemNetwork
+from repro.sim.protocol import Fragmenter, WindowRegulator
+from repro.sim.random_streams import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Pareto,
+    RandomStreams,
+)
+from repro.sim.replication import (
+    SimulationResult,
+    simulate_hap_mm1,
+    simulate_source_mm1,
+)
+from repro.sim.server import FCFSQueue, Message
+from repro.sim.sources import (
+    ClientServerHAPSource,
+    HAPSource,
+    MMPPSource,
+    OnOffSource,
+    PacketTrainSource,
+    PoissonSource,
+)
+
+__all__ = [
+    "BusyPeriod",
+    "BusyPeriodStats",
+    "ClientServerHAPSource",
+    "Deterministic",
+    "Erlang",
+    "Event",
+    "Exponential",
+    "FCFSQueue",
+    "Fragmenter",
+    "HAPSource",
+    "Hyperexponential",
+    "MMPPSource",
+    "Message",
+    "OnOffSource",
+    "PacketTrainSource",
+    "Pareto",
+    "PoissonSource",
+    "RandomStreams",
+    "SimulationResult",
+    "Simulator",
+    "TandemNetwork",
+    "Tally",
+    "TimeWeightedValue",
+    "TraceRecorder",
+    "WindowRegulator",
+    "analyze_busy_periods",
+    "simulate_hap_mm1",
+    "simulate_source_mm1",
+]

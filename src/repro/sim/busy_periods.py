@@ -1,0 +1,147 @@
+"""Busy-period ("mountain") analysis — Figures 14, 15 and 18.
+
+The paper characterizes HAP's short-term congestion through the busy periods
+of the message queue: a busy period starts when an arrival finds the system
+empty and ends when it empties again.  Its *height* (peak queue length) and
+*width* (duration) describe one "mountain".  Figure 18 compares HAP's and
+Poisson's busy/idle statistics: similar means, wildly different variances
+(618x for busy-period length in the paper's run).
+
+:func:`analyze_busy_periods` reconstructs the periods from a queue's
+busy-state transitions plus its queue-length trace;
+:class:`BusyPeriodStats` carries the summary comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.server import FCFSQueue
+
+__all__ = ["BusyPeriod", "BusyPeriodStats", "analyze_busy_periods"]
+
+
+@dataclass(frozen=True)
+class BusyPeriod:
+    """One busy period of the queue.
+
+    Attributes
+    ----------
+    start, end:
+        Simulation times bounding the period.
+    height:
+        Peak number of messages in system during the period (the mountain's
+        height).  0 when no trace was recorded.
+    """
+
+    start: float
+    end: float
+    height: float
+
+    @property
+    def width(self) -> float:
+        """Duration of the period."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class BusyPeriodStats:
+    """Summary statistics over the busy and idle periods of one run."""
+
+    num_busy_periods: int
+    mean_busy: float
+    var_busy: float
+    max_busy: float
+    mean_idle: float
+    var_idle: float
+    mean_height: float
+    var_height: float
+    max_height: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """``mean busy / (mean busy + mean idle)`` — the paper reports ~55 %."""
+        denom = self.mean_busy + self.mean_idle
+        return self.mean_busy / denom if denom > 0 else math.nan
+
+    def describe(self) -> str:
+        """A compact report matching the paper's Figure 18 row layout."""
+        return (
+            f"n={self.num_busy_periods} "
+            f"busy: mean={self.mean_busy:.4g} var={self.var_busy:.4g} "
+            f"max={self.max_busy:.4g} | "
+            f"idle: mean={self.mean_idle:.4g} var={self.var_idle:.4g} | "
+            f"height: mean={self.mean_height:.4g} var={self.var_height:.4g} "
+            f"max={self.max_height:.4g} | busy%={100 * self.busy_fraction:.1f}"
+        )
+
+
+def _pair_transitions(
+    transitions: list[tuple[float, int]],
+) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+    """Split (+1/-1) transitions into complete (busy, idle) intervals.
+
+    A leading ``-1`` (queue already busy at warmup) and a trailing unmatched
+    ``+1`` (busy at horizon) are dropped: only complete periods count,
+    mirroring the paper's statistics.
+    """
+    busy: list[tuple[float, float]] = []
+    idle: list[tuple[float, float]] = []
+    previous_time: float | None = None
+    previous_kind: int | None = None
+    for time, kind in transitions:
+        if previous_kind is not None and kind != previous_kind:
+            if kind == -1:  # closing a busy period
+                busy.append((previous_time, time))
+            else:  # closing an idle period
+                idle.append((previous_time, time))
+        previous_time, previous_kind = time, kind
+    return busy, idle
+
+
+def analyze_busy_periods(queue: FCFSQueue) -> tuple[list[BusyPeriod], BusyPeriodStats]:
+    """Extract busy periods and their statistics from a finished queue.
+
+    Heights require the queue to have been built with ``trace_stride=1``
+    (every queue-length change recorded); with striding or no trace the
+    heights are lower bounds or zero respectively.
+    """
+    busy_intervals, idle_intervals = _pair_transitions(queue.busy_transitions)
+    if queue.trace is not None and len(queue.trace):
+        times, values = queue.trace.as_arrays()
+    else:
+        times = np.empty(0)
+        values = np.empty(0)
+    periods = []
+    for start, end in busy_intervals:
+        if times.size:
+            lo = np.searchsorted(times, start, side="left")
+            hi = np.searchsorted(times, end, side="right")
+            height = float(values[lo:hi].max()) if hi > lo else 0.0
+        else:
+            height = 0.0
+        periods.append(BusyPeriod(start=start, end=end, height=height))
+
+    stats = BusyPeriodStats(
+        num_busy_periods=len(periods),
+        mean_busy=_mean([p.width for p in periods]),
+        var_busy=_var([p.width for p in periods]),
+        max_busy=max((p.width for p in periods), default=math.nan),
+        mean_idle=_mean([end - start for start, end in idle_intervals]),
+        var_idle=_var([end - start for start, end in idle_intervals]),
+        mean_height=_mean([p.height for p in periods]),
+        var_height=_var([p.height for p in periods]),
+        max_height=max((p.height for p in periods), default=math.nan),
+    )
+    return periods, stats
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(values)) if values else math.nan
+
+
+def _var(values: list[float]) -> float:
+    return float(np.var(values, ddof=1)) if len(values) > 1 else math.nan

@@ -1,0 +1,172 @@
+"""Statistics collectors for the simulator.
+
+Three collector shapes cover everything the paper measures:
+
+* :class:`Tally` — per-observation statistics (message delays, waits).
+* :class:`TimeWeightedValue` — time-averaged piecewise-constant processes
+  (queue length, user/application populations, server busy state).
+* :class:`TraceRecorder` — raw (time, value) series for the queue-length
+  "mountain" plots (Figures 14–17) with optional reservoir-free striding to
+  bound memory on long runs.
+
+All use numerically stable streaming updates (Welford for tallies), so a
+hundred-million-message run accumulates no cancellation error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["Tally", "TimeWeightedValue", "TraceRecorder"]
+
+
+class Tally:
+    """Streaming mean/variance/extremes of observations (Welford update)."""
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self._mean: float = 0.0
+        self._m2: float = 0.0
+        self.minimum: float = math.inf
+        self.maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN with fewer than two observations)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Combined tally of two disjoint observation sets (Chan et al.)."""
+        merged = Tally()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta**2 * self.count * other.count / merged.count
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+class TimeWeightedValue:
+    """Time average and variance of a piecewise-constant process.
+
+    Call :meth:`update` *before* changing the underlying value; the collector
+    charges the old value for the elapsed interval.
+    """
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
+        self.value: float = initial_value
+        self._last_time: float = start_time
+        self._weighted_sum: float = 0.0
+        self._weighted_square_sum: float = 0.0
+        self._total_time: float = 0.0
+        self.maximum: float = initial_value
+
+    def update(self, now: float, new_value: float) -> None:
+        """Account for time at the current value, then switch to ``new_value``."""
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        elapsed = now - self._last_time
+        self._weighted_sum += self.value * elapsed
+        self._weighted_square_sum += self.value**2 * elapsed
+        self._total_time += elapsed
+        self._last_time = now
+        self.value = new_value
+        if new_value > self.maximum:
+            self.maximum = new_value
+
+    def finalize(self, now: float) -> None:
+        """Charge the current value up to ``now`` (call at simulation end)."""
+        self.update(now, self.value)
+
+    @property
+    def time_average(self) -> float:
+        """Time-weighted mean (NaN before any time has elapsed)."""
+        if self._total_time == 0.0:
+            return math.nan
+        return self._weighted_sum / self._total_time
+
+    @property
+    def time_variance(self) -> float:
+        """Time-weighted variance."""
+        if self._total_time == 0.0:
+            return math.nan
+        mean = self.time_average
+        return self._weighted_square_sum / self._total_time - mean**2
+
+    @property
+    def observed_time(self) -> float:
+        """Total time accounted so far."""
+        return self._total_time
+
+
+class TraceRecorder:
+    """(time, value) series with optional striding.
+
+    Parameters
+    ----------
+    stride:
+        Keep every ``stride``-th sample (1 = keep all).  The paper's Figure
+        14/15 traces span hours of simulated time at millisecond resolution;
+        striding keeps memory bounded without visibly changing the plots.
+    """
+
+    def __init__(self, stride: int = 1):
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._counter = 0
+
+    def record(self, time: float, value: float) -> None:
+        """Maybe-record one sample (subject to the stride)."""
+        self._counter += 1
+        if self._counter % self.stride == 0:
+            self._times.append(time)
+            self._values.append(value)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The recorded series as numpy arrays."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        """The sub-series with ``start <= time <= end``."""
+        times, values = self.as_arrays()
+        mask = (times >= start) & (times <= end)
+        return times[mask], values[mask]

@@ -1,0 +1,106 @@
+"""Multi-hop (tandem) queueing networks of FCFS servers.
+
+The paper sizes overlay links one queue at a time (Section 7); this module
+provides the simulation counterpart: a path of FCFS exponential servers
+that messages traverse in order, with per-hop and end-to-end statistics.
+Used by the overlay validation experiment to check that per-link HAP
+sizing actually delivers the end-to-end delay target — a check the paper's
+analytic treatment cannot make, because HAP's *departures* are not a HAP
+(the queue reshapes the stream).
+
+The implementation reuses :class:`~repro.sim.server.FCFSQueue` unchanged:
+each hop's ``on_departure`` re-submits the message (with a fresh arrival
+time) to the next hop, and end-to-end delay is accumulated in the message
+metadata.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import Tally
+from repro.sim.random_streams import Exponential, RandomStreams
+from repro.sim.server import FCFSQueue, Message
+
+__all__ = ["TandemNetwork"]
+
+
+class TandemNetwork:
+    """A fixed path of FCFS exponential servers.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    service_rates:
+        One exponential rate per hop, in traversal order.
+    streams:
+        Random streams; each hop draws from its own named substream.
+    warmup:
+        Statistics start time (applies to every hop and to the end-to-end
+        tally).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_rates: list[float],
+        streams: RandomStreams,
+        warmup: float = 0.0,
+    ):
+        if not service_rates:
+            raise ValueError("need at least one hop")
+        self.sim = sim
+        self.warmup = warmup
+        self.end_to_end = Tally()
+        self.queues: list[FCFSQueue] = []
+        for index, rate in enumerate(service_rates):
+            queue = FCFSQueue(
+                sim,
+                Exponential(rate),
+                streams.get(f"hop-{index}"),
+                warmup=warmup,
+                on_departure=self._make_forwarder(index),
+            )
+            self.queues.append(queue)
+
+    def _make_forwarder(self, index: int):
+        def forward(sim: Simulator, message: Message) -> None:
+            entered = message.metadata.get("entered_network")
+            if index + 1 < len(self.queues):
+                # Fresh arrival time so the next hop's delay is its own.
+                next_message = Message(
+                    arrival_time=sim.now,
+                    app_type=message.app_type,
+                    message_type=message.message_type,
+                    kind=message.kind,
+                    metadata=message.metadata,
+                )
+                self.queues[index + 1].arrive(next_message)
+            elif entered is not None and entered >= self.warmup:
+                self.end_to_end.observe(sim.now - entered)
+
+        return forward
+
+    def arrive(self, message: Message) -> None:
+        """Entry point: submit a message to the first hop."""
+        message.metadata["entered_network"] = self.sim.now
+        self.queues[0].arrive(message)
+
+    def finalize(self) -> None:
+        """Close every hop's time-weighted statistics."""
+        for queue in self.queues:
+            queue.finalize()
+
+    @property
+    def num_hops(self) -> int:
+        """Number of servers on the path."""
+        return len(self.queues)
+
+    def per_hop_delays(self) -> list[float]:
+        """Mean delay at each hop."""
+        return [queue.mean_delay for queue in self.queues]
+
+    @property
+    def mean_end_to_end_delay(self) -> float:
+        """Mean total time across all hops."""
+        return self.end_to_end.mean

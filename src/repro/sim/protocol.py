@@ -1,0 +1,164 @@
+"""Transmission-protocol elements: fragmentation and window flow control.
+
+Section 6 of the paper proposes protocol-level remedies for HAP's
+message-level burstiness: "we can design the end-to-end protocol, window
+flow control for example, to reduce the message arrival rate ... and block
+operations, by fragmenting messages into blocks along with window flow
+control, to reduce the burst length."  The paper also notes (Section 2)
+that messages are fragmented into packets or cells by the transmission
+protocol, which is why its analysis stops at the message level.
+
+This module makes those mechanisms concrete so their effect can be
+measured:
+
+* :class:`Fragmenter` — splits each message into ``blocks`` equal packets
+  (carrying a share of the message's service demand).
+* :class:`WindowRegulator` — a credit-based end-to-end window: at most
+  ``window`` packets are outstanding in the network; further packets wait
+  in an edge buffer.  Credits return on service completion (wire
+  :meth:`handle_departure` to the queue's ``on_departure``).
+
+The regulator instruments its edge buffer, so experiments can show where
+the burst goes: windowing doesn't destroy the burst, it moves the waiting
+from the shared network queue to the sender's edge — which is exactly what
+protects *other* traffic sharing the server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import Tally, TimeWeightedValue
+from repro.sim.server import Message
+
+__all__ = ["Fragmenter", "WindowRegulator"]
+
+
+class Fragmenter:
+    """Split messages into fixed numbers of equal packets.
+
+    Parameters
+    ----------
+    emit:
+        Downstream acceptor for the packets (a queue's ``arrive`` or a
+        :class:`WindowRegulator`'s ``offer``).
+    blocks:
+        Packets per message (the paper's "block operations").
+    """
+
+    def __init__(self, emit, blocks: int):
+        if blocks < 1:
+            raise ValueError("blocks must be at least 1")
+        self.emit = emit
+        self.blocks = blocks
+        self.messages_fragmented = 0
+        self.packets_emitted = 0
+
+    def __call__(self, message: Message) -> None:
+        """Fragment one message and forward its packets immediately."""
+        self.messages_fragmented += 1
+        for index in range(self.blocks):
+            packet = Message(
+                arrival_time=message.arrival_time,
+                app_type=message.app_type,
+                message_type=message.message_type,
+                kind=message.kind or "packet",
+                metadata={
+                    "fragment": index,
+                    "of": self.blocks,
+                    **message.metadata,
+                },
+            )
+            self.packets_emitted += 1
+            self.emit(packet)
+
+
+class WindowRegulator:
+    """Credit-based end-to-end window flow control at the network edge.
+
+    Parameters
+    ----------
+    sim:
+        The event loop (used only for timestamps).
+    forward:
+        Acceptor for admitted packets (typically ``queue.arrive``).
+    window:
+        Maximum packets outstanding in the network at once.
+    ack_delay:
+        Extra delay before a completion's credit returns (models the
+        acknowledgement's return trip); 0 by default.
+
+    Notes
+    -----
+    Wire :meth:`handle_departure` into the downstream queue's
+    ``on_departure`` hook; the regulator matches credits by counting, so
+    the queue may serve other (unregulated) traffic too as long as only
+    regulated packets carry ``metadata['windowed'] = True``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward,
+        window: int,
+        ack_delay: float = 0.0,
+    ):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if ack_delay < 0:
+            raise ValueError("ack delay cannot be negative")
+        self.sim = sim
+        self.forward = forward
+        self.window = window
+        self.ack_delay = ack_delay
+        self.outstanding = 0
+        self._buffer: deque[Message] = deque()
+        self.holding_delay = Tally()
+        self.buffer_length = TimeWeightedValue(0.0)
+        self.packets_admitted = 0
+
+    def offer(self, packet: Message) -> None:
+        """Accept a packet from the sender side."""
+        packet.metadata["windowed"] = True
+        packet.metadata["offered_at"] = self.sim.now
+        if self.outstanding < self.window:
+            self._admit(packet)
+        else:
+            self._buffer.append(packet)
+            self.buffer_length.update(self.sim.now, float(len(self._buffer)))
+
+    def _admit(self, packet: Message) -> None:
+        self.outstanding += 1
+        self.packets_admitted += 1
+        self.holding_delay.observe(
+            self.sim.now - packet.metadata["offered_at"]
+        )
+        # The network sees the admission instant as the arrival.
+        packet.arrival_time = self.sim.now
+        self.forward(packet)
+
+    def handle_departure(self, sim: Simulator, message: Message) -> None:
+        """Queue completion hook: return this packet's credit."""
+        if not message.metadata.get("windowed"):
+            return
+        if self.ack_delay > 0:
+            sim.schedule(self.ack_delay, lambda s: self._credit())
+        else:
+            self._credit()
+
+    def _credit(self) -> None:
+        self.outstanding -= 1
+        if self._buffer:
+            packet = self._buffer.popleft()
+            self.buffer_length.update(self.sim.now, float(len(self._buffer)))
+            self._admit(packet)
+
+    @property
+    def buffered(self) -> int:
+        """Packets currently waiting at the edge."""
+        return len(self._buffer)
+
+    def finalize(self) -> None:
+        """Close the time-weighted buffer statistic."""
+        self.buffer_length.finalize(self.sim.now)

@@ -1,0 +1,222 @@
+"""The FCFS single-server message queue (the "/M/1" of HAP/M/1).
+
+Messages emitted by a source (:mod:`repro.sim.sources`) arrive here; the
+server draws each message's service time from its distribution (exponential
+``mu''`` in all of the paper's experiments) and serves in arrival order.
+
+The queue exposes exactly the observables the paper reports:
+
+* per-message delay (system time) and waiting time tallies,
+* ``sigma`` — fraction of arrivals that found the server busy,
+* time-averaged queue length and utilization,
+* a queue-length trace and busy-period transitions for the "mountain"
+  analysis of Figures 14–18.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import Tally, TimeWeightedValue, TraceRecorder
+from repro.sim.random_streams import Exponential
+
+__all__ = ["FCFSQueue", "Message"]
+
+
+@dataclass
+class Message:
+    """One message travelling through the queue.
+
+    Attributes
+    ----------
+    arrival_time:
+        When the message reached the queue.
+    app_type, message_type:
+        Indices identifying the generating leaf of the HAP hierarchy
+        (-1 for sources without a hierarchy).
+    service_time:
+        Drawn at arrival; None until the message enters the queue.
+    kind:
+        Free-form tag (e.g. ``"request"`` / ``"response"`` for HAP-CS).
+    """
+
+    arrival_time: float
+    app_type: int = -1
+    message_type: int = -1
+    service_time: float | None = None
+    kind: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class FCFSQueue:
+    """A single-server FCFS queue with full instrumentation.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    service:
+        Service-time distribution (anything with ``sample(rng)``); a float
+        is shorthand for ``Exponential(rate=value)``.
+    rng:
+        Generator for service draws.
+    trace_stride:
+        When positive, record the queue length at every change with this
+        stride (0 disables tracing).
+    warmup:
+        Observations before this time are excluded from the tallies (the
+        time-weighted stats start at the warmup boundary as well).
+    on_departure:
+        Optional callback ``(sim, message) -> None`` fired at each service
+        completion — the HAP-CS source uses it to trigger responses.
+    record_delays:
+        Keep every post-warmup delay in ``delay_log`` (needed for the
+        running-mean convergence study of Figure 13).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service,
+        rng: np.random.Generator,
+        trace_stride: int = 0,
+        warmup: float = 0.0,
+        on_departure=None,
+        record_delays: bool = False,
+    ):
+        if isinstance(service, (int, float)):
+            service = Exponential(rate=float(service))
+        self.sim = sim
+        self.service = service
+        self.rng = rng
+        self.warmup = warmup
+        self.on_departure = on_departure
+
+        self._waiting: deque[Message] = deque()
+        self._in_service: Message | None = None
+        if warmup > sim.now:
+            # Align the time-weighted collectors with the true queue state
+            # exactly when statistics collection begins.
+            sim.schedule_at(warmup, lambda s: self.sync_time_weighted())
+
+        self.delays = Tally()
+        self.waits = Tally()
+        self.arrivals_total = 0
+        self.arrivals_found_busy = 0
+        self.queue_length = TimeWeightedValue(0.0, start_time=warmup)
+        self.busy = TimeWeightedValue(0.0, start_time=warmup)
+        self.trace: TraceRecorder | None = (
+            TraceRecorder(trace_stride) if trace_stride > 0 else None
+        )
+        #: Per-message delays in completion order (when record_delays).
+        self.delay_log: list[float] | None = [] if record_delays else None
+        #: (time, +1/-1) busy-period transitions: +1 = busy period starts.
+        self.busy_transitions: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Queue dynamics
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Messages in system (waiting plus in service)."""
+        return len(self._waiting) + (1 if self._in_service is not None else 0)
+
+    def arrive(self, message: Message) -> None:
+        """Accept a message; starts service immediately if the server is idle."""
+        now = self.sim.now
+        counted = now >= self.warmup
+        if counted:
+            self.arrivals_total += 1
+            if self._in_service is not None:
+                self.arrivals_found_busy += 1
+        if self._in_service is None and now >= self.warmup:
+            self.busy_transitions.append((now, +1))
+        self._record_length_change(now, +1)
+        if self._in_service is None:
+            self._start_service(message)
+        else:
+            self._waiting.append(message)
+
+    def _start_service(self, message: Message) -> None:
+        message.service_time = self.service.sample(self.rng)
+        self._in_service = message
+        self._update_busy(self.sim.now, 1.0)
+        self.sim.schedule(message.service_time, self._complete_service)
+
+    def _update_busy(self, now: float, value: float) -> None:
+        if now >= self.warmup:
+            self.busy.update(now, value)
+        else:
+            self.busy.value = value
+
+    def _complete_service(self, sim: Simulator) -> None:
+        message = self._in_service
+        now = sim.now
+        if message.arrival_time >= self.warmup:
+            delay = now - message.arrival_time
+            self.delays.observe(delay)
+            self.waits.observe(delay - message.service_time)
+            if self.delay_log is not None:
+                self.delay_log.append(delay)
+        self._record_length_change(now, -1)
+        self._in_service = None
+        if self._waiting:
+            self._start_service(self._waiting.popleft())
+        else:
+            self._update_busy(now, 0.0)
+            if now >= self.warmup:
+                self.busy_transitions.append((now, -1))
+        if self.on_departure is not None:
+            self.on_departure(sim, message)
+
+    def _record_length_change(self, now: float, delta: int) -> None:
+        new_length = self.length + delta
+        if now >= self.warmup:
+            self.queue_length.update(now, float(new_length))
+            if self.trace is not None:
+                self.trace.record(now, float(new_length))
+
+    def sync_time_weighted(self) -> None:
+        """Align the time-weighted collectors with the live queue state.
+
+        The replication driver calls this exactly at the warmup boundary so
+        that the time averages start from the real (warmed) queue state
+        rather than from zero.
+        """
+        self.queue_length.value = float(self.length)
+        self.busy.value = 1.0 if self._in_service is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close the time-weighted accumulators at the current clock."""
+        now = max(self.sim.now, self.warmup)
+        self.queue_length.finalize(now)
+        self.busy.finalize(now)
+
+    @property
+    def sigma_estimate(self) -> float:
+        """Fraction of (post-warmup) arrivals that found the server busy."""
+        if self.arrivals_total == 0:
+            return float("nan")
+        return self.arrivals_found_busy / self.arrivals_total
+
+    @property
+    def utilization_estimate(self) -> float:
+        """Time-averaged busy fraction."""
+        return self.busy.time_average
+
+    @property
+    def mean_delay(self) -> float:
+        """Average system time of completed, post-warmup messages."""
+        return self.delays.mean
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Time-averaged number in system."""
+        return self.queue_length.time_average

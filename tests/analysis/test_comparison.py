@@ -1,0 +1,44 @@
+"""Tests for repro.analysis.comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import comparison_table, format_table
+
+
+class TestComparisonTable:
+    def test_rows_built_from_columns(self):
+        rows = comparison_table(
+            ["a", "b"], {"delay": [1.0, 2.0], "sigma": [0.1, 0.2]}
+        )
+        assert rows[0].label == "a"
+        assert rows[1].values == {"delay": 2.0, "sigma": 0.2}
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="column"):
+            comparison_table(["a", "b"], {"delay": [1.0]})
+
+    def test_numeric_labels_coerced(self):
+        rows = comparison_table([13, 17], {"x": [1.0, 2.0]})
+        assert rows[0].label == "13"
+
+
+class TestFormatTable:
+    def test_header_and_alignment(self):
+        rows = comparison_table(
+            ["mu=13", "mu=40"], {"delay": [1.2345, 0.01], "ratio": [200.0, 1.1]}
+        )
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "label" in lines[0] and "delay" in lines[0]
+        assert len(lines) == 3
+        # All lines align to the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_precision(self):
+        rows = comparison_table(["r"], {"x": [1.23456789]})
+        assert "1.2" in format_table(rows, precision=2)

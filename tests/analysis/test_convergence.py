@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    batch_means,
+    running_mean,
+    running_mean_fluctuation,
+)
+
+
+class TestRunningMean:
+    def test_values(self):
+        np.testing.assert_allclose(
+            running_mean(np.array([2.0, 4.0, 6.0])), [2.0, 3.0, 4.0]
+        )
+
+    def test_empty(self):
+        assert running_mean(np.array([])).size == 0
+
+    def test_constant_sequence(self):
+        np.testing.assert_allclose(running_mean(np.full(10, 3.0)), 3.0)
+
+
+class TestFluctuation:
+    def test_constant_sequence_is_flat(self):
+        assert running_mean_fluctuation(np.full(100, 2.0)) == 0.0
+
+    def test_iid_noise_converges(self, rng):
+        values = rng.exponential(1.0, size=200_000)
+        assert running_mean_fluctuation(values) < 0.02
+
+    def test_correlated_bursts_fluctuate_more(self, rng):
+        # Alternate long quiet and loud regimes: the paper's Figure-13 shape.
+        quiet = rng.exponential(0.1, size=5_000)
+        loud = rng.exponential(10.0, size=5_000)
+        values = np.concatenate([quiet, loud, quiet, loud])
+        iid = rng.permutation(values)
+        assert running_mean_fluctuation(values) > running_mean_fluctuation(iid)
+
+    def test_validates_tail_fraction(self):
+        with pytest.raises(ValueError):
+            running_mean_fluctuation(np.ones(10), tail_fraction=0.0)
+
+
+class TestBatchMeans:
+    def test_overall_mean_preserved(self, rng):
+        values = rng.normal(5.0, 1.0, size=1000)
+        batches, overall, _ = batch_means(values, num_batches=20)
+        assert len(batches) == 20
+        assert overall == pytest.approx(float(values.mean()), abs=0.01)
+
+    def test_standard_error_shrinks_with_data(self, rng):
+        small = rng.normal(0, 1, size=400)
+        large = rng.normal(0, 1, size=40_000)
+        _, _, se_small = batch_means(small, num_batches=20)
+        _, _, se_large = batch_means(large, num_batches=20)
+        assert se_large < se_small
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            batch_means(np.ones(10), num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means(np.ones(5), num_batches=10)

@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import confidence_interval, relative_error, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_value_std_nan(self):
+        import math
+
+        assert math.isnan(summarize([5.0]).std)
+
+    def test_describe(self):
+        assert "n=3" in summarize([1.0, 2.0, 3.0]).describe()
+
+
+class TestConfidenceInterval:
+    def test_contains_true_mean_usually(self, rng):
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=20)
+            _, low, high = confidence_interval(sample, confidence=0.95)
+            if low <= 10.0 <= high:
+                hits += 1
+        assert hits >= 180  # ~95 % coverage with slack
+
+    def test_symmetric_around_mean(self):
+        mean, low, high = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert mean - low == pytest.approx(high - mean)
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_narrows_with_sample_size(self, rng):
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        _, lo_s, hi_s = confidence_interval(small)
+        _, lo_l, hi_l = confidence_interval(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_reference_is_nan(self):
+        import math
+
+        assert math.isnan(relative_error(1.0, 0.0))
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(9.0, 10.0) == relative_error(11.0, 10.0)

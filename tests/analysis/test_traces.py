@@ -1,0 +1,127 @@
+"""Tests for repro.analysis.traces (empirical trace statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.traces import (
+    empirical_idc,
+    empirical_interarrival_ccdf,
+    interarrival_times,
+    peak_to_mean_ratio,
+    rate_in_windows,
+)
+
+
+@pytest.fixture(scope="module")
+def poisson_trace(rng_module=None) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return np.cumsum(rng.exponential(0.5, size=60_000))
+
+
+class TestInterarrivals:
+    def test_gaps(self):
+        gaps = interarrival_times(np.array([0.0, 1.0, 3.0, 3.5]))
+        np.testing.assert_allclose(gaps, [1.0, 2.0, 0.5])
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError):
+            interarrival_times(np.array([1.0]))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            interarrival_times(np.array([0.0, 2.0, 1.0]))
+
+    def test_empirical_ccdf_matches_exponential(self, poisson_trace):
+        ts = np.array([0.1, 0.5, 1.0, 2.0])
+        estimate = empirical_interarrival_ccdf(poisson_trace, ts)
+        np.testing.assert_allclose(estimate, np.exp(-2.0 * ts), atol=0.01)
+
+    def test_empirical_ccdf_bounds(self, poisson_trace):
+        values = empirical_interarrival_ccdf(poisson_trace, np.array([0.0, 1e9]))
+        assert values[0] == pytest.approx(1.0, abs=1e-3)
+        assert values[1] == 0.0
+
+
+class TestWindows:
+    def test_counts_partition_trace(self, poisson_trace):
+        counts = rate_in_windows(poisson_trace, window=100.0)
+        # Total count within the binned span matches the bins' sum.
+        assert counts.sum() <= poisson_trace.size
+        assert counts.mean() == pytest.approx(200.0, rel=0.05)
+
+    def test_validates(self, poisson_trace):
+        with pytest.raises(ValueError):
+            rate_in_windows(poisson_trace, window=0.0)
+        with pytest.raises(ValueError):
+            rate_in_windows(np.array([]), window=1.0)
+        with pytest.raises(ValueError):
+            rate_in_windows(np.array([0.0, 1.0]), window=100.0)
+
+
+class TestIDC:
+    def test_poisson_idc_near_one_at_all_scales(self, poisson_trace):
+        windows = np.array([1.0, 5.0, 20.0, 100.0])
+        idc = empirical_idc(poisson_trace, windows)
+        np.testing.assert_allclose(idc, 1.0, atol=0.25)
+
+    def test_hap_idc_grows_with_window(self, small_hap):
+        """HAP's burstiness across time scales: IDC climbs as slower
+        modulating levels come into view — the Fowler–Leland signature the
+        paper set out to capture."""
+        from repro.sim.engine import Simulator
+        from repro.sim.random_streams import RandomStreams
+        from repro.sim.sources import HAPSource
+
+        sim = Simulator()
+        arrivals: list[float] = []
+        source = HAPSource(
+            sim,
+            small_hap,
+            RandomStreams(5).get("s"),
+            lambda m: arrivals.append(m.arrival_time),
+            track_populations=False,
+        )
+        source.prepopulate()
+        source.start()
+        sim.run_until(80_000.0)
+        trace = np.asarray(arrivals)
+        idc = empirical_idc(trace, np.array([0.5, 5.0, 50.0, 500.0]))
+        assert idc[0] < idc[1] < idc[2] < idc[3]
+        assert idc[-1] > 5.0
+
+    def test_empirical_idc_matches_analytic_for_mmpp(self):
+        """Cross-check the estimator against the MMPP IDC formula."""
+        from repro.markov.mmpp import MMPP
+        from repro.sim.engine import Simulator
+        from repro.sim.random_streams import RandomStreams
+        from repro.sim.sources import MMPPSource
+
+        generator = np.array([[-0.2, 0.2], [0.3, -0.3]])
+        mmpp = MMPP(generator, np.array([1.0, 5.0]))
+        sim = Simulator()
+        arrivals: list[float] = []
+        source = MMPPSource(
+            sim,
+            mmpp,
+            RandomStreams(6).get("s"),
+            lambda m: arrivals.append(m.arrival_time),
+        )
+        source.start()
+        sim.run_until(200_000.0)
+        horizon = 20.0
+        estimate = empirical_idc(np.asarray(arrivals), np.array([horizon]))[0]
+        analytic = mmpp.index_of_dispersion(horizon)
+        assert estimate == pytest.approx(analytic, rel=0.15)
+
+
+class TestPeakToMean:
+    def test_poisson_peak_modest(self, poisson_trace):
+        assert peak_to_mean_ratio(poisson_trace, window=100.0) < 1.5
+
+    def test_constant_trace_ratio_one(self):
+        arrivals = np.arange(0.0, 1000.0, 0.5)
+        assert peak_to_mean_ratio(arrivals, window=100.0) == pytest.approx(
+            1.0, abs=0.02
+        )

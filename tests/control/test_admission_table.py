@@ -1,0 +1,121 @@
+"""Tests for repro.control.admission_table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.admission_table import (
+    admissible_region,
+    build_admission_table,
+    linear_region_approximation,
+    max_admissible_user_rate,
+)
+from repro.core.params import ApplicationType, HAPParameters, MessageType
+from repro.core.solution2 import solve_solution2
+
+
+@pytest.fixture
+def two_type() -> HAPParameters:
+    fast = ApplicationType(
+        arrival_rate=0.05,
+        departure_rate=0.05,
+        messages=(MessageType(arrival_rate=0.3, service_rate=5.0),),
+        name="light",
+    )
+    heavy = ApplicationType(
+        arrival_rate=0.02,
+        departure_rate=0.05,
+        messages=(MessageType(arrival_rate=0.8, service_rate=5.0),),
+        name="heavy",
+    )
+    return HAPParameters(
+        user_arrival_rate=0.05,
+        user_departure_rate=0.05,
+        applications=(fast, heavy),
+    )
+
+
+class TestMaxAdmissibleUserRate:
+    def test_result_meets_target(self, small_hap):
+        from dataclasses import replace
+
+        target = solve_solution2(small_hap).mean_delay * 1.2
+        rate = max_admissible_user_rate(small_hap, target)
+        admitted = replace(small_hap, user_arrival_rate=rate)
+        assert solve_solution2(admitted).mean_delay <= target * 1.01
+
+    def test_result_is_maximal(self, small_hap):
+        from dataclasses import replace
+
+        target = solve_solution2(small_hap).mean_delay * 1.2
+        rate = max_admissible_user_rate(small_hap, target)
+        pushed = replace(small_hap, user_arrival_rate=rate * 1.05)
+        assert solve_solution2(pushed).mean_delay > target
+
+    def test_looser_target_admits_more(self, small_hap):
+        base_delay = solve_solution2(small_hap).mean_delay
+        tight = max_admissible_user_rate(small_hap, base_delay * 1.1)
+        loose = max_admissible_user_rate(small_hap, base_delay * 2.0)
+        assert loose > tight
+
+    def test_impossible_target_rejected(self, small_hap):
+        with pytest.raises(ValueError, match="nothing is admissible"):
+            max_admissible_user_rate(
+                small_hap, 0.9 / small_hap.common_service_rate()
+            )
+
+
+class TestAdmissibleRegion:
+    def test_boundary_is_monotone_staircase(self, two_type):
+        boundary = admissible_region(two_type, delay_target=0.6, max_population=20)
+        assert boundary  # non-empty
+        limits = [n2 for _, n2 in boundary]
+        assert all(a >= b for a, b in zip(limits, limits[1:]))
+
+    def test_interior_point_admissible(self, two_type):
+        table = build_admission_table(two_type, 0.6, max_population=20)
+        n1, n2 = table.boundary[0]
+        assert table.admit(n1, n2)
+        assert table.admit(n1, max(n2 - 1, 0))
+
+    def test_exterior_point_rejected(self, two_type):
+        table = build_admission_table(two_type, 0.6, max_population=20)
+        n1, n2 = table.boundary[0]
+        assert not table.admit(n1, n2 + 1)
+
+    def test_beyond_staircase_rejected(self, two_type):
+        table = build_admission_table(two_type, 0.6, max_population=20)
+        biggest_n1 = max(n1 for n1, _ in table.boundary)
+        assert not table.admit(biggest_n1 + 1, 0)
+
+    def test_admit_validates(self, two_type):
+        table = build_admission_table(two_type, 0.6, max_population=10)
+        with pytest.raises(ValueError):
+            table.admit(-1, 0)
+
+    def test_needs_two_types(self, small_hap):
+        from dataclasses import replace
+
+        one_type = replace(small_hap, applications=small_hap.applications[:1])
+        with pytest.raises(ValueError, match="2 app types"):
+            admissible_region(one_type, 0.6)
+
+
+class TestLinearApproximation:
+    def test_intercepts(self, two_type):
+        boundary = admissible_region(two_type, 0.6, max_population=20)
+        n1_max, n2_max = linear_region_approximation(boundary)
+        assert n1_max == max(n1 for n1, _ in boundary)
+        assert n2_max == dict(boundary)[0]
+
+    def test_heavy_type_has_smaller_intercept(self, two_type):
+        boundary = admissible_region(two_type, 0.6, max_population=30)
+        n1_max, n2_max = linear_region_approximation(boundary)
+        # Type 2 is heavier per instance, so fewer of it fit.
+        assert n2_max < n1_max
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            linear_region_approximation([])
+        with pytest.raises(ValueError):
+            linear_region_approximation([(1, 5)])  # missing n1=0 point

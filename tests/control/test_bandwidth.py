@@ -1,0 +1,57 @@
+"""Tests for repro.control.bandwidth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.bandwidth import (
+    bandwidth_for_delay_target,
+    bandwidth_for_wait_percentile,
+)
+from repro.core.solution2 import solve_solution2
+
+
+class TestDelayTarget:
+    def test_result_meets_target(self, small_hap):
+        target = 0.8
+        mu = bandwidth_for_delay_target(small_hap, target)
+        assert solve_solution2(small_hap, mu).mean_delay <= target * 1.001
+
+    def test_result_is_minimal(self, small_hap):
+        target = 0.8
+        mu = bandwidth_for_delay_target(small_hap, target)
+        assert solve_solution2(small_hap, mu * 0.97).mean_delay > target
+
+    def test_tighter_target_needs_more_bandwidth(self, small_hap):
+        loose = bandwidth_for_delay_target(small_hap, 1.0)
+        tight = bandwidth_for_delay_target(small_hap, 0.4)
+        assert tight > loose
+
+    def test_exceeds_poisson_sizing(self, small_hap):
+        """The paper's misengineering warning: HAP needs more than M/M/1 says."""
+        target = 0.8
+        poisson_mu = small_hap.mean_message_rate + 1.0 / target
+        hap_mu = bandwidth_for_delay_target(small_hap, target)
+        assert hap_mu > poisson_mu
+
+    def test_rejects_nonpositive_target(self, small_hap):
+        with pytest.raises(ValueError):
+            bandwidth_for_delay_target(small_hap, 0.0)
+
+
+class TestWaitPercentile:
+    def test_result_meets_percentile(self, small_hap):
+        mu = bandwidth_for_wait_percentile(small_hap, wait_limit=0.5, quantile=0.9)
+        solution = solve_solution2(small_hap, mu)
+        assert float(solution.gm1.waiting_time_cdf(0.5)) >= 0.9 - 1e-6
+
+    def test_higher_quantile_needs_more_bandwidth(self, small_hap):
+        mu90 = bandwidth_for_wait_percentile(small_hap, 0.5, quantile=0.9)
+        mu99 = bandwidth_for_wait_percentile(small_hap, 0.5, quantile=0.99)
+        assert mu99 > mu90
+
+    def test_validates_inputs(self, small_hap):
+        with pytest.raises(ValueError):
+            bandwidth_for_wait_percentile(small_hap, 0.0)
+        with pytest.raises(ValueError):
+            bandwidth_for_wait_percentile(small_hap, 0.5, quantile=1.0)

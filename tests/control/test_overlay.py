@@ -1,0 +1,112 @@
+"""Tests for repro.control.overlay."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.control.overlay import design_cl_overlay, merge_haps
+from repro.core.params import HAPParameters
+
+
+def small_params(message_rate: float = 0.4) -> HAPParameters:
+    return HAPParameters.symmetric(
+        0.05, 0.05, 0.05, 0.05, message_rate, 5.0, 2, 1
+    )
+
+
+def line_topology() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_edges_from([("a", "s1"), ("s1", "s2"), ("s2", "b"), ("s2", "c")])
+    return graph
+
+
+class TestMergeHaps:
+    def test_rates_add(self):
+        one = small_params()
+        merged = merge_haps([one, one])
+        assert merged.mean_message_rate == pytest.approx(
+            2.0 * one.mean_message_rate
+        )
+
+    def test_application_types_concatenate(self):
+        one = small_params()
+        merged = merge_haps([one, one, one])
+        assert merged.num_app_types == 3 * one.num_app_types
+
+    def test_rejects_mismatched_user_populations(self):
+        a = small_params()
+        b = HAPParameters.symmetric(0.01, 0.05, 0.05, 0.05, 0.4, 5.0, 2, 1)
+        with pytest.raises(ValueError, match="common user population"):
+            merge_haps([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_haps([])
+
+
+class TestOverlayDesign:
+    def test_routes_follow_shortest_paths(self):
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", small_params())},
+            delay_target=0.8,
+        )
+        assert design.routes["d1"] == ["a", "s1", "s2", "b"]
+
+    def test_every_used_link_sized(self):
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", small_params()), "d2": ("a", "c", small_params())},
+            delay_target=0.8,
+        )
+        # Shared links a-s1 and s1-s2 plus the two tails.
+        assert len(design.link_bandwidth) == 4
+
+    def test_hap_sizing_exceeds_poisson(self):
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", small_params())},
+            delay_target=0.8,
+        )
+        for link, bandwidth in design.link_bandwidth.items():
+            assert bandwidth > design.link_bandwidth_poisson[link]
+
+    def test_shared_links_carry_merged_load(self):
+        one = small_params()
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", one), "d2": ("a", "c", one)},
+            delay_target=0.8,
+        )
+        shared = design.link_bandwidth[("a", "s1")]
+        tail = design.link_bandwidth[("s2", "b")]
+        assert shared > tail
+
+    def test_total_bandwidth_is_sum(self):
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", small_params())},
+            delay_target=0.8,
+        )
+        assert design.total_bandwidth == pytest.approx(
+            sum(design.link_bandwidth.values())
+        )
+
+    def test_unroutable_demand_raises(self):
+        graph = line_topology()
+        graph.add_node("island")
+        with pytest.raises(nx.NetworkXNoPath):
+            design_cl_overlay(
+                graph,
+                {"d1": ("a", "island", small_params())},
+                delay_target=0.8,
+            )
+
+    def test_describe_lists_links(self):
+        design = design_cl_overlay(
+            line_topology(),
+            {"d1": ("a", "b", small_params())},
+            delay_target=0.8,
+        )
+        assert "total HAP bandwidth" in design.describe()

@@ -1,0 +1,104 @@
+"""Tests for repro.core.admission — bounded HAPs (Figure 20)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admission import (
+    bounded_mean_message_rate,
+    bounded_modulating_mmpp,
+    solve_bounded_solution2,
+)
+from repro.core.solution2 import solve_solution2
+
+
+class TestBoundedRate:
+    def test_bounding_reduces_rate(self, small_hap):
+        bounded = bounded_mean_message_rate(small_hap, max_users=3, max_apps=5)
+        assert bounded < small_hap.mean_message_rate
+
+    def test_loose_bounds_approach_unbounded(self, small_hap):
+        bounded = bounded_mean_message_rate(small_hap, max_users=40, max_apps=80)
+        assert bounded == pytest.approx(small_hap.mean_message_rate, rel=1e-6)
+
+    def test_monotone_in_bounds(self, small_hap):
+        rates = [
+            bounded_mean_message_rate(small_hap, max_users=u, max_apps=8)
+            for u in (1, 2, 4, 8)
+        ]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_rejects_zero_bounds(self, small_hap):
+        with pytest.raises(ValueError):
+            bounded_mean_message_rate(small_hap, max_users=0, max_apps=5)
+
+
+class TestBoundedSolution2:
+    def test_bounding_reduces_delay(self, small_hap):
+        unbounded = solve_solution2(small_hap)
+        bounded = solve_bounded_solution2(small_hap, max_users=2, max_apps=4)
+        assert bounded.mean_delay < unbounded.mean_delay
+
+    def test_loose_bounds_match_unbounded(self, small_hap):
+        unbounded = solve_solution2(small_hap)
+        bounded = solve_bounded_solution2(small_hap, max_users=40, max_apps=80)
+        assert bounded.mean_delay == pytest.approx(
+            unbounded.mean_delay, rel=1e-4
+        )
+
+    def test_figure20_effect_grows_with_load(self, small_hap):
+        """The paper: bounding saves more delay as lambda-bar rises."""
+        from dataclasses import replace
+
+        savings = []
+        for scale in (1.0, 1.15, 1.3):
+            params = replace(
+                small_hap, user_arrival_rate=small_hap.user_arrival_rate * scale
+            )
+            unbounded = solve_solution2(params)
+            bounded = solve_bounded_solution2(params, max_users=2, max_apps=4)
+            savings.append(1.0 - bounded.mean_delay / unbounded.mean_delay)
+        assert savings[0] < savings[1] < savings[2]
+
+    def test_utilization_uses_bounded_rate(self, small_hap):
+        bounded = solve_bounded_solution2(small_hap, max_users=2, max_apps=4)
+        assert bounded.utilization == pytest.approx(
+            bounded.mean_rate / small_hap.common_service_rate()
+        )
+
+    def test_rejects_asymmetric(self, asymmetric_hap):
+        with pytest.raises(ValueError, match="symmetric"):
+            solve_bounded_solution2(asymmetric_hap, max_users=2, max_apps=4)
+
+    def test_paper_sigma_method_agrees(self, small_hap):
+        brent = solve_bounded_solution2(small_hap, 3, 6, method="brent")
+        paper = solve_bounded_solution2(small_hap, 3, 6, method="paper")
+        assert brent.sigma == pytest.approx(paper.sigma, abs=1e-7)
+
+
+class TestBoundedChain:
+    def test_bounds_become_the_box(self, small_hap):
+        mapped = bounded_modulating_mmpp(small_hap, max_users=4, max_apps=9)
+        assert mapped.space.bounds == (4, 9)
+
+    def test_exact_bounded_rate_close_to_separated_approximation(self, small_hap):
+        # The truncated-Poisson model assumes separation; small_hap violates
+        # it, so expect agreement only to ~10 % (and tight agreement for the
+        # separated fixture below).
+        mapped = bounded_modulating_mmpp(small_hap, max_users=3, max_apps=6)
+        approx = bounded_mean_message_rate(small_hap, max_users=3, max_apps=6)
+        assert mapped.mmpp.mean_rate() == pytest.approx(approx, rel=0.10)
+
+    def test_exact_bounded_rate_tight_under_separation(self, separated_hap):
+        mapped = bounded_modulating_mmpp(separated_hap, max_users=2, max_apps=4)
+        approx = bounded_mean_message_rate(separated_hap, max_users=2, max_apps=4)
+        assert mapped.mmpp.mean_rate() == pytest.approx(approx, rel=0.02)
+
+    def test_qbd_on_bounded_chain_runs(self, small_hap):
+        from repro.markov.matrix_geometric import solve_mmpp_m1
+
+        mapped = bounded_modulating_mmpp(small_hap, max_users=3, max_apps=6)
+        solution = solve_mmpp_m1(
+            mapped.mmpp, small_hap.common_service_rate()
+        )
+        assert solution.mean_delay() > 0

@@ -1,0 +1,68 @@
+"""Tests for repro.core.arrival_rate (Equations 4–5, Figure 8 invariance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrival_rate import (
+    equivalent_rate_family,
+    mean_applications,
+    mean_message_rate,
+    mean_users,
+    symmetric_mean_message_rate,
+)
+from repro.core.params import HAPParameters
+
+
+class TestEquation5:
+    def test_paper_base_value(self):
+        rate = symmetric_mean_message_rate(
+            0.0055, 0.001, 0.01, 0.01, 0.1, num_app_types=5, num_message_types=3
+        )
+        assert rate == pytest.approx(8.25)
+
+    def test_matches_general_formula(self, small_hap):
+        app = small_hap.applications[0]
+        msg = app.messages[0]
+        rate = symmetric_mean_message_rate(
+            small_hap.user_arrival_rate,
+            small_hap.user_departure_rate,
+            app.arrival_rate,
+            app.departure_rate,
+            msg.arrival_rate,
+            small_hap.num_app_types,
+            app.num_message_types,
+        )
+        assert rate == pytest.approx(mean_message_rate(small_hap))
+
+    def test_depends_only_on_leaf_count(self):
+        shapes = [(6, 1), (3, 2), (2, 3), (1, 6)]
+        rates = [
+            symmetric_mean_message_rate(0.01, 0.01, 0.02, 0.02, 0.5, l, m)
+            for l, m in shapes
+        ]
+        assert all(r == pytest.approx(rates[0]) for r in rates)
+
+
+class TestAccessors:
+    def test_mean_users(self, small_hap):
+        assert mean_users(small_hap) == small_hap.mean_users
+
+    def test_mean_applications(self, small_hap):
+        assert mean_applications(small_hap) == small_hap.mean_applications
+
+
+class TestFamilyInvariance:
+    def test_family_preserves_rate(self):
+        base = HAPParameters.symmetric(0.01, 0.01, 0.02, 0.02, 0.5, 5.0, 4, 1)
+        family = equivalent_rate_family(base, [(4, 1), (2, 2), (1, 4)])
+        rates = [p.mean_message_rate for p in family]
+        assert all(r == pytest.approx(rates[0]) for r in rates)
+
+    def test_family_changes_population_structure(self):
+        base = HAPParameters.symmetric(0.01, 0.01, 0.02, 0.02, 0.5, 5.0, 4, 1)
+        wide, narrow = equivalent_rate_family(base, [(4, 1), (1, 4)])
+        # Four times more application instances expected in the wide shape.
+        assert wide.mean_applications == pytest.approx(
+            4.0 * narrow.mean_applications
+        )

@@ -1,0 +1,128 @@
+"""Tests for repro.core.client_server (HAP-CS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client_server import (
+    ClientServerApplicationType,
+    ClientServerHAPParameters,
+    ClientServerMessageType,
+    chain_amplification,
+)
+
+
+def rlogin_message(
+    p_response: float = 0.9, p_next: float = 0.5
+) -> ClientServerMessageType:
+    return ClientServerMessageType(
+        arrival_rate=0.2,
+        request_service_rate=10.0,
+        response_service_rate=5.0,
+        p_response=p_response,
+        p_next_request=p_next,
+        name="command",
+    )
+
+
+def rlogin_params(**kwargs) -> ClientServerHAPParameters:
+    app = ClientServerApplicationType(
+        arrival_rate=0.05,
+        departure_rate=0.05,
+        messages=(rlogin_message(**kwargs),),
+        name="rlogin",
+    )
+    return ClientServerHAPParameters(
+        user_arrival_rate=0.02,
+        user_departure_rate=0.02,
+        applications=(app,),
+        name="rlogin-node",
+    )
+
+
+class TestAmplification:
+    def test_no_chains(self):
+        requests, responses = chain_amplification(0.0, 0.0)
+        assert requests == 1.0
+        assert responses == 0.0
+
+    def test_geometric_chain(self):
+        requests, responses = chain_amplification(0.9, 0.5)
+        assert requests == pytest.approx(1.0 / 0.55)
+        assert responses == pytest.approx(0.9 / 0.55)
+
+    def test_always_respond_never_continue(self):
+        requests, responses = chain_amplification(1.0, 0.0)
+        assert requests == 1.0
+        assert responses == 1.0
+
+    def test_rejects_nonterminating_chain(self):
+        with pytest.raises(ValueError, match="< 1"):
+            chain_amplification(1.0, 1.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            chain_amplification(1.5, 0.0)
+        with pytest.raises(ValueError):
+            chain_amplification(0.5, -0.1)
+
+
+class TestParameters:
+    def test_spontaneous_rate_is_plain_equation4(self):
+        params = rlogin_params()
+        expected = 1.0 * 1.0 * 0.2  # users * apps-per-user * lambda_ij
+        assert params.spontaneous_message_rate == pytest.approx(expected)
+
+    def test_effective_rate_amplifies(self):
+        params = rlogin_params()
+        multiplier = (1.0 + 0.9) / (1.0 - 0.45)
+        assert params.effective_message_rate == pytest.approx(
+            params.spontaneous_message_rate * multiplier
+        )
+
+    def test_message_type_validation(self):
+        with pytest.raises(ValueError):
+            ClientServerMessageType(0.0, 1.0, 1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            ClientServerMessageType(1.0, 0.0, 1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            ClientServerMessageType(1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def test_structure_validation(self):
+        with pytest.raises(ValueError):
+            ClientServerApplicationType(1.0, 1.0, messages=())
+        with pytest.raises(ValueError):
+            ClientServerHAPParameters(1.0, 1.0, applications=())
+        with pytest.raises(ValueError, match="round-trip"):
+            rlogin = rlogin_params()
+            ClientServerHAPParameters(
+                user_arrival_rate=1.0,
+                user_departure_rate=1.0,
+                applications=rlogin.applications,
+                round_trip_delay=-0.1,
+            )
+
+
+class TestCollapse:
+    def test_collapsed_rate_matches_effective(self):
+        params = rlogin_params()
+        collapsed = params.to_hap_approximation()
+        assert collapsed.mean_message_rate == pytest.approx(
+            params.effective_message_rate
+        )
+
+    def test_collapsed_service_is_weighted_harmonic_mean(self):
+        params = rlogin_params()
+        collapsed = params.to_hap_approximation()
+        msg = collapsed.applications[0].messages[0]
+        requests, responses = chain_amplification(0.9, 0.5)
+        total = requests + responses
+        mean_service = (requests / 10.0 + responses / 5.0) / total
+        assert msg.service_rate == pytest.approx(1.0 / mean_service)
+
+    def test_collapse_without_chains_is_identity_on_rates(self):
+        params = rlogin_params(p_response=0.0, p_next=0.0)
+        collapsed = params.to_hap_approximation()
+        msg = collapsed.applications[0].messages[0]
+        assert msg.arrival_rate == pytest.approx(0.2)
+        assert msg.service_rate == pytest.approx(10.0)

@@ -1,0 +1,111 @@
+"""Tests for repro.core.mmpp_mapping — HAP as a truncated MMPP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mmpp_mapping import (
+    default_bounds,
+    hap_to_mmpp,
+    symmetric_hap_to_mmpp,
+)
+
+
+class TestSymmetricCollapse:
+    def test_mean_rate_matches_equation4(self, small_hap):
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        # Truncation shaves a little rate off the exact Equation-4 value.
+        assert mapped.mean_rate == pytest.approx(
+            small_hap.mean_message_rate, rel=1e-3
+        )
+        assert mapped.mean_rate <= small_hap.mean_message_rate
+
+    def test_boundary_mass_is_tiny(self, small_hap):
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        assert mapped.boundary_mass < 1e-4
+
+    def test_population_marginals_are_poisson(self, small_hap):
+        from scipy.stats import poisson
+
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        pi = mapped.mmpp.stationary_distribution()
+        xs, _ = mapped.space.coordinate_arrays()
+        x_marginal = np.bincount(xs, weights=pi)
+        expected = poisson.pmf(np.arange(len(x_marginal)), small_hap.mean_users)
+        np.testing.assert_allclose(
+            x_marginal, expected / expected.sum(), atol=1e-4
+        )
+
+    def test_mean_apps_matches_closed_form(self, small_hap):
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        pi = mapped.mmpp.stationary_distribution()
+        _, ys = mapped.space.coordinate_arrays()
+        assert float(pi @ ys) == pytest.approx(
+            small_hap.mean_applications, rel=1e-3
+        )
+
+    def test_rejects_asymmetric(self, asymmetric_hap):
+        with pytest.raises(ValueError, match="symmetric"):
+            symmetric_hap_to_mmpp(asymmetric_hap)
+
+    def test_explicit_bounds_respected(self, small_hap):
+        mapped = symmetric_hap_to_mmpp(small_hap, x_max=4, y_max=7)
+        assert mapped.space.bounds == (4, 7)
+
+
+class TestGeneralMapping:
+    def test_mean_rate_matches_equation4(self, asymmetric_hap):
+        mapped = hap_to_mmpp(asymmetric_hap)
+        assert mapped.mean_rate == pytest.approx(
+            asymmetric_hap.mean_message_rate, rel=1e-3
+        )
+
+    def test_state_space_dimension(self, asymmetric_hap):
+        mapped = hap_to_mmpp(asymmetric_hap)
+        assert mapped.space.ndim == asymmetric_hap.num_app_types + 1
+
+    def test_wrong_bounds_length_rejected(self, asymmetric_hap):
+        with pytest.raises(ValueError, match="bounds"):
+            hap_to_mmpp(asymmetric_hap, bounds=(5, 5))
+
+    def test_collapsed_and_general_agree_for_symmetric(self, small_hap):
+        collapsed = symmetric_hap_to_mmpp(small_hap)
+        general = hap_to_mmpp(small_hap)
+        assert collapsed.mean_rate == pytest.approx(general.mean_rate, rel=1e-3)
+        assert collapsed.mmpp.rate_variance() == pytest.approx(
+            general.mmpp.rate_variance(), rel=1e-2
+        )
+
+    def test_rates_are_y_weighted(self, asymmetric_hap):
+        mapped = hap_to_mmpp(asymmetric_hap, bounds=(2, 2, 2))
+        coords = mapped.space.coordinate_arrays()
+        apps = asymmetric_hap.applications
+        expected = (
+            coords[1] * apps[0].total_message_rate
+            + coords[2] * apps[1].total_message_rate
+        )
+        np.testing.assert_allclose(mapped.mmpp.rates, expected)
+
+
+class TestDefaultBounds:
+    def test_covers_mean_generously(self, small_hap):
+        bounds = default_bounds(small_hap)
+        assert bounds[0] > small_hap.mean_users
+        total_apps = small_hap.mean_users * sum(
+            app.offered_instances for app in small_hap.applications
+        )
+        assert sum(bounds[1:]) > total_apps
+
+    def test_uses_overdispersed_variance(self, paper_base):
+        # y's variance is x-bar * c * (1 + c); a plain-Poisson bound would
+        # stop near 59 for the paper base — the correct one must go beyond.
+        bounds = default_bounds(paper_base)
+        per_type_mean = 5.5  # x-bar * lambda'/mu' per type
+        variance = 5.5 * 1.0 * 2.0  # a_i = 1 per type
+        assert bounds[1] >= per_type_mean + 5.0 * np.sqrt(variance)
+
+    def test_spread_parameter_grows_bounds(self, small_hap):
+        tight = default_bounds(small_hap, spread=3.0)
+        wide = default_bounds(small_hap, spread=9.0)
+        assert all(w >= t for w, t in zip(wide, tight))

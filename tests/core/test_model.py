@@ -1,0 +1,71 @@
+"""Tests for the repro.core.model.HAP facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import HAP
+from repro.core.solution0 import Solution0Result
+from repro.core.solution1 import Solution1Result
+from repro.core.solution2 import Solution2Result
+
+
+@pytest.fixture
+def hap(small_hap) -> HAP:
+    return HAP(small_hap)
+
+
+class TestFacade:
+    def test_symmetric_constructor_matches_params(self):
+        hap = HAP.symmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20.0, 5, 3)
+        assert hap.mean_message_rate == pytest.approx(8.25)
+        assert hap.mean_users == pytest.approx(5.5)
+        assert hap.mean_applications == pytest.approx(27.5)
+
+    def test_solve_dispatches_by_number(self, hap):
+        assert isinstance(hap.solve(solution=0, backend="qbd"), Solution0Result)
+        assert isinstance(hap.solve(solution=1), Solution1Result)
+        assert isinstance(hap.solve(solution=2), Solution2Result)
+
+    def test_solve_rejects_unknown(self, hap):
+        with pytest.raises(ValueError):
+            hap.solve(solution=3)
+
+    def test_interarrival_accessor(self, hap):
+        assert float(hap.interarrival().ccdf(0.0)[0]) == pytest.approx(1.0)
+
+    def test_to_mmpp_collapsed(self, hap):
+        mapped = hap.to_mmpp()
+        assert mapped.space.ndim == 2
+
+    def test_to_mmpp_general(self, hap):
+        mapped = hap.to_mmpp(collapse_symmetric=False)
+        assert mapped.space.ndim == hap.params.num_app_types + 1
+
+    def test_poisson_baseline(self, hap):
+        mm1 = hap.poisson_baseline()
+        assert mm1.arrival_rate == pytest.approx(hap.mean_message_rate)
+
+    def test_delay_ratio_above_one(self, hap):
+        assert hap.delay_ratio_vs_poisson(solution=2) > 1.0
+
+    def test_scaled_returns_new_facade(self, hap):
+        scaled = hap.scaled("user", "arrival", 1.2)
+        assert scaled.mean_message_rate == pytest.approx(
+            1.2 * hap.mean_message_rate
+        )
+        assert scaled is not hap
+
+    def test_with_service_rate(self, hap):
+        assert (
+            HAP(hap.params).with_service_rate(9.0).params.common_service_rate()
+            == 9.0
+        )
+
+    def test_simulate_runs(self, hap):
+        result = hap.simulate(horizon=2000.0, seed=3)
+        assert result.messages_served > 0
+        assert result.mean_delay > 0
+
+    def test_describe(self, hap):
+        assert "HAP" in hap.describe()

@@ -1,0 +1,132 @@
+"""Tests for repro.core.onoff — 2-level HAPs and interrupted Poisson."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.core.onoff import InterruptedPoisson, TwoLevelHAP
+
+
+@pytest.fixture
+def two_level() -> TwoLevelHAP:
+    return TwoLevelHAP(
+        session_arrival_rate=0.1,
+        session_departure_rate=0.05,
+        message_rate=1.5,
+    )
+
+
+class TestTwoLevelHAP:
+    def test_mean_rate(self, two_level):
+        assert two_level.mean_message_rate == pytest.approx(2.0 * 1.5)
+
+    def test_ccdf_boundary_values(self, two_level):
+        assert float(two_level.interarrival_ccdf(0.0)[0]) == pytest.approx(1.0)
+        assert float(two_level.interarrival_ccdf(50.0)[0]) < 1e-10
+
+    def test_density_is_ccdf_derivative(self, two_level):
+        for t in (0.05, 0.3, 1.0, 3.0):
+            h = 1e-6
+            finite_diff = (
+                float(two_level.interarrival_ccdf(t - h)[0])
+                - float(two_level.interarrival_ccdf(t + h)[0])
+            ) / (2 * h)
+            assert float(two_level.interarrival_density(t)[0]) == pytest.approx(
+                finite_diff, rel=1e-5
+            )
+
+    def test_density_integrates_to_one(self, two_level):
+        total, _ = quad(
+            lambda t: float(two_level.interarrival_density(t)[0]), 0, 80,
+            limit=200,
+        )
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_density_at_zero(self, two_level):
+        assert two_level.density_at_zero() == pytest.approx(1.5 * 3.0)
+        assert float(two_level.interarrival_density(0.0)[0]) == pytest.approx(
+            two_level.density_at_zero()
+        )
+
+    def test_closed_form_matches_palm_mixture_of_chain(self, two_level):
+        """The 2-level ccdf equals the rate-weighted mixture of its chain.
+
+        The session count is M/M/∞ (Poisson); weighting state ``n`` by its
+        rate ``n * Lambda`` and mixing ``exp(-n Lambda t)`` must reproduce
+        the closed form exactly (no separation assumption at one level).
+        """
+        mapped = two_level.to_mmpp(max_sessions=60)
+        weights, rates = mapped.mmpp.interarrival_mixture()
+        ts = np.array([0.01, 0.1, 0.5, 2.0])
+        mixture_ccdf = (weights * np.exp(-np.outer(ts, rates))).sum(axis=1)
+        np.testing.assert_allclose(
+            two_level.interarrival_ccdf(ts), mixture_ccdf, rtol=1e-6
+        )
+
+    def test_to_mmpp_rate(self, two_level):
+        mapped = two_level.to_mmpp()
+        assert mapped.mmpp.mean_rate() == pytest.approx(
+            two_level.mean_message_rate, rel=1e-3
+        )
+
+    def test_to_mmpp_sessions_poisson(self, two_level):
+        from scipy.stats import poisson
+
+        mapped = two_level.to_mmpp(max_sessions=30)
+        pi = mapped.mmpp.stationary_distribution()
+        expected = poisson.pmf(np.arange(31), two_level.mean_sessions)
+        np.testing.assert_allclose(pi, expected / expected.sum(), atol=1e-6)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            TwoLevelHAP(0.0, 1.0, 1.0)
+
+
+class TestInterruptedPoisson:
+    def test_mean_rate(self):
+        ipp = InterruptedPoisson(on_rate=1.0, off_rate=3.0, peak_rate=8.0)
+        assert ipp.on_fraction == pytest.approx(0.25)
+        assert ipp.mean_rate == pytest.approx(2.0)
+
+    def test_mmpp_equivalence(self):
+        ipp = InterruptedPoisson(1.0, 3.0, 8.0)
+        mmpp = ipp.to_mmpp()
+        assert mmpp.mean_rate() == pytest.approx(ipp.mean_rate)
+        # Rate variance of a two-point distribution.
+        assert mmpp.rate_variance() == pytest.approx(
+            0.25 * 0.75 * 8.0**2
+        )
+
+    def test_superposition_rate_scales(self):
+        ipp = InterruptedPoisson(1.0, 3.0, 8.0)
+        combined = ipp.n_superposed(5)
+        assert combined.mean_rate() == pytest.approx(5 * ipp.mean_rate)
+
+    def test_superposition_binomial_states(self):
+        from scipy.stats import binom
+
+        ipp = InterruptedPoisson(1.0, 3.0, 8.0)
+        combined = ipp.n_superposed(6)
+        pi = combined.stationary_distribution()
+        expected = binom.pmf(np.arange(7), 6, 0.25)
+        np.testing.assert_allclose(pi, expected, atol=1e-10)
+
+    def test_superposition_smooths_traffic(self):
+        # Normalized variability falls as independent sources multiplex —
+        # the contrast the paper draws with HAP's correlated compounding.
+        ipp = InterruptedPoisson(1.0, 3.0, 8.0)
+        one = ipp.to_mmpp()
+        many = ipp.n_superposed(10)
+        cv2_one = one.rate_variance() / one.mean_rate() ** 2
+        cv2_many = many.rate_variance() / many.mean_rate() ** 2
+        assert cv2_many == pytest.approx(cv2_one / 10.0, rel=1e-9)
+
+    def test_rejects_zero_sources(self):
+        with pytest.raises(ValueError):
+            InterruptedPoisson(1.0, 1.0, 1.0).n_superposed(0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            InterruptedPoisson(1.0, -1.0, 1.0)

@@ -1,0 +1,136 @@
+"""Tests for repro.core.params."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ApplicationType, HAPParameters, MessageType
+
+
+def paper_base() -> HAPParameters:
+    return HAPParameters.symmetric(0.0055, 0.001, 0.01, 0.01, 0.1, 20.0, 5, 3)
+
+
+class TestConstruction:
+    def test_symmetric_shape(self):
+        params = paper_base()
+        assert params.num_app_types == 5
+        assert all(app.num_message_types == 3 for app in params.applications)
+        assert params.is_symmetric
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            MessageType(arrival_rate=0.0, service_rate=1.0)
+        with pytest.raises(ValueError):
+            ApplicationType(
+                arrival_rate=1.0,
+                departure_rate=0.0,
+                messages=(MessageType(1.0, 1.0),),
+            )
+        with pytest.raises(ValueError):
+            HAPParameters.symmetric(0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1, 1)
+
+    def test_rejects_empty_structure(self):
+        with pytest.raises(ValueError, match="at least one message type"):
+            ApplicationType(arrival_rate=1.0, departure_rate=1.0, messages=())
+        with pytest.raises(ValueError, match="at least one application"):
+            HAPParameters(1.0, 1.0, applications=())
+        with pytest.raises(ValueError):
+            HAPParameters.symmetric(1, 1, 1, 1, 1, 1, 0, 1)
+
+    def test_immutability(self):
+        params = paper_base()
+        with pytest.raises(AttributeError):
+            params.user_arrival_rate = 1.0
+
+    def test_asymmetric_detection(self, asymmetric_hap):
+        assert not asymmetric_hap.is_symmetric
+
+
+class TestPaperMoments:
+    """The Section-4 closed-form numbers."""
+
+    def test_mean_message_rate_is_8_25(self):
+        assert paper_base().mean_message_rate == pytest.approx(8.25)
+
+    def test_mean_users_is_5_5(self):
+        assert paper_base().mean_users == pytest.approx(5.5)
+
+    def test_mean_applications_is_27_5(self):
+        assert paper_base().mean_applications == pytest.approx(27.5)
+
+    def test_utilization(self):
+        assert paper_base().utilization() == pytest.approx(8.25 / 20.0)
+
+    def test_general_formula_equation4(self, asymmetric_hap):
+        # Recompute Equation 4 by hand for the heterogeneous fixture.
+        expected = (0.04 / 0.04) * (
+            (0.05 / 0.08) * (0.3 + 0.1) + (0.02 / 0.05) * 0.5
+        )
+        assert asymmetric_hap.mean_message_rate == pytest.approx(expected)
+
+
+class TestServiceRates:
+    def test_common_service_rate(self):
+        assert paper_base().common_service_rate() == 20.0
+
+    def test_heterogeneous_service_rejected(self):
+        mixed = HAPParameters(
+            user_arrival_rate=1.0,
+            user_departure_rate=1.0,
+            applications=(
+                ApplicationType(1.0, 1.0, (MessageType(1.0, 2.0),)),
+                ApplicationType(1.0, 1.0, (MessageType(1.0, 3.0),)),
+            ),
+        )
+        with pytest.raises(ValueError, match="heterogeneous"):
+            mixed.common_service_rate()
+
+    def test_with_service_rate(self):
+        updated = paper_base().with_service_rate(17.0)
+        assert updated.common_service_rate() == 17.0
+        # Arrival structure untouched.
+        assert updated.mean_message_rate == pytest.approx(8.25)
+
+
+class TestScaling:
+    def test_user_arrival_scaling_moves_rate_linearly(self):
+        scaled = paper_base().scaled("user", "arrival", 1.1)
+        assert scaled.mean_message_rate == pytest.approx(8.25 * 1.1)
+
+    def test_application_arrival_scaling_moves_rate_linearly(self):
+        scaled = paper_base().scaled("application", "arrival", 0.9)
+        assert scaled.mean_message_rate == pytest.approx(8.25 * 0.9)
+
+    def test_message_arrival_scaling_moves_rate_linearly(self):
+        scaled = paper_base().scaled("message", "arrival", 1.05)
+        assert scaled.mean_message_rate == pytest.approx(8.25 * 1.05)
+
+    def test_joint_scaling_preserves_rate(self):
+        # Equation 4 only sees ratios: scaling both leaves lambda-bar fixed.
+        for level in ("user", "application"):
+            scaled = paper_base().scaled(level, "both", 1.25)
+            assert scaled.mean_message_rate == pytest.approx(8.25)
+
+    def test_departure_scaling_moves_rate_inversely(self):
+        scaled = paper_base().scaled("user", "departure", 2.0)
+        assert scaled.mean_message_rate == pytest.approx(8.25 / 2.0)
+
+    def test_message_departure_scales_service(self):
+        scaled = paper_base().scaled("message", "departure", 1.5)
+        assert scaled.common_service_rate() == pytest.approx(30.0)
+
+    def test_rejects_unknown_level_or_kind(self):
+        with pytest.raises(ValueError):
+            paper_base().scaled("kernel", "arrival", 1.0)
+        with pytest.raises(ValueError):
+            paper_base().scaled("user", "sideways", 1.0)
+        with pytest.raises(ValueError):
+            paper_base().scaled("user", "arrival", 0.0)
+
+
+class TestDescribe:
+    def test_mentions_key_quantities(self):
+        text = paper_base().describe()
+        assert "8.25" in text
+        assert "5.5" in text

@@ -1,0 +1,74 @@
+"""Tests for repro.core.presets (the Figure-5 worked examples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.overlay import merge_haps
+from repro.core.presets import (
+    figure5_application_types,
+    figure5_homogeneous,
+    figure5_user_classes,
+)
+
+
+class TestFigure5Structure:
+    def test_four_application_types(self):
+        apps = figure5_application_types()
+        assert len(apps) == 4
+        assert [app.name for app in apps] == [
+            "programming",
+            "database",
+            "graphics",
+            "multimedia",
+        ]
+
+    def test_message_type_palette(self):
+        apps = figure5_application_types()
+        multimedia = apps[3]
+        assert multimedia.num_message_types == 5
+        names = {msg.name for msg in multimedia.messages}
+        assert names == {"interactive", "file-transfer", "image", "voice", "video"}
+
+    def test_database_is_interactive_only(self):
+        apps = figure5_application_types()
+        database = apps[1]
+        assert database.num_message_types == 1
+        assert database.messages[0].name == "interactive"
+
+    def test_homogeneous_is_valid_hap(self):
+        params = figure5_homogeneous()
+        assert params.mean_message_rate > 0
+        assert not params.is_symmetric
+        assert params.common_service_rate() == 50.0
+
+
+class TestSplitEquivalence:
+    """Figure 5(b) is an exact decomposition of Figure 5(a)."""
+
+    def test_rates_superpose(self):
+        whole = figure5_homogeneous()
+        parts = figure5_user_classes()
+        assert sum(p.mean_message_rate for p in parts) == pytest.approx(
+            whole.mean_message_rate
+        )
+
+    def test_merge_inverts_split(self):
+        whole = figure5_homogeneous()
+        merged = merge_haps(list(figure5_user_classes()))
+        assert merged.mean_message_rate == pytest.approx(
+            whole.mean_message_rate
+        )
+        assert merged.num_app_types == whole.num_app_types
+
+    def test_classes_carry_one_type_each(self):
+        for params in figure5_user_classes():
+            assert params.num_app_types == 1
+
+    def test_analysis_runs_on_preset(self):
+        from repro.core.solution2 import solve_solution2
+
+        params = figure5_homogeneous()
+        solution = solve_solution2(params)
+        assert 0 < solution.sigma < 1
+        assert solution.mean_delay > 1.0 / 50.0

@@ -1,0 +1,47 @@
+"""Tests for repro.experiments.configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import (
+    base_parameters,
+    bench_scale,
+    fig9_parameters,
+    paper_reference,
+)
+
+
+class TestBaseParameters:
+    def test_headline_moments(self):
+        params = base_parameters()
+        assert params.mean_message_rate == pytest.approx(8.25)
+        assert params.mean_users == pytest.approx(5.5)
+        assert params.mean_applications == pytest.approx(27.5)
+        assert params.common_service_rate() == 20.0
+
+    def test_service_rate_variants(self):
+        assert base_parameters(service_rate=17.0).common_service_rate() == 17.0
+        assert base_parameters(service_rate=15.0).utilization() == pytest.approx(
+            8.25 / 15.0
+        )
+
+    def test_fig9_variant(self):
+        params = fig9_parameters()
+        assert params.mean_message_rate == pytest.approx(7.5)
+
+
+class TestReference:
+    def test_headline_keys_present(self):
+        reference = paper_reference()
+        assert reference["headline"]["lambda_bar"] == 8.25
+        assert reference["headline"]["ratio_solution0_vs_mm1"] == 6.47
+        assert reference["fig9"]["hap_density_at_zero"] == 9.28
+
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_scale() == 0.25

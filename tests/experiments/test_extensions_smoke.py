@@ -1,0 +1,42 @@
+"""Reduced-size smoke tests for the extension and protocol experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_heavy_tail_ablation,
+    run_multiplexing_study,
+)
+from repro.experiments.protocol_study import run_protocol_study
+
+
+class TestMultiplexing:
+    def test_realtime_class_suffers_beside_hap(self):
+        result = run_multiplexing_study(horizon=40_000.0)
+        assert result.penalty > 1.5
+        assert result.delay_with_hap_neighbour > result.delay_with_poisson_neighbour
+
+    def test_describe_mentions_penalty(self):
+        result = run_multiplexing_study(horizon=20_000.0)
+        assert "worse" in result.describe()
+
+
+class TestHeavyTail:
+    def test_replication_shapes(self):
+        result = run_heavy_tail_ablation(horizon=20_000.0, seeds=(1, 2, 3))
+        assert len(result.delays_pareto) == 3
+        assert all(d > 0 for d in result.delays_exponential)
+        assert result.dispersion_pareto >= 0
+
+    def test_rejects_infinite_variance_shape(self):
+        with pytest.raises(ValueError, match="finite variance"):
+            run_heavy_tail_ablation(pareto_shape=1.5)
+
+
+class TestProtocol:
+    def test_arms_labelled_and_ordered(self):
+        result = run_protocol_study(horizon=15_000.0, blocks=4, window=8)
+        assert result.raw.label == "raw messages"
+        assert result.windowed.network_peak <= 8
+        assert result.windowed.end_to_end_delay > result.windowed.network_delay

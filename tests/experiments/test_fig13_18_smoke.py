@@ -1,0 +1,60 @@
+"""Reduced-size smoke tests for the simulation-heavy Figure 13-18 runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig13_18 import run_fig13, run_fig14_to_17, run_fig18
+
+
+class TestFig13Smoke:
+    def test_running_means_produced(self):
+        result = run_fig13(horizon=30_000.0, seed=2)
+        assert result.hap_running_mean.size > 1000
+        assert result.poisson_running_mean.size > 1000
+        # Running means are positive delays.
+        assert np.all(result.hap_running_mean > 0)
+
+    def test_hap_fluctuates_more_even_at_small_scale(self):
+        result = run_fig13(horizon=60_000.0, seed=3)
+        assert result.hap_fluctuation > result.poisson_fluctuation
+
+
+class TestFig14To17Smoke:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14_to_17(horizon=60_000.0, seed=4)
+
+    def test_peak_identified(self, result):
+        assert result.peak_height >= 1
+        assert result.peak_width > 0
+        times, values = result.one_hour_window
+        assert values.max() == result.peak_height
+
+    def test_onset_populations_read_from_traces(self, result):
+        assert result.users_at_peak_onset >= 0
+        assert result.apps_at_peak_onset >= 0
+
+    def test_window_bounded_by_one_hour(self, result):
+        times, _ = result.one_hour_window
+        if times.size:
+            assert times[-1] - times[0] <= 3600.0 + 1e-6
+
+    def test_describe_mentions_populations(self, result):
+        assert "users" in result.describe()
+
+
+class TestFig18Smoke:
+    def test_hap_wider_variance_than_poisson(self):
+        result = run_fig18(horizon=60_000.0, seed=5)
+        assert result.hap.num_busy_periods > 100
+        assert result.poisson.num_busy_periods > 100
+        assert result.busy_variance_ratio > 1.5
+        assert result.hap.var_height > result.poisson.var_height
+
+    def test_busy_fractions_similar(self):
+        result = run_fig18(horizon=60_000.0, seed=6)
+        assert result.hap.busy_fraction == pytest.approx(
+            result.poisson.busy_fraction, abs=0.12
+        )

@@ -1,0 +1,107 @@
+"""Integration: independent routes to the same quantity must agree.
+
+These are the reproduction's strongest checks — closed forms, truncated
+chains, matrix-geometric queues and the event-driven simulator are four
+independent implementations, and each pair is compared here on small HAPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interarrival import InterarrivalDistribution
+from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+from repro.core.solution0 import solve_solution0
+from repro.core.solution1 import solve_solution1
+from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.sim.replication import simulate_hap_mm1, simulate_source_mm1
+from repro.sim.sources import MMPPSource
+
+
+class TestChainVersusClosedForm:
+    def test_interarrival_ccdf_solution1_vs_solution2(self, separated_hap):
+        """Truncated-chain Palm mixture vs the closed form (separated)."""
+        mapped = symmetric_hap_to_mmpp(separated_hap)
+        weights, rates = mapped.mmpp.interarrival_mixture()
+        dist = InterarrivalDistribution(separated_hap)
+        ts = np.array([0.01, 0.05, 0.2, 1.0, 3.0])
+        mixture = (weights * np.exp(-np.outer(ts, rates))).sum(axis=1)
+        closed = dist.ccdf(ts)
+        # Body agrees to <2 %; the deep tail carries the residual
+        # separation error, so allow a few percent there.
+        np.testing.assert_allclose(mixture, closed, rtol=0.08)
+
+    def test_density_at_zero_vs_chain_moments(self, separated_hap):
+        """a(0) = E[R^2]/E[R] — compare closed form with chain moments."""
+        mapped = symmetric_hap_to_mmpp(separated_hap)
+        pi = mapped.mmpp.stationary_distribution()
+        rates = mapped.mmpp.rates
+        chain_a0 = float(pi @ rates**2) / float(pi @ rates)
+        dist = InterarrivalDistribution(separated_hap)
+        assert dist.density_at_zero() == pytest.approx(chain_a0, rel=0.02)
+
+
+class TestSimulatorVersusChain:
+    def test_hap_sim_matches_qbd_delay(self, small_hap):
+        exact = solve_solution0(small_hap, backend="qbd")
+        sim = simulate_hap_mm1(small_hap, horizon=120_000.0, seed=9)
+        assert sim.mean_delay == pytest.approx(exact.mean_delay, rel=0.2)
+        assert sim.sigma == pytest.approx(exact.sigma, abs=0.03)
+        assert sim.utilization == pytest.approx(exact.utilization, abs=0.03)
+
+    def test_mmpp_source_reproduces_qbd_delay(self, small_hap):
+        """Simulating the *mapped chain* must match the matrix-geometric
+        answer even more tightly than the raw HAP does (same model)."""
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        mu = small_hap.common_service_rate()
+        qbd = solve_mmpp_m1(mapped.mmpp, mu)
+        sim = simulate_source_mm1(
+            lambda sim_, rng, emit: MMPPSource(sim_, mapped.mmpp, rng, emit),
+            horizon=120_000.0,
+            service_rate=mu,
+            seed=10,
+        )
+        assert sim.mean_delay == pytest.approx(qbd.mean_delay(), rel=0.15)
+
+    def test_hap_sim_matches_mapped_mmpp_sim(self, small_hap):
+        """The HAP hierarchy and its MMPP image are the same point process:
+        simulated delays must agree within joint noise."""
+        mu = small_hap.common_service_rate()
+        hap_sim = simulate_hap_mm1(small_hap, horizon=120_000.0, seed=11)
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        mmpp_sim = simulate_source_mm1(
+            lambda sim_, rng, emit: MMPPSource(sim_, mapped.mmpp, rng, emit),
+            horizon=120_000.0,
+            service_rate=mu,
+            seed=11,
+        )
+        assert hap_sim.mean_delay == pytest.approx(
+            mmpp_sim.mean_delay, rel=0.25
+        )
+
+
+class TestSolutionHierarchy:
+    def test_both_approximations_are_optimistic(self, small_hap):
+        """Discarding interarrival correlation underestimates delay.
+
+        (Interestingly, Solution 2's separation error *inflates* its rate
+        variance, partially compensating the correlation loss, so it can
+        land closer to exact than Solution 1 — both still undershoot.)
+        """
+        exact = solve_solution0(small_hap, backend="qbd").mean_delay
+        from repro.core.solution2 import solve_solution2
+
+        assert solve_solution1(small_hap).mean_delay < exact
+        assert solve_solution2(small_hap).mean_delay < exact
+
+    def test_interarrival_mean_consistency(self, small_hap):
+        """Solution 1 mixture mean = (1 - P0)/lambda-bar on the chain."""
+        result = solve_solution1(small_hap)
+        mixture_mean = float(np.sum(result.weights / result.rates))
+        pi = result.mapped.mmpp.stationary_distribution()
+        p_zero = float(pi[result.mapped.mmpp.rates == 0].sum())
+        chain_rate = result.mapped.mmpp.mean_rate()
+        assert mixture_mean == pytest.approx(
+            (1.0 - p_zero) / chain_rate, rel=1e-9
+        )

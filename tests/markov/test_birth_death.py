@@ -1,0 +1,130 @@
+"""Tests for repro.markov.birth_death."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import poisson
+
+from repro.markov.birth_death import (
+    BirthDeathChain,
+    erlang_blocking_probability,
+    mm1_queue_length_distribution,
+    mminf_stationary,
+    truncated_poisson_pmf,
+)
+
+
+class TestBirthDeathChain:
+    def test_mm1_geometric_stationary(self):
+        lam, mu, n = 2.0, 5.0, 40
+        chain = BirthDeathChain((lam,) * n, (mu,) * n)
+        pi = chain.stationary_distribution()
+        rho = lam / mu
+        expected = (1 - rho) * rho ** np.arange(n + 1)
+        np.testing.assert_allclose(pi, expected / expected.sum(), atol=1e-12)
+
+    def test_matches_ctmc_solve(self):
+        chain = BirthDeathChain((1.0, 2.0, 0.5), (3.0, 1.0, 2.0))
+        product_form = chain.stationary_distribution()
+        from_ctmc = chain.to_ctmc().stationary_distribution()
+        np.testing.assert_allclose(product_form, from_ctmc, atol=1e-12)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="match in length"):
+            BirthDeathChain((1.0,), (1.0, 2.0))
+
+    def test_rejects_zero_death_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            BirthDeathChain((1.0,), (0.0,))
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain((-1.0,), (1.0,))
+
+    def test_single_state_chain(self):
+        chain = BirthDeathChain((), ())
+        np.testing.assert_allclose(chain.stationary_distribution(), [1.0])
+        assert chain.to_ctmc().num_states == 1
+
+    def test_extreme_rates_stay_finite(self):
+        # Log-space computation should survive huge rate ratios.
+        chain = BirthDeathChain((1e8,) * 30, (1e-4,) * 30)
+        pi = chain.stationary_distribution()
+        assert np.isfinite(pi).all()
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[-1] == pytest.approx(1.0)  # mass piles at the top
+
+
+class TestMMInf:
+    def test_matches_poisson(self):
+        pi = mminf_stationary(2.0, 0.5, max_states=60)
+        expected = poisson.pmf(np.arange(61), 4.0)
+        np.testing.assert_allclose(pi, expected / expected.sum(), atol=1e-12)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            mminf_stationary(-1.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            mminf_stationary(1.0, 0.0, 10)
+
+
+class TestTruncatedPoisson:
+    def test_normalizes(self):
+        pmf = truncated_poisson_pmf(3.0, 5)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_proportional_to_poisson(self):
+        pmf = truncated_poisson_pmf(3.0, 8)
+        reference = poisson.pmf(np.arange(9), 3.0)
+        np.testing.assert_allclose(
+            pmf, reference / reference.sum(), atol=1e-12
+        )
+
+    def test_zero_mean_degenerates(self):
+        pmf = truncated_poisson_pmf(0.0, 4)
+        np.testing.assert_allclose(pmf, [1.0, 0, 0, 0, 0])
+
+    def test_large_mean_stable(self):
+        pmf = truncated_poisson_pmf(500.0, 700)
+        assert np.isfinite(pmf).all()
+        assert pmf.sum() == pytest.approx(1.0)
+        # Mode near the mean.
+        assert abs(int(np.argmax(pmf)) - 500) <= 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            truncated_poisson_pmf(-1.0, 5)
+        with pytest.raises(ValueError):
+            truncated_poisson_pmf(1.0, -1)
+
+
+class TestErlangB:
+    def test_known_value(self):
+        # Classic table value: E_B(A=2, c=3) = 4/19.
+        assert erlang_blocking_probability(2.0, 3) == pytest.approx(4.0 / 19.0)
+
+    def test_zero_servers_always_blocks(self):
+        assert erlang_blocking_probability(1.5, 0) == 1.0
+
+    def test_decreasing_in_servers(self):
+        values = [erlang_blocking_probability(5.0, c) for c in range(1, 15)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_matches_truncated_poisson_tail(self):
+        # Erlang-B equals P(N = c) under the truncated Poisson distribution.
+        load, servers = 3.7, 6
+        pmf = truncated_poisson_pmf(load, servers)
+        assert erlang_blocking_probability(load, servers) == pytest.approx(
+            pmf[-1]
+        )
+
+
+class TestMM1Distribution:
+    def test_geometric_form(self):
+        pmf = mm1_queue_length_distribution(0.5, 10)
+        np.testing.assert_allclose(pmf[:3], [0.5, 0.25, 0.125])
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            mm1_queue_length_distribution(1.0, 5)

@@ -1,0 +1,150 @@
+"""Tests for repro.markov.ctmc."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.ctmc import CTMC
+
+
+def two_state() -> CTMC:
+    return CTMC(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            CTMC(np.zeros((2, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        with pytest.raises(ValueError, match="negative off-diagonal"):
+            CTMC(np.array([[-1.0, -1.0], [2.0, -2.0]]))
+
+    def test_rejects_nonzero_row_sums(self):
+        with pytest.raises(ValueError, match="sum to zero"):
+            CTMC(np.array([[-1.0, 2.0], [2.0, -2.0]]))
+
+    def test_accepts_sparse(self):
+        chain = CTMC(sp.csr_matrix(np.array([[-1.0, 1.0], [2.0, -2.0]])))
+        assert chain.num_states == 2
+
+    def test_validate_flag_skips_checks(self):
+        # Deliberately broken generator passes when validation is off.
+        CTMC(np.array([[-1.0, 2.0], [2.0, -2.0]]), validate=False)
+
+
+class TestStationary:
+    def test_two_state_balance(self):
+        pi = two_state().stationary_distribution()
+        np.testing.assert_allclose(pi, [2.0 / 3.0, 1.0 / 3.0])
+
+    def test_sparse_matches_dense(self):
+        q = np.array(
+            [[-3.0, 2.0, 1.0], [1.0, -4.0, 3.0], [2.0, 2.0, -4.0]]
+        )
+        dense = CTMC(q).stationary_distribution()
+        sparse = CTMC(sp.csr_matrix(q)).stationary_distribution()
+        np.testing.assert_allclose(dense, sparse, atol=1e-12)
+
+    def test_sums_to_one(self):
+        pi = two_state().stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_satisfies_global_balance(self):
+        q = np.array(
+            [[-3.0, 2.0, 1.0], [1.0, -4.0, 3.0], [2.0, 2.0, -4.0]]
+        )
+        pi = CTMC(q).stationary_distribution()
+        np.testing.assert_allclose(pi @ q, np.zeros(3), atol=1e-12)
+
+    def test_single_state(self):
+        pi = CTMC(np.zeros((1, 1))).stationary_distribution()
+        np.testing.assert_allclose(pi, [1.0])
+
+    def test_cached(self):
+        chain = two_state()
+        assert chain.stationary_distribution() is chain.stationary_distribution()
+
+
+class TestTransient:
+    def test_time_zero_is_identity(self):
+        initial = np.array([1.0, 0.0])
+        out = two_state().transient_distribution(initial, 0.0)
+        np.testing.assert_allclose(out, initial)
+
+    def test_converges_to_stationary(self):
+        chain = two_state()
+        out = chain.transient_distribution(np.array([1.0, 0.0]), 50.0)
+        np.testing.assert_allclose(
+            out, chain.stationary_distribution(), atol=1e-10
+        )
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            two_state().transient_distribution(np.array([1.0, 0.0]), -1.0)
+
+    def test_sparse_uniformization_matches_dense_expm(self):
+        q = np.array(
+            [[-3.0, 2.0, 1.0], [1.0, -4.0, 3.0], [2.0, 2.0, -4.0]]
+        )
+        initial = np.array([0.2, 0.5, 0.3])
+        dense = CTMC(q).transient_distribution(initial, 0.7)
+        sparse = CTMC(sp.csr_matrix(q)).transient_distribution(initial, 0.7)
+        np.testing.assert_allclose(dense, sparse, atol=1e-9)
+
+    def test_preserves_probability_mass(self):
+        out = two_state().transient_distribution(np.array([0.5, 0.5]), 1.3)
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestEmbeddedChain:
+    def test_rows_are_distributions(self):
+        probs = two_state().embedded_transition_matrix()
+        np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+        assert probs[0, 0] == 0.0
+
+    def test_absorbing_state_self_loops(self):
+        chain = CTMC(np.array([[0.0, 0.0], [1.0, -1.0]]), validate=False)
+        probs = chain.embedded_transition_matrix()
+        assert probs[0, 0] == 1.0
+
+    def test_holding_rates(self):
+        np.testing.assert_allclose(two_state().holding_rates(), [1.0, 2.0])
+
+
+class TestSimulation:
+    def test_path_starts_at_initial_state(self, rng):
+        times, states = two_state().simulate_path(1, horizon=10.0, rng=rng)
+        assert times[0] == 0.0
+        assert states[0] == 1
+
+    def test_path_respects_horizon(self, rng):
+        times, _ = two_state().simulate_path(0, horizon=5.0, rng=rng)
+        assert np.all(times < 5.0)
+
+    def test_rejects_bad_initial_state(self, rng):
+        with pytest.raises(ValueError):
+            two_state().simulate_path(5, horizon=1.0, rng=rng)
+
+    def test_occupancy_approaches_stationary(self, rng):
+        chain = two_state()
+        times, states = chain.simulate_path(0, horizon=5000.0, rng=rng)
+        bounds = np.append(times, 5000.0)
+        durations = np.diff(bounds)
+        occupancy = np.bincount(states, weights=durations, minlength=2) / 5000.0
+        np.testing.assert_allclose(
+            occupancy, chain.stationary_distribution(), atol=0.03
+        )
+
+
+class TestExpectedValue:
+    def test_weighted_average(self):
+        chain = two_state()
+        value = chain.expected_value(np.array([3.0, 9.0]))
+        assert value == pytest.approx(3.0 * 2 / 3 + 9.0 / 3)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            two_state().expected_value(np.array([1.0, 2.0, 3.0]))

@@ -1,0 +1,115 @@
+"""Tests for repro.markov.matrix_geometric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.markov.mmpp import MMPP
+from repro.queueing.mm1 import solve_mm1
+
+
+def poisson_mmpp(rate: float) -> MMPP:
+    return MMPP(np.zeros((1, 1)), np.array([rate]))
+
+
+def bursty_mmpp() -> MMPP:
+    generator = np.array([[-0.2, 0.2], [0.3, -0.3]])
+    return MMPP(generator, np.array([0.5, 4.0]))
+
+
+class TestAgainstMM1:
+    """With one phase, MMPP/M/1 must equal M/M/1 exactly."""
+
+    @pytest.mark.parametrize("lam,mu", [(2.0, 5.0), (0.5, 1.0), (8.25, 20.0)])
+    def test_mean_delay(self, lam, mu):
+        solution = solve_mmpp_m1(poisson_mmpp(lam), mu)
+        assert solution.mean_delay() == pytest.approx(
+            solve_mm1(lam, mu).mean_delay, rel=1e-8
+        )
+
+    def test_queue_length_distribution_geometric(self):
+        lam, mu = 2.0, 5.0
+        solution = solve_mmpp_m1(poisson_mmpp(lam), mu)
+        pmf = solution.level_distribution(10)
+        expected = solve_mm1(lam, mu).queue_length_pmf(10)
+        np.testing.assert_allclose(pmf, expected, atol=1e-10)
+
+    def test_probability_empty(self):
+        solution = solve_mmpp_m1(poisson_mmpp(2.0), 5.0)
+        assert solution.probability_empty() == pytest.approx(0.6, rel=1e-8)
+
+
+class TestBurstyInput:
+    def test_utilization(self):
+        mmpp = bursty_mmpp()
+        solution = solve_mmpp_m1(mmpp, 5.0)
+        assert solution.utilization == pytest.approx(mmpp.mean_rate() / 5.0)
+
+    def test_delay_exceeds_equivalent_mm1(self):
+        mmpp = bursty_mmpp()
+        solution = solve_mmpp_m1(mmpp, 5.0)
+        mm1 = solve_mm1(mmpp.mean_rate(), 5.0)
+        assert solution.mean_delay() > mm1.mean_delay
+
+    def test_level_distribution_sums_to_one(self):
+        solution = solve_mmpp_m1(bursty_mmpp(), 5.0)
+        assert solution.level_distribution(4000).sum() == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_methods_agree(self):
+        mmpp = bursty_mmpp()
+        lr = solve_mmpp_m1(mmpp, 5.0, method="lr")
+        fp = solve_mmpp_m1(mmpp, 5.0, method="fixed-point")
+        assert lr.mean_delay() == pytest.approx(fp.mean_delay(), rel=1e-8)
+        np.testing.assert_allclose(lr.rate_matrix, fp.rate_matrix, atol=1e-8)
+
+    def test_rate_matrix_satisfies_quadratic(self):
+        mmpp = bursty_mmpp()
+        mu = 5.0
+        solution = solve_mmpp_m1(mmpp, mu)
+        r = solution.rate_matrix
+        a0 = mmpp.d1()
+        a1 = mmpp.d0() - mu * np.eye(2)
+        a2 = mu * np.eye(2)
+        residual = a0 + r @ a1 + r @ r @ a2
+        np.testing.assert_allclose(residual, 0.0, atol=1e-9)
+
+    def test_spectral_radius_below_one(self):
+        solution = solve_mmpp_m1(bursty_mmpp(), 5.0)
+        radius = max(abs(np.linalg.eigvals(solution.rate_matrix)))
+        assert radius < 1.0
+
+    def test_boundary_balance(self):
+        # pi_0 (D0 + R * mu I) = 0.
+        mmpp = bursty_mmpp()
+        mu = 5.0
+        solution = solve_mmpp_m1(mmpp, mu)
+        residual = solution.boundary @ (
+            mmpp.d0() + solution.rate_matrix * mu
+        )
+        np.testing.assert_allclose(residual, 0.0, atol=1e-9)
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            solve_mmpp_m1(poisson_mmpp(5.0), 4.0)
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValueError):
+            solve_mmpp_m1(poisson_mmpp(1.0), 0.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown"):
+            solve_mmpp_m1(poisson_mmpp(1.0), 2.0, method="nope")
+
+
+class TestHeavyLoad:
+    def test_near_saturation_still_converges(self):
+        solution = solve_mmpp_m1(poisson_mmpp(4.9), 5.0)
+        assert solution.mean_delay() == pytest.approx(
+            solve_mm1(4.9, 5.0).mean_delay, rel=1e-6
+        )

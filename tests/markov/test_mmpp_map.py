@@ -1,0 +1,139 @@
+"""Tests for the exact MAP-level interarrival quantities of MMPP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.markov.mmpp import MMPP
+
+
+def poisson_mmpp(rate: float = 3.0) -> MMPP:
+    return MMPP(np.zeros((1, 1)), np.array([rate]))
+
+
+def bursty_mmpp() -> MMPP:
+    generator = np.array([[-0.5, 0.5], [0.5, -0.5]])
+    return MMPP(generator, np.array([1.0, 5.0]))
+
+
+class TestExactDensity:
+    def test_poisson_density_is_exponential(self):
+        mmpp = poisson_mmpp(3.0)
+        ts = np.array([0.0, 0.2, 1.0])
+        np.testing.assert_allclose(
+            mmpp.exact_interarrival_density(ts), 3.0 * np.exp(-3.0 * ts)
+        )
+
+    def test_integrates_to_one(self):
+        mmpp = bursty_mmpp()
+        total, _ = quad(
+            lambda t: float(mmpp.exact_interarrival_density(t)[0]), 0, 80,
+            limit=200,
+        )
+        assert total == pytest.approx(1.0, abs=1e-7)
+
+    def test_mean_matches_moment_formula(self):
+        mmpp = bursty_mmpp()
+        mean, _ = quad(
+            lambda t: t * float(mmpp.exact_interarrival_density(t)[0]),
+            0,
+            100,
+            limit=200,
+        )
+        assert mean == pytest.approx(
+            mmpp.exact_interarrival_moments(order=1)[0], rel=1e-6
+        )
+
+    def test_differs_from_mixture_approximation(self):
+        """The Solution-1 style mixture ignores within-interval phase
+        drift; for a strongly modulated MMPP the two densities must differ
+        visibly somewhere."""
+        mmpp = bursty_mmpp()
+        ts = np.linspace(0.05, 4.0, 40)
+        exact = mmpp.exact_interarrival_density(ts)
+        approx = mmpp.interarrival_density(ts)
+        assert np.max(np.abs(exact - approx) / exact) > 0.02
+
+
+class TestExactAutocorrelation:
+    def test_poisson_has_zero_correlation(self):
+        assert poisson_mmpp().interarrival_autocorrelation(1) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_bursty_mmpp_positive_and_decaying(self):
+        mmpp = bursty_mmpp()
+        lags = [mmpp.interarrival_autocorrelation(k) for k in (1, 2, 5, 15)]
+        assert lags[0] > 0.01
+        assert lags[0] > lags[1] > lags[2] > lags[3] > -1e-12
+
+    def test_hap_chain_strongly_correlated(self, small_hap):
+        from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+
+        mapped = symmetric_hap_to_mmpp(small_hap)
+        lag1 = mapped.mmpp.interarrival_autocorrelation(1)
+        assert lag1 > 0.05
+
+    def test_matches_simulated_trace(self):
+        """Exact lag-1 autocorrelation vs the sample statistic."""
+        from repro.analysis.traces import interarrival_autocorrelation
+        from repro.sim.engine import Simulator
+        from repro.sim.random_streams import RandomStreams
+        from repro.sim.sources import MMPPSource
+
+        mmpp = bursty_mmpp()
+        sim = Simulator()
+        arrivals: list[float] = []
+        source = MMPPSource(
+            sim, mmpp, RandomStreams(21).get("s"),
+            lambda m: arrivals.append(m.arrival_time),
+        )
+        source.start()
+        sim.run_until(150_000.0)
+        sample = interarrival_autocorrelation(np.asarray(arrivals), max_lag=1)[0]
+        assert sample == pytest.approx(
+            mmpp.interarrival_autocorrelation(1), abs=0.02
+        )
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(ValueError):
+            bursty_mmpp().interarrival_autocorrelation(0)
+
+
+class TestTraceAutocorrelation:
+    def test_poisson_trace_near_zero(self, rng):
+        from repro.analysis.traces import interarrival_autocorrelation
+
+        arrivals = np.cumsum(rng.exponential(0.5, size=50_000))
+        values = interarrival_autocorrelation(arrivals, max_lag=3)
+        np.testing.assert_allclose(values, 0.0, atol=0.02)
+
+    def test_hap_trace_positive(self, small_hap):
+        from repro.analysis.traces import interarrival_autocorrelation
+        from repro.sim.engine import Simulator
+        from repro.sim.random_streams import RandomStreams
+        from repro.sim.sources import HAPSource
+
+        sim = Simulator()
+        arrivals: list[float] = []
+        source = HAPSource(
+            sim, small_hap, RandomStreams(8).get("s"),
+            lambda m: arrivals.append(m.arrival_time),
+            track_populations=False,
+        )
+        source.prepopulate()
+        source.start()
+        sim.run_until(60_000.0)
+        lag1 = interarrival_autocorrelation(np.asarray(arrivals), max_lag=1)[0]
+        assert lag1 > 0.03
+
+    def test_validates(self, rng):
+        from repro.analysis.traces import interarrival_autocorrelation
+
+        arrivals = np.cumsum(rng.exponential(1.0, size=5))
+        with pytest.raises(ValueError):
+            interarrival_autocorrelation(arrivals, max_lag=10)
+        with pytest.raises(ValueError):
+            interarrival_autocorrelation(arrivals, max_lag=0)

@@ -1,0 +1,131 @@
+"""Tests for repro.markov.truncation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov.truncation import StateSpace, build_generator
+
+
+class TestStateSpace:
+    def test_size(self):
+        assert StateSpace((2, 1)).size == 6
+        assert StateSpace((0,)).size == 1
+
+    def test_index_roundtrip(self):
+        space = StateSpace((3, 2, 4))
+        for index in range(space.size):
+            assert space.index(space.state(index)) == index
+
+    def test_iteration_order_matches_index(self):
+        space = StateSpace((2, 2))
+        for index, state in enumerate(space):
+            assert space.index(state) == index
+
+    def test_contains(self):
+        space = StateSpace((2, 1))
+        assert space.contains((2, 1))
+        assert not space.contains((3, 0))
+        assert not space.contains((0, -1))
+        assert not space.contains((0,))  # wrong dimension
+
+    def test_index_rejects_outside(self):
+        with pytest.raises(KeyError):
+            StateSpace((2,)).index((3,))
+
+    def test_state_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            StateSpace((2,)).state(3)
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            StateSpace(())
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            StateSpace((2, -1))
+
+    def test_coordinate_arrays_align_with_states(self):
+        space = StateSpace((2, 3))
+        coords = space.coordinate_arrays()
+        for index, state in enumerate(space):
+            assert tuple(c[index] for c in coords) == state
+
+    def test_one_dimensional(self):
+        space = StateSpace((4,))
+        assert space.state(3) == (3,)
+        assert space.index((4,)) == 4
+
+
+class TestBuildGenerator:
+    def test_birth_death_matches_closed_form(self):
+        space = StateSpace((20,))
+        lam, mu = 1.0, 0.5
+
+        def transitions(state):
+            (n,) = state
+            yield (n + 1,), lam
+            if n:
+                yield (n - 1,), n * mu
+
+        generator = build_generator(space, transitions)
+        from repro.markov.ctmc import CTMC
+        from scipy.stats import poisson
+
+        pi = CTMC(generator).stationary_distribution()
+        expected = poisson.pmf(np.arange(21), lam / mu)
+        np.testing.assert_allclose(pi, expected / expected.sum(), atol=1e-10)
+
+    def test_rows_sum_to_zero(self):
+        space = StateSpace((3, 3))
+
+        def transitions(state):
+            x, y = state
+            yield (x + 1, y), 1.0
+            yield (x, y + 1), 2.0
+            if x:
+                yield (x - 1, y), float(x)
+
+        generator = build_generator(space, transitions)
+        np.testing.assert_allclose(
+            np.asarray(generator.sum(axis=1)).ravel(), 0.0, atol=1e-12
+        )
+
+    def test_clipping_drops_boundary_outflow(self):
+        space = StateSpace((1,))
+
+        def transitions(state):
+            (n,) = state
+            yield (n + 1,), 5.0
+
+        generator = build_generator(space, transitions).todense()
+        # State 1's up-transition leaves the box: row must be all zero.
+        np.testing.assert_allclose(np.asarray(generator)[1], [0.0, 0.0])
+
+    def test_strict_mode_raises_on_escape(self):
+        space = StateSpace((1,))
+
+        def transitions(state):
+            yield (state[0] + 1,), 1.0
+
+        with pytest.raises(KeyError):
+            build_generator(space, transitions, clip_out_of_bounds=False)
+
+    def test_rejects_negative_rate(self):
+        space = StateSpace((1,))
+
+        def transitions(state):
+            yield (0,), -1.0
+
+        with pytest.raises(ValueError):
+            build_generator(space, transitions)
+
+    def test_zero_rates_are_skipped(self):
+        space = StateSpace((1,))
+
+        def transitions(state):
+            yield (1 - state[0],), 0.0
+
+        generator = build_generator(space, transitions)
+        assert generator.nnz == 0

@@ -1,0 +1,71 @@
+"""Property-based tests for busy-period reconstruction."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.busy_periods import _pair_transitions
+
+
+@st.composite
+def transition_sequences(draw):
+    """Strictly increasing times with alternating +1/-1 kinds.
+
+    The queue can only alternate (a busy period must end before the next
+    begins), but the sequence may start with either kind and end anywhere —
+    exactly what a warmup boundary and a finite horizon produce.
+    """
+    n = draw(st.integers(min_value=0, max_value=40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=n, max_size=n
+        )
+    )
+    start_kind = draw(st.sampled_from([+1, -1]))
+    times = []
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        times.append(now)
+    kinds = [start_kind * (1 if k % 2 == 0 else -1) for k in range(n)]
+    return list(zip(times, kinds))
+
+
+class TestPairingProperties:
+    @given(transition_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_are_ordered_and_disjoint(self, transitions):
+        busy, idle = _pair_transitions(transitions)
+        for intervals in (busy, idle):
+            for start, end in intervals:
+                assert start < end
+        merged = sorted(busy + idle)
+        for (_, first_end), (second_start, _) in zip(merged, merged[1:]):
+            assert second_start >= first_end
+
+    @given(transition_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_interval_counts_match_transitions(self, transitions):
+        busy, idle = _pair_transitions(transitions)
+        # Every complete interval consumes one adjacent transition pair.
+        assert len(busy) + len(idle) == max(len(transitions) - 1, 0)
+
+    @given(transition_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_busy_and_idle_alternate(self, transitions):
+        busy, idle = _pair_transitions(transitions)
+        merged = sorted(
+            [(interval, "busy") for interval in busy]
+            + [(interval, "idle") for interval in idle]
+        )
+        for (_, kind_a), (_, kind_b) in zip(merged, merged[1:]):
+            assert kind_a != kind_b
+
+    @given(transition_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_busy_intervals_start_with_plus_one(self, transitions):
+        busy, _ = _pair_transitions(transitions)
+        plus_times = {time for time, kind in transitions if kind == +1}
+        for start, _ in busy:
+            assert start in plus_times

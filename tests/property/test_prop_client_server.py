@@ -1,0 +1,78 @@
+"""Property-based tests for HAP-CS chain amplification."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.client_server import (
+    ClientServerApplicationType,
+    ClientServerHAPParameters,
+    ClientServerMessageType,
+    chain_amplification,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=0.99)
+rates = st.floats(min_value=0.01, max_value=10.0)
+
+
+class TestAmplificationProperties:
+    @given(probabilities, probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_basic_identities(self, p_response, p_next):
+        assume(p_response * p_next < 0.999)
+        requests, responses = chain_amplification(p_response, p_next)
+        assert requests >= 1.0
+        # Every response is triggered by exactly one request.
+        assert np.isclose(responses, p_response * requests)
+        # Total messages per spontaneous request.
+        total = requests + responses
+        assert np.isclose(
+            total, (1.0 + p_response) / (1.0 - p_response * p_next)
+        )
+
+    @given(probabilities, probabilities)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_both_probabilities(self, p_response, p_next):
+        assume(p_response * p_next < 0.95)
+        base_requests, base_responses = chain_amplification(p_response, p_next)
+        more_requests, _ = chain_amplification(
+            min(p_response + 0.01, 0.99), p_next
+        )
+        assert more_requests >= base_requests - 1e-12
+
+    @given(probabilities, probabilities, rates, rates, rates)
+    @settings(max_examples=60, deadline=None)
+    def test_collapse_preserves_offered_load(
+        self, p_response, p_next, msg_rate, mu_request, mu_response
+    ):
+        """The plain-HAP collapse keeps work arriving per unit time fixed:
+        (rate x mean service) of the collapsed type equals the chain's
+        request work plus response work."""
+        assume(p_response * p_next < 0.95)
+        message = ClientServerMessageType(
+            arrival_rate=msg_rate,
+            request_service_rate=mu_request,
+            response_service_rate=mu_response,
+            p_response=p_response,
+            p_next_request=p_next,
+        )
+        app = ClientServerApplicationType(
+            arrival_rate=0.1, departure_rate=0.1, messages=(message,)
+        )
+        params = ClientServerHAPParameters(
+            user_arrival_rate=0.01,
+            user_departure_rate=0.01,
+            applications=(app,),
+        )
+        collapsed = params.to_hap_approximation()
+        collapsed_msg = collapsed.applications[0].messages[0]
+        requests, responses = message.amplification
+        chain_work = msg_rate * (
+            requests / mu_request + responses / mu_response
+        )
+        collapsed_work = (
+            collapsed_msg.arrival_rate / collapsed_msg.service_rate
+        )
+        assert np.isclose(collapsed_work, chain_work, rtol=1e-12)

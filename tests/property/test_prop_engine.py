@@ -1,0 +1,106 @@
+"""Property-based tests for the simulation engine and monitors."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import Tally, TimeWeightedValue
+
+delays = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestEngineProperties:
+    @given(st.lists(delays, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda s: fired.append(s.now))
+        sim.run_until(200.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(delays, min_size=1, max_size=50), st.floats(0.0, 100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_horizon_partitions_events(self, times, horizon):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda s: fired.append(s.now))
+        sim.run_until(horizon)
+        assert len(fired) == sum(1 for t in times if t <= horizon)
+
+    @given(
+        st.lists(st.tuples(delays, st.booleans()), min_size=1, max_size=40)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_events_never_fire(self, schedule):
+        sim = Simulator()
+        fired = []
+        events = []
+        for t, cancel in schedule:
+            events.append(
+                (sim.schedule(t, lambda s: fired.append(s.now)), cancel)
+            )
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        sim.run_until(200.0)
+        expected = sum(1 for _, cancel in schedule if not cancel)
+        assert len(fired) == expected
+
+
+class TestMonitorProperties:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_tally_matches_numpy(self, values):
+        tally = Tally()
+        for value in values:
+            tally.observe(value)
+        assert np.isclose(tally.mean, np.mean(values), rtol=1e-9, atol=1e-6)
+        assert np.isclose(
+            tally.variance, np.var(values, ddof=1), rtol=1e-6, atol=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tally_merge_equals_pooled(self, left, right):
+        a, b, pooled = Tally(), Tally(), Tally()
+        for value in left:
+            a.observe(value)
+            pooled.observe(value)
+        for value in right:
+            b.observe(value)
+            pooled.observe(value)
+        merged = a.merge(b)
+        assert np.isclose(merged.mean, pooled.mean, rtol=1e-9, atol=1e-6)
+        assert np.isclose(
+            merged.variance, pooled.variance, rtol=1e-6, atol=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 10.0), st.floats(-100.0, 100.0)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_time_weighted_average_within_value_range(self, steps):
+        collector = TimeWeightedValue(steps[0][1])
+        now = 0.0
+        values = [steps[0][1]]
+        for duration, value in steps:
+            now += duration
+            collector.update(now, value)
+            values.append(value)
+        collector.finalize(now + 1.0)
+        assert min(values) - 1e-9 <= collector.time_average <= max(values) + 1e-9
+        assert collector.time_variance >= -1e-9

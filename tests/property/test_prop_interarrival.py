@@ -1,0 +1,127 @@
+"""Property-based tests for the Solution-2 closed forms over random HAPs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interarrival import InterarrivalDistribution
+from repro.core.params import ApplicationType, HAPParameters, MessageType
+
+slow_rates = st.floats(min_value=1e-3, max_value=0.1)
+app_rates = st.floats(min_value=0.01, max_value=0.5)
+msg_rates = st.floats(min_value=0.05, max_value=2.0)
+
+
+@st.composite
+def random_haps(draw) -> HAPParameters:
+    num_apps = draw(st.integers(min_value=1, max_value=3))
+    applications = []
+    for _ in range(num_apps):
+        num_msgs = draw(st.integers(min_value=1, max_value=3))
+        messages = tuple(
+            MessageType(arrival_rate=draw(msg_rates), service_rate=10.0)
+            for _ in range(num_msgs)
+        )
+        applications.append(
+            ApplicationType(
+                arrival_rate=draw(app_rates),
+                departure_rate=draw(app_rates),
+                messages=messages,
+            )
+        )
+    return HAPParameters(
+        user_arrival_rate=draw(slow_rates),
+        user_departure_rate=draw(slow_rates),
+        applications=tuple(applications),
+    )
+
+
+class TestClosedFormInvariants:
+    @given(random_haps())
+    @settings(max_examples=30, deadline=None)
+    def test_ccdf_starts_at_one_and_decreases(self, params):
+        dist = InterarrivalDistribution(params)
+        ts = np.linspace(0.0, 20.0 / params.mean_message_rate, 60)
+        values = dist.ccdf(ts)
+        assert abs(values[0] - 1.0) < 1e-9
+        assert np.all(np.diff(values) <= 1e-12)
+        assert np.all((values >= -1e-12) & (values <= 1.0 + 1e-12))
+
+    @given(random_haps())
+    @settings(max_examples=30, deadline=None)
+    def test_density_nonnegative_and_matches_derivative(self, params):
+        dist = InterarrivalDistribution(params)
+        mean = 1.0 / params.mean_message_rate
+        for t in (0.1 * mean, mean, 5.0 * mean):
+            density = float(dist.density(t)[0])
+            assert density >= 0
+            h = 1e-6 * max(mean, 1e-3)
+            finite_diff = (
+                float(dist.ccdf(t - h)[0]) - float(dist.ccdf(t + h)[0])
+            ) / (2 * h)
+            assert abs(density - finite_diff) <= 1e-4 * max(
+                abs(density), 1.0
+            ) + 1e-9
+
+    @given(random_haps())
+    @settings(max_examples=25, deadline=None)
+    def test_density_integrates_to_one(self, params):
+        dist = InterarrivalDistribution(params)
+        upper = dist._integration_horizon()
+        from repro.core.interarrival import _panel_gauss
+
+        total = _panel_gauss(dist.density, dist._breakpoints(upper), subpanels=8)
+        assert abs(total - 1.0) < 1e-4
+
+    @given(random_haps())
+    @settings(max_examples=25, deadline=None)
+    def test_palm_mean_identity(self, params):
+        dist = InterarrivalDistribution(params)
+        upper = dist._integration_horizon()
+        from repro.core.interarrival import _panel_gauss
+
+        integral = _panel_gauss(dist.ccdf, dist._breakpoints(upper), subpanels=8)
+        assert abs(integral - dist.mean()) < 1e-4 * max(dist.mean(), 1.0)
+
+    @given(random_haps())
+    @settings(max_examples=30, deadline=None)
+    def test_density_at_zero_at_least_mean_rate(self, params):
+        """HAP always has at least as many short gaps as Poisson: a(0) >=
+        lambda-bar, with equality only in degenerate limits."""
+        dist = InterarrivalDistribution(params)
+        assert dist.density_at_zero() >= params.mean_message_rate * (1 - 1e-12)
+
+    @given(random_haps(), st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_laplace_in_unit_interval(self, params, s):
+        dist = InterarrivalDistribution(params)
+        value = dist.laplace(s)
+        assert 0.0 < value < 1.0
+
+
+class TestScalingProperties:
+    @given(random_haps(), st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_linear_in_each_arrival_level(self, params, factor):
+        for level in ("user", "application", "message"):
+            scaled = params.scaled(level, "arrival", factor)
+            assert np.isclose(
+                scaled.mean_message_rate, params.mean_message_rate * factor
+            )
+
+    @given(random_haps(), st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_joint_scaling_preserves_rate_and_solution2_ccdf(
+        self, params, factor
+    ):
+        """Equation 4 and the Solution-2 closed form see only rate ratios."""
+        scaled = params.scaled("user", "both", factor)
+        assert np.isclose(scaled.mean_message_rate, params.mean_message_rate)
+        ts = np.array([0.1, 1.0, 4.0])
+        np.testing.assert_allclose(
+            InterarrivalDistribution(scaled).ccdf(ts),
+            InterarrivalDistribution(params).ccdf(ts),
+            rtol=1e-12,
+        )

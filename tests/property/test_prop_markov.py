@@ -1,0 +1,100 @@
+"""Property-based tests for the Markov substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.birth_death import (
+    BirthDeathChain,
+    erlang_blocking_probability,
+    truncated_poisson_pmf,
+)
+from repro.markov.ctmc import CTMC
+from repro.markov.truncation import StateSpace
+
+rates = st.floats(min_value=1e-3, max_value=1e3)
+
+
+@st.composite
+def generators(draw, max_states: int = 6):
+    """Random irreducible-ish generator matrices."""
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                matrix[i, j] = draw(rates)
+        matrix[i, i] = -matrix[i].sum() + matrix[i, i]
+    return matrix
+
+
+class TestCTMCProperties:
+    @given(generators())
+    @settings(max_examples=40, deadline=None)
+    def test_stationary_is_distribution_and_balances(self, q):
+        chain = CTMC(q)
+        pi = chain.stationary_distribution()
+        assert abs(pi.sum() - 1.0) < 1e-9
+        assert np.all(pi >= 0)
+        assert np.max(np.abs(pi @ q)) < 1e-8
+
+    @given(generators(), st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_transient_preserves_mass(self, q, t):
+        chain = CTMC(q)
+        initial = np.zeros(chain.num_states)
+        initial[0] = 1.0
+        out = chain.transient_distribution(initial, t)
+        assert abs(out.sum() - 1.0) < 1e-8
+        assert np.all(out >= -1e-10)
+
+    @given(generators())
+    @settings(max_examples=30, deadline=None)
+    def test_embedded_chain_rows_are_distributions(self, q):
+        probs = CTMC(q).embedded_transition_matrix()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+
+class TestBirthDeathProperties:
+    @given(
+        st.lists(rates, min_size=1, max_size=12),
+        st.lists(rates, min_size=1, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_product_form_matches_generator_solve(self, births, deaths):
+        n = min(len(births), len(deaths))
+        chain = BirthDeathChain(tuple(births[:n]), tuple(deaths[:n]))
+        product = chain.stationary_distribution()
+        solved = chain.to_ctmc().stationary_distribution()
+        np.testing.assert_allclose(product, solved, atol=1e-8)
+
+    @given(st.floats(min_value=0.0, max_value=50.0), st.integers(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_poisson_is_distribution(self, mean, max_value):
+        pmf = truncated_poisson_pmf(mean, max_value)
+        assert abs(pmf.sum() - 1.0) < 1e-9
+        assert np.all(pmf >= 0)
+
+    @given(st.floats(min_value=0.01, max_value=30.0), st.integers(1, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_erlang_b_in_unit_interval_and_monotone(self, load, servers):
+        more = erlang_blocking_probability(load, servers + 1)
+        fewer = erlang_blocking_probability(load, servers)
+        assert 0.0 <= more <= fewer <= 1.0
+
+
+class TestStateSpaceProperties:
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_index_is_a_bijection(self, bounds):
+        space = StateSpace(tuple(bounds))
+        seen = set()
+        for state in space:
+            index = space.index(state)
+            assert 0 <= index < space.size
+            assert space.state(index) == state
+            seen.add(index)
+        assert len(seen) == space.size

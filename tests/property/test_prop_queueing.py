@@ -1,0 +1,98 @@
+"""Property-based tests for the queueing closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.markov.mmpp import MMPP
+from repro.queueing.gm1 import solve_gm1
+from repro.queueing.mm1 import solve_mm1
+
+positive = st.floats(min_value=0.01, max_value=100.0)
+
+
+class TestMM1Properties:
+    @given(positive, positive)
+    @settings(max_examples=80, deadline=None)
+    def test_delay_positive_and_above_service_time(self, lam, mu):
+        assume(lam < 0.98 * mu)
+        solution = solve_mm1(lam, mu)
+        assert solution.mean_delay >= 1.0 / mu
+        assert 0 <= solution.utilization < 1
+
+    @given(positive, positive, st.floats(min_value=1.01, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_decreases_with_capacity(self, lam, mu, boost):
+        assume(lam < 0.98 * mu)
+        assert (
+            solve_mm1(lam, mu * boost).mean_delay < solve_mm1(lam, mu).mean_delay
+        )
+
+
+class TestGM1Properties:
+    @given(positive, st.floats(min_value=1.1, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_input_recovers_mm1(self, lam, ratio):
+        mu = lam * ratio
+        solution = solve_gm1(lambda s: lam / (lam + s), mu, lam)
+        assert np.isclose(solution.sigma, lam / mu, rtol=1e-6)
+        assert np.isclose(
+            solution.mean_delay, solve_mm1(lam, mu).mean_delay, rtol=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 10.0), st.floats(0.1, 20.0)),
+            min_size=1,
+            max_size=4,
+        ),
+        st.floats(min_value=1.2, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hyperexponential_input_waits_longer_than_mm1(
+        self, branches, headroom
+    ):
+        """Any rate-weighted hyper-exponential mixture (what Solution 1
+        produces) has SCV >= 1 and therefore G/M/1 delay >= M/M/1 delay."""
+        weights = np.array([w for w, _ in branches])
+        weights = weights / weights.sum()
+        rates = np.array([r for _, r in branches])
+        mean = float(np.sum(weights / rates))
+        lam = 1.0 / mean
+        mu = lam * headroom
+
+        def laplace(s: float) -> float:
+            return float(np.sum(weights * rates / (rates + s)))
+
+        solution = solve_gm1(laplace, mu, lam)
+        mm1 = solve_mm1(lam, mu)
+        assert solution.mean_delay >= mm1.mean_delay * (1 - 1e-9)
+        assert 0 < solution.sigma < 1
+
+
+class TestQBDProperties:
+    @given(
+        st.floats(0.05, 5.0),
+        st.floats(0.05, 5.0),
+        st.floats(0.0, 3.0),
+        st.floats(0.1, 6.0),
+        st.floats(min_value=1.15, max_value=8.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_phase_queue_sane(self, q01, q10, r0, r1, headroom):
+        generator = np.array([[-q01, q01], [q10, -q10]])
+        mmpp = MMPP(generator, np.array([r0, r1]))
+        mean_rate = mmpp.mean_rate()
+        assume(mean_rate > 1e-3)
+        mu = mean_rate * headroom
+        solution = solve_mmpp_m1(mmpp, mu)
+        mm1 = solve_mm1(mean_rate, mu)
+        # MMPP input can never beat Poisson at equal load...
+        assert solution.mean_delay() >= mm1.mean_delay * (1 - 1e-6)
+        # ...and the empty probability complements the utilization.
+        assert np.isclose(
+            solution.probability_empty(), 1.0 - mean_rate / mu, rtol=1e-6
+        )

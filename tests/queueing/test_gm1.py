@@ -1,0 +1,128 @@
+"""Tests for repro.queueing.gm1 (the σ-algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.gm1 import sigma_fixed_point_paper, solve_gm1
+from repro.queueing.mm1 import solve_mm1
+
+
+def exponential_laplace(rate: float):
+    """A*(s) for exponential interarrivals — makes G/M/1 reduce to M/M/1."""
+
+    def laplace(s: float) -> float:
+        return rate / (rate + s)
+
+    return laplace
+
+
+def erlang2_laplace(rate: float):
+    """Erlang-2 interarrivals (each stage at 2*rate so the mean is 1/rate)."""
+
+    def laplace(s: float) -> float:
+        stage = 2.0 * rate
+        return (stage / (stage + s)) ** 2
+
+    return laplace
+
+
+class TestAgainstMM1:
+    @pytest.mark.parametrize("lam,mu", [(2.0, 5.0), (8.25, 20.0), (0.9, 1.0)])
+    def test_sigma_equals_rho(self, lam, mu):
+        solution = solve_gm1(exponential_laplace(lam), mu, lam)
+        assert solution.sigma == pytest.approx(lam / mu, rel=1e-7)
+
+    def test_delay_matches_mm1(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        assert solution.mean_delay == pytest.approx(
+            solve_mm1(2.0, 5.0).mean_delay, rel=1e-7
+        )
+
+    def test_paper_method_matches_brent(self):
+        brent = solve_gm1(exponential_laplace(2.0), 5.0, 2.0, method="brent")
+        paper = solve_gm1(exponential_laplace(2.0), 5.0, 2.0, method="paper")
+        assert brent.sigma == pytest.approx(paper.sigma, abs=1e-8)
+
+
+class TestErlangInput:
+    """Erlang arrivals are *smoother* than Poisson: less wait, smaller sigma."""
+
+    def test_sigma_below_rho(self):
+        solution = solve_gm1(erlang2_laplace(2.0), 5.0, 2.0)
+        assert solution.sigma < 2.0 / 5.0
+
+    def test_delay_below_mm1(self):
+        solution = solve_gm1(erlang2_laplace(2.0), 5.0, 2.0)
+        assert solution.mean_delay < solve_mm1(2.0, 5.0).mean_delay
+
+
+class TestDerivedQuantities:
+    def test_waiting_time_cdf_endpoints(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        assert float(solution.waiting_time_cdf(0.0)) == pytest.approx(
+            1.0 - solution.sigma
+        )
+        assert float(solution.waiting_time_cdf(100.0)) == pytest.approx(1.0)
+
+    def test_waiting_time_cdf_monotone(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        ys = np.linspace(0, 3, 50)
+        values = solution.waiting_time_cdf(ys)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_delay_percentile_inverts_cdf(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        y = solution.delay_percentile(0.9)
+        # System time of G/M/1 is Exp(mu (1 - sigma)).
+        rate = 5.0 * (1.0 - solution.sigma)
+        assert 1.0 - np.exp(-rate * y) == pytest.approx(0.9)
+
+    def test_delay_percentile_validates(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        with pytest.raises(ValueError):
+            solution.delay_percentile(1.5)
+
+    def test_mean_wait_plus_service_is_delay(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        assert solution.mean_waiting_time + 0.2 == pytest.approx(
+            solution.mean_delay
+        )
+
+    def test_littles_law(self):
+        solution = solve_gm1(exponential_laplace(2.0), 5.0, 2.0)
+        assert solution.mean_queue_length == pytest.approx(
+            2.0 * solution.mean_delay
+        )
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            solve_gm1(exponential_laplace(5.0), 5.0, 5.0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown"):
+            solve_gm1(exponential_laplace(1.0), 5.0, 1.0, method="secant")
+
+    def test_paper_iteration_validates_initial(self):
+        with pytest.raises(ValueError):
+            sigma_fixed_point_paper(exponential_laplace(1.0), 5.0, initial=1.5)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            solve_gm1(exponential_laplace(1.0), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_gm1(exponential_laplace(1.0), 5.0, -1.0)
+
+
+class TestPaperIterationConvergence:
+    """The paper's Step 1-3 averaging loop converges from any start."""
+
+    @pytest.mark.parametrize("initial", [0.01, 0.3, 0.7, 0.99])
+    def test_converges_from_any_interior_start(self, initial):
+        sigma = sigma_fixed_point_paper(
+            exponential_laplace(2.0), 5.0, initial=initial
+        )
+        assert sigma == pytest.approx(0.4, abs=1e-6)

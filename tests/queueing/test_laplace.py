@@ -1,0 +1,58 @@
+"""Tests for repro.queueing.laplace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.laplace import (
+    laplace_of_density,
+    laplace_of_interarrival_from_ccdf,
+)
+
+
+class TestDensityTransform:
+    @pytest.mark.parametrize("rate,s", [(2.0, 1.0), (5.0, 0.5), (1.0, 10.0)])
+    def test_exponential_closed_form(self, rate, s):
+        density = lambda t: rate * np.exp(-rate * t)
+        assert laplace_of_density(density, s) == pytest.approx(
+            rate / (rate + s), rel=1e-8
+        )
+
+    def test_s_zero_gives_total_mass(self):
+        density = lambda t: 2.0 * np.exp(-2.0 * t)
+        assert laplace_of_density(density, 0.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_s(self):
+        with pytest.raises(ValueError):
+            laplace_of_density(lambda t: np.exp(-t), -1.0)
+
+    def test_finite_upper_limit(self):
+        density = lambda t: 1.0  # uniform on [0, 1]
+        value = laplace_of_density(density, 1.0, upper=1.0)
+        assert value == pytest.approx(1.0 - np.exp(-1.0), rel=1e-8)
+
+
+class TestCcdfTransform:
+    @pytest.mark.parametrize("rate,s", [(2.0, 1.0), (5.0, 0.5), (1.0, 10.0)])
+    def test_exponential_closed_form(self, rate, s):
+        ccdf = lambda t: np.exp(-rate * t)
+        assert laplace_of_interarrival_from_ccdf(ccdf, s) == pytest.approx(
+            rate / (rate + s), rel=1e-8
+        )
+
+    def test_s_zero_is_exactly_one(self):
+        assert laplace_of_interarrival_from_ccdf(lambda t: np.exp(-t), 0.0) == 1.0
+
+    def test_agrees_with_density_route(self):
+        rate = 3.0
+        density = lambda t: rate * np.exp(-rate * t)
+        ccdf = lambda t: np.exp(-rate * t)
+        for s in (0.3, 2.0, 9.0):
+            assert laplace_of_interarrival_from_ccdf(ccdf, s) == pytest.approx(
+                laplace_of_density(density, s), rel=1e-7
+            )
+
+    def test_rejects_negative_s(self):
+        with pytest.raises(ValueError):
+            laplace_of_interarrival_from_ccdf(lambda t: np.exp(-t), -0.5)

@@ -1,0 +1,36 @@
+"""Tests for repro.queueing.littles_law."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing.littles_law import mean_delay_from_queue, mean_queue_from_delay
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        delay = mean_delay_from_queue(3.3, 1.5)
+        assert mean_queue_from_delay(delay, 1.5) == pytest.approx(3.3)
+
+    def test_delay_from_queue(self):
+        assert mean_delay_from_queue(4.0, 2.0) == pytest.approx(2.0)
+
+    def test_queue_from_delay(self):
+        assert mean_queue_from_delay(0.5, 8.25) == pytest.approx(4.125)
+
+    def test_zero_queue_is_zero_delay(self):
+        assert mean_delay_from_queue(0.0, 2.0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            mean_delay_from_queue(1.0, 0.0)
+        with pytest.raises(ValueError):
+            mean_queue_from_delay(1.0, -1.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            mean_delay_from_queue(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            mean_queue_from_delay(-0.1, 1.0)

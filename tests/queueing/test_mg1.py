@@ -1,0 +1,60 @@
+"""Tests for repro.queueing.mg1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing.mg1 import solve_mg1
+from repro.queueing.mm1 import solve_mm1
+
+
+class TestPollaczekKhinchine:
+    def test_exponential_service_reduces_to_mm1(self):
+        lam, mu = 2.0, 5.0
+        mg1 = solve_mg1(lam, 1.0 / mu, 2.0 / mu**2)
+        assert mg1.mean_delay == pytest.approx(solve_mm1(lam, mu).mean_delay)
+
+    def test_deterministic_service_halves_wait(self):
+        lam, mean = 2.0, 0.2
+        deterministic = solve_mg1(lam, mean, mean**2)
+        exponential = solve_mg1(lam, mean, 2.0 * mean**2)
+        assert deterministic.mean_waiting_time == pytest.approx(
+            exponential.mean_waiting_time / 2.0
+        )
+
+    def test_utilization(self):
+        assert solve_mg1(2.0, 0.2, 0.08).utilization == pytest.approx(0.4)
+
+    def test_scv_zero_for_deterministic(self):
+        assert solve_mg1(2.0, 0.2, 0.04).service_scv == pytest.approx(0.0)
+
+    def test_scv_one_for_exponential(self):
+        assert solve_mg1(2.0, 0.2, 0.08).service_scv == pytest.approx(1.0)
+
+    def test_littles_law(self):
+        mg1 = solve_mg1(2.0, 0.2, 0.08)
+        assert mg1.mean_queue_length == pytest.approx(2.0 * mg1.mean_delay)
+
+    def test_wait_grows_with_service_variance(self):
+        lam, mean = 2.0, 0.2
+        waits = [
+            solve_mg1(lam, mean, m2).mean_waiting_time
+            for m2 in (mean**2, 1.5 * mean**2, 2.0 * mean**2, 4.0 * mean**2)
+        ]
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            solve_mg1(5.0, 0.2, 0.08)
+
+    def test_rejects_impossible_second_moment(self):
+        with pytest.raises(ValueError, match="cannot be below"):
+            solve_mg1(1.0, 0.2, 0.01)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            solve_mg1(0.0, 0.2, 0.08)
+        with pytest.raises(ValueError):
+            solve_mg1(1.0, 0.0, 0.08)

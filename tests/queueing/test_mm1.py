@@ -1,0 +1,67 @@
+"""Tests for repro.queueing.mm1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing.mm1 import solve_mm1
+
+
+class TestClosedForms:
+    def test_paper_baseline_number(self):
+        # The paper's M/M/1 comparison point: lambda=8.25, mu=20 -> T=0.085.
+        assert solve_mm1(8.25, 20.0).mean_delay == pytest.approx(0.0851, abs=2e-4)
+
+    def test_mean_delay(self):
+        assert solve_mm1(2.0, 5.0).mean_delay == pytest.approx(1.0 / 3.0)
+
+    def test_waiting_time_excludes_service(self):
+        solution = solve_mm1(2.0, 5.0)
+        assert solution.mean_waiting_time == pytest.approx(
+            solution.mean_delay - 0.2
+        )
+
+    def test_littles_law_consistency(self):
+        solution = solve_mm1(2.0, 5.0)
+        assert solution.mean_queue_length == pytest.approx(
+            2.0 * solution.mean_delay
+        )
+
+    def test_pasta(self):
+        solution = solve_mm1(3.0, 4.0)
+        assert solution.probability_busy == pytest.approx(0.75)
+
+    def test_queue_length_pmf_geometric(self):
+        pmf = solve_mm1(2.0, 4.0).queue_length_pmf(3)
+        np.testing.assert_allclose(pmf, [0.5, 0.25, 0.125, 0.0625])
+
+    def test_delay_ccdf_exponential(self):
+        solution = solve_mm1(2.0, 5.0)
+        assert solution.delay_ccdf(0.0) == pytest.approx(1.0)
+        assert solution.delay_ccdf(1.0) == pytest.approx(np.exp(-3.0))
+
+    def test_busy_period_mean(self):
+        assert solve_mm1(2.0, 5.0).mean_busy_period() == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_busy_period_variance_positive_and_grows_with_load(self):
+        low = solve_mm1(1.0, 5.0).busy_period_variance()
+        high = solve_mm1(4.0, 5.0).busy_period_variance()
+        assert 0 < low < high
+
+    def test_mean_idle_period(self):
+        assert solve_mm1(2.0, 5.0).mean_idle_period() == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError, match="unstable"):
+            solve_mm1(5.0, 5.0)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            solve_mm1(0.0, 5.0)
+        with pytest.raises(ValueError):
+            solve_mm1(1.0, -2.0)

@@ -1,0 +1,117 @@
+"""Tests for repro.sim.busy_periods."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.busy_periods import analyze_busy_periods, _pair_transitions
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import Deterministic, RandomStreams
+from repro.sim.server import FCFSQueue, Message
+
+
+class TestPairing:
+    def test_simple_pairing(self):
+        transitions = [(1.0, +1), (3.0, -1), (5.0, +1), (6.0, -1)]
+        busy, idle = _pair_transitions(transitions)
+        assert busy == [(1.0, 3.0), (5.0, 6.0)]
+        assert idle == [(3.0, 5.0)]
+
+    def test_leading_end_dropped(self):
+        busy, idle = _pair_transitions([(2.0, -1), (3.0, +1), (4.0, -1)])
+        assert busy == [(3.0, 4.0)]
+        assert idle == [(2.0, 3.0)]
+
+    def test_trailing_start_ignored(self):
+        busy, idle = _pair_transitions([(1.0, +1), (2.0, -1), (3.0, +1)])
+        assert busy == [(1.0, 2.0)]
+
+    def test_empty(self):
+        assert _pair_transitions([]) == ([], [])
+
+
+class TestAnalyzeBusyPeriods:
+    def make_run(self):
+        """Two deterministic busy periods with known heights."""
+        sim = Simulator()
+        queue = FCFSQueue(
+            sim, Deterministic(1.0), RandomStreams(1).get("s"), trace_stride=1
+        )
+        # Period 1: two overlapping messages -> height 2, width 2.
+        sim.schedule(0.0, lambda s: queue.arrive(Message(arrival_time=s.now)))
+        sim.schedule(0.5, lambda s: queue.arrive(Message(arrival_time=s.now)))
+        # Period 2: single message at t=10 -> height 1, width 1.
+        sim.schedule(10.0, lambda s: queue.arrive(Message(arrival_time=s.now)))
+        sim.run_until(20.0)
+        return queue
+
+    def test_periods_and_heights(self):
+        queue = self.make_run()
+        periods, stats = analyze_busy_periods(queue)
+        assert stats.num_busy_periods == 2
+        assert periods[0].height == 2.0
+        # Msg 1 served [0, 1], msg 2 (arrived 0.5) served [1, 2].
+        assert periods[0].width == pytest.approx(2.0)
+        assert periods[1].height == 1.0
+        assert periods[1].width == pytest.approx(1.0)
+
+    def test_idle_statistics(self):
+        queue = self.make_run()
+        _, stats = analyze_busy_periods(queue)
+        assert stats.mean_idle == pytest.approx(10.0 - 2.0)
+
+    def test_busy_fraction(self):
+        queue = self.make_run()
+        _, stats = analyze_busy_periods(queue)
+        expected = stats.mean_busy / (stats.mean_busy + stats.mean_idle)
+        assert stats.busy_fraction == pytest.approx(expected)
+
+    def test_variance_nan_for_single_period(self):
+        sim = Simulator()
+        queue = FCFSQueue(
+            sim, Deterministic(1.0), RandomStreams(1).get("s"), trace_stride=1
+        )
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(5.0)
+        _, stats = analyze_busy_periods(queue)
+        assert stats.num_busy_periods == 1
+        assert math.isnan(stats.var_busy)
+
+    def test_describe_contains_counts(self):
+        queue = self.make_run()
+        _, stats = analyze_busy_periods(queue)
+        assert "n=2" in stats.describe()
+
+    def test_no_trace_gives_zero_heights(self):
+        sim = Simulator()
+        queue = FCFSQueue(sim, Deterministic(1.0), RandomStreams(1).get("s"))
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(5.0)
+        periods, _ = analyze_busy_periods(queue)
+        assert periods[0].height == 0.0
+
+
+class TestTheoreticalAgreement:
+    def test_mm1_busy_period_mean(self):
+        """Simulated M/M/1 busy periods match 1/(mu - lambda)."""
+        from repro.queueing.mm1 import solve_mm1
+        from repro.sim.random_streams import Exponential
+        from repro.sim.sources import PoissonSource
+
+        sim = Simulator()
+        streams = RandomStreams(17)
+        queue = FCFSQueue(
+            sim, Exponential(5.0), streams.get("server"), trace_stride=1
+        )
+        source = PoissonSource(sim, 2.0, streams.get("source"), queue.arrive)
+        source.start()
+        sim.run_until(30_000.0)
+        _, stats = analyze_busy_periods(queue)
+        mm1 = solve_mm1(2.0, 5.0)
+        assert stats.mean_busy == pytest.approx(mm1.mean_busy_period(), rel=0.1)
+        assert stats.mean_idle == pytest.approx(mm1.mean_idle_period(), rel=0.1)
+        assert stats.var_busy == pytest.approx(
+            mm1.busy_period_variance(), rel=0.35
+        )

@@ -1,0 +1,145 @@
+"""Tests for repro.sim.engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda s: fired.append("c"))
+        sim.schedule(1.0, lambda s: fired.append("a"))
+        sim.schedule(2.0, lambda s: fired.append("b"))
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append("first"))
+        sim.schedule(1.0, lambda s: fired.append("second"))
+        sim.run_until(2.0)
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda s: seen.append(s.now))
+        sim.run_until(5.0)
+        assert seen == [2.5]
+        assert sim.now == 5.0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda s: None)
+
+    def test_rejects_past_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run_until(2.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.5, lambda s: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if len(fired) < 3:
+                s.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append("x"))
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        event.cancel()
+        event.cancel()
+        sim.run_until(2.0)
+
+    def test_cancel_during_run(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, lambda s: fired.append("victim"))
+        sim.schedule(1.0, lambda s: victim.cancel())
+        sim.run_until(3.0)
+        assert fired == []
+
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        event.cancel()
+        sim.schedule(1.5, lambda s: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 1
+
+
+class TestHorizon:
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append("late"))
+        sim.run_until(3.0)
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run_until(6.0)
+        assert fired == ["late"]
+
+    def test_horizon_cannot_move_backwards(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(4.0)
+
+    def test_clock_lands_exactly_on_horizon(self):
+        sim = Simulator()
+        sim.run_until(7.25)
+        assert sim.now == 7.25
+
+
+class TestStepAndIdle:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(2.0, lambda s: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_run_until_idle_drains(self):
+        sim = Simulator()
+        fired = []
+        for k in range(5):
+            sim.schedule(float(k), lambda s: fired.append(s.now))
+        sim.run_until_idle()
+        assert len(fired) == 5
+
+    def test_run_until_idle_guards_against_runaway(self):
+        sim = Simulator()
+
+        def forever(s):
+            s.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="still busy"):
+            sim.run_until_idle(max_events=100)

@@ -1,0 +1,97 @@
+"""Tests for the HAPSource lifetime-distribution overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import Deterministic, Pareto, RandomStreams
+from repro.sim.sources import HAPSource
+
+
+class TestLifetimeOverrides:
+    def test_deterministic_app_lifetime(self, small_hap):
+        """A deterministic lifetime makes every instance die exactly then."""
+        sim = Simulator()
+        source = HAPSource(
+            sim,
+            small_hap,
+            RandomStreams(1).get("s"),
+            lambda m: None,
+            app_lifetime=Deterministic(5.0),
+        )
+        source._create_app_instance(0)
+        source._create_app_instance(1)
+        assert source.apps_alive == 2
+        sim.run_until(4.999)
+        assert source.apps_alive == 2
+        sim.run_until(5.001)
+        assert source.apps_alive == 0
+
+    def test_deterministic_user_lifetime(self, small_hap):
+        sim = Simulator()
+        source = HAPSource(
+            sim,
+            small_hap,
+            RandomStreams(1).get("s"),
+            lambda m: None,
+            user_lifetime=Deterministic(3.0),
+        )
+        source._create_user()
+        sim.run_until(2.999)
+        assert source.users_present == 1
+        sim.run_until(3.001)
+        assert source.users_present == 0
+
+    def test_override_preserves_mean_rate(self, small_hap):
+        """Same-mean lifetime overrides keep Equation 4's long-run rate."""
+        mean_lifetime = 1.0 / small_hap.applications[0].departure_rate
+        count = [0]
+        sim = Simulator()
+        source = HAPSource(
+            sim,
+            small_hap,
+            RandomStreams(3).get("s"),
+            lambda m: count.__setitem__(0, count[0] + 1),
+            app_lifetime=Deterministic(mean_lifetime),
+        )
+        source.prepopulate()
+        source.start()
+        horizon = 60_000.0
+        sim.run_until(horizon)
+        assert count[0] / horizon == pytest.approx(
+            small_hap.mean_message_rate, rel=0.15
+        )
+
+    def test_pareto_lifetime_accepted(self, small_hap):
+        sim = Simulator()
+        source = HAPSource(
+            sim,
+            small_hap,
+            RandomStreams(4).get("s"),
+            lambda m: None,
+            app_lifetime=Pareto(shape=2.5, scale=10.0),
+        )
+        source.prepopulate()
+        source.start()
+        sim.run_until(2000.0)
+        assert source.apps_alive >= 0
+
+    def test_no_override_unchanged_behaviour(self, small_hap):
+        """Passing None overrides must reproduce the default stream exactly."""
+        def run(**kwargs):
+            sim = Simulator()
+            times = []
+            source = HAPSource(
+                sim,
+                small_hap,
+                RandomStreams(9).get("s"),
+                lambda m: times.append(m.arrival_time),
+                **kwargs,
+            )
+            source.prepopulate()
+            source.start()
+            sim.run_until(3000.0)
+            return times
+
+        assert run() == run(user_lifetime=None, app_lifetime=None)

@@ -1,0 +1,132 @@
+"""Tests for repro.sim.monitors."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.monitors import Tally, TimeWeightedValue, TraceRecorder
+
+
+class TestTally:
+    def test_empty_is_nan(self):
+        tally = Tally()
+        assert math.isnan(tally.mean)
+        assert math.isnan(tally.variance)
+
+    def test_mean_and_variance_match_numpy(self, rng):
+        samples = rng.normal(5.0, 2.0, size=500)
+        tally = Tally()
+        for value in samples:
+            tally.observe(float(value))
+        assert tally.mean == pytest.approx(float(np.mean(samples)))
+        assert tally.variance == pytest.approx(float(np.var(samples, ddof=1)))
+        assert tally.std == pytest.approx(float(np.std(samples, ddof=1)))
+
+    def test_extremes(self):
+        tally = Tally()
+        for value in (3.0, -1.0, 7.0):
+            tally.observe(value)
+        assert tally.minimum == -1.0
+        assert tally.maximum == 7.0
+
+    def test_single_observation_variance_nan(self):
+        tally = Tally()
+        tally.observe(2.0)
+        assert math.isnan(tally.variance)
+
+    def test_merge_equals_pooled(self, rng):
+        a_samples = rng.normal(0, 1, 100)
+        b_samples = rng.normal(3, 2, 150)
+        a, b, pooled = Tally(), Tally(), Tally()
+        for value in a_samples:
+            a.observe(float(value))
+            pooled.observe(float(value))
+        for value in b_samples:
+            b.observe(float(value))
+            pooled.observe(float(value))
+        merged = a.merge(b)
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.variance == pytest.approx(pooled.variance)
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum
+
+    def test_merge_with_empty(self):
+        a = Tally()
+        a.observe(1.0)
+        merged = a.merge(Tally())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+
+
+class TestTimeWeightedValue:
+    def test_constant_value(self):
+        collector = TimeWeightedValue(3.0)
+        collector.finalize(10.0)
+        assert collector.time_average == pytest.approx(3.0)
+        assert collector.time_variance == pytest.approx(0.0)
+
+    def test_step_function(self):
+        collector = TimeWeightedValue(0.0)
+        collector.update(4.0, 10.0)  # value 0 for 4 units
+        collector.finalize(10.0)  # value 10 for 6 units
+        assert collector.time_average == pytest.approx(6.0)
+
+    def test_variance_of_two_level_process(self):
+        collector = TimeWeightedValue(0.0)
+        collector.update(5.0, 2.0)
+        collector.finalize(10.0)
+        # Half time at 0, half at 2: mean 1, E[v^2] = 2, var = 1.
+        assert collector.time_average == pytest.approx(1.0)
+        assert collector.time_variance == pytest.approx(1.0)
+
+    def test_maximum_tracked(self):
+        collector = TimeWeightedValue(1.0)
+        collector.update(1.0, 9.0)
+        collector.update(2.0, 4.0)
+        assert collector.maximum == 9.0
+
+    def test_rejects_backwards_time(self):
+        collector = TimeWeightedValue(0.0)
+        collector.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            collector.update(4.0, 2.0)
+
+    def test_no_elapsed_time_is_nan(self):
+        assert math.isnan(TimeWeightedValue(1.0).time_average)
+
+    def test_nonzero_start_time(self):
+        collector = TimeWeightedValue(2.0, start_time=100.0)
+        collector.finalize(110.0)
+        assert collector.observed_time == pytest.approx(10.0)
+        assert collector.time_average == pytest.approx(2.0)
+
+
+class TestTraceRecorder:
+    def test_records_everything_at_stride_one(self):
+        trace = TraceRecorder()
+        for k in range(5):
+            trace.record(float(k), float(k * k))
+        times, values = trace.as_arrays()
+        assert len(trace) == 5
+        np.testing.assert_allclose(values, [0, 1, 4, 9, 16])
+
+    def test_stride_skips(self):
+        trace = TraceRecorder(stride=3)
+        for k in range(9):
+            trace.record(float(k), float(k))
+        assert len(trace) == 3
+
+    def test_window(self):
+        trace = TraceRecorder()
+        for k in range(10):
+            trace.record(float(k), float(k))
+        times, values = trace.window(2.5, 6.5)
+        np.testing.assert_allclose(times, [3, 4, 5, 6])
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(stride=0)

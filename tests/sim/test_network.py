@@ -1,0 +1,102 @@
+"""Tests for repro.sim.network (tandem queues)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing.mm1 import solve_mm1
+from repro.sim.engine import Simulator
+from repro.sim.network import TandemNetwork
+from repro.sim.random_streams import RandomStreams
+from repro.sim.sources import HAPSource, PoissonSource
+
+
+def run_tandem(source_factory, rates, horizon, seed=3, warmup=None):
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    if warmup is None:
+        warmup = 0.05 * horizon
+    network = TandemNetwork(sim, rates, streams, warmup=warmup)
+    source = source_factory(sim, streams.get("source"), network.arrive)
+    if hasattr(source, "prepopulate"):
+        source.prepopulate()
+    source.start()
+    sim.run_until(horizon)
+    network.finalize()
+    return network
+
+
+class TestStructure:
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValueError):
+            TandemNetwork(Simulator(), [], RandomStreams(1))
+
+    def test_num_hops(self):
+        network = TandemNetwork(Simulator(), [5.0, 6.0, 7.0], RandomStreams(1))
+        assert network.num_hops == 3
+
+    def test_messages_traverse_all_hops(self):
+        network = run_tandem(
+            lambda sim, rng, emit: PoissonSource(sim, 1.0, rng, emit),
+            rates=[5.0, 5.0],
+            horizon=2_000.0,
+            warmup=0.0,
+        )
+        counts = [queue.delays.count for queue in network.queues]
+        # Hop 2 serves (almost) everything hop 1 finished.
+        assert counts[1] >= counts[0] - 5
+        assert network.end_to_end.count > 0
+
+
+class TestAgainstTheory:
+    def test_poisson_tandem_matches_jackson(self):
+        """Burke's theorem: M/M/1 departures are Poisson, so each hop of a
+        Poisson-fed exponential tandem is itself M/M/1."""
+        lam, rates = 2.0, [5.0, 4.0, 6.0]
+        network = run_tandem(
+            lambda sim, rng, emit: PoissonSource(sim, lam, rng, emit),
+            rates=rates,
+            horizon=60_000.0,
+        )
+        for queue, mu in zip(network.queues, rates):
+            assert queue.mean_delay == pytest.approx(
+                solve_mm1(lam, mu).mean_delay, rel=0.08
+            )
+        expected_total = sum(solve_mm1(lam, mu).mean_delay for mu in rates)
+        assert network.mean_end_to_end_delay == pytest.approx(
+            expected_total, rel=0.08
+        )
+
+    def test_hap_tandem_first_hop_worst(self, small_hap):
+        """The first hop sees raw HAP; queueing smooths what it hands on,
+        so the identical second hop suffers less."""
+        mu = small_hap.common_service_rate()
+        network = run_tandem(
+            lambda sim, rng, emit: HAPSource(sim, small_hap, rng, emit),
+            rates=[mu, mu],
+            horizon=150_000.0,
+        )
+        first, second = network.per_hop_delays()
+        assert first > second
+
+    def test_hap_tandem_second_hop_still_above_mm1(self, small_hap):
+        """Smoothing is partial: hop 2 stays worse than Poisson predicts."""
+        mu = small_hap.common_service_rate()
+        network = run_tandem(
+            lambda sim, rng, emit: HAPSource(sim, small_hap, rng, emit),
+            rates=[mu, mu],
+            horizon=150_000.0,
+        )
+        mm1 = solve_mm1(small_hap.mean_message_rate, mu)
+        assert network.per_hop_delays()[1] > 1.1 * mm1.mean_delay
+
+    def test_end_to_end_is_sum_of_hops_on_average(self, small_hap):
+        mu = small_hap.common_service_rate()
+        network = run_tandem(
+            lambda sim, rng, emit: HAPSource(sim, small_hap, rng, emit),
+            rates=[mu, mu],
+            horizon=100_000.0,
+        )
+        assert network.mean_end_to_end_delay == pytest.approx(
+            sum(network.per_hop_delays()), rel=0.15
+        )

@@ -1,0 +1,109 @@
+"""Tests for repro.sim.random_streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.random_streams import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    Pareto,
+    RandomStreams,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(7)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.get("a").random(5)
+        b = streams.get("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(7).get("source").random(5)
+        second = RandomStreams(7).get("source").random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_creation_order_does_not_matter(self):
+        forward = RandomStreams(7)
+        forward.get("a")
+        a_then = forward.get("b").random(3)
+        backward = RandomStreams(7)
+        backward.get("b")
+        b_first = backward.get("b")
+        np.testing.assert_allclose(a_then, RandomStreams(7).get("b").random(3))
+        assert b_first is backward.get("b")
+
+    def test_seed_changes_draws(self):
+        a = RandomStreams(1).get("x").random(4)
+        b = RandomStreams(2).get("x").random(4)
+        assert not np.allclose(a, b)
+
+
+class TestDistributions:
+    def test_exponential_mean(self, rng):
+        dist = Exponential(rate=4.0)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+        assert dist.mean() == 0.25
+
+    def test_exponential_validates(self):
+        with pytest.raises(ValueError):
+            Exponential(rate=0.0)
+
+    def test_deterministic(self, rng):
+        dist = Deterministic(1.5)
+        assert dist.sample(rng) == 1.5
+        assert dist.mean() == 1.5
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+    def test_erlang_mean_and_shape(self, rng):
+        dist = Erlang(shape=3, rate=6.0)
+        samples = np.array([dist.sample(rng) for _ in range(20000)])
+        assert dist.mean() == pytest.approx(0.5)
+        assert samples.mean() == pytest.approx(0.5, rel=0.05)
+        # Erlang-k has SCV 1/k — visibly below exponential's 1.
+        scv = samples.var() / samples.mean() ** 2
+        assert scv == pytest.approx(1.0 / 3.0, rel=0.15)
+
+    def test_erlang_validates(self):
+        with pytest.raises(ValueError):
+            Erlang(shape=0, rate=1.0)
+        with pytest.raises(ValueError):
+            Erlang(shape=2, rate=0.0)
+
+    def test_hyperexponential_mean(self, rng):
+        dist = Hyperexponential((0.3, 0.7), (1.0, 5.0))
+        samples = [dist.sample(rng) for _ in range(30000)]
+        assert dist.mean() == pytest.approx(0.3 + 0.14)
+        assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_hyperexponential_validates(self):
+        with pytest.raises(ValueError):
+            Hyperexponential((0.5, 0.4), (1.0, 2.0))  # probs don't sum to 1
+        with pytest.raises(ValueError):
+            Hyperexponential((1.0,), (0.0,))
+        with pytest.raises(ValueError):
+            Hyperexponential((), ())
+
+    def test_pareto_mean(self, rng):
+        dist = Pareto(shape=3.0, scale=2.0)
+        samples = [dist.sample(rng) for _ in range(30000)]
+        assert dist.mean() == pytest.approx(3.0)
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.1)
+        assert min(samples) >= 2.0
+
+    def test_pareto_infinite_mean(self):
+        assert Pareto(shape=0.9, scale=1.0).mean() == float("inf")
+
+    def test_pareto_validates(self):
+        with pytest.raises(ValueError):
+            Pareto(shape=0.0, scale=1.0)

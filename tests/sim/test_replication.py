@@ -1,0 +1,104 @@
+"""Tests for repro.sim.replication."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.replication import (
+    replicate,
+    simulate_hap_mm1,
+    simulate_source_mm1,
+)
+from repro.sim.sources import PoissonSource
+
+
+class TestSimulateHAP:
+    def test_returns_consistent_statistics(self, small_hap):
+        result = simulate_hap_mm1(small_hap, horizon=20_000.0, seed=1)
+        assert result.messages_served > 0
+        assert 0 <= result.sigma <= 1
+        assert 0 <= result.utilization <= 1
+        assert result.mean_delay > 0
+        assert result.littles_law_residual() < 0.05
+
+    def test_reproducible_for_fixed_seed(self, small_hap):
+        a = simulate_hap_mm1(small_hap, horizon=5_000.0, seed=42)
+        b = simulate_hap_mm1(small_hap, horizon=5_000.0, seed=42)
+        assert a.mean_delay == b.mean_delay
+        assert a.messages_served == b.messages_served
+
+    def test_seed_changes_outcome(self, small_hap):
+        a = simulate_hap_mm1(small_hap, horizon=5_000.0, seed=1)
+        b = simulate_hap_mm1(small_hap, horizon=5_000.0, seed=2)
+        assert a.mean_delay != b.mean_delay
+
+    def test_busy_periods_optional(self, small_hap):
+        without = simulate_hap_mm1(small_hap, horizon=3_000.0, seed=1)
+        with_stats = simulate_hap_mm1(
+            small_hap, horizon=3_000.0, seed=1, collect_busy_periods=True
+        )
+        assert without.busy_stats is None
+        assert with_stats.busy_stats is not None
+        assert with_stats.busy_stats.num_busy_periods > 0
+
+    def test_population_traces_optional(self, small_hap):
+        result = simulate_hap_mm1(
+            small_hap, horizon=3_000.0, seed=1, population_trace_stride=1
+        )
+        assert result.user_trace is not None
+        assert result.app_trace is not None
+
+    def test_mean_populations_reported(self, small_hap):
+        result = simulate_hap_mm1(small_hap, horizon=30_000.0, seed=3)
+        assert result.mean_users == pytest.approx(
+            small_hap.mean_users, rel=0.25
+        )
+
+    def test_sigma_approaches_exact(self, small_hap):
+        from repro.core.solution0 import solve_solution0
+
+        result = simulate_hap_mm1(small_hap, horizon=60_000.0, seed=5)
+        exact = solve_solution0(small_hap, backend="qbd")
+        assert result.sigma == pytest.approx(exact.sigma, abs=0.05)
+        assert result.mean_delay == pytest.approx(exact.mean_delay, rel=0.25)
+
+
+class TestSimulateSource:
+    def test_poisson_matches_mm1(self):
+        from repro.queueing.mm1 import solve_mm1
+
+        result = simulate_source_mm1(
+            lambda sim, rng, emit: PoissonSource(sim, 2.0, rng, emit),
+            horizon=40_000.0,
+            service_rate=5.0,
+            seed=2,
+        )
+        mm1 = solve_mm1(2.0, 5.0)
+        assert result.mean_delay == pytest.approx(mm1.mean_delay, rel=0.05)
+        assert result.sigma == pytest.approx(0.4, abs=0.02)
+        assert result.utilization == pytest.approx(0.4, abs=0.02)
+
+
+class TestReplicate:
+    def test_summaries_have_confidence_intervals(self, small_hap):
+        summaries = replicate(
+            lambda seed: simulate_hap_mm1(small_hap, horizon=3_000.0, seed=seed),
+            num_replications=4,
+        )
+        delay = summaries["mean_delay"]
+        assert len(delay.values) == 4
+        assert delay.std > 0
+        assert delay.half_width() > 0
+
+    def test_single_replication_has_nan_half_width(self, small_hap):
+        summaries = replicate(
+            lambda seed: simulate_hap_mm1(small_hap, horizon=2_000.0, seed=seed),
+            num_replications=1,
+        )
+        assert math.isnan(summaries["mean_delay"].half_width())
+
+    def test_rejects_zero_replications(self, small_hap):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: None, num_replications=0)

@@ -1,0 +1,148 @@
+"""Tests for repro.sim.server (the FCFS queue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import Deterministic, Exponential, RandomStreams
+from repro.sim.server import FCFSQueue, Message
+
+
+def make_queue(**kwargs):
+    sim = Simulator()
+    rng = RandomStreams(5).get("server")
+    queue = FCFSQueue(sim, kwargs.pop("service", Deterministic(1.0)), rng, **kwargs)
+    return sim, queue
+
+
+class TestFCFSOrdering:
+    def test_single_message_delay_is_service_time(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        assert queue.delays.count == 1
+        assert queue.mean_delay == pytest.approx(1.0)
+
+    def test_back_to_back_messages_wait(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        # Delays 1 and 2 (second waits one service).
+        assert queue.mean_delay == pytest.approx(1.5)
+        assert queue.waits.mean == pytest.approx(0.5)
+
+    def test_fcfs_order_preserved(self):
+        sim, queue = make_queue()
+        order = []
+        queue.on_departure = lambda s, msg: order.append(msg.metadata["id"])
+        for k in range(3):
+            queue.arrive(Message(arrival_time=0.0, metadata={"id": k}))
+        sim.run_until(10.0)
+        assert order == [0, 1, 2]
+
+    def test_queue_length_counts_in_service(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))
+        queue.arrive(Message(arrival_time=0.0))
+        assert queue.length == 2
+        sim.run_until(1.5)
+        assert queue.length == 1
+        sim.run_until(2.5)
+        assert queue.length == 0
+
+
+class TestStatistics:
+    def test_sigma_counts_busy_arrivals(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))  # finds idle
+        queue.arrive(Message(arrival_time=0.0))  # finds busy
+        sim.run_until(10.0)
+        assert queue.sigma_estimate == pytest.approx(0.5)
+
+    def test_utilization_time_average(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        queue.finalize()
+        assert queue.utilization_estimate == pytest.approx(0.1)
+
+    def test_littles_law_holds_in_simulation(self):
+        sim = Simulator()
+        streams = RandomStreams(9)
+        queue = FCFSQueue(sim, Exponential(5.0), streams.get("server"))
+        from repro.sim.sources import PoissonSource
+
+        source = PoissonSource(sim, 2.0, streams.get("source"), queue.arrive)
+        source.start()
+        sim.run_until(20_000.0)
+        queue.finalize()
+        arrival_rate = queue.arrivals_total / 20_000.0
+        assert queue.mean_queue_length == pytest.approx(
+            arrival_rate * queue.mean_delay, rel=0.02
+        )
+
+    def test_warmup_excludes_early_messages(self):
+        sim, queue = make_queue(warmup=5.0)
+        queue.arrive(Message(arrival_time=0.0))  # finishes at 1.0 < warmup
+        sim.run_until(6.0)
+        queue.arrive(Message(arrival_time=6.0))
+        sim.run_until(20.0)
+        assert queue.delays.count == 1
+
+    def test_delay_log_records_in_completion_order(self):
+        sim, queue = make_queue(record_delays=True)
+        queue.arrive(Message(arrival_time=0.0))
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        np.testing.assert_allclose(queue.delay_log, [1.0, 2.0])
+
+    def test_trace_records_length_changes(self):
+        sim, queue = make_queue(trace_stride=1)
+        queue.arrive(Message(arrival_time=0.0))
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        _, values = queue.trace.as_arrays()
+        np.testing.assert_allclose(values, [1, 2, 1, 0])
+
+    def test_busy_transitions_pair_up(self):
+        sim, queue = make_queue()
+        queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(5.0)
+        queue.arrive(Message(arrival_time=5.0))
+        sim.run_until(10.0)
+        kinds = [kind for _, kind in queue.busy_transitions]
+        assert kinds == [+1, -1, +1, -1]
+
+
+class TestServiceDistributions:
+    def test_float_shorthand_is_exponential_rate(self):
+        sim = Simulator()
+        queue = FCFSQueue(sim, 4.0, RandomStreams(1).get("server"))
+        assert isinstance(queue.service, Exponential)
+        assert queue.service.rate == 4.0
+
+    def test_mm1_delay_matches_theory(self):
+        from repro.queueing.mm1 import solve_mm1
+        from repro.sim.sources import PoissonSource
+
+        sim = Simulator()
+        streams = RandomStreams(11)
+        queue = FCFSQueue(sim, Exponential(5.0), streams.get("server"))
+        source = PoissonSource(sim, 2.0, streams.get("source"), queue.arrive)
+        source.start()
+        sim.run_until(50_000.0)
+        assert queue.mean_delay == pytest.approx(
+            solve_mm1(2.0, 5.0).mean_delay, rel=0.05
+        )
+
+    def test_on_departure_hook_sees_each_message(self):
+        sim, queue = make_queue()
+        seen = []
+        queue.on_departure = lambda s, m: seen.append(m)
+        for _ in range(4):
+            queue.arrive(Message(arrival_time=0.0))
+        sim.run_until(10.0)
+        assert len(seen) == 4

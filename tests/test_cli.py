@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--lam", "0.05", "--mu", "0.05", "--lam1", "0.05", "--mu1", "0.05",
+    "--lam2", "0.4", "--mu2", "3.0", "-l", "2", "-m", "1",
+]
+
+
+def run_cli(argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestAnalyze:
+    def test_defaults_print_paper_numbers(self):
+        code, text = run_cli(["analyze"])
+        assert code == 0
+        assert "8.25" in text  # lambda-bar of the base set
+        assert "Solution 2" in text
+
+    def test_custom_parameters(self):
+        code, text = run_cli(["analyze", *SMALL])
+        assert code == 0
+        assert "M/M/1 baseline delay" in text
+
+    def test_exact_flag_adds_solution0(self):
+        code, text = run_cli(["analyze", *SMALL, "--exact"])
+        assert code == 0
+        assert "Solution 0" in text
+        assert "x Poisson" in text
+
+
+class TestSimulate:
+    def test_runs_and_reports(self):
+        code, text = run_cli(
+            ["simulate", *SMALL, "--horizon", "3000", "--seed", "3"]
+        )
+        assert code == 0
+        assert "messages served" in text
+        assert "mean delay" in text
+
+    def test_seed_reproducibility(self):
+        _, first = run_cli(["simulate", *SMALL, "--horizon", "2000", "--seed", "5"])
+        _, second = run_cli(["simulate", *SMALL, "--horizon", "2000", "--seed", "5"])
+        assert first == second
+
+
+class TestSize:
+    def test_sizing_output(self):
+        code, text = run_cli(["size", *SMALL, "--delay-target", "1.0"])
+        assert code == 0
+        assert "HAP sizing" in text
+
+    def test_high_load_warning(self):
+        code, text = run_cli(["size", "--delay-target", "0.4"])
+        assert code == 0
+        assert "warning" in text
+        assert "solution0" in text
+
+    def test_safe_design_has_no_warning(self):
+        # A tight target forces a big mu, landing well under 30 % load.
+        code, text = run_cli(["size", *SMALL, "--delay-target", "0.5"])
+        assert code == 0
+        assert "warning" not in text
+
+    def test_rejects_nonpositive_target(self):
+        code, text = run_cli(["size", *SMALL, "--delay-target", "-1"])
+        assert code == 2
+        assert "error" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
