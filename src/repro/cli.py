@@ -93,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hap_arguments(simulate)
     simulate.add_argument("--horizon", type=float, default=100_000.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent replications (seed, seed+1, ...); >1 reports "
+        "confidence intervals",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the replication campaign "
+        "(default: machine CPU count; results are identical at any "
+        "worker count)",
+    )
 
     size = commands.add_parser(
         "size", help="minimum bandwidth for a mean-delay target"
@@ -125,8 +140,17 @@ def _command_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _simulation_task(params, horizon: float, seed: int):
+    """Picklable campaign task for ``simulate --replications N``."""
+    from repro.sim.replication import simulate_hap_mm1
+
+    return simulate_hap_mm1(params, horizon=horizon, seed=seed)
+
+
 def _command_simulate(args: argparse.Namespace, out) -> int:
     hap = _hap_from_args(args)
+    if args.replications > 1:
+        return _command_simulate_campaign(args, hap, out)
     result = hap.simulate(horizon=args.horizon, seed=args.seed)
     print(f"messages served      : {result.messages_served}", file=out)
     print(f"mean delay           : {result.mean_delay:.6g} s", file=out)
@@ -135,6 +159,38 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     print(f"mean users / apps    : {result.mean_users:.2f} / "
           f"{result.mean_apps:.2f}", file=out)
     return 0
+
+
+def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
+    from functools import partial
+
+    from repro.runtime.executor import ParallelReplicator
+
+    campaign = ParallelReplicator(max_workers=args.workers).run(
+        partial(_simulation_task, hap.params, args.horizon),
+        args.replications,
+        base_seed=args.seed,
+    )
+    summaries = campaign.summaries()
+    for label, name in (
+        ("mean delay           ", "mean_delay"),
+        ("sigma (arrival-busy) ", "sigma"),
+        ("utilization          ", "utilization"),
+        ("mean queue length    ", "mean_queue_length"),
+    ):
+        summary = summaries[name]
+        print(
+            f"{label}: {summary.mean:.6g} +/- {summary.half_width():.2g} "
+            "(95% CI)",
+            file=out,
+        )
+    print(f"campaign             : {campaign.describe()}", file=out)
+    for failure in campaign.failures:
+        print(
+            f"failed replication   : seed {failure.seed}: {failure.error}",
+            file=out,
+        )
+    return 0 if not campaign.failures else 1
 
 
 def _command_size(args: argparse.Namespace, out) -> int:

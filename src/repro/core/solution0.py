@@ -241,9 +241,15 @@ def _stationary_power(
     by sweep, renormalizes, and stops when successive sweeps agree; power
     iteration on the uniformized transition matrix is the same computation
     in matrix form.
+
+    The uniformization rate carries a 1.05 safety margin over the largest
+    exit rate: at exactly the maximum, states with that exit rate get a
+    zero self-loop and the DTMC can be periodic (equal exit rates around a
+    cycle), making power iteration oscillate forever.  The margin leaves
+    every state a self-loop (aperiodicity) without moving the fixed point.
     """
     n = generator.shape[0]
-    rate = float(-generator.diagonal().min())
+    rate = 1.05 * float(-generator.diagonal().min())
     transition = (sp.eye(n, format="csr") + generator / rate).T.tocsr()
     pi = np.full(n, 1.0 / n)
     for _ in range(max_sweeps):

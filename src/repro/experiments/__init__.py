@@ -24,7 +24,11 @@ from repro.experiments.extensions import (
     run_multiplexing_study,
 )
 from repro.experiments.fig08 import run_fig8
-from repro.experiments.fig09_10 import run_fig9, run_fig10_tail
+from repro.experiments.fig09_10 import (
+    run_fig9,
+    run_fig9_empirical,
+    run_fig10_tail,
+)
 from repro.experiments.fig11_12 import run_fig11, run_fig12
 from repro.experiments.fig13_18 import run_fig13, run_fig14_to_17, run_fig18
 from repro.experiments.fig19_20 import (
@@ -32,7 +36,7 @@ from repro.experiments.fig19_20 import (
     run_fig20,
     run_sec5_joint_scaling,
 )
-from repro.experiments.headline import run_headline
+from repro.experiments.headline import run_headline, run_headline_campaign
 
 __all__ = [
     "base_parameters",
@@ -44,6 +48,7 @@ __all__ = [
     "run_bandwidth_gap",
     "run_fig8",
     "run_fig9",
+    "run_fig9_empirical",
     "run_fig10_tail",
     "run_fig11",
     "run_fig12",
@@ -53,6 +58,7 @@ __all__ = [
     "run_fig19",
     "run_fig20",
     "run_headline",
+    "run_headline_campaign",
     "run_heavy_tail_ablation",
     "run_multiplexing_study",
     "run_overlay_design",

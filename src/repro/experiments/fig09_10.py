@@ -5,11 +5,17 @@ exponential (both at ``lambda-bar = 7.5``): HAP starts higher
 (a(0) = 9.28 > 7.5), dips below the exponential through the middle, and
 re-crosses into a heavier tail — intersections at t ≈ 0.077 and ≈ 0.53.
 Short gaps are intra-burst, long gaps are between bursts.
+
+:func:`run_fig9_empirical` backs the closed form with simulation: a
+replicated campaign (via :func:`repro.runtime.sweep.sweep`) measures the
+mean arrival rate the event-driven HAP actually produces and checks it
+against ``lambda-bar`` — the paper's mean interarrival of 0.133 s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -19,8 +25,16 @@ from repro.core.interarrival import (
     poisson_interarrival_density,
 )
 from repro.experiments.configs import fig9_parameters
+from repro.runtime.sweep import SweepPoint, sweep
+from repro.sim.replication import ReplicationSummary, simulate_hap_mm1
 
-__all__ = ["Fig9Result", "run_fig9", "run_fig10_tail"]
+__all__ = [
+    "Fig9EmpiricalResult",
+    "Fig9Result",
+    "run_fig9",
+    "run_fig9_empirical",
+    "run_fig10_tail",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,88 @@ def run_fig9(grid_upper: float = 0.7, grid_points: int = 200) -> Fig9Result:
         grid=grid,
         hap_density=dist.density(grid),
         poisson_density=poisson_interarrival_density(rate, grid),
+    )
+
+
+@dataclass(frozen=True)
+class Fig9EmpiricalResult:
+    """Closed-form interarrival mean versus a replicated simulation.
+
+    Attributes
+    ----------
+    lambda_bar:
+        The closed-form mean message rate (paper: 7.5).
+    rate_summary:
+        Across-replication summary of the measured effective arrival rate.
+    num_replications:
+        Successful replications behind the summary.
+    wall_clock:
+        Campaign wall-clock seconds.
+    """
+
+    lambda_bar: float
+    rate_summary: ReplicationSummary
+    num_replications: int
+    wall_clock: float
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Measured mean interarrival time (paper: 0.133 s)."""
+        return 1.0 / self.rate_summary.mean
+
+    def describe(self) -> str:
+        """Closed form versus measurement, in the paper's units."""
+        return "\n".join(
+            [
+                f"lambda-bar closed form = {self.lambda_bar:.4g} (paper: 7.5)",
+                f"lambda-bar simulated   = {self.rate_summary.mean:.4g} "
+                f"+/- {self.rate_summary.half_width():.2g} "
+                f"({self.num_replications} replications)",
+                f"mean interarrival      = {self.mean_interarrival:.4g} s "
+                "(paper: 0.133)",
+            ]
+        )
+
+
+def _fig9_rate_task(params, horizon, seed):
+    """Picklable sweep task: one HAP run measuring the arrival rate."""
+    return simulate_hap_mm1(params, horizon=horizon, seed=seed)
+
+
+def run_fig9_empirical(
+    horizon: float = 40_000.0,
+    num_replications: int = 4,
+    base_seed: int = 9,
+    max_workers: int | None = None,
+) -> Fig9EmpiricalResult:
+    """Validate the Figure-9 mean interarrival time by simulation.
+
+    Runs a replicated campaign of the Figure-9 HAP through
+    :func:`repro.runtime.sweep.sweep` and summarizes the measured effective
+    arrival rate, whose reciprocal is the paper's 0.133 s mean
+    interarrival.
+    """
+    params = fig9_parameters()
+    result = sweep(
+        [
+            SweepPoint(
+                "fig9-hap",
+                partial(_fig9_rate_task, params, horizon),
+                base_seed=base_seed,
+            )
+        ],
+        num_replications=num_replications,
+        max_workers=max_workers,
+    )
+    result.raise_if_failed()
+    campaign = result["fig9-hap"]
+    return Fig9EmpiricalResult(
+        lambda_bar=params.mean_message_rate,
+        rate_summary=campaign.summaries(("effective_arrival_rate",))[
+            "effective_arrival_rate"
+        ],
+        num_replications=campaign.completed,
+        wall_clock=campaign.wall_clock,
     )
 
 

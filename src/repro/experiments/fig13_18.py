@@ -20,11 +20,13 @@ Poisson at ``mu'' = 15``: means are similar, variances are wildly apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.analysis.convergence import running_mean, running_mean_fluctuation
 from repro.experiments.configs import base_parameters
+from repro.runtime.sweep import SweepPoint, sweep
 from repro.sim.busy_periods import BusyPeriodStats
 from repro.sim.replication import (
     SimulationResult,
@@ -66,23 +68,57 @@ def run_fig13(
     horizon: float = 600_000.0,
     seed: int = 13,
     service_rate: float = 17.0,
+    max_workers: int | None = None,
 ) -> Fig13Result:
     """Compare convergence of the two delay estimators.
 
     Uses per-message delays recorded by dedicated runs; the running mean of
-    those delays is exactly the paper's y-axis.
+    those delays is exactly the paper's y-axis.  The HAP and Poisson runs
+    are independent grid points of a :func:`repro.runtime.sweep.sweep`, so
+    on a multi-core machine they execute concurrently; both pin the same
+    ``seed``, so results match the legacy serial driver exactly.
     """
     params = base_parameters(service_rate=service_rate)
-    hap_delays = _delay_sequence_hap(params, horizon, seed, service_rate)
-    poisson_delays = _delay_sequence_poisson(
-        params.mean_message_rate, horizon, seed, service_rate
+    result = sweep(
+        [
+            SweepPoint(
+                "hap",
+                partial(_hap_delay_task, params, horizon, service_rate),
+                base_seed=seed,
+            ),
+            SweepPoint(
+                "poisson",
+                partial(
+                    _poisson_delay_task,
+                    params.mean_message_rate,
+                    horizon,
+                    service_rate,
+                ),
+                base_seed=seed,
+            ),
+        ],
+        num_replications=1,
+        max_workers=max_workers,
     )
+    result.raise_if_failed()
+    hap_delays = result["hap"].results[0]
+    poisson_delays = result["poisson"].results[0]
     return Fig13Result(
         hap_running_mean=running_mean(hap_delays),
         poisson_running_mean=running_mean(poisson_delays),
         hap_fluctuation=running_mean_fluctuation(hap_delays),
         poisson_fluctuation=running_mean_fluctuation(poisson_delays),
     )
+
+
+def _hap_delay_task(params, horizon, service_rate, seed) -> np.ndarray:
+    """Picklable sweep task: the HAP delay sequence for one seed."""
+    return _delay_sequence_hap(params, horizon, seed, service_rate)
+
+
+def _poisson_delay_task(rate, horizon, service_rate, seed) -> np.ndarray:
+    """Picklable sweep task: the Poisson delay sequence for one seed."""
+    return _delay_sequence_poisson(rate, horizon, seed, service_rate)
 
 
 def _delay_sequence_hap(params, horizon, seed, service_rate) -> np.ndarray:
@@ -248,27 +284,68 @@ class Fig18Result:
         )
 
 
-def run_fig18(
-    horizon: float = 600_000.0,
-    seed: int = 18,
-    service_rate: float = 15.0,
-) -> Fig18Result:
-    """Busy/idle/height statistics for HAP and the load-matched Poisson."""
-    params = base_parameters(service_rate=service_rate)
-    hap = simulate_hap_mm1(
+def _fig18_hap_task(params, horizon, service_rate, seed) -> SimulationResult:
+    """Picklable sweep task: one busy-period-instrumented HAP run."""
+    return simulate_hap_mm1(
         params,
         horizon=horizon,
         seed=seed,
         service_rate=service_rate,
         collect_busy_periods=True,
     )
-    poisson = simulate_source_mm1(
-        lambda sim, rng, emit: PoissonSource(
-            sim, params.mean_message_rate, rng, emit
-        ),
+
+
+def _make_poisson_source(rate, sim, rng, emit) -> PoissonSource:
+    """Picklable source factory for :func:`_fig18_poisson_task`."""
+    return PoissonSource(sim, rate, rng, emit)
+
+
+def _fig18_poisson_task(rate, horizon, service_rate, seed) -> SimulationResult:
+    """Picklable sweep task: the load-matched Poisson run."""
+    return simulate_source_mm1(
+        partial(_make_poisson_source, rate),
         horizon=horizon,
         service_rate=service_rate,
         seed=seed,
         collect_busy_periods=True,
     )
+
+
+def run_fig18(
+    horizon: float = 600_000.0,
+    seed: int = 18,
+    service_rate: float = 15.0,
+    max_workers: int | None = None,
+) -> Fig18Result:
+    """Busy/idle/height statistics for HAP and the load-matched Poisson.
+
+    The two runs are grid points of one :func:`repro.runtime.sweep.sweep`
+    (concurrent on multi-core machines); each pins the same ``seed`` the
+    legacy serial driver used, so the statistics are unchanged.
+    """
+    params = base_parameters(service_rate=service_rate)
+    result = sweep(
+        [
+            SweepPoint(
+                "hap",
+                partial(_fig18_hap_task, params, horizon, service_rate),
+                base_seed=seed,
+            ),
+            SweepPoint(
+                "poisson",
+                partial(
+                    _fig18_poisson_task,
+                    params.mean_message_rate,
+                    horizon,
+                    service_rate,
+                ),
+                base_seed=seed,
+            ),
+        ],
+        num_replications=1,
+        max_workers=max_workers,
+    )
+    result.raise_if_failed()
+    hap = result["hap"].results[0]
+    poisson = result["poisson"].results[0]
     return Fig18Result(hap=hap.busy_stats, poisson=poisson.busy_stats)

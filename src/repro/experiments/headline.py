@@ -11,15 +11,17 @@ The paper's opening numbers (base parameters, ``mu'' = 20``):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.solution0 import solve_solution0
 from repro.core.solution1 import solve_solution1
 from repro.core.solution2 import solve_solution2
 from repro.experiments.configs import base_parameters
 from repro.queueing.mm1 import solve_mm1
+from repro.runtime.executor import CampaignResult, ParallelReplicator
 from repro.sim.replication import simulate_hap_mm1
 
-__all__ = ["HeadlineResult", "run_headline"]
+__all__ = ["HeadlineCampaignResult", "HeadlineResult", "run_headline", "run_headline_campaign"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +99,11 @@ def run_headline(
     sol1 = solve_solution1(params)
     sol2 = solve_solution2(params)
     sim = simulate_hap_mm1(params, horizon=sim_horizon, seed=seed)
+    return _assemble(params, mm1, sol0, sol1, sol2, sim.mean_delay, sim.sigma)
+
+
+def _assemble(params, mm1, sol0, sol1, sol2, sim_delay, sim_sigma):
+    """Fold the per-method numbers into a :class:`HeadlineResult`."""
     return HeadlineResult(
         lambda_bar=params.mean_message_rate,
         delay_solution0=sol0.mean_delay,
@@ -106,7 +113,85 @@ def run_headline(
         sigma_solution1=sol1.sigma,
         delay_solution2=sol2.mean_delay,
         sigma_solution2=sol2.sigma,
-        delay_simulation=sim.mean_delay,
-        sigma_simulation=sim.sigma,
+        delay_simulation=sim_delay,
+        sigma_simulation=sim_sigma,
         delay_mm1=mm1.mean_delay,
     )
+
+
+@dataclass(frozen=True)
+class HeadlineCampaignResult:
+    """The headline comparison with a replicated, parallel simulation column.
+
+    Attributes
+    ----------
+    headline:
+        The cross-method numbers, with the simulation column set to the
+        across-replication mean.
+    campaign:
+        The raw :class:`~repro.runtime.executor.CampaignResult` — seeds,
+        failures, wall-clock, events/sec.
+    """
+
+    headline: HeadlineResult
+    campaign: CampaignResult
+
+    def describe(self) -> str:
+        """Headline rows plus confidence interval and campaign stats."""
+        summaries = self.campaign.summaries()
+        delay = summaries["mean_delay"]
+        return "\n".join(
+            [
+                self.headline.describe(),
+                f"sim delay CI95     = {delay.mean:.4g} "
+                f"+/- {delay.half_width():.2g} "
+                f"({self.campaign.completed} replications)",
+                f"campaign           : {self.campaign.describe()}",
+            ]
+        )
+
+
+def _headline_sim_task(params, horizon, seed):
+    """Picklable campaign task: one headline-parameter HAP simulation."""
+    return simulate_hap_mm1(params, horizon=horizon, seed=seed)
+
+
+def run_headline_campaign(
+    num_replications: int = 4,
+    sim_horizon: float = 400_000.0,
+    base_seed: int = 7,
+    max_workers: int | None = None,
+    solution0_bounds: tuple[int, int] | None = None,
+) -> HeadlineCampaignResult:
+    """The Section-4 comparison with a replicated simulation estimate.
+
+    One long seed is exactly the Figure-13 trap — the mean delay is carried
+    by rare mega-bursts — so the simulation column here is the mean over
+    ``num_replications`` independent seeds, fanned out over ``max_workers``
+    processes (``None`` = machine CPU count).  Analytic solutions run once,
+    in-process, while the campaign is embarrassingly parallel.
+    """
+    params = base_parameters(service_rate=20.0)
+    mm1 = solve_mm1(params.mean_message_rate, 20.0)
+    sol0 = solve_solution0(
+        params, backend="qbd", modulating_bounds=solution0_bounds
+    )
+    sol1 = solve_solution1(params)
+    sol2 = solve_solution2(params)
+    campaign = ParallelReplicator(max_workers=max_workers).run(
+        partial(_headline_sim_task, params, sim_horizon),
+        num_replications,
+        base_seed=base_seed,
+    )
+    campaign.raise_if_failed()
+    summaries = campaign.summaries()
+    headline = _assemble(
+        params,
+        mm1,
+        sol0,
+        sol1,
+        sol2,
+        summaries["mean_delay"].mean,
+        summaries["sigma"].mean,
+    )
+    return HeadlineCampaignResult(headline=headline, campaign=campaign)

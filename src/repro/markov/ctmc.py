@@ -135,9 +135,15 @@ class CTMC:
         return initial @ expm(np.asarray(self.generator, dtype=float) * t)
 
     def _uniformized(self, initial: np.ndarray, t: float, tol: float = 1e-12) -> np.ndarray:
-        """Uniformization: ``p(t) = sum_k Poisson(k; qt) initial P^k``."""
+        """Uniformization: ``p(t) = sum_k Poisson(k; qt) initial P^k``.
+
+        The rate carries a 1.05 margin over the largest exit rate so the
+        uniformized DTMC keeps a self-loop in every state; the series is
+        exact for any rate at or above the maximum, so the margin costs a
+        few extra terms but removes the periodic corner case.
+        """
         q = self.generator
-        rate = float(-min(q.diagonal().min(), 0.0))
+        rate = 1.05 * float(-min(q.diagonal().min(), 0.0))
         if rate == 0.0 or t == 0.0:
             return initial.copy()
         transition = sp.eye(self.num_states, format="csr") + q.tocsr() / rate

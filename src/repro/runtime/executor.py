@@ -1,0 +1,405 @@
+"""The process-pool replication executor.
+
+Execution model
+---------------
+A *campaign* is ``run_one(seed)`` evaluated over a deterministic seed list.
+:func:`derive_seeds` reproduces the legacy serial loop's seeds
+(``base_seed + k``), jobs are dispatched to a
+:class:`concurrent.futures.ProcessPoolExecutor` in chunks, and outcomes are
+re-assembled in replication order — so for the same seeds a parallel
+campaign returns *bit-identical* statistics to the serial one (each
+replication builds its own :class:`~repro.sim.random_streams.RandomStreams`
+from its seed; nothing is shared across replications).
+
+Failure semantics
+-----------------
+A replication that raises is captured as a :class:`ReplicationFailure`
+(seed, error, full traceback) and excluded from the statistics; it never
+kills the campaign.  Callers that want the legacy fail-fast behaviour call
+:meth:`CampaignResult.raise_if_failed`.
+
+Fallbacks
+---------
+``max_workers=1`` runs in-process with the exact same bookkeeping, and an
+unpicklable ``run_one`` (e.g. a test lambda) silently degrades to the
+serial path instead of crashing inside the pool — the results are identical
+either way, only the wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.sim.replication import ReplicationSummary
+
+__all__ = [
+    "CampaignResult",
+    "ParallelReplicator",
+    "ReplicationError",
+    "ReplicationFailure",
+    "default_worker_count",
+    "derive_seeds",
+]
+
+#: Scalar statistics summarized by default — the legacy ``replicate`` set.
+SUMMARY_FIELDS = ("mean_delay", "sigma", "utilization", "mean_queue_length")
+
+
+def default_worker_count(limit: int | None = None) -> int:
+    """Worker count for ``max_workers=None``: the usable CPU count.
+
+    ``limit`` caps the answer (e.g. the number of jobs — spawning more
+    workers than jobs only burns fork time).
+    """
+    count = os.cpu_count() or 1
+    if limit is not None:
+        count = min(count, max(1, limit))
+    return max(1, count)
+
+
+def derive_seeds(num_replications: int, base_seed: int = 0) -> tuple[int, ...]:
+    """The campaign's seed list: ``base_seed + k`` for each replication.
+
+    This is exactly how the legacy serial ``replicate`` derived seeds, and
+    it is the anchor of the determinism guarantee: parallel and serial
+    campaigns evaluate the *same* seed list, and results are keyed by
+    replication index, so summaries match bit for bit.
+    """
+    if num_replications < 1:
+        raise ValueError("need at least one replication")
+    return tuple(base_seed + k for k in range(num_replications))
+
+
+@dataclass(frozen=True)
+class ReplicationFailure:
+    """One replication that raised instead of returning a result.
+
+    Attributes
+    ----------
+    index:
+        Replication index within the campaign (0-based).
+    seed:
+        The seed the failed replication ran with.
+    error:
+        ``repr`` of the exception.
+    traceback:
+        The worker-side formatted traceback, for post-mortems across the
+        process boundary.
+    """
+
+    index: int
+    seed: int
+    error: str
+    traceback: str
+
+
+class ReplicationError(RuntimeError):
+    """Raised by :meth:`CampaignResult.raise_if_failed` when any seed died."""
+
+    def __init__(self, failures: Sequence[ReplicationFailure]):
+        self.failures = tuple(failures)
+        lines = [f"{len(self.failures)} replication(s) failed:"]
+        for failure in self.failures:
+            lines.append(f"  seed {failure.seed}: {failure.error}")
+            lines.append(failure.traceback.rstrip())
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a replication campaign produced.
+
+    Attributes
+    ----------
+    results:
+        Successful per-replication results, ordered by replication index
+        (*not* completion order — that is what keeps parallel runs
+        bit-identical to serial ones).
+    seeds:
+        Seed of each successful result, aligned with ``results``.
+    failures:
+        Captured :class:`ReplicationFailure` records, ordered by index.
+    skipped_seeds:
+        Seeds never dispatched because the wall-clock budget ran out.
+    wall_clock:
+        Campaign wall-clock seconds (dispatch to last collected result).
+    busy_time:
+        Summed per-replication execution seconds — across workers this
+        exceeds ``wall_clock`` when parallelism is paying off.
+    max_workers:
+        Worker processes used (1 = in-process serial path).
+    """
+
+    results: tuple
+    seeds: tuple[int, ...]
+    failures: tuple[ReplicationFailure, ...]
+    skipped_seeds: tuple[int, ...]
+    wall_clock: float
+    busy_time: float
+    max_workers: int
+
+    @property
+    def completed(self) -> int:
+        """Number of replications that returned a result."""
+        return len(self.results)
+
+    @property
+    def requested(self) -> int:
+        """Replications asked for (completed + failed + skipped)."""
+        return len(self.results) + len(self.failures) + len(self.skipped_seeds)
+
+    @property
+    def events_processed(self) -> int:
+        """Simulator events fired across all successful replications."""
+        return int(
+            sum(getattr(result, "events_processed", 0) for result in self.results)
+        )
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate simulation throughput: events / campaign wall-clock."""
+        if self.wall_clock <= 0.0:
+            return math.nan
+        return self.events_processed / self.wall_clock
+
+    def raise_if_failed(self) -> None:
+        """Re-raise captured failures as one :class:`ReplicationError`."""
+        if self.failures:
+            raise ReplicationError(self.failures)
+
+    def summaries(
+        self, fields: Sequence[str] = SUMMARY_FIELDS
+    ) -> dict[str, ReplicationSummary]:
+        """Across-replication summaries of the named scalar attributes."""
+        return {
+            name: ReplicationSummary(
+                tuple(float(getattr(result, name)) for result in self.results)
+            )
+            for name in fields
+        }
+
+    def describe(self) -> str:
+        """One line of progress/timing stats for logs and benchmarks."""
+        rate = self.events_per_second
+        rate_text = f"{rate:,.0f} events/s" if not math.isnan(rate) else "n/a"
+        parts = [
+            f"{self.completed}/{self.requested} replications",
+            f"{self.max_workers} worker(s)",
+            f"{self.wall_clock:.2f} s wall",
+            f"{self.busy_time:.2f} s busy",
+            rate_text,
+        ]
+        if self.failures:
+            parts.append(f"{len(self.failures)} failed")
+        if self.skipped_seeds:
+            parts.append(f"{len(self.skipped_seeds)} skipped (budget)")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One unit of dispatch: run ``task(seed)`` as replication ``index``."""
+
+    index: int
+    seed: int
+    task: Callable
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """What came back for one job (crosses the process boundary, so it
+    carries strings rather than exception objects)."""
+
+    index: int
+    seed: int
+    value: object
+    error: str | None
+    traceback: str | None
+    elapsed: float
+
+
+def _execute_job(job: _Job) -> _Outcome:
+    """Worker-side wrapper: run one job, capturing any exception."""
+    started = time.perf_counter()
+    try:
+        value = job.task(job.seed)
+    except Exception as exc:  # noqa: BLE001 — failures must not kill the pool
+        return _Outcome(
+            index=job.index,
+            seed=job.seed,
+            value=None,
+            error=repr(exc),
+            traceback=traceback.format_exc(),
+            elapsed=time.perf_counter() - started,
+        )
+    return _Outcome(
+        index=job.index,
+        seed=job.seed,
+        value=value,
+        error=None,
+        traceback=None,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def _is_picklable(value) -> bool:
+    """Whether ``value`` can cross a process boundary."""
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 — any pickling error means "no"
+        return False
+    return True
+
+
+def _chunked(jobs: Sequence[_Job], size: int):
+    """Yield ``jobs`` in dispatch chunks of ``size``."""
+    for start in range(0, len(jobs), size):
+        yield jobs[start : start + size]
+
+
+def run_jobs(
+    jobs: Sequence[_Job],
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    wall_clock_budget: float | None = None,
+) -> tuple[list[_Outcome], list[_Job], float, int]:
+    """Run jobs over a process pool (or in-process) with chunked dispatch.
+
+    The engine behind both :class:`ParallelReplicator` and
+    :func:`~repro.runtime.sweep.sweep`.  Returns ``(outcomes, skipped,
+    wall_clock, workers_used)`` where ``skipped`` are jobs never dispatched
+    because ``wall_clock_budget`` (seconds) was exhausted.  The budget is
+    checked at chunk boundaries: a dispatched chunk always runs to
+    completion, so a budget never truncates an individual replication.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return [], [], 0.0, 1
+    workers = (
+        default_worker_count(limit=len(jobs))
+        if max_workers is None
+        else max(1, int(max_workers))
+    )
+    if workers > 1 and not all(_is_picklable(job) for job in jobs):
+        workers = 1  # unpicklable task: degrade to the identical serial path
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(jobs) / max(1, 2 * workers)))
+    chunk_size = max(1, int(chunk_size))
+
+    outcomes: list[_Outcome] = []
+    skipped: list[_Job] = []
+    started = time.perf_counter()
+
+    def over_budget() -> bool:
+        return (
+            wall_clock_budget is not None
+            and time.perf_counter() - started >= wall_clock_budget
+        )
+
+    if workers == 1:
+        for chunk in _chunked(jobs, chunk_size):
+            if over_budget():
+                skipped.extend(chunk)
+                continue
+            outcomes.extend(_execute_job(job) for job in chunk)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = list(_chunked(jobs, chunk_size))
+            for position, chunk in enumerate(pending):
+                if over_budget():
+                    for late_chunk in pending[position:]:
+                        skipped.extend(late_chunk)
+                    break
+                futures = [pool.submit(_execute_job, job) for job in chunk]
+                for job, future in zip(chunk, futures):
+                    try:
+                        outcomes.append(future.result())
+                    except Exception as exc:  # noqa: BLE001 — broken pool
+                        outcomes.append(
+                            _Outcome(
+                                index=job.index,
+                                seed=job.seed,
+                                value=None,
+                                error=repr(exc),
+                                traceback=traceback.format_exc(),
+                                elapsed=0.0,
+                            )
+                        )
+    return outcomes, skipped, time.perf_counter() - started, workers
+
+
+class ParallelReplicator:
+    """Fan ``run_one(seed)`` out over worker processes, deterministically.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``None`` uses the machine's CPU count (capped at
+        the number of jobs), ``1`` forces the in-process serial path.
+    chunk_size:
+        Jobs dispatched per chunk; ``None`` picks ``ceil(n / 2·workers)``.
+        Smaller chunks give a wall-clock budget finer granularity at
+        slightly higher dispatch overhead.
+
+    Examples
+    --------
+    ``ParallelReplicator(max_workers=4).run(task, 8, base_seed=3)`` runs
+    seeds 3..10 and returns summaries bit-identical to
+    ``ParallelReplicator(max_workers=1).run(task, 8, base_seed=3)``.
+    """
+
+    def __init__(
+        self, max_workers: int | None = None, chunk_size: int | None = None
+    ):
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    def run(
+        self,
+        run_one: Callable,
+        num_replications: int,
+        base_seed: int = 0,
+        wall_clock_budget: float | None = None,
+    ) -> CampaignResult:
+        """Run the campaign and collect a :class:`CampaignResult`.
+
+        ``run_one`` must be picklable (a module-level function or a
+        :func:`functools.partial` over one) for the pool to be used;
+        otherwise the campaign silently runs serially with identical
+        results.
+        """
+        seeds = derive_seeds(num_replications, base_seed)
+        jobs = [
+            _Job(index=k, seed=seed, task=run_one) for k, seed in enumerate(seeds)
+        ]
+        outcomes, skipped, wall_clock, workers = run_jobs(
+            jobs,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            wall_clock_budget=wall_clock_budget,
+        )
+        outcomes.sort(key=lambda outcome: outcome.index)
+        successes = [o for o in outcomes if o.error is None]
+        failures = tuple(
+            ReplicationFailure(
+                index=o.index, seed=o.seed, error=o.error, traceback=o.traceback
+            )
+            for o in outcomes
+            if o.error is not None
+        )
+        return CampaignResult(
+            results=tuple(o.value for o in successes),
+            seeds=tuple(o.seed for o in successes),
+            failures=failures,
+            skipped_seeds=tuple(job.seed for job in skipped),
+            wall_clock=wall_clock,
+            busy_time=sum(o.elapsed for o in outcomes),
+            max_workers=workers,
+        )

@@ -16,6 +16,7 @@ HAP workload:
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -80,17 +81,23 @@ class Simulator:
         Raises
         ------
         ValueError
-            For negative delays — time only moves forward.
+            For negative or non-finite delays — time only moves forward,
+            and a NaN delay would pass a plain ``delay < 0`` check yet
+            corrupt heap ordering (NaN compares False against everything),
+            silently stalling :meth:`run_until`.
         """
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay {delay})")
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(
+                f"delay must be finite and non-negative (got {delay})"
+            )
         return self.schedule_at(self.now + delay, action)
 
     def schedule_at(self, time: float, action: Action) -> Event:
-        """Schedule ``action`` at absolute ``time >= now``."""
-        if time < self.now:
+        """Schedule ``action`` at absolute finite ``time >= now``."""
+        if not math.isfinite(time) or time < self.now:
             raise ValueError(
-                f"cannot schedule at {time} before current time {self.now}"
+                f"schedule time must be finite and >= current time "
+                f"{self.now} (got {time})"
             )
         event = Event(time=time, sequence=self._sequence, action=action)
         self._sequence += 1

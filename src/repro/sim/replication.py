@@ -61,6 +61,7 @@ class SimulationResult:
     mean_users: float = math.nan
     mean_apps: float = math.nan
     delay_variance: float = math.nan
+    events_processed: int = 0
     extras: dict = field(default_factory=dict)
 
     def littles_law_residual(self) -> float:
@@ -112,6 +113,7 @@ def simulate_hap_mm1(
         service_rate = params.common_service_rate()
     if warmup is None:
         warmup = min(10.0 / params.user_departure_rate, 0.1 * horizon)
+    _validate_window(horizon, warmup)
     if collect_busy_periods and trace_stride == 0:
         trace_stride = 1
 
@@ -172,6 +174,7 @@ def simulate_source_mm1(
     """
     if warmup is None:
         warmup = 0.05 * horizon
+    _validate_window(horizon, warmup)
     if collect_busy_periods and trace_stride == 0:
         trace_stride = 1
     sim = Simulator()
@@ -206,6 +209,7 @@ def simulate_client_server_mm1(
     """
     if warmup is None:
         warmup = min(10.0 / params.user_departure_rate, 0.1 * horizon)
+    _validate_window(horizon, warmup)
     sim = Simulator()
     streams = RandomStreams(seed)
     source_holder: list[ClientServerHAPSource] = []
@@ -233,6 +237,25 @@ def simulate_client_server_mm1(
     result.extras["requests_emitted"] = source.requests_emitted
     result.extras["responses_emitted"] = source.responses_emitted
     return result
+
+
+def _validate_window(horizon: float, warmup: float) -> None:
+    """Reject measurement windows that are empty or inverted.
+
+    ``warmup >= horizon`` used to slip through and divide the arrival count
+    by the ``1e-12`` floor in :func:`_collect`, yielding an absurd
+    ``effective_arrival_rate`` (and NaN-free garbage downstream) instead of
+    an error.
+    """
+    if not math.isfinite(horizon) or horizon <= 0:
+        raise ValueError(f"horizon must be positive and finite (got {horizon})")
+    if not math.isfinite(warmup) or warmup < 0:
+        raise ValueError(f"warmup must be finite and >= 0 (got {warmup})")
+    if warmup >= horizon:
+        raise ValueError(
+            f"warmup ({warmup}) must end before the horizon ({horizon}); "
+            "nothing would be measured"
+        )
 
 
 def _collect(
@@ -265,6 +288,7 @@ def _collect(
         mean_users=mean_users,
         mean_apps=mean_apps,
         delay_variance=queue.delays.variance,
+        events_processed=queue.sim.events_processed,
     )
 
 
@@ -299,21 +323,23 @@ def replicate(
     run_one,
     num_replications: int,
     base_seed: int = 0,
+    max_workers: int = 1,
 ) -> dict[str, ReplicationSummary]:
     """Run ``run_one(seed) -> SimulationResult`` over distinct seeds.
 
     Returns summaries for the scalar statistics (delay, sigma, utilization,
-    queue length) keyed by name.
+    queue length) keyed by name.  Delegates to
+    :class:`repro.runtime.executor.ParallelReplicator`; seeds are
+    ``base_seed + k`` at every worker count, and results are assembled in
+    replication order, so ``max_workers=4`` returns summaries bit-identical
+    to the legacy serial loop (``max_workers=1``, the default).  A
+    replication that raises re-raises here — use the runtime directly for
+    failure-tolerant campaigns.
     """
-    if num_replications < 1:
-        raise ValueError("need at least one replication")
-    results = [run_one(base_seed + k) for k in range(num_replications)]
-    scalars = {
-        "mean_delay": [r.mean_delay for r in results],
-        "sigma": [r.sigma for r in results],
-        "utilization": [r.utilization for r in results],
-        "mean_queue_length": [r.mean_queue_length for r in results],
-    }
-    return {
-        name: ReplicationSummary(tuple(values)) for name, values in scalars.items()
-    }
+    from repro.runtime.executor import ParallelReplicator
+
+    campaign = ParallelReplicator(max_workers=max_workers).run(
+        run_one, num_replications, base_seed=base_seed
+    )
+    campaign.raise_if_failed()
+    return campaign.summaries()

@@ -36,6 +36,42 @@ class TestSolution0Backends:
         with pytest.raises(ValueError, match="backend"):
             solve_solution0(small_hap, backend="magic")
 
+    def test_power_iteration_survives_periodic_uniformization(self):
+        """Regression: with a zero-margin uniformization rate, a chain whose
+        states share the same exit rate gets a zero self-loop everywhere and
+        the uniformized DTMC can be periodic — power iteration then
+        oscillates forever instead of converging (a symmetric 2-state
+        generator is the textbook case; this bipartite 3-state one also has
+        a non-uniform fixed point, so the oscillation is visible from the
+        uniform start).  The 1.05 safety margin restores aperiodicity
+        without moving the fixed point."""
+        import scipy.sparse as sp
+
+        from repro.core.solution0 import _stationary_power
+
+        generator = sp.csr_matrix(
+            np.array(
+                [
+                    [-1.0, 1.0, 0.0],
+                    [0.5, -1.0, 0.5],
+                    [0.0, 1.0, -1.0],
+                ]
+            )
+        )
+        pi = _stationary_power(generator, tol=1e-12, max_sweeps=100_000)
+        assert pi == pytest.approx(np.array([0.25, 0.5, 0.25]), abs=1e-9)
+
+    def test_power_symmetric_two_state_converges(self):
+        """The issue's canonical shape: both exit rates equal — at zero
+        margin the uniformized chain is a pure swap."""
+        import scipy.sparse as sp
+
+        from repro.core.solution0 import _stationary_power
+
+        generator = sp.csr_matrix(np.array([[-2.0, 2.0], [2.0, -2.0]]))
+        pi = _stationary_power(generator, tol=1e-12, max_sweeps=10_000)
+        assert pi == pytest.approx(np.array([0.5, 0.5]), abs=1e-9)
+
     def test_boundary_mass_reported(self, small_hap):
         tight = solve_solution0(
             small_hap, backend="direct", modulating_bounds=(6, 12), z_max=30

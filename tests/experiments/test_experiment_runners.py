@@ -45,6 +45,21 @@ class TestFig9:
         # Only the second crossing falls in the window.
         assert len(result.intersections) == 1
 
+    def test_empirical_rate_matches_closed_form(self):
+        from repro.experiments.fig09_10 import run_fig9_empirical
+
+        result = run_fig9_empirical(
+            horizon=8_000.0, num_replications=2, max_workers=1
+        )
+        assert result.lambda_bar == pytest.approx(7.5)
+        # The smoke horizon is far shorter than the user-level relaxation
+        # time, so the measured rate sits below lambda-bar; the full-size
+        # comparison lives in benchmarks.
+        assert 0.0 < result.rate_summary.mean < 1.2 * result.lambda_bar
+        assert result.mean_interarrival > 0.0
+        assert result.num_replications == 2
+        assert "0.133" in result.describe()
+
 
 class TestFig11And12:
     def test_fig11_short_run_shape(self):

@@ -98,6 +98,16 @@ class TestTransient:
         out = two_state().transient_distribution(np.array([0.5, 0.5]), 1.3)
         assert out.sum() == pytest.approx(1.0)
 
+    def test_equal_exit_rates_uniformization_stays_exact(self):
+        """A symmetric 2-state generator uniformized at the exact maximum
+        exit rate gives a pure-swap DTMC; the 1.05 safety margin keeps a
+        self-loop in every state and the series still matches ``expm``."""
+        q = np.array([[-2.0, 2.0], [2.0, -2.0]])
+        initial = np.array([1.0, 0.0])
+        dense = CTMC(q).transient_distribution(initial, 0.9)
+        sparse = CTMC(sp.csr_matrix(q)).transient_distribution(initial, 0.9)
+        np.testing.assert_allclose(dense, sparse, atol=1e-9)
+
 
 class TestEmbeddedChain:
     def test_rows_are_distributions(self):

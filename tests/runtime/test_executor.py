@@ -1,0 +1,178 @@
+"""Tests for repro.runtime.executor."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime.executor import (
+    CampaignResult,
+    ParallelReplicator,
+    ReplicationError,
+    default_worker_count,
+    derive_seeds,
+)
+
+
+@dataclass(frozen=True)
+class FakeResult:
+    """A picklable stand-in for SimulationResult's scalar surface."""
+
+    mean_delay: float
+    sigma: float
+    utilization: float
+    mean_queue_length: float
+    events_processed: int
+
+
+def _fake_run(seed: int) -> FakeResult:
+    """Deterministic, picklable task: statistics derived from the seed."""
+    return FakeResult(
+        mean_delay=float(seed) * 0.25,
+        sigma=0.5,
+        utilization=0.4,
+        mean_queue_length=float(seed),
+        events_processed=100 + seed,
+    )
+
+
+def _explode_on_seed_two(seed: int) -> FakeResult:
+    """Task that crashes for exactly one seed of the campaign."""
+    if seed == 2:
+        raise ValueError("injected failure for seed 2")
+    return _fake_run(seed)
+
+
+def _slow_run(seed: int) -> FakeResult:
+    """Task slow enough for a wall-clock budget to bite between chunks."""
+    time.sleep(0.05)
+    return _fake_run(seed)
+
+
+class TestSeedDerivation:
+    def test_matches_legacy_serial_seeds(self):
+        assert derive_seeds(4, base_seed=10) == (10, 11, 12, 13)
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+        assert default_worker_count(limit=1) == 1
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_summaries_across_worker_counts(self):
+        serial = ParallelReplicator(max_workers=1).run(_fake_run, 6, base_seed=3)
+        parallel = ParallelReplicator(max_workers=4).run(
+            _fake_run, 6, base_seed=3
+        )
+        assert serial.seeds == parallel.seeds == (3, 4, 5, 6, 7, 8)
+        for name, summary in serial.summaries().items():
+            assert summary.values == parallel.summaries()[name].values, name
+
+    def test_results_ordered_by_replication_index(self):
+        campaign = ParallelReplicator(max_workers=3).run(
+            _fake_run, 5, base_seed=0
+        )
+        assert [r.mean_queue_length for r in campaign.results] == [
+            0.0,
+            1.0,
+            2.0,
+            3.0,
+            4.0,
+        ]
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        campaign = ParallelReplicator(max_workers=4).run(
+            lambda seed: _fake_run(seed), 3, base_seed=0
+        )
+        assert campaign.max_workers == 1
+        assert campaign.completed == 3
+
+
+class TestFailureCapture:
+    def test_one_crash_does_not_abort_the_campaign(self):
+        campaign = ParallelReplicator(max_workers=2).run(
+            _explode_on_seed_two, 4, base_seed=0
+        )
+        assert campaign.completed == 3
+        assert campaign.seeds == (0, 1, 3)
+        assert len(campaign.failures) == 1
+        failure = campaign.failures[0]
+        assert failure.seed == 2
+        assert "ValueError" in failure.error
+        assert "injected failure" in failure.traceback
+
+    def test_raise_if_failed_carries_traceback(self):
+        campaign = ParallelReplicator(max_workers=1).run(
+            _explode_on_seed_two, 4, base_seed=0
+        )
+        with pytest.raises(ReplicationError, match="injected failure"):
+            campaign.raise_if_failed()
+
+    def test_clean_campaign_does_not_raise(self):
+        ParallelReplicator(max_workers=1).run(
+            _fake_run, 2, base_seed=0
+        ).raise_if_failed()
+
+
+class TestProgressStats:
+    def test_events_aggregated_across_replications(self):
+        campaign = ParallelReplicator(max_workers=1).run(
+            _fake_run, 3, base_seed=0
+        )
+        assert campaign.events_processed == 100 + 101 + 102
+        assert campaign.events_per_second > 0
+        assert campaign.busy_time >= 0.0
+
+    def test_describe_mentions_counts_and_workers(self):
+        campaign = ParallelReplicator(max_workers=1).run(
+            _explode_on_seed_two, 4, base_seed=0
+        )
+        text = campaign.describe()
+        assert "3/4 replications" in text
+        assert "1 failed" in text
+
+    def test_requested_counts_all_outcomes(self):
+        campaign = ParallelReplicator(max_workers=1).run(
+            _explode_on_seed_two, 4, base_seed=0
+        )
+        assert campaign.requested == 4
+
+
+class TestWallClockBudget:
+    def test_budget_skips_undispatched_chunks(self):
+        campaign = ParallelReplicator(max_workers=1, chunk_size=1).run(
+            _slow_run, 6, base_seed=0, wall_clock_budget=0.01
+        )
+        # The first chunk always runs; later chunks are skipped.
+        assert campaign.completed >= 1
+        assert campaign.skipped_seeds
+        assert campaign.completed + len(campaign.skipped_seeds) == 6
+        assert campaign.requested == 6
+
+    def test_no_budget_runs_everything(self):
+        campaign = ParallelReplicator(max_workers=1, chunk_size=2).run(
+            _fake_run, 5, base_seed=0
+        )
+        assert campaign.skipped_seeds == ()
+        assert campaign.completed == 5
+
+
+class TestEmptyStats:
+    def test_events_per_second_nan_for_zero_wall_clock(self):
+        campaign = CampaignResult(
+            results=(),
+            seeds=(),
+            failures=(),
+            skipped_seeds=(),
+            wall_clock=0.0,
+            busy_time=0.0,
+            max_workers=1,
+        )
+        assert math.isnan(campaign.events_per_second)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.sim.engine import Simulator
@@ -36,6 +38,35 @@ class TestScheduling:
     def test_rejects_negative_delay(self):
         with pytest.raises(ValueError):
             Simulator().schedule(-1.0, lambda s: None)
+
+    def test_rejects_nan_delay(self):
+        # Regression: NaN passed the old `delay < 0` check (NaN compares
+        # False), corrupting heap order and silently stalling run_until.
+        with pytest.raises(ValueError, match="finite"):
+            Simulator().schedule(math.nan, lambda s: None)
+
+    def test_rejects_infinite_delay(self):
+        with pytest.raises(ValueError, match="finite"):
+            Simulator().schedule(math.inf, lambda s: None)
+
+    def test_rejects_non_finite_absolute_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="finite"):
+            sim.schedule_at(math.nan, lambda s: None)
+        with pytest.raises(ValueError, match="finite"):
+            sim.schedule_at(math.inf, lambda s: None)
+
+    def test_heap_order_survives_rejected_nan(self):
+        # The NaN attempt must leave no trace: later events still fire in
+        # time order.
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda s: fired.append("late"))
+        with pytest.raises(ValueError):
+            sim.schedule(math.nan, lambda s: fired.append("nan"))
+        sim.schedule(1.0, lambda s: fired.append("early"))
+        sim.run_until(3.0)
+        assert fired == ["early", "late"]
 
     def test_rejects_past_absolute_time(self):
         sim = Simulator()

@@ -3,15 +3,24 @@
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import pytest
 
 from repro.sim.replication import (
     replicate,
+    simulate_client_server_mm1,
     simulate_hap_mm1,
     simulate_source_mm1,
 )
 from repro.sim.sources import PoissonSource
+
+
+def _crashing_run(small_hap_params, seed: int):
+    """Picklable run_one that dies on one specific seed."""
+    if seed == 1:
+        raise RuntimeError(f"injected crash at seed {seed}")
+    return simulate_hap_mm1(small_hap_params, horizon=1_500.0, seed=seed)
 
 
 class TestSimulateHAP:
@@ -102,3 +111,88 @@ class TestReplicate:
     def test_rejects_zero_replications(self, small_hap):
         with pytest.raises(ValueError):
             replicate(lambda seed: None, num_replications=0)
+
+    def test_parallel_matches_serial_seed_for_seed(self, small_hap):
+        """replicate(..., max_workers=4) is bit-identical to the serial run."""
+        run_one = partial(simulate_hap_mm1, small_hap, 1_500.0)
+        serial = replicate(run_one, num_replications=4, base_seed=11)
+        parallel = replicate(
+            run_one, num_replications=4, base_seed=11, max_workers=4
+        )
+        for name, summary in serial.items():
+            assert summary.values == parallel[name].values, name
+
+    def test_crashing_replication_reported_not_fatal(self, small_hap):
+        """One bad seed is captured by the runtime, not allowed to kill the
+        campaign; replicate() itself re-raises for legacy callers."""
+        from repro.runtime.executor import ParallelReplicator, ReplicationError
+
+        run_one = partial(_crashing_run, small_hap)
+        campaign = ParallelReplicator(max_workers=2).run(
+            run_one, 4, base_seed=0
+        )
+        assert campaign.completed == 3
+        assert [failure.seed for failure in campaign.failures] == [1]
+        assert "injected crash" in campaign.failures[0].traceback
+        summaries = campaign.summaries()
+        assert len(summaries["mean_delay"].values) == 3
+        with pytest.raises(ReplicationError, match="injected crash"):
+            replicate(run_one, num_replications=4, max_workers=2)
+
+    def test_events_processed_surfaced(self, small_hap):
+        result = simulate_hap_mm1(small_hap, horizon=2_000.0, seed=1)
+        assert result.events_processed > 0
+
+
+class TestWindowValidation:
+    def test_hap_rejects_warmup_at_horizon(self, small_hap):
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_hap_mm1(small_hap, horizon=100.0, warmup=100.0)
+
+    def test_hap_rejects_warmup_beyond_horizon(self, small_hap):
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_hap_mm1(small_hap, horizon=100.0, warmup=250.0)
+
+    def test_source_rejects_warmup_beyond_horizon(self):
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_source_mm1(
+                lambda sim, rng, emit: PoissonSource(sim, 1.0, rng, emit),
+                horizon=50.0,
+                service_rate=5.0,
+                warmup=50.0,
+            )
+
+    def test_client_server_rejects_warmup_beyond_horizon(self):
+        from repro.core.client_server import (
+            ClientServerApplicationType,
+            ClientServerHAPParameters,
+            ClientServerMessageType,
+        )
+
+        message = ClientServerMessageType(
+            arrival_rate=0.3,
+            request_service_rate=20.0,
+            response_service_rate=10.0,
+            p_response=0.8,
+            p_next_request=0.5,
+        )
+        app = ClientServerApplicationType(
+            arrival_rate=0.05, departure_rate=0.05, messages=(message,)
+        )
+        params = ClientServerHAPParameters(
+            user_arrival_rate=0.05,
+            user_departure_rate=0.05,
+            applications=(app,),
+        )
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_client_server_mm1(
+                params, horizon=10.0, service_rate=20.0, warmup=10.0
+            )
+
+    def test_negative_warmup_rejected(self, small_hap):
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_hap_mm1(small_hap, horizon=100.0, warmup=-1.0)
+
+    def test_non_positive_horizon_rejected(self, small_hap):
+        with pytest.raises(ValueError, match="horizon"):
+            simulate_hap_mm1(small_hap, horizon=0.0, warmup=0.0)

@@ -53,6 +53,39 @@ class TestSimulate:
         _, second = run_cli(["simulate", *SMALL, "--horizon", "2000", "--seed", "5"])
         assert first == second
 
+    def test_replicated_campaign_reports_confidence(self):
+        code, text = run_cli(
+            [
+                "simulate",
+                *SMALL,
+                "--horizon",
+                "1500",
+                "--seed",
+                "2",
+                "--replications",
+                "3",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "95% CI" in text
+        assert "campaign" in text
+        assert "replications" in text
+
+    def test_campaign_is_worker_count_invariant(self):
+        base = [
+            "simulate", *SMALL, "--horizon", "1500", "--seed", "2",
+            "--replications", "3",
+        ]
+        _, serial = run_cli([*base, "--workers", "1"])
+        _, parallel = run_cli([*base, "--workers", "3"])
+        # Strip the timing line — wall-clock differs; statistics must not.
+        strip = lambda text: [
+            line for line in text.splitlines() if "campaign" not in line
+        ]
+        assert strip(serial) == strip(parallel)
+
 
 class TestSize:
     def test_sizing_output(self):

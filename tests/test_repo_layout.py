@@ -75,6 +75,7 @@ class TestPackaging:
             "analysis",
             "control",
             "experiments",
+            "runtime",
             "cli",
         }
         found = {
