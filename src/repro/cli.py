@@ -171,6 +171,14 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
         args.replications,
         base_seed=args.seed,
     )
+    if campaign.completed == 0:
+        print("error: every replication failed", file=out)
+        for failure in campaign.failures:
+            print(
+                f"failed replication   : seed {failure.seed}: {failure.error}",
+                file=out,
+            )
+        return 1
     summaries = campaign.summaries()
     for label, name in (
         ("mean delay           ", "mean_delay"),

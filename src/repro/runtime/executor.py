@@ -21,9 +21,11 @@ kills the campaign.  Callers that want the legacy fail-fast behaviour call
 Fallbacks
 ---------
 ``max_workers=1`` runs in-process with the exact same bookkeeping, and an
-unpicklable ``run_one`` (e.g. a test lambda) silently degrades to the
-serial path instead of crashing inside the pool — the results are identical
-either way, only the wall-clock differs.
+unpicklable ``run_one`` (e.g. a test lambda) degrades to the serial path
+instead of crashing inside the pool — the results are identical either way,
+only the wall-clock differs.  When parallelism was *explicitly* requested
+(``max_workers > 1``) the downgrade emits a :class:`RuntimeWarning` so slow
+campaigns stay diagnosable.
 """
 
 from __future__ import annotations
@@ -33,8 +35,9 @@ import os
 import pickle
 import time
 import traceback
+import warnings
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.sim.replication import ReplicationSummary
@@ -275,8 +278,13 @@ def run_jobs(
     The engine behind both :class:`ParallelReplicator` and
     :func:`~repro.runtime.sweep.sweep`.  Returns ``(outcomes, skipped,
     wall_clock, workers_used)`` where ``skipped`` are jobs never dispatched
-    because ``wall_clock_budget`` (seconds) was exhausted.  The budget is
-    checked at chunk boundaries: a dispatched chunk always runs to
+    because ``wall_clock_budget`` (seconds) was exhausted.
+
+    The pool is kept saturated: enough chunks are submitted up front to
+    keep roughly two jobs per worker in flight, results are collected as
+    they complete, and further chunks are submitted as slots free up — so
+    even a campaign of ``n <= workers`` jobs fans out fully.  The budget is
+    checked before each chunk submission; a dispatched job always runs to
     completion, so a budget never truncates an individual replication.
     """
     jobs = list(jobs)
@@ -288,6 +296,14 @@ def run_jobs(
         else max(1, int(max_workers))
     )
     if workers > 1 and not all(_is_picklable(job) for job in jobs):
+        if max_workers is not None:
+            warnings.warn(
+                f"max_workers={max_workers} requested but the task is not "
+                "picklable; running serially in-process (results are "
+                "identical, only slower)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         workers = 1  # unpicklable task: degrade to the identical serial path
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(jobs) / max(1, 2 * workers)))
@@ -310,15 +326,28 @@ def run_jobs(
                 continue
             outcomes.extend(_execute_job(job) for job in chunk)
     else:
+        chunks = list(_chunked(jobs, chunk_size))
+        position = 0
+        in_flight: dict = {}  # future -> job
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = list(_chunked(jobs, chunk_size))
-            for position, chunk in enumerate(pending):
-                if over_budget():
-                    for late_chunk in pending[position:]:
-                        skipped.extend(late_chunk)
-                    break
-                futures = [pool.submit(_execute_job, job) for job in chunk]
-                for job, future in zip(chunk, futures):
+
+            def top_up() -> None:
+                # Keep ~2 jobs per worker in flight: no worker idles at a
+                # chunk boundary, while later chunks stay unsubmitted (and
+                # therefore skippable) when the budget runs out.
+                nonlocal position
+                while position < len(chunks) and len(in_flight) < 2 * workers:
+                    if over_budget():
+                        break
+                    for job in chunks[position]:
+                        in_flight[pool.submit(_execute_job, job)] = job
+                    position += 1
+
+            top_up()
+            while in_flight:
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = in_flight.pop(future)
                     try:
                         outcomes.append(future.result())
                     except Exception as exc:  # noqa: BLE001 — broken pool
@@ -332,6 +361,9 @@ def run_jobs(
                                 elapsed=0.0,
                             )
                         )
+                top_up()
+        for late_chunk in chunks[position:]:
+            skipped.extend(late_chunk)
     return outcomes, skipped, time.perf_counter() - started, workers
 
 
@@ -372,8 +404,9 @@ class ParallelReplicator:
 
         ``run_one`` must be picklable (a module-level function or a
         :func:`functools.partial` over one) for the pool to be used;
-        otherwise the campaign silently runs serially with identical
-        results.
+        otherwise the campaign runs serially with identical results and a
+        :class:`RuntimeWarning` is emitted when ``max_workers > 1`` was
+        explicitly requested.
         """
         seeds = derive_seeds(num_replications, base_seed)
         jobs = [

@@ -55,7 +55,15 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepPointResult:
-    """One grid point's campaign, keyed by its label."""
+    """One grid point's campaign, keyed by its label.
+
+    Points share one pool and their replications interleave, so a per-point
+    wall time is not well defined: ``campaign.wall_clock`` (and hence
+    ``campaign.events_per_second``) is the *whole-sweep* wall-clock, the
+    same for every point.  For a per-point cost figure use
+    ``campaign.busy_time`` — the summed execution seconds of that point's
+    replications alone.
+    """
 
     label: str
     campaign: CampaignResult
@@ -125,7 +133,13 @@ class SweepResult:
             raise ReplicationError(self.failures)
 
     def describe(self) -> str:
-        """Per-point progress/timing lines plus a sweep total."""
+        """Per-point progress/timing lines plus a sweep total.
+
+        The wall-clock (and events/s) on each per-point line is the shared
+        whole-sweep wall-clock, not a per-point time — see
+        :class:`SweepPointResult`; per-point busy seconds are the
+        point-specific figure.
+        """
         lines = [
             f"{point.label:<12} {point.campaign.describe()}"
             for point in self.points
@@ -182,6 +196,13 @@ def sweep(
         Optional budget in seconds, checked at chunk boundaries.  Jobs are
         dispatched round-robin across points, so a truncated sweep has
         evenly thinned replication counts instead of whole missing points.
+
+    Notes
+    -----
+    Each returned :class:`~repro.runtime.executor.CampaignResult` carries
+    the *whole-sweep* wall-clock (points interleave over one shared pool),
+    so per-point throughput should be read off ``busy_time``; see
+    :class:`SweepPointResult`.
     """
     if num_replications < 1:
         raise ValueError("need at least one replication per point")

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import math
+import multiprocessing
 import time
+import warnings
 from dataclasses import dataclass
+from functools import partial
 
 import pytest
 
@@ -52,6 +55,12 @@ def _slow_run(seed: int) -> FakeResult:
     return _fake_run(seed)
 
 
+def _rendezvous(barrier, seed: int) -> FakeResult:
+    """Task that completes only if another replication runs at the same time."""
+    barrier.wait(timeout=30.0)
+    return _fake_run(seed)
+
+
 class TestSeedDerivation:
     def test_matches_legacy_serial_seeds(self):
         assert derive_seeds(4, base_seed=10) == (10, 11, 12, 13)
@@ -87,12 +96,33 @@ class TestParallelMatchesSerial:
             4.0,
         ]
 
-    def test_unpicklable_task_falls_back_to_serial(self):
-        campaign = ParallelReplicator(max_workers=4).run(
-            lambda seed: _fake_run(seed), 3, base_seed=0
-        )
+    def test_unpicklable_task_falls_back_to_serial_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            campaign = ParallelReplicator(max_workers=4).run(
+                lambda seed: _fake_run(seed), 3, base_seed=0
+            )
         assert campaign.max_workers == 1
         assert campaign.completed == 3
+
+    def test_implicit_worker_count_downgrades_silently(self):
+        # max_workers=None is a "use what works" request — no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            campaign = ParallelReplicator(max_workers=None).run(
+                lambda seed: _fake_run(seed), 3, base_seed=0
+            )
+        assert campaign.max_workers == 1
+
+    def test_small_campaign_fans_out_concurrently(self):
+        # Two jobs that each block until the other has started: serialized
+        # chunk-join dispatch (the pre-fix behaviour for n <= 2*workers)
+        # would hit the barrier timeout; saturated dispatch completes both.
+        barrier = multiprocessing.Manager().Barrier(2)
+        campaign = ParallelReplicator(max_workers=2).run(
+            partial(_rendezvous, barrier), 2, base_seed=0
+        )
+        assert campaign.completed == 2
+        assert campaign.failures == ()
 
 
 class TestFailureCapture:

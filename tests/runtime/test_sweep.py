@@ -93,8 +93,10 @@ class TestDeterminismAcrossWorkers:
         assert [f.seed for f in serial.failures] == [
             f.seed for f in parallel.failures
         ]
-        # Unpicklable grids degrade to the serial path with equal results.
-        fallback = sweep(points, num_replications=2, max_workers=4)
+        # Unpicklable grids degrade to the serial path with equal results,
+        # warning because parallelism was explicitly requested.
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            fallback = sweep(points, num_replications=2, max_workers=4)
         assert fallback.max_workers == 1
 
 

@@ -73,6 +73,21 @@ class TestSimulate:
         assert "campaign" in text
         assert "replications" in text
 
+    def test_campaign_with_all_failures_reports_error_not_nan(self):
+        # A negative horizon makes every replication raise inside the
+        # worker; the CLI must print the failures, not a "nan +/- nan"
+        # summary table.
+        code, text = run_cli(
+            [
+                "simulate", *SMALL, "--horizon", "-1",
+                "--replications", "2", "--workers", "1",
+            ]
+        )
+        assert code == 1
+        assert "error: every replication failed" in text
+        assert "nan" not in text
+        assert text.count("failed replication") == 2
+
     def test_campaign_is_worker_count_invariant(self):
         base = [
             "simulate", *SMALL, "--horizon", "1500", "--seed", "2",
