@@ -1,8 +1,76 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Besides running each figure regeneration exactly once under the
+pytest-benchmark timer, :func:`run_once` feeds the machine-readable perf
+trajectory: it times the call itself, pulls ``Simulator.events_processed``
+and the worker count out of whatever the benchmark returned, and registers
+one record with the ``BENCH_*.json`` emitter in ``conftest.py``.  That file
+is how a PR proves a speedup (or a regression gets caught in CI) — see
+``scripts/check_bench_regression.py``.
+"""
 
 from __future__ import annotations
 
-__all__ = ["run_once"]
+import os
+import time
+
+__all__ = ["drain_records", "run_once"]
+
+#: Records accumulated this session; conftest drains them at exit.
+_RECORDS: list[dict] = []
+
+
+def _current_test_id() -> str:
+    """The running test's ``file::name`` id (from pytest's own env var)."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    test_id = current.split(" ")[0]
+    return test_id.replace("benchmarks/", "", 1)
+
+
+def _extract_events(result) -> int | None:
+    """``events_processed`` from a benchmark's return value, if it has one.
+
+    Covers the three shapes the benchmarks return: a ``SimulationResult``
+    (``events_processed`` attribute), a ``CampaignResult`` (same attribute,
+    summed over replications), and wrapper results that carry a campaign
+    (e.g. ``HeadlineCampaignResult.campaign``).
+    """
+    for candidate in (result, getattr(result, "campaign", None)):
+        events = getattr(candidate, "events_processed", None)
+        if events is not None:
+            return int(events)
+    return None
+
+
+def _extract_workers(result) -> int:
+    """Worker count from a campaign-carrying result (1 for in-process runs)."""
+    for candidate in (result, getattr(result, "campaign", None)):
+        workers = getattr(candidate, "max_workers", None)
+        if workers is not None:
+            return int(workers)
+    return 1
+
+
+def _extract_campaign_wall(result) -> float | None:
+    """The campaign's own wall-clock, when the result carries a campaign.
+
+    Benchmarks like the headline mix a ~constant analytic solve with the
+    simulation campaign; throughput gating must divide by the campaign's
+    wall-clock, not the whole benchmark's, or the solver noise drowns the
+    events/sec signal.
+    """
+    for candidate in (result, getattr(result, "campaign", None)):
+        wall = getattr(candidate, "wall_clock", None)
+        if wall is not None:
+            return float(wall)
+    return None
+
+
+def drain_records() -> list[dict]:
+    """Hand the accumulated records over (and clear the buffer)."""
+    records = list(_RECORDS)
+    _RECORDS.clear()
+    return records
 
 
 def run_once(benchmark, fn):
@@ -11,4 +79,21 @@ def run_once(benchmark, fn):
     The experiments are minutes-long simulations; statistical timing rounds
     would multiply that for no insight, so every benchmark uses one round.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    started = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    wall_clock = time.perf_counter() - started
+    events = _extract_events(result)
+    sim_wall = _extract_campaign_wall(result)
+    rate_base = sim_wall if sim_wall else wall_clock
+    record = {
+        "id": _current_test_id(),
+        "wall_clock_s": round(wall_clock, 6),
+        "sim_wall_clock_s": round(sim_wall, 6) if sim_wall else None,
+        "events_processed": events,
+        "events_per_sec": (
+            round(events / rate_base, 1) if events and rate_base > 0 else None
+        ),
+        "workers": _extract_workers(result),
+    }
+    _RECORDS.append(record)
+    return result

@@ -7,15 +7,34 @@ the paper-shaped numbers alongside the timing table.
 
 ``REPRO_BENCH_SCALE`` (default 1.0) scales simulation horizons: 0.1 gives a
 quick smoke pass, 4 gives tighter statistics than EXPERIMENTS.md used.
+
+Perf trajectory: every ``run_once`` call registers (wall-clock,
+``Simulator.events_processed``, events/sec, worker count) for its
+benchmark, and the session writes them as one JSON document —
+``BENCH_2.json`` at the repo root by default, or wherever
+``REPRO_BENCH_JSON`` points.  CI's quick-scale job diffs that file against
+``benchmarks/bench_baseline.json`` (see
+``scripts/check_bench_regression.py``); schema documented in
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
+import _util
 from repro.experiments.configs import bench_scale
 
 _REPORTS: list[tuple[str, str]] = []
+
+#: Default perf-trajectory output: BENCH_2.json next to this repo's root.
+_DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 
 
 @pytest.fixture
@@ -34,8 +53,30 @@ def scale() -> float:
     return bench_scale()
 
 
+def _write_bench_json(records: list[dict]) -> Path:
+    path = Path(os.environ.get("REPRO_BENCH_JSON", _DEFAULT_JSON))
+    document = {
+        "schema": "repro-bench/1",
+        "created_unix": int(time.time()),
+        "scale": bench_scale(),
+        "workers_env": os.environ.get("REPRO_BENCH_WORKERS"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": records,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
 def pytest_terminal_summary(terminalreporter):
     for title, text in _REPORTS:
         terminalreporter.write_sep("=", title)
         for line in text.splitlines():
             terminalreporter.write_line(line)
+    records = _util.drain_records()
+    if records:
+        path = _write_bench_json(records)
+        terminalreporter.write_sep("=", "perf trajectory")
+        terminalreporter.write_line(
+            f"wrote {len(records)} benchmark record(s) to {path}"
+        )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Gate the perf trajectory: fail CI when headline throughput regresses.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_2.json \
+        --baseline benchmarks/bench_baseline.json [--tolerance 0.30]
+
+    python scripts/check_bench_regression.py BENCH_2.json --update-baseline
+
+Compares ``events_per_sec`` of the headline benchmark (any record whose id
+contains ``--key``, default ``headline_replicated_campaign``) in a freshly
+emitted ``BENCH_*.json`` against the committed baseline and exits non-zero
+when it regressed by more than ``--tolerance`` (default 30 %, the bar set
+in PR 2's issue).  Improvements always pass; run with ``--update-baseline``
+on the reference machine to re-pin after an intentional change (commit the
+result).
+
+The baseline is machine-dependent — wall-clock on a different box is not
+comparable — so CI pins one runner class and the tolerance absorbs its
+run-to-run noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
+    "benchmarks/bench_baseline.json"
+)
+DEFAULT_KEY = "headline_replicated_campaign"
+
+
+def _headline_record(document: dict, key: str) -> dict:
+    matches = [
+        record
+        for record in document.get("benchmarks", [])
+        if key in record.get("id", "") and record.get("events_per_sec")
+    ]
+    if not matches:
+        raise SystemExit(
+            f"error: no benchmark record matching {key!r} with events/sec "
+            "in the input — did the headline benchmark run?"
+        )
+    return matches[0]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path, help="freshly emitted BENCH_*.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--key", default=DEFAULT_KEY)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="max fractional events/sec drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the baseline with the current record and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    document = json.loads(args.bench_json.read_text())
+    current = _headline_record(document, args.key)
+
+    if args.update_baseline:
+        baseline_doc = {
+            "schema": "repro-bench-baseline/1",
+            "source": str(args.bench_json),
+            "scale": document.get("scale"),
+            "record": current,
+        }
+        args.baseline.write_text(json.dumps(baseline_doc, indent=2) + "\n")
+        print(
+            f"baseline updated: {current['id']} at "
+            f"{current['events_per_sec']:,.0f} events/s -> {args.baseline}"
+        )
+        return 0
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"error: baseline {args.baseline} missing; run with "
+            "--update-baseline on the reference machine and commit it"
+        )
+    baseline = json.loads(args.baseline.read_text())["record"]
+    floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
+    verdict = "OK" if current["events_per_sec"] >= floor else "REGRESSION"
+    print(
+        f"{verdict}: {current['id']}\n"
+        f"  current : {current['events_per_sec']:>12,.0f} events/s "
+        f"({current['wall_clock_s']:.2f}s wall, {current['workers']} worker(s))\n"
+        f"  baseline: {baseline['events_per_sec']:>12,.0f} events/s "
+        f"(floor at -{args.tolerance:.0%}: {floor:,.0f})"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

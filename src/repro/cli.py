@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: machine CPU count; results are identical at any "
         "worker count)",
     )
+    simulate.add_argument(
+        "--rng-mode",
+        choices=("legacy", "batched"),
+        default="legacy",
+        help="source draw mode: 'legacy' is bit-identical to the "
+        "pre-rewrite engine; 'batched' draws exponentials in numpy "
+        "blocks (seed- and worker-count-stable, faster, not "
+        "bit-identical to legacy)",
+    )
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="run one replication under cProfile and print the top-20 "
+        "cumulative-time entries before the results",
+    )
 
     size = commands.add_parser(
         "size", help="minimum bandwidth for a mean-delay target"
@@ -140,18 +155,46 @@ def _command_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _simulation_task(params, horizon: float, seed: int):
+def _simulation_task(params, horizon: float, rng_mode: str, seed: int):
     """Picklable campaign task for ``simulate --replications N``."""
     from repro.sim.replication import simulate_hap_mm1
 
-    return simulate_hap_mm1(params, horizon=horizon, seed=seed)
+    return simulate_hap_mm1(params, horizon=horizon, seed=seed, rng_mode=rng_mode)
+
+
+def _profiled_simulate(hap, args: argparse.Namespace, out):
+    """One replication under cProfile; prints top-20 cumulative entries.
+
+    Future perf work should start from this data, not from guesses: the
+    PR-2 hot-path rewrite began exactly here (heap comparisons and
+    per-event closures dominating the cumulative column).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = hap.simulate(
+        horizon=args.horizon, seed=args.seed, rng_mode=args.rng_mode
+    )
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
+    print(buffer.getvalue().rstrip(), file=out)
+    return result
 
 
 def _command_simulate(args: argparse.Namespace, out) -> int:
     hap = _hap_from_args(args)
-    if args.replications > 1:
+    if args.replications > 1 and not args.profile:
         return _command_simulate_campaign(args, hap, out)
-    result = hap.simulate(horizon=args.horizon, seed=args.seed)
+    if args.profile:
+        result = _profiled_simulate(hap, args, out)
+    else:
+        result = hap.simulate(
+            horizon=args.horizon, seed=args.seed, rng_mode=args.rng_mode
+        )
     print(f"messages served      : {result.messages_served}", file=out)
     print(f"mean delay           : {result.mean_delay:.6g} s", file=out)
     print(f"sigma (arrival-busy) : {result.sigma:.4f}", file=out)
@@ -167,7 +210,7 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
     from repro.runtime.executor import ParallelReplicator
 
     campaign = ParallelReplicator(max_workers=args.workers).run(
-        partial(_simulation_task, hap.params, args.horizon),
+        partial(_simulation_task, hap.params, args.horizon, args.rng_mode),
         args.replications,
         base_seed=args.seed,
     )

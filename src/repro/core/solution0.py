@@ -37,6 +37,7 @@ from repro.core.mmpp_mapping import (
 )
 from repro.core.params import HAPParameters
 from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.markov.uniformization import UNIFORMIZATION_MARGIN
 
 __all__ = ["Solution0Result", "solve_solution0"]
 
@@ -242,14 +243,15 @@ def _stationary_power(
     iteration on the uniformized transition matrix is the same computation
     in matrix form.
 
-    The uniformization rate carries a 1.05 safety margin over the largest
-    exit rate: at exactly the maximum, states with that exit rate get a
-    zero self-loop and the DTMC can be periodic (equal exit rates around a
-    cycle), making power iteration oscillate forever.  The margin leaves
-    every state a self-loop (aperiodicity) without moving the fixed point.
+    The uniformization rate carries :data:`UNIFORMIZATION_MARGIN` over the
+    largest exit rate: at exactly the maximum, states with that exit rate
+    get a zero self-loop and the DTMC can be periodic (equal exit rates
+    around a cycle), making power iteration oscillate forever.  The margin
+    leaves every state a self-loop (aperiodicity) without moving the fixed
+    point; see :mod:`repro.markov.uniformization`.
     """
     n = generator.shape[0]
-    rate = 1.05 * float(-generator.diagonal().min())
+    rate = UNIFORMIZATION_MARGIN * float(-generator.diagonal().min())
     transition = (sp.eye(n, format="csr") + generator / rate).T.tocsr()
     pi = np.full(n, 1.0 / n)
     for _ in range(max_sweeps):

@@ -27,9 +27,11 @@ from repro.markov.ctmc import CTMC
 from repro.markov.matrix_geometric import QBDSolution, solve_mmpp_m1
 from repro.markov.mmpp import MMPP, fit_mmpp2_to_moments
 from repro.markov.truncation import StateSpace, build_generator
+from repro.markov.uniformization import UNIFORMIZATION_MARGIN
 
 __all__ = [
     "CTMC",
+    "UNIFORMIZATION_MARGIN",
     "BirthDeathChain",
     "MMPP",
     "QBDSolution",

@@ -21,6 +21,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.linalg import expm
 
+from repro.markov.uniformization import UNIFORMIZATION_MARGIN
+
 __all__ = ["CTMC"]
 
 #: Tolerance used when validating that generator rows sum to zero.
@@ -57,6 +59,8 @@ class CTMC:
     generator: object
     validate: bool = True
     _stationary: np.ndarray | None = field(default=None, init=False, repr=False)
+    _embedded: np.ndarray | None = field(default=None, init=False, repr=False)
+    _holding: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         shape = self.generator.shape
@@ -137,13 +141,12 @@ class CTMC:
     def _uniformized(self, initial: np.ndarray, t: float, tol: float = 1e-12) -> np.ndarray:
         """Uniformization: ``p(t) = sum_k Poisson(k; qt) initial P^k``.
 
-        The rate carries a 1.05 margin over the largest exit rate so the
-        uniformized DTMC keeps a self-loop in every state; the series is
-        exact for any rate at or above the maximum, so the margin costs a
-        few extra terms but removes the periodic corner case.
+        The rate carries :data:`UNIFORMIZATION_MARGIN` over the largest
+        exit rate so the uniformized DTMC keeps a self-loop in every state;
+        see :mod:`repro.markov.uniformization` for why.
         """
         q = self.generator
-        rate = 1.05 * float(-min(q.diagonal().min(), 0.0))
+        rate = UNIFORMIZATION_MARGIN * float(-min(q.diagonal().min(), 0.0))
         if rate == 0.0 or t == 0.0:
             return initial.copy()
         transition = sp.eye(self.num_states, format="csr") + q.tocsr() / rate
@@ -164,23 +167,27 @@ class CTMC:
         return result
 
     def holding_rates(self) -> np.ndarray:
-        """Total outflow rate of each state (``-diag(Q)``)."""
-        return -np.asarray(self.generator.diagonal(), dtype=float)
+        """Total outflow rate of each state (``-diag(Q)``).  Cached."""
+        if self._holding is None:
+            self._holding = -np.asarray(self.generator.diagonal(), dtype=float)
+        return self._holding
 
     def embedded_transition_matrix(self) -> np.ndarray:
-        """Jump-chain transition probabilities (dense).
+        """Jump-chain transition probabilities (dense).  Cached.
 
         Absorbing states (zero outflow) self-loop with probability one.
         """
+        if self._embedded is not None:
+            return self._embedded
         q = _as_dense(self.generator)
-        rates = -np.diag(q)
-        probs = np.zeros_like(q)
-        for i, rate in enumerate(rates):
-            if rate > 0:
-                probs[i] = q[i] / rate
-                probs[i, i] = 0.0
-            else:
-                probs[i, i] = 1.0
+        rates = -np.diagonal(q)
+        active = rates > 0
+        # Divide active rows by their exit rate; absorbing rows stay zero
+        # until the diagonal fixup gives them a probability-one self-loop.
+        divisors = np.where(active, rates, 1.0)
+        probs = np.where(active[:, None], q / divisors[:, None], 0.0)
+        np.fill_diagonal(probs, np.where(active, 0.0, 1.0))
+        self._embedded = probs
         return probs
 
     def simulate_path(

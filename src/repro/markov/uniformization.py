@@ -1,0 +1,28 @@
+"""Shared uniformization constants.
+
+Uniformization turns a CTMC with generator ``Q`` into a DTMC with
+transition matrix ``P = I + Q / rate`` for any ``rate`` at or above the
+largest exit rate ``max_i(-Q[i, i])``.  Picking ``rate`` *exactly* equal to
+the maximum leaves the fastest states with a zero self-loop, and when equal
+exit rates sit around a cycle the resulting DTMC is periodic: power
+iteration oscillates forever and the transient series converges more
+slowly.  Both uniformization call sites in this repo therefore inflate the
+rate by the same safety margin, which guarantees every state a strictly
+positive self-loop (hence aperiodicity) without moving the fixed point —
+the series and the stationary vector are exact for any admissible rate.
+
+The margin trades a few extra series terms / sweeps for robustness; 5 % is
+plenty to dodge the periodic corner case while keeping the Poisson term
+count essentially unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UNIFORMIZATION_MARGIN"]
+
+#: Multiplier applied to the largest exit rate when uniformizing.  Shared by
+#: :meth:`repro.markov.ctmc.CTMC._uniformized` (transient distributions) and
+#: ``repro.core.solution0._stationary_power`` (the paper's brute-force
+#: stationary solve) so the aperiodicity guarantee is maintained in one
+#: place.
+UNIFORMIZATION_MARGIN = 1.05

@@ -25,6 +25,8 @@ __all__ = ["Tally", "TimeWeightedValue", "TraceRecorder"]
 class Tally:
     """Streaming mean/variance/extremes of observations (Welford update)."""
 
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
     def __init__(self) -> None:
         self.count: int = 0
         self._mean: float = 0.0
@@ -33,11 +35,13 @@ class Tally:
         self.maximum: float = -math.inf
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.count += 1
+        """Record one observation (hot path: one read/write per attribute)."""
+        count = self.count + 1
+        self.count = count
         delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+        mean = self._mean + delta / count
+        self._mean = mean
+        self._m2 += delta * (value - mean)
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
@@ -86,6 +90,15 @@ class TimeWeightedValue:
     charges the old value for the elapsed interval.
     """
 
+    __slots__ = (
+        "value",
+        "_last_time",
+        "_weighted_sum",
+        "_weighted_square_sum",
+        "_total_time",
+        "maximum",
+    )
+
     def __init__(self, initial_value: float = 0.0, start_time: float = 0.0):
         self.value: float = initial_value
         self._last_time: float = start_time
@@ -96,11 +109,12 @@ class TimeWeightedValue:
 
     def update(self, now: float, new_value: float) -> None:
         """Account for time at the current value, then switch to ``new_value``."""
-        if now < self._last_time:
-            raise ValueError("time moved backwards")
         elapsed = now - self._last_time
-        self._weighted_sum += self.value * elapsed
-        self._weighted_square_sum += self.value**2 * elapsed
+        if elapsed < 0.0:
+            raise ValueError("time moved backwards")
+        value = self.value
+        self._weighted_sum += value * elapsed
+        self._weighted_square_sum += value * value * elapsed
         self._total_time += elapsed
         self._last_time = now
         self.value = new_value
@@ -142,6 +156,8 @@ class TraceRecorder:
         14/15 traces span hours of simulated time at millisecond resolution;
         striding keeps memory bounded without visibly changing the plots.
     """
+
+    __slots__ = ("stride", "_times", "_values", "_counter")
 
     def __init__(self, stride: int = 1):
         if stride < 1:

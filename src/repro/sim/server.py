@@ -16,7 +16,6 @@ The queue exposes exactly the observables the paper reports:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,9 +26,13 @@ from repro.sim.random_streams import Exponential
 __all__ = ["FCFSQueue", "Message"]
 
 
-@dataclass
 class Message:
     """One message travelling through the queue.
+
+    A ``__slots__`` record: hundreds of thousands are allocated per
+    replication, so there is no per-instance ``__dict__``, and the
+    ``metadata`` dict — which only protocol/network experiments use — is
+    allocated lazily on first access rather than per message.
 
     Attributes
     ----------
@@ -42,14 +45,54 @@ class Message:
         Drawn at arrival; None until the message enters the queue.
     kind:
         Free-form tag (e.g. ``"request"`` / ``"response"`` for HAP-CS).
+    metadata:
+        Free-form dict (fragmentation bookkeeping, network timestamps);
+        created on first access.
     """
 
-    arrival_time: float
-    app_type: int = -1
-    message_type: int = -1
-    service_time: float | None = None
-    kind: str = ""
-    metadata: dict = field(default_factory=dict)
+    __slots__ = (
+        "arrival_time",
+        "app_type",
+        "message_type",
+        "service_time",
+        "kind",
+        "_metadata",
+    )
+
+    def __init__(
+        self,
+        arrival_time: float,
+        app_type: int = -1,
+        message_type: int = -1,
+        service_time: float | None = None,
+        kind: str = "",
+        metadata: dict | None = None,
+    ) -> None:
+        self.arrival_time = arrival_time
+        self.app_type = app_type
+        self.message_type = message_type
+        self.service_time = service_time
+        self.kind = kind
+        self._metadata = metadata
+
+    @property
+    def metadata(self) -> dict:
+        """Per-message annotations; the dict materializes on first use."""
+        md = self._metadata
+        if md is None:
+            md = self._metadata = {}
+        return md
+
+    @metadata.setter
+    def metadata(self, value: dict) -> None:
+        self._metadata = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(arrival_time={self.arrival_time!r}, "
+            f"app_type={self.app_type!r}, message_type={self.message_type!r}, "
+            f"service_time={self.service_time!r}, kind={self.kind!r})"
+        )
 
 
 class FCFSQueue:
@@ -128,15 +171,15 @@ class FCFSQueue:
     def arrive(self, message: Message) -> None:
         """Accept a message; starts service immediately if the server is idle."""
         now = self.sim.now
-        counted = now >= self.warmup
-        if counted:
+        in_service = self._in_service
+        if now >= self.warmup:
             self.arrivals_total += 1
-            if self._in_service is not None:
+            if in_service is not None:
                 self.arrivals_found_busy += 1
-        if self._in_service is None and now >= self.warmup:
-            self.busy_transitions.append((now, +1))
+            else:
+                self.busy_transitions.append((now, +1))
         self._record_length_change(now, +1)
-        if self._in_service is None:
+        if in_service is None:
             self._start_service(message)
         else:
             self._waiting.append(message)
@@ -164,8 +207,9 @@ class FCFSQueue:
                 self.delay_log.append(delay)
         self._record_length_change(now, -1)
         self._in_service = None
-        if self._waiting:
-            self._start_service(self._waiting.popleft())
+        waiting = self._waiting
+        if waiting:
+            self._start_service(waiting.popleft())
         else:
             self._update_busy(now, 0.0)
             if now >= self.warmup:
@@ -174,11 +218,15 @@ class FCFSQueue:
             self.on_departure(sim, message)
 
     def _record_length_change(self, now: float, delta: int) -> None:
-        new_length = self.length + delta
         if now >= self.warmup:
-            self.queue_length.update(now, float(new_length))
+            new_length = float(
+                len(self._waiting)
+                + (1 if self._in_service is not None else 0)
+                + delta
+            )
+            self.queue_length.update(now, new_length)
             if self.trace is not None:
-                self.trace.record(now, float(new_length))
+                self.trace.record(now, new_length)
 
     def sync_time_weighted(self) -> None:
         """Align the time-weighted collectors with the live queue state.

@@ -33,6 +33,7 @@ from repro.core.params import HAPParameters
 from repro.markov.mmpp import MMPP
 from repro.sim.engine import Event, Simulator
 from repro.sim.monitors import TimeWeightedValue, TraceRecorder
+from repro.sim.random_streams import ExponentialBatcher
 from repro.sim.server import Message
 
 __all__ = [
@@ -47,6 +48,29 @@ __all__ = [
 EmitFn = Callable[[Message], None]
 
 
+def _make_draw(rng: np.random.Generator, rng_mode: str):
+    """The mean -> variate sampler for the requested determinism domain.
+
+    ``"legacy"`` draws one ``Generator.exponential`` per event — the
+    bit-exact pre-rewrite stream.  ``"batched"`` serves variates from
+    :class:`~repro.sim.random_streams.ExponentialBatcher` blocks:
+    seed-stable and worker-count-stable, but a different (documented)
+    determinism domain that is not bit-identical to legacy.
+    """
+    if rng_mode == "legacy":
+        exponential = rng.exponential
+
+        def draw(mean: float) -> float:
+            return float(exponential(mean))
+
+        return draw
+    if rng_mode == "batched":
+        return ExponentialBatcher(rng).draw
+    raise ValueError(
+        f"rng_mode must be 'legacy' or 'batched', got {rng_mode!r}"
+    )
+
+
 class PoissonSource:
     """Poisson arrivals at a fixed rate."""
 
@@ -56,6 +80,7 @@ class PoissonSource:
         rate: float,
         rng: np.random.Generator,
         emit: EmitFn,
+        rng_mode: str = "legacy",
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -64,36 +89,131 @@ class PoissonSource:
         self.rng = rng
         self.emit = emit
         self.messages_emitted = 0
+        self._mean_gap = 1.0 / rate
+        self._draw = _make_draw(rng, rng_mode)
+        self._arrive_action = self._arrive  # bind once, reuse every event
 
     def start(self) -> None:
         """Schedule the first arrival."""
-        self.sim.schedule(self.rng.exponential(1.0 / self.rate), self._arrive)
+        self.sim.schedule(self._draw(self._mean_gap), self._arrive_action)
 
     def _arrive(self, sim: Simulator) -> None:
         self.messages_emitted += 1
-        self.emit(Message(arrival_time=sim.now))
-        sim.schedule(self.rng.exponential(1.0 / self.rate), self._arrive)
+        self.emit(Message(sim.now))
+        sim.schedule(self._draw(self._mean_gap), self._arrive_action)
 
 
 class _UserInstance:
-    """Book-keeping for one live user (internal)."""
+    """One live user: departure callback + pending invocation slots.
 
-    __slots__ = ("alive", "invocation_events")
+    The instance *is* the departure event's action (``__call__``), and
+    ``pending[i]`` holds the single in-flight invocation event for
+    application type ``i`` — at most one exists per (user, type) at any
+    moment, so fixed slots replace the legacy grow-and-prune event list.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("source", "alive", "pending")
+
+    def __init__(self, source: "HAPSource", num_app_types: int) -> None:
+        self.source = source
         self.alive = True
-        self.invocation_events: list[Event] = []
+        self.pending: list[Event | None] = [None] * num_app_types
+
+    def __call__(self, sim: Simulator) -> None:
+        """Depart: cancel pending invocations, decrement the population."""
+        self.alive = False
+        for event in self.pending:
+            if event is not None:
+                event.cancel()
+        source = self.source
+        source._set_users(source.users_present - 1)
+
+
+class _Invocation:
+    """Reusable action for one (user, application-type) invocation stream.
+
+    Created once when the user arrives and rescheduled by reference — the
+    legacy code allocated a fresh closure per invocation.
+    """
+
+    __slots__ = ("source", "user", "app_index", "mean_gap")
+
+    def __init__(
+        self,
+        source: "HAPSource",
+        user: _UserInstance,
+        app_index: int,
+        mean_gap: float,
+    ) -> None:
+        self.source = source
+        self.user = user
+        self.app_index = app_index
+        self.mean_gap = mean_gap
+
+    def __call__(self, sim: Simulator) -> None:
+        user = self.user
+        if not user.alive:
+            return
+        source = self.source
+        app_index = self.app_index
+        source._create_app_instance(app_index)
+        user.pending[app_index] = source.sim.schedule(
+            source._draw(self.mean_gap), self
+        )
 
 
 class _AppInstance:
-    """Book-keeping for one live application instance (internal)."""
+    """One live application instance: departure callback + emission slots."""
 
-    __slots__ = ("alive", "emission_events", "app_type")
+    __slots__ = ("source", "alive", "app_type", "pending")
 
-    def __init__(self, app_type: int) -> None:
+    def __init__(
+        self, source: "HAPSource", app_type: int, num_message_types: int
+    ) -> None:
+        self.source = source
         self.alive = True
         self.app_type = app_type
-        self.emission_events: list[Event] = []
+        self.pending: list[Event | None] = [None] * num_message_types
+
+    def __call__(self, sim: Simulator) -> None:
+        """Depart: cancel pending emissions, decrement the population."""
+        self.alive = False
+        for event in self.pending:
+            if event is not None:
+                event.cancel()
+        source = self.source
+        source.apps_alive_by_type[self.app_type] -= 1
+        source._set_apps(source.apps_alive - 1)
+
+
+class _Emission:
+    """Reusable action for one (application instance, message-type) stream."""
+
+    __slots__ = ("source", "instance", "message_type", "mean_gap")
+
+    def __init__(
+        self,
+        source: "HAPSource",
+        instance: _AppInstance,
+        message_type: int,
+        mean_gap: float,
+    ) -> None:
+        self.source = source
+        self.instance = instance
+        self.message_type = message_type
+        self.mean_gap = mean_gap
+
+    def __call__(self, sim: Simulator) -> None:
+        instance = self.instance
+        if not instance.alive:
+            return
+        source = self.source
+        message_type = self.message_type
+        source.messages_emitted += 1
+        source.emit(Message(sim.now, instance.app_type, message_type))
+        instance.pending[message_type] = source.sim.schedule(
+            source._draw(self.mean_gap), self
+        )
 
 
 class HAPSource:
@@ -125,12 +245,27 @@ class HAPSource:
         self-similar-traffic literature later walked through.  Arrival
         *rates* stay exponential so Equation 4's mean rate still applies
         (rate x mean lifetime is what enters the load).
+    rng_mode:
+        ``"legacy"`` (default) draws one exponential per event and is
+        bit-identical to the pre-rewrite engine at every seed.
+        ``"batched"`` draws variates in numpy blocks
+        (:class:`~repro.sim.random_streams.ExponentialBatcher`): a distinct
+        determinism domain — seed-stable and worker-count-stable, but not
+        bit-identical to legacy.  Lifetime-override draws and prepopulation
+        Poisson draws stay on the per-call path in both modes.
 
     Notes
     -----
     Faithful to the paper's semantics: a user's departure cancels its
     *pending invocations* but not its running applications ("a user has
     departed but the application this user invoked may be still active").
+
+    Hot-path layout (PR 2): every recurring callback is a reusable
+    ``__slots__`` callable (:class:`_Invocation`, :class:`_Emission`, the
+    instance records themselves for departures) instead of a per-event
+    closure, and all ``1/rate`` means are precomputed once.  In legacy mode
+    the draw order and schedule order are exactly the pre-rewrite ones —
+    the golden-trace test locks this.
     """
 
     def __init__(
@@ -143,6 +278,7 @@ class HAPSource:
         trace_stride: int = 0,
         user_lifetime=None,
         app_lifetime=None,
+        rng_mode: str = "legacy",
     ):
         self.sim = sim
         self.params = params
@@ -150,6 +286,7 @@ class HAPSource:
         self.emit = emit
         self.user_lifetime = user_lifetime
         self.app_lifetime = app_lifetime
+        self.rng_mode = rng_mode
         self.users_present = 0
         self.apps_alive = 0
         self.apps_alive_by_type = [0] * params.num_app_types
@@ -162,13 +299,33 @@ class HAPSource:
         )
         self.user_trace = TraceRecorder(trace_stride) if trace_stride else None
         self.app_trace = TraceRecorder(trace_stride) if trace_stride else None
+        self._draw = _make_draw(rng, rng_mode)
+        # Per-level mean-gap (1/rate) tables, computed once.
+        self._user_arrival_mean = 1.0 / params.user_arrival_rate
+        self._user_lifetime_mean = 1.0 / params.user_departure_rate
+        self._invocation_means = tuple(
+            1.0 / app.arrival_rate for app in params.applications
+        )
+        self._app_lifetime_means = tuple(
+            1.0 / app.departure_rate for app in params.applications
+        )
+        self._emission_means = tuple(
+            tuple(1.0 / msg.arrival_rate for msg in app.messages)
+            for app in params.applications
+        )
+        self._message_counts = tuple(
+            len(app.messages) for app in params.applications
+        )
+        self._user_arrives_action = self._user_arrives  # bind once
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Schedule the first user arrival."""
-        self.sim.schedule(self._exp(self.params.user_arrival_rate), self._user_arrives)
+        self.sim.schedule(
+            self._draw(self._user_arrival_mean), self._user_arrives_action
+        )
 
     def prepopulate(self) -> None:
         """Start from the stationary populations instead of an empty node.
@@ -188,98 +345,48 @@ class HAPSource:
             for _ in range(instances):
                 self._create_app_instance(index)
 
-    def _exp(self, rate: float) -> float:
-        return float(self.rng.exponential(1.0 / rate))
-
     # ------------------------------------------------------------------
     # User level
     # ------------------------------------------------------------------
     def _user_arrives(self, sim: Simulator) -> None:
         self._create_user()
-        sim.schedule(self._exp(self.params.user_arrival_rate), self._user_arrives)
+        sim.schedule(
+            self._draw(self._user_arrival_mean), self._user_arrives_action
+        )
 
     def _create_user(self) -> None:
-        user = _UserInstance()
+        user = _UserInstance(self, len(self._invocation_means))
         self._set_users(self.users_present + 1)
         if self.user_lifetime is not None:
             lifetime = float(self.user_lifetime.sample(self.rng))
         else:
-            lifetime = self._exp(self.params.user_departure_rate)
-        self.sim.schedule(lifetime, lambda sim: self._user_departs(user))
-        for index, app in enumerate(self.params.applications):
-            self._schedule_invocation(user, index, app.arrival_rate)
-
-    def _user_departs(self, user: _UserInstance) -> None:
-        user.alive = False
-        for event in user.invocation_events:
-            event.cancel()
-        user.invocation_events.clear()
-        self._set_users(self.users_present - 1)
-
-    def _schedule_invocation(
-        self, user: _UserInstance, app_index: int, rate: float
-    ) -> None:
-        def invoke(sim: Simulator) -> None:
-            if not user.alive:
-                return
-            self._create_app_instance(app_index)
-            self._schedule_invocation(user, app_index, rate)
-
-        event = self.sim.schedule(self._exp(rate), invoke)
-        # Keep only live events to bound the list: replace, don't append.
-        user.invocation_events = [
-            ev for ev in user.invocation_events if not ev.cancelled
-        ]
-        user.invocation_events.append(event)
+            lifetime = self._draw(self._user_lifetime_mean)
+        sim = self.sim
+        draw = self._draw
+        sim.schedule(lifetime, user)
+        pending = user.pending
+        for index, mean_gap in enumerate(self._invocation_means):
+            invocation = _Invocation(self, user, index, mean_gap)
+            pending[index] = sim.schedule(draw(mean_gap), invocation)
 
     # ------------------------------------------------------------------
     # Application level
     # ------------------------------------------------------------------
     def _create_app_instance(self, app_index: int) -> None:
-        app_params = self.params.applications[app_index]
-        instance = _AppInstance(app_index)
+        instance = _AppInstance(self, app_index, self._message_counts[app_index])
         self._set_apps(self.apps_alive + 1)
         self.apps_alive_by_type[app_index] += 1
         if self.app_lifetime is not None:
             lifetime = float(self.app_lifetime.sample(self.rng))
         else:
-            lifetime = self._exp(app_params.departure_rate)
-        self.sim.schedule(lifetime, lambda sim: self._app_departs(instance))
-        for msg_index, msg in enumerate(app_params.messages):
-            self._schedule_emission(instance, msg_index, msg.arrival_rate)
-
-    def _app_departs(self, instance: _AppInstance) -> None:
-        instance.alive = False
-        for event in instance.emission_events:
-            event.cancel()
-        instance.emission_events.clear()
-        self.apps_alive_by_type[instance.app_type] -= 1
-        self._set_apps(self.apps_alive - 1)
-
-    # ------------------------------------------------------------------
-    # Message level
-    # ------------------------------------------------------------------
-    def _schedule_emission(
-        self, instance: _AppInstance, msg_index: int, rate: float
-    ) -> None:
-        def emit_message(sim: Simulator) -> None:
-            if not instance.alive:
-                return
-            self.messages_emitted += 1
-            self.emit(
-                Message(
-                    arrival_time=sim.now,
-                    app_type=instance.app_type,
-                    message_type=msg_index,
-                )
-            )
-            self._schedule_emission(instance, msg_index, rate)
-
-        event = self.sim.schedule(self._exp(rate), emit_message)
-        instance.emission_events = [
-            ev for ev in instance.emission_events if not ev.cancelled
-        ]
-        instance.emission_events.append(event)
+            lifetime = self._draw(self._app_lifetime_means[app_index])
+        sim = self.sim
+        draw = self._draw
+        sim.schedule(lifetime, instance)
+        pending = instance.pending
+        for msg_index, mean_gap in enumerate(self._emission_means[app_index]):
+            emission = _Emission(self, instance, msg_index, mean_gap)
+            pending[msg_index] = sim.schedule(draw(mean_gap), emission)
 
     # ------------------------------------------------------------------
     # Population tracking

@@ -1,0 +1,113 @@
+"""The shared uniformization margin and the periodic corner case it fixes.
+
+Both uniformization call sites (``CTMC._uniformized`` and Solution 0's
+power-iteration backend) take the margin from
+:mod:`repro.markov.uniformization`; this file carries the single test that
+covers the periodic-chain case the margin exists for.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.solution0 import _stationary_power
+from repro.markov import CTMC, UNIFORMIZATION_MARGIN
+from repro.markov.uniformization import UNIFORMIZATION_MARGIN as MODULE_MARGIN
+
+#: Two states with equal exit rates: uniformizing at *exactly* the largest
+#: exit rate gives the period-2 DTMC [[0, 1], [1, 0]], on which power
+#: iteration oscillates between (p, 1-p) and (1-p, p) forever.
+PERIODIC_GENERATOR = np.array([[-1.0, 1.0], [1.0, -1.0]])
+
+
+class TestMarginConstant:
+    def test_single_definition(self):
+        assert UNIFORMIZATION_MARGIN is MODULE_MARGIN
+
+    def test_strictly_above_one(self):
+        # Any value > 1 keeps a self-loop in every state; == 1 does not.
+        assert UNIFORMIZATION_MARGIN > 1.0
+
+    def test_no_other_hardcoded_margin(self):
+        import inspect
+
+        import repro.core.solution0 as solution0
+        import repro.markov.ctmc as ctmc
+
+        for module in (solution0, ctmc):
+            assert "1.05 *" not in inspect.getsource(module)
+
+
+class TestPeriodicChain:
+    def test_power_iteration_converges_on_periodic_chain(self):
+        # Without the margin the uniformized DTMC is periodic and power
+        # iteration started away from the fixed point never converges;
+        # with it, the stationary vector comes out in a handful of sweeps.
+        pi = _stationary_power(
+            sp.csr_matrix(PERIODIC_GENERATOR), tol=1e-12, max_sweeps=10_000
+        )
+        np.testing.assert_allclose(pi, [0.5, 0.5], atol=1e-10)
+
+    def test_margin_free_power_iteration_oscillates(self):
+        # Documents the failure mode the margin removes: at rate == max
+        # exit rate the transition matrix swaps the two states each sweep.
+        transition = np.eye(2) + PERIODIC_GENERATOR / 1.0
+        pi = np.array([0.9, 0.1])
+        for _ in range(101):
+            pi = transition.T @ pi
+        np.testing.assert_allclose(pi, [0.1, 0.9])
+
+    def test_transient_distribution_on_periodic_chain(self):
+        chain = CTMC(sp.csr_matrix(PERIODIC_GENERATOR))
+        limit = chain.transient_distribution(np.array([1.0, 0.0]), t=50.0)
+        np.testing.assert_allclose(limit, [0.5, 0.5], atol=1e-8)
+
+    def test_margin_does_not_move_fixed_point(self):
+        rng = np.random.default_rng(7)
+        raw = rng.uniform(0.1, 2.0, size=(4, 4))
+        np.fill_diagonal(raw, 0.0)
+        q = raw - np.diag(raw.sum(axis=1))
+        direct = CTMC(q).stationary_distribution()
+        power = _stationary_power(sp.csr_matrix(q), tol=1e-13, max_sweeps=100_000)
+        np.testing.assert_allclose(power, direct, atol=1e-9)
+
+
+class TestEmbeddedMatrixCaching:
+    def test_embedded_matrix_cached_and_correct(self):
+        q = np.array([[-2.0, 1.5, 0.5], [0.0, 0.0, 0.0], [3.0, 1.0, -4.0]])
+        chain = CTMC(q, validate=False)
+        probs = chain.embedded_transition_matrix()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        np.testing.assert_allclose(probs[0], [0.0, 0.75, 0.25])
+        np.testing.assert_allclose(probs[1], [0.0, 1.0, 0.0])  # absorbing
+        np.testing.assert_allclose(probs[2], [0.75, 0.25, 0.0])
+        assert chain.embedded_transition_matrix() is probs
+
+    def test_holding_rates_cached(self):
+        chain = CTMC(PERIODIC_GENERATOR)
+        rates = chain.holding_rates()
+        np.testing.assert_allclose(rates, [1.0, 1.0])
+        assert chain.holding_rates() is rates
+
+    def test_vectorized_matches_loop_reference(self):
+        rng = np.random.default_rng(42)
+        raw = rng.uniform(0.0, 3.0, size=(6, 6))
+        np.fill_diagonal(raw, 0.0)
+        raw[2] = 0.0  # one absorbing state
+        q = raw - np.diag(raw.sum(axis=1))
+        chain = CTMC(q)
+
+        rates = -np.diag(q)
+        expected = np.zeros_like(q)
+        for i, rate in enumerate(rates):
+            if rate > 0:
+                expected[i] = q[i] / rate
+                expected[i, i] = 0.0
+            else:
+                expected[i, i] = 1.0
+
+        np.testing.assert_allclose(chain.embedded_transition_matrix(), expected)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

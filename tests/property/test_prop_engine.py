@@ -12,6 +12,136 @@ from repro.sim.monitors import Tally, TimeWeightedValue
 delays = st.floats(min_value=0.0, max_value=100.0)
 
 
+class _NaiveEvent:
+    """Reference event: a plain record with a cancelled flag."""
+
+    def __init__(self, time: float, sequence: int, action) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class NaiveSimulator:
+    """Scan-for-minimum reference loop with the engine's exact semantics.
+
+    No heap, no compaction, no slots — just a list scanned for the earliest
+    live ``(time, sequence)`` each step.  Obviously-correct and obviously
+    slow; the optimized engine must be observationally identical to it.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events_processed = 0
+        self._sequence = 0
+        self._pending: list[_NaiveEvent] = []
+
+    def schedule(self, delay: float, action) -> _NaiveEvent:
+        event = _NaiveEvent(self.now + delay, self._sequence, action)
+        self._sequence += 1
+        self._pending.append(event)
+        return event
+
+    def run_until(self, horizon: float) -> None:
+        while True:
+            live = [e for e in self._pending if not e.cancelled]
+            if not live:
+                break
+            event = min(live, key=lambda e: (e.time, e.sequence))
+            if event.time > horizon:
+                break
+            self._pending.remove(event)
+            self.now = event.time
+            self.events_processed += 1
+            event.action(self)
+        self._pending = [e for e in self._pending if not e.cancelled]
+        self.now = horizon
+
+
+#: Each node: (delay, children spawned when fired, slot to cancel when
+#: fired).  The driver below turns a list of these into a workload that
+#: schedules from inside callbacks and cancels earlier events mid-run.
+node_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.integers(min_value=0, max_value=2),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+_MAX_WORKLOAD_EVENTS = 200
+
+
+def _run_workload(sim, program, horizon: float = 40.0):
+    """Drive ``sim`` through the workload described by ``program``.
+
+    Behavior is a pure function of the program (specs are addressed by
+    deterministic index arithmetic), so two engines that fire events in the
+    same order produce bitwise-identical traces — and any ordering
+    divergence shows up as a trace mismatch.
+    """
+    trace: list[tuple[float, int]] = []
+    created: list = []
+
+    def make_action(spec_index: int, node: int):
+        def action(s) -> None:
+            trace.append((s.now, node))
+            _, n_children, cancel_slot = program[spec_index % len(program)]
+            for k in range(n_children):
+                spawn(spec_index * 3 + k + 1)
+            if cancel_slot is not None and created:
+                created[cancel_slot % len(created)].cancel()
+
+        return action
+
+    def spawn(spec_index: int) -> None:
+        if len(created) >= _MAX_WORKLOAD_EVENTS:
+            return
+        delay = program[spec_index % len(program)][0]
+        node = len(created)
+        created.append(sim.schedule(delay, make_action(spec_index, node)))
+
+    for i in range(len(program)):
+        spawn(i)
+    sim.run_until(horizon)
+    return trace
+
+
+class TestEngineMatchesNaiveReference:
+    @given(node_specs)
+    @settings(max_examples=75, deadline=None)
+    def test_random_schedule_cancel_workloads(self, program):
+        fast, slow = Simulator(), NaiveSimulator()
+        fast_trace = _run_workload(fast, program)
+        slow_trace = _run_workload(slow, program)
+        assert fast_trace == slow_trace
+        assert fast.events_processed == slow.events_processed
+        assert fast.now == slow.now
+
+    def test_mass_cancellation_mid_run(self):
+        # Cancels 246 of 257 pending events in one callback, which drives
+        # the optimized engine through its heap-compaction path while the
+        # popped-entry local references are live.
+        def run(sim):
+            trace: list[tuple[float, int]] = []
+            events = [
+                sim.schedule(1.0 + i, lambda s, i=i: trace.append((s.now, i)))
+                for i in range(256)
+            ]
+            sim.schedule(0.5, lambda s: [e.cancel() for e in events[10:]])
+            sim.run_until(1000.0)
+            return trace
+
+        fast, slow = Simulator(), NaiveSimulator()
+        assert run(fast) == run(slow)
+        assert fast.events_processed == slow.events_processed == 11
+
+
 class TestEngineProperties:
     @given(st.lists(delays, min_size=1, max_size=50))
     @settings(max_examples=50, deadline=None)

@@ -101,6 +101,39 @@ class TestSimulate:
         ]
         assert strip(serial) == strip(parallel)
 
+    def test_profile_prints_hotspots_and_results(self):
+        code, text = run_cli(
+            [
+                "simulate", *SMALL, "--horizon", "500", "--seed", "3",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        # cProfile's table, top-20 cumulative...
+        assert "cumulative" in text
+        assert "function calls" in text
+        assert "run_until" in text
+        # ...followed by the usual result block.
+        assert "messages served" in text
+        assert "mean delay" in text
+
+    def test_profile_does_not_change_the_result(self):
+        base = ["simulate", *SMALL, "--horizon", "1000", "--seed", "7"]
+        _, plain = run_cli(base)
+        _, profiled = run_cli([*base, "--profile"])
+        assert plain.splitlines() == profiled.splitlines()[-len(plain.splitlines()):]
+
+    def test_rng_mode_batched_runs_and_is_seed_stable(self):
+        base = [
+            "simulate", *SMALL, "--horizon", "1000", "--seed", "5",
+            "--rng-mode", "batched",
+        ]
+        code, first = run_cli(base)
+        _, second = run_cli(base)
+        assert code == 0
+        assert "mean delay" in first
+        assert first == second
+
 
 class TestSize:
     def test_sizing_output(self):
