@@ -1,0 +1,81 @@
+"""Benchmark the analytic kernel layer (PR 3's perf target).
+
+Two records feed the perf trajectory:
+
+* ``test_analytic_interarrival_kernel`` — exact interarrival density and
+  CDF over a dense grid on a Figure-9-family chain, via the cached
+  spectral kernel.  "Events" are grid evaluations, so ``events_per_sec``
+  is the interarrival-grid throughput the CI gate watches.
+* The headline end-to-end wall-clock is gated through
+  ``test_bench_headline.py::test_headline_cross_method`` (its
+  ``wall_clock_s``), which CI now runs alongside this module.
+
+The benchmark runs in a fresh process, so it times cold chain
+construction and kernel factorization plus the grid evaluation — the
+cost a figure pipeline actually pays on first touch; repeats within the
+process would hit the mapping/kernel caches and measure nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from _util import run_once
+from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+from repro.experiments.configs import fig9_parameters
+
+#: Grid sizes: dense enough that per-point expm would take minutes.
+_DENSITY_POINTS = 20_000
+_AUTOCOV_POINTS = 5_000
+
+
+@dataclass(frozen=True)
+class AnalyticKernelResult:
+    """Benchmark output shaped for the perf-trajectory extractor."""
+
+    events_processed: int
+    density_at_zero: float
+    cdf_at_end: float
+    idc_at_100: float
+
+
+def _evaluate_kernels() -> AnalyticKernelResult:
+    params = fig9_parameters()
+    # 510 phases: large enough to be representative, inside the spectral
+    # (eigendecomposition) regime.
+    mapped = symmetric_hap_to_mmpp(params, x_max=9, y_max=50)
+    mmpp = mapped.mmpp
+    grid = np.linspace(0.0, 0.7, _DENSITY_POINTS)
+    density = mmpp.exact_interarrival_density(grid)
+    cdf = mmpp.exact_interarrival_cdf(grid)
+    lags = np.linspace(0.0, 500.0, _AUTOCOV_POINTS)
+    autocov = mmpp.rate_autocovariance(lags)
+    idc = mmpp.index_of_dispersion(100.0)
+    assert autocov[0] > 0.0
+    return AnalyticKernelResult(
+        events_processed=2 * _DENSITY_POINTS + _AUTOCOV_POINTS,
+        density_at_zero=float(density[0]),
+        cdf_at_end=float(cdf[-1]),
+        idc_at_100=idc,
+    )
+
+
+def test_analytic_interarrival_kernel(benchmark, report):
+    """Spectral-kernel grid throughput on the Figure-9 chain."""
+    result = run_once(benchmark, _evaluate_kernels)
+    assert result.density_at_zero > 0.0
+    assert 0.9 < result.cdf_at_end <= 1.0
+    assert result.idc_at_100 > 1.0  # burstier than Poisson
+    report(
+        "analytic kernel (Figure-9 chain, 510 phases)",
+        "\n".join(
+            [
+                f"grid evaluations : {result.events_processed:,}",
+                f"a(0)             : {result.density_at_zero:.4f}",
+                f"A(0.7)           : {result.cdf_at_end:.6f}",
+                f"IDC(100)         : {result.idc_at_100:.2f}",
+            ]
+        ),
+    )

@@ -1,20 +1,34 @@
 #!/usr/bin/env python
-"""Gate the perf trajectory: fail CI when headline throughput regresses.
+"""Gate the perf trajectory: fail CI when a gated benchmark regresses.
 
 Usage::
 
-    python scripts/check_bench_regression.py BENCH_2.json \
+    python scripts/check_bench_regression.py BENCH_3.json \
         --baseline benchmarks/bench_baseline.json [--tolerance 0.30]
 
-    python scripts/check_bench_regression.py BENCH_2.json --update-baseline
+    python scripts/check_bench_regression.py BENCH_3.json --update-baseline
 
-Compares ``events_per_sec`` of the headline benchmark (any record whose id
-contains ``--key``, default ``headline_replicated_campaign``) in a freshly
-emitted ``BENCH_*.json`` against the committed baseline and exits non-zero
-when it regressed by more than ``--tolerance`` (default 30 %, the bar set
-in PR 2's issue).  Improvements always pass; run with ``--update-baseline``
-on the reference machine to re-pin after an intentional change (commit the
-result).
+Compares every *gated metric* in a freshly emitted ``BENCH_*.json``
+against the committed baseline and exits non-zero when any of them
+regressed by more than ``--tolerance`` (default 30 %, the bar set in
+PR 2's issue).  The gates:
+
+* ``headline_replicated_campaign`` — ``events_per_sec`` (higher is better),
+  the simulation-throughput gate from PR 2.
+* ``throughput_batched_campaign`` — ``events_per_sec`` (higher), the
+  batched-RNG engine gate.
+* ``analytic_interarrival_kernel`` — ``events_per_sec`` (higher), PR 3's
+  interarrival-grid evaluations/sec through the spectral kernel layer.
+* ``headline_cross_method`` — ``wall_clock_s`` (lower is better), the
+  end-to-end analytic+simulation headline wall-clock.
+
+Only gates present in *both* documents are checked (so a partial bench run
+gates what it ran); improvements always pass; run with
+``--update-baseline`` on the reference machine to re-pin after an
+intentional change (commit the result).
+
+Baseline schema v2 stores one record per gate; v1 baselines (single
+``record``) are still accepted and gate only the headline campaign.
 
 The baseline is machine-dependent — wall-clock on a different box is not
 comparable — so CI pins one runner class and the tolerance absorbs its
@@ -31,55 +45,85 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
     "benchmarks/bench_baseline.json"
 )
-DEFAULT_KEY = "headline_replicated_campaign"
+
+#: (key substring, metric, direction); direction "higher" means larger is
+#: better (throughput), "lower" means smaller is better (wall-clock).
+GATES: tuple[tuple[str, str, str], ...] = (
+    ("headline_replicated_campaign", "events_per_sec", "higher"),
+    ("throughput_batched_campaign", "events_per_sec", "higher"),
+    ("analytic_interarrival_kernel", "events_per_sec", "higher"),
+    ("headline_cross_method", "wall_clock_s", "lower"),
+)
 
 
-def _headline_record(document: dict, key: str) -> dict:
-    matches = [
-        record
-        for record in document.get("benchmarks", [])
-        if key in record.get("id", "") and record.get("events_per_sec")
-    ]
-    if not matches:
-        raise SystemExit(
-            f"error: no benchmark record matching {key!r} with events/sec "
-            "in the input — did the headline benchmark run?"
-        )
-    return matches[0]
+def _find_record(document: dict, key: str, metric: str) -> dict | None:
+    for record in document.get("benchmarks", []):
+        if key in record.get("id", "") and record.get(metric) is not None:
+            return record
+    return None
+
+
+def _check_gate(key, metric, direction, current, baseline, tolerance):
+    """One gate verdict: (ok, human line)."""
+    current_value = current[metric]
+    baseline_value = baseline[metric]
+    if direction == "higher":
+        threshold = baseline_value * (1.0 - tolerance)
+        ok = current_value >= threshold
+        bound = f"floor at -{tolerance:.0%}: {threshold:,.1f}"
+    else:
+        threshold = baseline_value * (1.0 + tolerance)
+        ok = current_value <= threshold
+        bound = f"ceiling at +{tolerance:.0%}: {threshold:,.1f}"
+    verdict = "OK" if ok else "REGRESSION"
+    line = (
+        f"{verdict}: {key} [{metric}, {direction} is better]\n"
+        f"  current : {current_value:>14,.1f}\n"
+        f"  baseline: {baseline_value:>14,.1f} ({bound})"
+    )
+    return ok, line
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("bench_json", type=Path, help="freshly emitted BENCH_*.json")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
-    parser.add_argument("--key", default=DEFAULT_KEY)
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.30,
-        help="max fractional events/sec drop before failing (default 0.30)",
+        help="max fractional regression before failing (default 0.30)",
     )
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="overwrite the baseline with the current record and exit 0",
+        help="overwrite the baseline with the current gated records and exit 0",
     )
     args = parser.parse_args(argv)
 
     document = json.loads(args.bench_json.read_text())
-    current = _headline_record(document, args.key)
 
     if args.update_baseline:
+        gated = {}
+        for key, metric, direction in GATES:
+            record = _find_record(document, key, metric)
+            if record is not None:
+                gated[key] = record
+        if not gated:
+            raise SystemExit(
+                "error: no gated benchmark records in the input — did the "
+                "benchmarks run?"
+            )
         baseline_doc = {
-            "schema": "repro-bench-baseline/1",
+            "schema": "repro-bench-baseline/2",
             "source": str(args.bench_json),
             "scale": document.get("scale"),
-            "record": current,
+            "records": gated,
         }
         args.baseline.write_text(json.dumps(baseline_doc, indent=2) + "\n")
         print(
-            f"baseline updated: {current['id']} at "
-            f"{current['events_per_sec']:,.0f} events/s -> {args.baseline}"
+            f"baseline updated with {len(gated)} gated record(s) -> "
+            f"{args.baseline}"
         )
         return 0
 
@@ -88,17 +132,35 @@ def main(argv: list[str] | None = None) -> int:
             f"error: baseline {args.baseline} missing; run with "
             "--update-baseline on the reference machine and commit it"
         )
-    baseline = json.loads(args.baseline.read_text())["record"]
-    floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
-    verdict = "OK" if current["events_per_sec"] >= floor else "REGRESSION"
-    print(
-        f"{verdict}: {current['id']}\n"
-        f"  current : {current['events_per_sec']:>12,.0f} events/s "
-        f"({current['wall_clock_s']:.2f}s wall, {current['workers']} worker(s))\n"
-        f"  baseline: {baseline['events_per_sec']:>12,.0f} events/s "
-        f"(floor at -{args.tolerance:.0%}: {floor:,.0f})"
-    )
-    return 0 if verdict == "OK" else 1
+    baseline_doc = json.loads(args.baseline.read_text())
+    if "records" in baseline_doc:
+        baseline_records = baseline_doc["records"]
+    else:
+        # v1 back-compat: single headline record.
+        baseline_records = {GATES[0][0]: baseline_doc["record"]}
+
+    checked = 0
+    failed = 0
+    for key, metric, direction in GATES:
+        baseline_record = baseline_records.get(key)
+        if baseline_record is None or baseline_record.get(metric) is None:
+            continue
+        current = _find_record(document, key, metric)
+        if current is None:
+            continue
+        ok, line = _check_gate(
+            key, metric, direction, current, baseline_record, args.tolerance
+        )
+        print(line)
+        checked += 1
+        failed += 0 if ok else 1
+    if checked == 0:
+        raise SystemExit(
+            "error: no gated benchmark present in both the input and the "
+            "baseline — did the benchmarks run?"
+        )
+    print(f"{checked} gate(s) checked, {failed} regression(s)")
+    return 0 if failed == 0 else 1
 
 
 if __name__ == "__main__":

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the exact Solution-0 QBD solve (slower)",
     )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the analysis under cProfile and print the top-20 "
+        "cumulative-time entries before the results",
+    )
 
     simulate = commands.add_parser("simulate", help="event-driven simulation")
     _add_hap_arguments(simulate)
@@ -132,20 +138,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profiled(fn, out):
+    """Run ``fn`` under cProfile; print the top-20 cumulative entries.
+
+    The analytic twin of ``simulate --profile``: perf work on the kernel
+    layer (spectral decompositions, matrix-geometric iterations, mapping
+    cache) should start from this data, not from guesses.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn()
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
+    print(buffer.getvalue().rstrip(), file=out)
+    return result
+
+
 def _command_analyze(args: argparse.Namespace, out) -> int:
     hap = _hap_from_args(args)
     print(hap.describe(), file=out)
     mm1 = hap.poisson_baseline()
     print(f"utilization          : {hap.params.utilization():.3f}", file=out)
     print(f"M/M/1 baseline delay : {mm1.mean_delay:.6g} s", file=out)
-    sol2 = hap.solve(solution=2)
+
+    def solve_all():
+        sol2 = hap.solve(solution=2)
+        sol0 = hap.solve(solution=0, backend="qbd") if args.exact else None
+        return sol2, sol0
+
+    if getattr(args, "profile", False):
+        sol2, sol0 = _profiled(solve_all, out)
+    else:
+        sol2, sol0 = solve_all()
     print(
         f"Solution 2           : delay {sol2.mean_delay:.6g} s "
         f"(sigma {sol2.sigma:.4f})",
         file=out,
     )
-    if args.exact:
-        sol0 = hap.solve(solution=0, backend="qbd")
+    if sol0 is not None:
         print(
             f"Solution 0 (exact)   : delay {sol0.mean_delay:.6g} s "
             f"(sigma {sol0.sigma:.4f}, "

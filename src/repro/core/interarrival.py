@@ -217,17 +217,23 @@ def _panel_gauss(fn, breakpoints: list[float], subpanels: int = 4) -> float:
     """Vectorized fixed-order Gauss–Legendre over breakpoint panels.
 
     Each breakpoint interval is split into ``subpanels`` equal panels of a
-    64-point rule; ``fn`` must accept an array of abscissae.
+    64-point rule.  All panel abscissae are assembled into a single array so
+    ``fn`` (which must accept an array) is evaluated exactly once for the
+    whole quadrature; the weighted panel sums are then one matrix–vector
+    product.
     """
-    total = 0.0
-    for left, right in zip(breakpoints[:-1], breakpoints[1:]):
-        edges = np.linspace(left, right, subpanels + 1)
-        for a, b in zip(edges[:-1], edges[1:]):
-            half = 0.5 * (b - a)
-            mid = 0.5 * (a + b)
-            values = fn(mid + half * _GAUSS_NODES)
-            total += half * float(_GAUSS_WEIGHTS @ values)
-    return total
+    edges = np.concatenate(
+        [
+            np.linspace(left, right, subpanels + 1)[:-1]
+            for left, right in zip(breakpoints[:-1], breakpoints[1:])
+        ]
+        + [[breakpoints[-1]]]
+    )
+    halves = 0.5 * np.diff(edges)
+    mids = 0.5 * (edges[:-1] + edges[1:])
+    abscissae = mids[:, None] + halves[:, None] * _GAUSS_NODES[None, :]
+    values = np.asarray(fn(abscissae.ravel())).reshape(abscissae.shape)
+    return float(halves @ (values @ _GAUSS_WEIGHTS))
 
 
 def _piecewise_quad(fn, breakpoints: list[float]) -> float:
@@ -266,7 +272,9 @@ def density_intersections(
         return float(dist.density(t)[0]) - rate * np.exp(-rate * t)
 
     grid = np.linspace(1e-9, search_upper, grid_points)
-    values = np.array([difference(t) for t in grid])
+    # Whole-grid bracketing in one vectorized evaluation; brentq then
+    # polishes each sign change with the scalar callable.
+    values = dist.density(grid) - rate * np.exp(-rate * grid)
     crossings = []
     for left, right, f_left, f_right in zip(
         grid[:-1], grid[1:], values[:-1], values[1:]

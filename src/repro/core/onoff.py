@@ -113,7 +113,9 @@ class TwoLevelHAP:
         rates = np.arange(max_sessions + 1, dtype=float) * self.message_rate
         mmpp = MMPP(generator, rates)
         pi = mmpp.stationary_distribution()
-        return MappedMMPP(mmpp=mmpp, space=space, boundary_mass=float(pi[-1]))
+        return MappedMMPP(
+            mmpp=mmpp, space=space, precomputed_boundary_mass=float(pi[-1])
+        )
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,13 @@ from repro.core.params import HAPParameters
 from repro.markov.matrix_geometric import solve_mmpp_m1
 from repro.markov.uniformization import UNIFORMIZATION_MARGIN
 
-__all__ = ["Solution0Result", "solve_solution0"]
+__all__ = ["DEFAULT_PHASE_MASS_TOL", "Solution0Result", "solve_solution0"]
+
+#: Stationary-mass threshold for trimming the modulating phase space on the
+#: auto-bounds QBD path.  Box corner states below this probability cost full
+#: cubic work in the matrix-geometric solve while moving the answer at the
+#: 1e-7 relative level; trimming them is the single largest analytic speedup.
+DEFAULT_PHASE_MASS_TOL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,10 @@ class Solution0Result:
         ``z_max + 1`` probabilities (``qbd``).
     backend:
         Which backend produced the numbers.
+    rate_matrix:
+        The converged matrix-geometric ``R`` (``qbd`` backend only, else
+        ``None``) — feed it to a neighbouring sweep point via
+        ``qbd_initial_rate_matrix`` to warm-start its fixed point.
     """
 
     params: HAPParameters
@@ -83,6 +93,7 @@ class Solution0Result:
     boundary_mass: float
     queue_length_pmf: np.ndarray
     backend: str
+    rate_matrix: np.ndarray | None = None
 
 
 def solve_solution0(
@@ -94,6 +105,8 @@ def solve_solution0(
     collapse_symmetric: bool = True,
     power_tol: float = 1e-12,
     power_max_sweeps: int = 2_000_000,
+    phase_mass_tol: float | None = None,
+    qbd_initial_rate_matrix: np.ndarray | None = None,
 ) -> Solution0Result:
     """Run Solution 0 on a HAP.
 
@@ -116,12 +129,35 @@ def solve_solution0(
         Collapse symmetric HAPs to the 2-D Figure-7 modulating chain.
     power_tol, power_max_sweeps:
         Convergence controls for the ``power`` backend.
+    phase_mass_tol:
+        Mass-adaptive trimming threshold for the modulating phase space
+        (see :mod:`repro.core.mmpp_mapping`).  ``None`` (default) trims at
+        :data:`DEFAULT_PHASE_MASS_TOL` on the auto-bounds ``qbd`` path —
+        where the box is a numerical artifact — and never when
+        ``modulating_bounds`` is given (explicit boxes, including
+        admission-control limits, are honoured exactly).  Pass ``0.0`` to
+        force the full rectangle, or a positive threshold to trim anyway.
+    qbd_initial_rate_matrix:
+        Optional warm start for the ``qbd`` backend's rate-matrix fixed
+        point — typically the :attr:`Solution0Result.rate_matrix` of an
+        adjacent sweep point with the same modulating bounds.  Ignored by
+        the other backends; wrong-shaped guesses are rejected downstream.
     """
     if service_rate is None:
         service_rate = params.common_service_rate()
-    mapped = _map_modulating_chain(params, modulating_bounds, collapse_symmetric)
+    if phase_mass_tol is None:
+        phase_mass_tol = (
+            DEFAULT_PHASE_MASS_TOL
+            if backend == "qbd" and modulating_bounds is None
+            else 0.0
+        )
+    mapped = _map_modulating_chain(
+        params, modulating_bounds, collapse_symmetric, phase_mass_tol
+    )
     if backend == "qbd":
-        return _solve_qbd(params, service_rate, mapped, z_max)
+        return _solve_qbd(
+            params, service_rate, mapped, z_max, qbd_initial_rate_matrix
+        )
     if backend not in ("direct", "power"):
         raise ValueError(f"unknown backend {backend!r}")
 
@@ -163,13 +199,16 @@ def _map_modulating_chain(
     params: HAPParameters,
     bounds: tuple[int, ...] | None,
     collapse_symmetric: bool,
+    mass_tol: float = 0.0,
 ) -> MappedMMPP:
     if collapse_symmetric and params.is_symmetric:
         if bounds is None:
-            return symmetric_hap_to_mmpp(params)
+            return symmetric_hap_to_mmpp(params, mass_tol=mass_tol)
         x_max, y_max = bounds
-        return symmetric_hap_to_mmpp(params, x_max=x_max, y_max=y_max)
-    return hap_to_mmpp(params, bounds=bounds)
+        return symmetric_hap_to_mmpp(
+            params, x_max=x_max, y_max=y_max, mass_tol=mass_tol
+        )
+    return hap_to_mmpp(params, bounds=bounds, mass_tol=mass_tol)
 
 
 def _augment_with_queue(
@@ -270,8 +309,11 @@ def _solve_qbd(
     service_rate: float,
     mapped: MappedMMPP,
     z_max: int,
+    initial_rate_matrix: np.ndarray | None = None,
 ) -> Solution0Result:
-    solution = solve_mmpp_m1(mapped.mmpp, service_rate)
+    solution = solve_mmpp_m1(
+        mapped.mmpp, service_rate, initial_rate_matrix=initial_rate_matrix
+    )
     mean_queue = solution.mean_queue_length()
     mean_rate = mapped.mmpp.mean_rate()
     # sigma: arrival-weighted probability of finding the server busy.
@@ -288,4 +330,5 @@ def _solve_qbd(
         boundary_mass=0.0,
         queue_length_pmf=solution.level_distribution(z_max),
         backend="qbd",
+        rate_matrix=solution.rate_matrix,
     )

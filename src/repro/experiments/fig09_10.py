@@ -10,6 +10,12 @@ Short gaps are intra-burst, long gaps are between bursts.
 replicated campaign (via :func:`repro.runtime.sweep.sweep`) measures the
 mean arrival rate the event-driven HAP actually produces and checks it
 against ``lambda-bar`` — the paper's mean interarrival of 0.133 s.
+
+The closed-form density grids themselves are embarrassingly parallel, so
+:func:`run_fig9` and :func:`run_fig10_tail` evaluate them through
+:func:`repro.runtime.analytic.grid_map`, which chunks the abscissa grid
+over the same process pool the simulation campaigns use (and collapses to
+one in-process vectorized call on a single worker).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.core.interarrival import (
     poisson_interarrival_density,
 )
 from repro.experiments.configs import fig9_parameters
+from repro.runtime.analytic import grid_map
 from repro.runtime.sweep import SweepPoint, sweep
 from repro.sim.replication import ReplicationSummary, simulate_hap_mm1
 
@@ -62,7 +69,16 @@ class Fig9Result:
         )
 
 
-def run_fig9(grid_upper: float = 0.7, grid_points: int = 200) -> Fig9Result:
+def _hap_density(params, grid):
+    """Picklable grid chunk task: the closed-form ``a(t)`` on ``grid``."""
+    return InterarrivalDistribution(params).density(grid)
+
+
+def run_fig9(
+    grid_upper: float = 0.7,
+    grid_points: int = 200,
+    max_workers: int | None = None,
+) -> Fig9Result:
     """Compute both densities on a grid plus the crossing points."""
     params = fig9_parameters()
     dist = InterarrivalDistribution(params)
@@ -74,7 +90,9 @@ def run_fig9(grid_upper: float = 0.7, grid_points: int = 200) -> Fig9Result:
         poisson_density_at_zero=rate,
         intersections=tuple(density_intersections(dist)),
         grid=grid,
-        hap_density=dist.density(grid),
+        hap_density=grid_map(
+            partial(_hap_density, params), grid, max_workers=max_workers
+        ),
         poisson_density=poisson_interarrival_density(rate, grid),
     )
 
@@ -162,7 +180,10 @@ def run_fig9_empirical(
 
 
 def run_fig10_tail(
-    tail_start: float = 0.45, tail_end: float = 0.7, grid_points: int = 120
+    tail_start: float = 0.45,
+    tail_end: float = 0.7,
+    grid_points: int = 120,
+    max_workers: int | None = None,
 ) -> Fig9Result:
     """The Figure-10 zoom: the tail window around the second crossing."""
     params = fig9_parameters()
@@ -177,6 +198,8 @@ def run_fig10_tail(
             t for t in density_intersections(dist) if tail_start <= t <= tail_end
         ),
         grid=grid,
-        hap_density=dist.density(grid),
+        hap_density=grid_map(
+            partial(_hap_density, params), grid, max_workers=max_workers
+        ),
         poisson_density=poisson_interarrival_density(rate, grid),
     )

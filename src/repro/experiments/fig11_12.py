@@ -9,17 +9,24 @@ and explodes as utilization grows (about 200x at 64 %).
 Both sweeps share one row shape: simulation is the ground truth for HAP,
 with Solution 2 alongside to show where its light-load validity ends, and
 M/M/1 as the Poisson baseline.
+
+Sweep points are independent (each carries its own seed and parameter set),
+so both figures fan their points over the shared replication runtime via
+:func:`repro.runtime.analytic.run_analytic_sweep` — serial and parallel
+runs produce identical point lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.params import HAPParameters
 from repro.core.solution0 import solve_solution0
 from repro.core.solution2 import solve_solution2
 from repro.experiments.configs import base_parameters
 from repro.queueing.mm1 import solve_mm1
+from repro.runtime.analytic import run_analytic_sweep
 from repro.sim.replication import simulate_hap_mm1
 
 __all__ = ["SweepPoint", "run_fig11", "run_fig12"]
@@ -105,18 +112,21 @@ def run_fig11(
     capacities: tuple[float, ...] = (13.0, 15.0, 17.0, 20.0, 25.0, 30.0, 40.0),
     horizon: float = 300_000.0,
     seed: int = 11,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Delay versus server capacity at fixed ``lambda-bar = 8.25``.
 
     The lowest capacities sit at the paper's 64 % utilization corner where
     HAP's delay blows up; expect large run-to-run variation there (that
-    *is* the finding).
+    *is* the finding).  Points are independent and fan out over
+    ``max_workers`` processes (default: one per CPU).
     """
     params = base_parameters()
-    return [
-        _sweep_point(params, mu, mu, horizon, seed + k)
+    tasks = [
+        (f"mu={mu:g}", partial(_sweep_point, params, mu, mu, horizon, seed + k))
         for k, mu in enumerate(capacities)
     ]
+    return run_analytic_sweep(tasks, max_workers=max_workers)
 
 
 def run_fig12(
@@ -131,25 +141,31 @@ def run_fig12(
     service_rate: float = 17.0,
     horizon: float = 300_000.0,
     seed: int = 12,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Delay versus message arrival rate at fixed ``mu'' = 17``.
 
     The sweep changes the load the way the paper does — through the user
     arrival rate ``lambda`` — so the hierarchy's shape stays fixed while
-    ``lambda-bar`` scales linearly.
+    ``lambda-bar`` scales linearly.  Points fan out over ``max_workers``
+    processes like :func:`run_fig11`.
     """
-    points = []
+    tasks = []
     for k, lam in enumerate(user_rates):
         params = base_parameters(
             service_rate=service_rate, user_arrival_rate=lam
         )
-        points.append(
-            _sweep_point(
-                params,
-                service_rate,
-                params.mean_message_rate,
-                horizon,
-                seed + k,
+        tasks.append(
+            (
+                f"lambda={lam:g}",
+                partial(
+                    _sweep_point,
+                    params,
+                    service_rate,
+                    params.mean_message_rate,
+                    horizon,
+                    seed + k,
+                ),
             )
         )
-    return points
+    return run_analytic_sweep(tasks, max_workers=max_workers)

@@ -21,8 +21,20 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.ctmc import CTMC
+from repro.markov.spectral import SpectralKernel, UniformizedKernel
 
 __all__ = ["MMPP", "fit_mmpp2_to_moments"]
+
+#: Above this phase count the dense eigendecomposition stops paying off and
+#: the analytic kernels switch to the uniformized power-series evaluator.
+_SPECTRAL_SIZE_LIMIT = 600
+
+
+def _make_kernel(matrix):
+    """Pick the grid-evaluation kernel for ``expm(matrix * t)`` forms."""
+    if matrix.shape[0] <= _SPECTRAL_SIZE_LIMIT:
+        return SpectralKernel(matrix)
+    return UniformizedKernel(matrix)
 
 
 @dataclass
@@ -40,6 +52,8 @@ class MMPP:
     generator: object
     rates: np.ndarray
     _chain: CTMC = field(init=False, repr=False)
+    _d0_kernel: object = field(init=False, repr=False, default=None)
+    _generator_kernel: object = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         self.rates = np.asarray(self.rates, dtype=float)
@@ -71,6 +85,43 @@ class MMPP:
     def d1(self) -> np.ndarray:
         """Neuts' ``D1 = diag(rates)`` (dense)."""
         return np.diag(self.rates)
+
+    def d0_kernel(self):
+        """Grid-evaluation kernel for ``expm(D0 t)`` forms.  Built once.
+
+        A :class:`~repro.markov.spectral.SpectralKernel` (one-shot
+        eigendecomposition, Schur fallback) for modest phase counts, a
+        :class:`~repro.markov.spectral.UniformizedKernel` beyond
+        ``_SPECTRAL_SIZE_LIMIT`` states.
+        """
+        if self._d0_kernel is None:
+            self._d0_kernel = _make_kernel(self.d0())
+        return self._d0_kernel
+
+    def generator_kernel(self):
+        """Grid-evaluation kernel for ``expm(Q t)`` forms.  Built once.
+
+        Unlike ``D0``, a *generator* always has the uniformized power
+        series as a fast, unconditionally stable evaluator, so when the
+        eigendecomposition fails its residual check (lattice generators
+        routinely have near-defective eigenvector bases) the fallback is
+        :class:`UniformizedKernel` — per-grid-point Schur ``expm`` would
+        reintroduce exactly the per-point cost this layer removes.
+        """
+        if self._generator_kernel is None:
+            kernel = None
+            if self.num_states <= _SPECTRAL_SIZE_LIMIT:
+                q = self.generator
+                dense = np.asarray(
+                    q.todense() if sp.issparse(q) else q, dtype=float
+                )
+                spectral = SpectralKernel(dense)
+                if spectral.method == "eig":
+                    kernel = spectral
+            if kernel is None:
+                kernel = UniformizedKernel(self.generator)
+            self._generator_kernel = kernel
+        return self._generator_kernel
 
     # ------------------------------------------------------------------
     # First- and second-order statistics
@@ -136,17 +187,19 @@ class MMPP:
         """
         if order < 1:
             raise ValueError("order must be >= 1")
-        d0 = self.d0()
+        from scipy.linalg import lu_factor, lu_solve
+
         pi = self.stationary_distribution()
         weights = pi * self.rates
         phi = weights / weights.sum()
-        inv = np.linalg.inv(-d0)
+        # vec <- vec (-D0)^{-1} is a transposed solve; factor (-D0)^T once.
+        lu_neg_d0t = lu_factor(-self.d0().T)
         ones = np.ones(self.num_states)
         moments = []
         vec = phi.copy()
         factorial = 1.0
         for k in range(1, order + 1):
-            vec = vec @ inv
+            vec = lu_solve(lu_neg_d0t, vec)
             factorial *= k
             moments.append(float(factorial * (vec @ ones)))
         return moments
@@ -156,7 +209,9 @@ class MMPP:
         m1, m2 = self.exact_interarrival_moments(order=2)
         return m2 / m1**2 - 1.0
 
-    def exact_interarrival_density(self, t: np.ndarray) -> np.ndarray:
+    def exact_interarrival_density(
+        self, t: np.ndarray, method: str = "spectral"
+    ) -> np.ndarray:
         """Exact stationary-interval interarrival density.
 
         ``f(t) = phi exp(D0 t) D1 1`` with ``phi`` the post-arrival phase
@@ -164,19 +219,50 @@ class MMPP:
         with a state mixture.  The difference between this and
         :meth:`interarrival_density` is precisely the within-interval phase
         drift those solutions ignore; tests quantify it.
+
+        ``method="spectral"`` (default) evaluates the whole grid from the
+        cached :meth:`d0_kernel` factorization; ``method="expm"`` is the
+        legacy one-``expm``-per-point path, kept as the equivalence anchor.
         """
+        phi = self.palm_state_distribution()
+        rate_vector = self.rates  # D1 @ 1 = rates
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        if method == "spectral":
+            return self.d0_kernel().bilinear(phi, rate_vector, t)
+        if method != "expm":
+            raise ValueError(f"unknown interarrival method {method!r}")
         from scipy.linalg import expm
 
         d0 = self.d0()
-        pi = self.stationary_distribution()
-        weights = pi * self.rates
-        phi = weights / weights.sum()
-        rate_vector = self.rates  # D1 @ 1 = rates
-        t = np.atleast_1d(np.asarray(t, dtype=float))
         values = np.empty(t.shape)
         for k, time in enumerate(t):
             values[k] = float(phi @ expm(d0 * time) @ rate_vector)
         return values
+
+    def exact_interarrival_cdf(
+        self, t: np.ndarray, method: str = "spectral"
+    ) -> np.ndarray:
+        """Exact stationary-interval interarrival distribution ``A(t)``.
+
+        ``A(t) = 1 - phi exp(D0 t) 1`` — the survival function is the
+        probability no arrival has fired by ``t`` given the post-arrival
+        phase mix ``phi``.  Same ``method`` contract as
+        :meth:`exact_interarrival_density`.
+        """
+        phi = self.palm_state_distribution()
+        ones = np.ones(self.num_states)
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        if method == "spectral":
+            return 1.0 - self.d0_kernel().bilinear(phi, ones, t)
+        if method != "expm":
+            raise ValueError(f"unknown interarrival method {method!r}")
+        from scipy.linalg import expm
+
+        d0 = self.d0()
+        values = np.empty(t.shape)
+        for k, time in enumerate(t):
+            values[k] = float(phi @ expm(d0 * time) @ ones)
+        return 1.0 - values
 
     def interarrival_autocorrelation(self, lag: int = 1) -> float:
         """Exact lag-``k`` autocorrelation of successive interarrival times.
@@ -207,34 +293,50 @@ class MMPP:
         joint = float(phi @ inv @ transition @ step @ inv @ ones)
         return (joint - m1**2) / variance
 
-    def rate_autocovariance(self, lags: np.ndarray) -> np.ndarray:
+    def rate_autocovariance(
+        self, lags: np.ndarray, method: str = "spectral"
+    ) -> np.ndarray:
         """Autocovariance ``Cov(r(0), r(u))`` of the modulating rate.
 
-        Computed through transient distributions of the modulating chain;
-        intended for modest state-space sizes (the truncated HAP chains).
+        ``c(u) = (pi * r) exp(Q u) r - lambda-bar^2`` — a bilinear form in
+        the modulating generator's exponential.  ``method="spectral"``
+        (default) evaluates the whole lag grid through the cached
+        :meth:`generator_kernel`; ``method="legacy"`` is the previous
+        one-transient-solve-per-lag path, kept as the equivalence anchor.
         """
         lags = np.atleast_1d(np.asarray(lags, dtype=float))
         pi = self.stationary_distribution()
         mean = float(pi @ self.rates)
         weighted = pi * self.rates
+        if method == "spectral":
+            forward = self.generator_kernel().bilinear(
+                weighted, self.rates, lags
+            )
+            return forward - mean**2
+        if method != "legacy":
+            raise ValueError(f"unknown autocovariance method {method!r}")
         covariances = np.empty(lags.shape)
         for k, lag in enumerate(lags):
             forward = self._chain.transient_distribution(weighted, lag)
             covariances[k] = float(forward @ self.rates) - mean**2
         return covariances
 
-    def index_of_dispersion(self, t: float, quad_points: int = 256) -> float:
+    def index_of_dispersion(
+        self, t: float, quad_points: int = 256, method: str = "spectral"
+    ) -> float:
         """Index of dispersion for counts ``IDC(t) = Var N(t) / E N(t)``.
 
         Uses ``Var N(t) = mean_rate * t + 2 ∫_0^t (t - u) c(u) du`` where
-        ``c`` is the rate autocovariance, evaluated by trapezoidal quadrature.
-        A Poisson process has IDC ≡ 1; HAP's IDC grows far above 1, which is
-        the count-domain face of its burstiness.
+        ``c`` is the rate autocovariance, evaluated by trapezoidal quadrature
+        (the whole quadrature grid costs one kernel evaluation under the
+        default ``method="spectral"``).  A Poisson process has IDC ≡ 1;
+        HAP's IDC grows far above 1, which is the count-domain face of its
+        burstiness.
         """
         if t <= 0:
             raise ValueError("t must be positive")
         us = np.linspace(0.0, t, quad_points)
-        covariance = self.rate_autocovariance(us)
+        covariance = self.rate_autocovariance(us, method=method)
         integrand = (t - us) * covariance
         mean_count = self.mean_rate() * t
         variance = mean_count + 2.0 * np.trapezoid(integrand, us)

@@ -19,7 +19,7 @@ from collections.abc import Callable, Iterable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["StateSpace", "build_generator"]
+__all__ = ["StateSpace", "TrimmedStateSpace", "build_generator"]
 
 #: A transition function maps a state tuple to ``(successor, rate)`` pairs.
 TransitionFn = Callable[[tuple[int, ...]], Iterable[tuple[tuple[int, ...], float]]]
@@ -104,6 +104,82 @@ class StateSpace:
             *[np.arange(b + 1) for b in self.bounds], indexing="ij"
         )
         return [grid.ravel() for grid in grids]
+
+
+class TrimmedStateSpace:
+    """A mass-selected subset of a box :class:`StateSpace`, densely reindexed.
+
+    The paper truncates to a rectangle, but the stationary mass of the
+    modulating chain lives on a diagonal band of it — corner states carry
+    probabilities far below floating-point noise yet cost the same cubic
+    work in every matrix solve.  ``TrimmedStateSpace`` keeps an explicit
+    subset of the parent box (chosen by stationary mass in
+    :mod:`repro.core.mmpp_mapping`) while preserving the :class:`StateSpace`
+    interface (``bounds``, ``size``, ``index``/``state``, iteration,
+    ``coordinate_arrays``), so every consumer — boundary-mass checks, rate
+    vectors, QBD phase bookkeeping — works unchanged on the smaller space.
+
+    Parameters
+    ----------
+    parent:
+        The enclosing box.
+    keep:
+        Sorted dense parent indices of the retained states.
+    """
+
+    def __init__(self, parent: StateSpace, keep: np.ndarray):
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.ndim != 1 or keep.size == 0:
+            raise ValueError("keep must be a non-empty 1-D index array")
+        if np.any(keep[1:] <= keep[:-1]):
+            raise ValueError("keep indices must be strictly increasing")
+        if keep[0] < 0 or keep[-1] >= parent.size:
+            raise ValueError("keep indices outside the parent space")
+        self.parent = parent
+        self.bounds = parent.bounds
+        self.size = int(keep.size)
+        self._keep = keep
+        self._coords = [c[keep] for c in parent.coordinate_arrays()]
+        self._parent_to_self = {int(p): i for i, p in enumerate(keep)}
+
+    @property
+    def ndim(self) -> int:
+        """Number of coordinates."""
+        return self.parent.ndim
+
+    def contains(self, state: tuple[int, ...]) -> bool:
+        """True when ``state`` is inside the box *and* was retained."""
+        return (
+            self.parent.contains(state)
+            and self.parent.index(state) in self._parent_to_self
+        )
+
+    def index(self, state: tuple[int, ...]) -> int:
+        """Dense index of ``state`` within the trimmed space."""
+        if not self.parent.contains(state):
+            raise KeyError(f"state {state} outside bounds {self.bounds}")
+        parent_index = self.parent.index(state)
+        try:
+            return self._parent_to_self[parent_index]
+        except KeyError:
+            raise KeyError(f"state {state} was trimmed away") from None
+
+    def state(self, index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside 0..{self.size - 1}")
+        return self.parent.state(int(self._keep[index]))
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for index in range(self.size):
+            yield self.state(index)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def coordinate_arrays(self) -> list[np.ndarray]:
+        """Per-coordinate value arrays aligned with the trimmed dense index."""
+        return [c.copy() for c in self._coords]
 
 
 def build_generator(

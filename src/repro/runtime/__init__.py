@@ -20,6 +20,7 @@ Two layers:
   with chunked dispatch and an optional wall-clock budget.
 """
 
+from repro.runtime.analytic import grid_map, run_analytic_sweep
 from repro.runtime.executor import (
     CampaignResult,
     ParallelReplicator,
@@ -40,5 +41,7 @@ __all__ = [
     "SweepResult",
     "default_worker_count",
     "derive_seeds",
+    "grid_map",
+    "run_analytic_sweep",
     "sweep",
 ]

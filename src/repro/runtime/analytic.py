@@ -1,0 +1,113 @@
+"""Analytic sweeps over the replication runtime.
+
+The process-pool machinery in :mod:`repro.runtime.executor` was built for
+simulation replications, but the paper's figure pipelines are mostly
+*analytic* grids — Solution-2 load curves, QBD ladders, closed-form density
+grids — whose points are just as independent as simulation seeds.  This
+module adapts those zero-replication workloads onto :func:`repro.runtime
+.sweep.sweep` so they share the pool, the failure capture, and the
+determinism contract (results are keyed by grid position, never by
+scheduling):
+
+* :func:`run_analytic_sweep` — evaluate a list of labelled zero-argument
+  tasks, one pool job each, returning results in input order.
+* :func:`grid_map` — evaluate ``fn`` over a dense numpy grid in chunks
+  (Figure-9-style density grids), reassembling the full curve.
+
+With one worker both paths run in-process (no pool, no pickling), so small
+smoke-test grids pay no dispatch overhead; on multicore machines the grid
+fans out like any simulation campaign.  Tasks must be picklable (module
+level functions or :func:`functools.partial` over them) to actually fan
+out — the executor degrades to the identical serial path otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.runtime.sweep import SweepPoint, sweep
+
+__all__ = ["grid_map", "run_analytic_sweep"]
+
+
+@dataclass(frozen=True)
+class _SeedlessTask:
+    """Picklable adapter giving a zero-argument task the ``task(seed)`` shape."""
+
+    fn: Callable
+
+    def __call__(self, seed: int):
+        return self.fn()
+
+
+def run_analytic_sweep(
+    tasks: Sequence[tuple[str, Callable]],
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list:
+    """Evaluate labelled zero-argument tasks over the sweep pool.
+
+    Parameters
+    ----------
+    tasks:
+        ``(label, fn)`` pairs; each ``fn()`` computes one analytic grid
+        point.  Labels must be unique (they key failure reports).
+    max_workers, chunk_size:
+        As in :func:`repro.runtime.sweep.sweep`.
+
+    Returns
+    -------
+    The task results, in input order.  Any task failure re-raises as a
+    :class:`~repro.runtime.executor.ReplicationError` carrying the
+    worker-side traceback.
+    """
+    if not tasks:
+        return []
+    labels = [label for label, _ in tasks]
+    points = [
+        SweepPoint(label=label, task=_SeedlessTask(fn), num_replications=1)
+        for label, fn in tasks
+    ]
+    result = sweep(
+        points, num_replications=1, max_workers=max_workers, chunk_size=chunk_size
+    )
+    result.raise_if_failed()
+    return [result[label].results[0] for label in labels]
+
+
+def _apply_chunk(fn: Callable, chunk: np.ndarray) -> np.ndarray:
+    return np.asarray(fn(chunk))
+
+
+def grid_map(
+    fn: Callable[[np.ndarray], np.ndarray],
+    grid: np.ndarray,
+    num_chunks: int | None = None,
+    max_workers: int | None = None,
+) -> np.ndarray:
+    """Evaluate a vectorized ``fn`` over ``grid`` in parallel chunks.
+
+    ``fn`` must map an abscissa array to a same-length value array and be
+    picklable.  The grid is split into ``num_chunks`` contiguous chunks
+    (default: one per worker the executor would use, capped at 8) and the
+    partial curves are concatenated in grid order.
+    """
+    grid = np.atleast_1d(np.asarray(grid))
+    if grid.size == 0:
+        return np.asarray(fn(grid))
+    if num_chunks is None:
+        from repro.runtime.executor import default_worker_count
+
+        num_chunks = min(8, default_worker_count(limit=grid.size))
+    num_chunks = max(1, min(int(num_chunks), grid.size))
+    chunks = np.array_split(grid, num_chunks)
+    tasks = [
+        (f"chunk-{index}", partial(_apply_chunk, fn, chunk))
+        for index, chunk in enumerate(chunks)
+    ]
+    parts = run_analytic_sweep(tasks, max_workers=max_workers)
+    return np.concatenate([np.atleast_1d(part) for part in parts])

@@ -109,3 +109,90 @@ class TestDefaultBounds:
         tight = default_bounds(small_hap, spread=3.0)
         wide = default_bounds(small_hap, spread=9.0)
         assert all(w >= t for w, t in zip(wide, tight))
+
+
+class TestMappingCache:
+    def _unique_hap(self, tag: str):
+        from repro.core.params import HAPParameters
+
+        return HAPParameters.symmetric(
+            user_arrival_rate=0.05,
+            user_departure_rate=0.05,
+            app_arrival_rate=0.05,
+            app_departure_rate=0.05,
+            message_arrival_rate=0.4,
+            message_service_rate=3.0,
+            num_app_types=2,
+            num_message_types=1,
+            name=f"cache-{tag}",
+        )
+
+    def test_repeated_calls_share_one_instance(self):
+        params = self._unique_hap("share")
+        first = symmetric_hap_to_mmpp(params)
+        second = symmetric_hap_to_mmpp(params)
+        assert first is second
+        assert hap_to_mmpp(params) is hap_to_mmpp(params)
+
+    def test_distinct_keys_get_distinct_instances(self):
+        params = self._unique_hap("keys")
+        assert symmetric_hap_to_mmpp(params) is not symmetric_hap_to_mmpp(
+            params, x_max=4, y_max=8
+        )
+        assert symmetric_hap_to_mmpp(params) is not symmetric_hap_to_mmpp(
+            params, mass_tol=1e-9
+        )
+
+    def test_construction_never_solves_stationary(self, monkeypatch):
+        # The lazy-boundary-mass contract: building an (untrimmed) mapped
+        # chain must not trigger a stationary solve; only the first
+        # boundary_mass access may, and the result is then memoized.
+        from repro.markov.ctmc import CTMC
+
+        calls = []
+        original = CTMC.stationary_distribution
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(CTMC, "stationary_distribution", counting)
+        mapped = symmetric_hap_to_mmpp(self._unique_hap("lazy"))
+        assert calls == []
+        first = mapped.boundary_mass
+        assert len(calls) == 1
+        assert mapped.boundary_mass == first
+        assert len(calls) == 1
+
+
+class TestMassTrimming:
+    # The paper-base box actually has sub-threshold corner mass (the tiny
+    # fixture HAPs do not), so these tests run on a mid-size paper chain.
+    def _paper_chain(self, mass_tol=None):
+        from repro.experiments.configs import base_parameters
+
+        return symmetric_hap_to_mmpp(
+            base_parameters(), x_max=14, y_max=70, mass_tol=mass_tol
+        )
+
+    def test_trim_preserves_statistics(self):
+        from repro.markov.truncation import TrimmedStateSpace
+
+        full = self._paper_chain()
+        trimmed = self._paper_chain(mass_tol=1e-10)
+        assert isinstance(trimmed.space, TrimmedStateSpace)
+        assert trimmed.space.size < full.space.size
+        assert trimmed.mean_rate == pytest.approx(full.mean_rate, rel=1e-7)
+        assert trimmed.mmpp.rate_variance() == pytest.approx(
+            full.mmpp.rate_variance(), rel=1e-6
+        )
+
+    def test_trim_generator_rows_sum_to_zero(self):
+        trimmed = self._paper_chain(mass_tol=1e-10)
+        row_sums = np.asarray(trimmed.mmpp.generator.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 0.0, atol=1e-12)
+
+    def test_trim_everything_rejected(self):
+        params = TestMappingCache()._unique_hap("all")
+        with pytest.raises(ValueError, match="trim away every state"):
+            symmetric_hap_to_mmpp(params, mass_tol=2.0)

@@ -225,3 +225,34 @@ class TestConditionReport:
             small_hap, service_rate=small_hap.mean_message_rate * 1.05
         )
         assert not report.satisfied
+
+
+class TestQBDWarmStart:
+    """Solution 0's sweep warm-start contract."""
+
+    def test_qbd_exposes_rate_matrix(self, small_hap):
+        qbd = solve_solution0(small_hap, backend="qbd", modulating_bounds=(6, 12))
+        assert qbd.rate_matrix is not None
+        assert qbd.rate_matrix.shape == (7 * 13, 7 * 13)
+
+    def test_truncated_backends_do_not(self, small_hap):
+        direct = solve_solution0(
+            small_hap, backend="direct", modulating_bounds=(6, 12), z_max=80
+        )
+        assert direct.rate_matrix is None
+
+    def test_warm_start_reproduces_cold_answer(self, small_hap):
+        bounds = (6, 12)
+        cold = solve_solution0(small_hap, backend="qbd", modulating_bounds=bounds)
+        scaled = small_hap.scaled("application", "both", 1.1)
+        warm = solve_solution0(
+            scaled,
+            backend="qbd",
+            modulating_bounds=bounds,
+            qbd_initial_rate_matrix=cold.rate_matrix,
+        )
+        reference = solve_solution0(
+            scaled, backend="qbd", modulating_bounds=bounds
+        )
+        assert warm.mean_delay == pytest.approx(reference.mean_delay, rel=1e-9)
+        assert warm.sigma == pytest.approx(reference.sigma, rel=1e-9)

@@ -113,3 +113,50 @@ class TestHeavyLoad:
         assert solution.mean_delay() == pytest.approx(
             solve_mm1(4.9, 5.0).mean_delay, rel=1e-6
         )
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold_solve(self):
+        mmpp = bursty_mmpp()
+        cold = solve_mmpp_m1(mmpp, 5.0)
+        warm = solve_mmpp_m1(
+            mmpp, 5.0, initial_rate_matrix=cold.rate_matrix
+        )
+        np.testing.assert_allclose(
+            warm.rate_matrix, cold.rate_matrix, atol=1e-10
+        )
+        assert warm.mean_delay() == pytest.approx(
+            cold.mean_delay(), rel=1e-10
+        )
+
+    def test_warm_start_from_neighbour_point(self):
+        # The sweep contract: the converged R of a nearby parameter point
+        # is a valid initial guess and must not change the answer.
+        generator = np.array([[-0.2, 0.2], [0.3, -0.3]])
+        slow = MMPP(generator, np.array([0.5, 4.0]))
+        fast = MMPP(generator, np.array([0.55, 4.4]))
+        neighbour = solve_mmpp_m1(slow, 5.0).rate_matrix
+        warm = solve_mmpp_m1(fast, 5.0, initial_rate_matrix=neighbour)
+        cold = solve_mmpp_m1(fast, 5.0)
+        assert warm.mean_delay() == pytest.approx(
+            cold.mean_delay(), rel=1e-9
+        )
+
+    def test_bad_guess_falls_back_to_cold_solve(self):
+        # A hopeless initial matrix must not poison the result: the
+        # refinement bails on its iteration budget and the cold cyclic
+        # reduction solve takes over.
+        mmpp = bursty_mmpp()
+        cold = solve_mmpp_m1(mmpp, 5.0)
+        warm = solve_mmpp_m1(
+            mmpp, 5.0, initial_rate_matrix=np.full((2, 2), 0.9)
+        )
+        assert warm.mean_delay() == pytest.approx(
+            cold.mean_delay(), rel=1e-9
+        )
+
+    def test_wrong_shape_guess_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            solve_mmpp_m1(
+                bursty_mmpp(), 5.0, initial_rate_matrix=np.zeros((3, 3))
+            )

@@ -1,0 +1,56 @@
+"""Tests for repro.runtime.analytic — analytic sweeps over the pool."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.runtime.analytic import grid_map, run_analytic_sweep
+from repro.runtime.executor import ReplicationError
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+def _boom() -> float:
+    raise RuntimeError("analytic task exploded")
+
+
+def _poly(grid: np.ndarray) -> np.ndarray:
+    return 2.0 * grid + 1.0
+
+
+class TestRunAnalyticSweep:
+    def test_results_in_input_order(self):
+        tasks = [(f"x={x}", partial(_square, x)) for x in (3.0, 1.0, 2.0)]
+        assert run_analytic_sweep(tasks, max_workers=1) == [9.0, 1.0, 4.0]
+
+    def test_failure_raises_with_traceback(self):
+        with pytest.raises(ReplicationError, match="exploded"):
+            run_analytic_sweep([("bad", _boom)], max_workers=1)
+
+    def test_empty_task_list(self):
+        assert run_analytic_sweep([], max_workers=1) == []
+
+
+class TestGridMap:
+    def test_matches_direct_evaluation(self):
+        grid = np.linspace(0.0, 1.0, 37)
+        np.testing.assert_allclose(
+            grid_map(_poly, grid, max_workers=1), _poly(grid)
+        )
+
+    def test_chunking_preserves_order(self):
+        grid = np.linspace(-2.0, 2.0, 23)
+        for chunks in (1, 4, 23, 50):
+            np.testing.assert_allclose(
+                grid_map(_poly, grid, num_chunks=chunks, max_workers=1),
+                _poly(grid),
+            )
+
+    def test_empty_grid(self):
+        result = grid_map(_poly, np.array([]), max_workers=1)
+        assert result.size == 0
