@@ -12,9 +12,11 @@ is how a PR proves a speedup (or a regression gets caught in CI) — see
 from __future__ import annotations
 
 import os
+import resource
+import sys
 import time
 
-__all__ = ["drain_records", "run_once"]
+__all__ = ["drain_records", "peak_rss_mb", "run_once"]
 
 #: Records accumulated this session; conftest drains them at exit.
 _RECORDS: list[dict] = []
@@ -66,6 +68,20 @@ def _extract_campaign_wall(result) -> float | None:
     return None
 
 
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Stdlib only (``resource.getrusage``) — the container deliberately has
+    no ``psutil``.  ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    It is a process-wide *high-water mark*: a memory-gated benchmark must
+    run before anything hungrier in the same process, or it inherits the
+    earlier peak (CI runs the scale rung first for exactly this reason).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return peak / divisor
+
+
 def drain_records() -> list[dict]:
     """Hand the accumulated records over (and clear the buffer)."""
     records = list(_RECORDS)
@@ -94,6 +110,7 @@ def run_once(benchmark, fn):
             round(events / rate_base, 1) if events and rate_base > 0 else None
         ),
         "workers": _extract_workers(result),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
     }
     _RECORDS.append(record)
     return result

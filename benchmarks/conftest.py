@@ -9,14 +9,14 @@ the paper-shaped numbers alongside the timing table.
 quick smoke pass, 4 gives tighter statistics than EXPERIMENTS.md used.
 
 Perf trajectory: every ``run_once`` call registers (wall-clock,
-``Simulator.events_processed``, events/sec, worker count) for its
-benchmark, and the session writes them as one JSON document —
-``BENCH_3.json`` at the repo root by default, or wherever
+``Simulator.events_processed``, events/sec, worker count, peak RSS) for
+its benchmark, and the session writes them as one JSON document —
+``BENCH_4.json`` at the repo root by default, or wherever
 ``REPRO_BENCH_JSON`` points.  "Events" are whatever unit the benchmark
 processes: simulator events for the campaigns, interarrival-grid
-evaluations for the analytic-kernel benchmark.  CI's quick-scale job
-diffs that file against ``benchmarks/bench_baseline.json`` (see
-``scripts/check_bench_regression.py``); schema documented in
+evaluations for the analytic-kernel and scale-ladder benchmarks.  CI's
+quick-scale job diffs that file against ``benchmarks/bench_baseline.json``
+(see ``scripts/check_bench_regression.py``); schema documented in
 EXPERIMENTS.md.
 """
 
@@ -35,8 +35,8 @@ from repro.experiments.configs import bench_scale
 
 _REPORTS: list[tuple[str, str]] = []
 
-#: Default perf-trajectory output: BENCH_3.json next to this repo's root.
-_DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+#: Default perf-trajectory output: BENCH_4.json next to this repo's root.
+_DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_4.json"
 
 
 @pytest.fixture

@@ -1,0 +1,207 @@
+"""Scale-ladder benchmark for the sparse/Krylov analytic backend (PR 4).
+
+Three rungs of the same headline HAP chain at growing truncation boxes:
+
+* ``test_analytic_scale_ladder_8k`` — ~8,000 states (x_max=19, y_max=399),
+  Krylov backend.  This is the CI quick-scale rung: it runs FIRST in the
+  module (and first in CI's pytest invocation) because ``peak_rss_mb`` is a
+  process-wide high-water mark — anything hungrier earlier would pollute it.
+* ``test_analytic_scale_ladder_headline`` — the ~2.2k-state headline chain,
+  where the dense eigendecomposition is still feasible: measures *both*
+  backends on identical grids, locks them to 1e-9, and reports the dense
+  factorization cost that the n^3 law projects onto the larger rungs.
+* ``test_analytic_scale_ladder_30k`` — ~30,000 states (x_max=29, y_max=999).  The dense
+  path at this size needs ~O(30000^3) flops (projected ~17 hours from the
+  measured 2.2k eig) and ~50 GB for the eigenvector pair; the Krylov
+  backend completes it in well under a minute at O(nnz + n) memory.  It
+  runs LAST so its RSS high-water mark cannot leak into other records.
+
+"Events" are analytic grid evaluations (density + cdf + autocovariance +
+IDC quadrature points), so ``events_per_sec`` is grid-evals/sec and feeds
+the ``analytic_scale_ladder_8k`` CI gates (throughput floor + RSS ceiling)
+in ``scripts/check_bench_regression.py``.
+
+``REPRO_BENCH_SCALE`` shrinks the grids (floors keep them meaningful); the
+expm_multiply sweeps are dominated by ``||D0|| * t_max`` matvecs rather
+than the point count, so wall-clock moves less than linearly with scale —
+pin baselines at the same scale CI runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from _util import peak_rss_mb, run_once
+from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+from repro.experiments.configs import base_parameters
+
+#: Full-scale grid sizes (per rung).
+_DENSITY_POINTS = 2_000
+_AUTOCOV_POINTS = 500
+_IDC_QUAD_POINTS = 256
+
+#: Dense-vs-Krylov equivalence bar on the headline rung (the tier-1 tests
+#: lock the same bound; the benchmark re-asserts it on the exact grids it
+#: times so the speedup claim and the accuracy claim cover the same run).
+_EQUIVALENCE_ATOL = 1e-9
+
+#: Ladder rungs: (label, x_max, y_max) -> (x_max+1)(y_max+1) states.
+_RUNG_8K = (19, 399)
+_RUNG_30K = (29, 999)
+
+
+@dataclass(frozen=True)
+class ScaleRungResult:
+    """Benchmark output shaped for the perf-trajectory extractor."""
+
+    events_processed: int
+    num_states: int
+    density_at_zero: float
+    cdf_at_end: float
+    idc_at_100: float
+    peak_rss_mb: float
+    dense_wall_s: float | None = None
+    krylov_wall_s: float | None = None
+    max_equivalence_error: float | None = None
+
+
+def _grid_sizes(scale: float) -> tuple[int, int, int]:
+    density = max(200, int(_DENSITY_POINTS * scale))
+    autocov = max(100, int(_AUTOCOV_POINTS * scale))
+    quad = max(64, int(_IDC_QUAD_POINTS * scale))
+    return density, autocov, quad
+
+
+def _run_rung(bounds: tuple[int, int], scale: float) -> ScaleRungResult:
+    """One ladder rung under the Krylov backend: stationary + all grids."""
+    x_max, y_max = bounds
+    density_points, autocov_points, quad = _grid_sizes(scale)
+    mapped = symmetric_hap_to_mmpp(base_parameters(), x_max=x_max, y_max=y_max)
+    mmpp = mapped.mmpp
+    grid = np.linspace(0.0, 0.7, density_points)
+    lags = np.linspace(0.0, 500.0, autocov_points)
+    started = time.perf_counter()
+    density = mmpp.exact_interarrival_density(grid, backend="krylov")
+    cdf = mmpp.exact_interarrival_cdf(grid, backend="krylov")
+    autocov = mmpp.rate_autocovariance(lags, backend="krylov")
+    idc = mmpp.index_of_dispersion(100.0, quad_points=quad, backend="krylov")
+    krylov_wall = time.perf_counter() - started
+    assert autocov[0] > 0.0
+    return ScaleRungResult(
+        events_processed=2 * density_points + autocov_points + quad,
+        num_states=mmpp.num_states,
+        density_at_zero=float(density[0]),
+        cdf_at_end=float(cdf[-1]),
+        idc_at_100=float(idc),
+        peak_rss_mb=peak_rss_mb(),
+        krylov_wall_s=krylov_wall,
+    )
+
+
+def _run_headline_equivalence(scale: float) -> ScaleRungResult:
+    """Headline chain: dense and Krylov on identical grids, locked to 1e-9."""
+    density_points, autocov_points, quad = _grid_sizes(scale)
+    mapped = symmetric_hap_to_mmpp(base_parameters())
+    mmpp = mapped.mmpp
+    grid = np.linspace(0.0, 0.7, density_points)
+    lags = np.linspace(0.0, 500.0, autocov_points)
+
+    started = time.perf_counter()
+    dense_density = mmpp.exact_interarrival_density(grid, backend="dense")
+    dense_cdf = mmpp.exact_interarrival_cdf(grid, backend="dense")
+    dense_autocov = mmpp.rate_autocovariance(lags, backend="dense")
+    dense_idc = mmpp.index_of_dispersion(
+        100.0, quad_points=quad, backend="dense"
+    )
+    dense_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    krylov_density = mmpp.exact_interarrival_density(grid, backend="krylov")
+    krylov_cdf = mmpp.exact_interarrival_cdf(grid, backend="krylov")
+    krylov_autocov = mmpp.rate_autocovariance(lags, backend="krylov")
+    krylov_idc = mmpp.index_of_dispersion(
+        100.0, quad_points=quad, backend="krylov"
+    )
+    krylov_wall = time.perf_counter() - started
+
+    error = max(
+        float(np.abs(dense_density - krylov_density).max()),
+        float(np.abs(dense_cdf - krylov_cdf).max()),
+        float(np.abs(dense_autocov - krylov_autocov).max()),
+        abs(dense_idc - krylov_idc),
+    )
+    assert error <= _EQUIVALENCE_ATOL, error
+    return ScaleRungResult(
+        events_processed=2 * (2 * density_points + autocov_points + quad),
+        num_states=mmpp.num_states,
+        density_at_zero=float(krylov_density[0]),
+        cdf_at_end=float(krylov_cdf[-1]),
+        idc_at_100=float(krylov_idc),
+        peak_rss_mb=peak_rss_mb(),
+        dense_wall_s=dense_wall,
+        krylov_wall_s=krylov_wall,
+        max_equivalence_error=error,
+    )
+
+
+def _rung_report(title: str, result: ScaleRungResult) -> tuple[str, str]:
+    lines = [
+        f"states           : {result.num_states:,}",
+        f"grid evaluations : {result.events_processed:,}",
+        f"a(0)             : {result.density_at_zero:.4f}",
+        f"A(0.7)           : {result.cdf_at_end:.6f}",
+        f"IDC(100)         : {result.idc_at_100:.2f}",
+        f"peak RSS         : {result.peak_rss_mb:.0f} MiB",
+    ]
+    if result.krylov_wall_s is not None:
+        lines.append(f"krylov wall      : {result.krylov_wall_s:.2f} s")
+    if result.dense_wall_s is not None:
+        lines.append(f"dense wall       : {result.dense_wall_s:.2f} s")
+        # n^3 projection of the dense eigendecomposition onto the ladder.
+        for target, label in ((8_000, "8k"), (30_000, "30k")):
+            factor = (target / result.num_states) ** 3
+            lines.append(
+                f"dense @ {label:<4}     : ~{result.dense_wall_s * factor:,.0f} s "
+                "(n^3 projection)"
+            )
+    if result.max_equivalence_error is not None:
+        lines.append(
+            f"dense vs krylov  : {result.max_equivalence_error:.2e} "
+            f"(bar {_EQUIVALENCE_ATOL:g})"
+        )
+    return title, "\n".join(lines)
+
+
+def test_analytic_scale_ladder_8k(benchmark, report, scale):
+    """analytic_scale_ladder_8k: the CI-gated rung (throughput + RSS)."""
+    result = run_once(benchmark, lambda: _run_rung(_RUNG_8K, scale))
+    assert result.num_states == (_RUNG_8K[0] + 1) * (_RUNG_8K[1] + 1)
+    assert result.density_at_zero > 0.0
+    assert 0.9 < result.cdf_at_end <= 1.0
+    assert result.idc_at_100 > 1.0
+    report(*_rung_report("analytic_scale_ladder_8k (Krylov backend)", result))
+
+
+def test_analytic_scale_ladder_headline(benchmark, report, scale):
+    """Headline chain: dense-vs-Krylov 1e-9 lock plus both wall-clocks."""
+    result = run_once(benchmark, lambda: _run_headline_equivalence(scale))
+    assert result.max_equivalence_error is not None
+    assert result.max_equivalence_error <= _EQUIVALENCE_ATOL
+    report(
+        *_rung_report(
+            "analytic_scale_ladder_headline (dense vs krylov)", result
+        )
+    )
+
+
+def test_analytic_scale_ladder_30k(benchmark, report, scale):
+    """The past-the-dense-ceiling rung; must run LAST (RSS high-water)."""
+    result = run_once(benchmark, lambda: _run_rung(_RUNG_30K, scale))
+    assert result.num_states == (_RUNG_30K[0] + 1) * (_RUNG_30K[1] + 1)
+    assert result.density_at_zero > 0.0
+    assert 0.9 < result.cdf_at_end <= 1.0
+    assert result.idc_at_100 > 1.0
+    report(*_rung_report("analytic_scale_ladder_30k (Krylov backend)", result))

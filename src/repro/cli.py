@@ -57,6 +57,19 @@ def _add_hap_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("dense", "krylov", "auto"),
+        default="auto",
+        help="analytic grid-evaluation backend: 'dense' forces the "
+        "spectral (eigendecomposition) kernels, 'krylov' forces the "
+        "sparse action-based kernels, 'auto' (default) switches on "
+        "modulating-chain size; applies to every analytic solve in the "
+        "command, including sweeps fanned out over worker processes",
+    )
+
+
 def _hap_from_args(args: argparse.Namespace) -> HAP:
     return HAP.symmetric(
         user_arrival_rate=args.lam,
@@ -83,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="closed-form (and optionally exact) queueing analysis"
     )
     _add_hap_arguments(analyze)
+    _add_backend_argument(analyze)
     analyze.add_argument(
         "--exact",
         action="store_true",
@@ -97,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = commands.add_parser("simulate", help="event-driven simulation")
     _add_hap_arguments(simulate)
+    _add_backend_argument(simulate)
     simulate.add_argument("--horizon", type=float, default=100_000.0)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
@@ -160,6 +175,8 @@ def _profiled(fn, out):
 
 
 def _command_analyze(args: argparse.Namespace, out) -> int:
+    from repro.markov.spectral import use_backend
+
     hap = _hap_from_args(args)
     print(hap.describe(), file=out)
     mm1 = hap.poisson_baseline()
@@ -167,8 +184,11 @@ def _command_analyze(args: argparse.Namespace, out) -> int:
     print(f"M/M/1 baseline delay : {mm1.mean_delay:.6g} s", file=out)
 
     def solve_all():
-        sol2 = hap.solve(solution=2)
-        sol0 = hap.solve(solution=0, backend="qbd") if args.exact else None
+        # args.backend scopes the analytic kernels; the Solution-0
+        # backend="qbd" below picks the queue solver — distinct axes.
+        with use_backend(getattr(args, "backend", None)):
+            sol2 = hap.solve(solution=2)
+            sol0 = hap.solve(solution=0, backend="qbd") if args.exact else None
         return sol2, sol0
 
     if getattr(args, "profile", False):
@@ -190,11 +210,20 @@ def _command_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _simulation_task(params, horizon: float, rng_mode: str, seed: int):
-    """Picklable campaign task for ``simulate --replications N``."""
+def _simulation_task(params, horizon: float, rng_mode: str, backend: str | None, seed: int):
+    """Picklable campaign task for ``simulate --replications N``.
+
+    ``backend`` is re-applied inside the worker process (the parent's
+    process default does not survive pickling) so any analytic evaluation a
+    replication performs honors the CLI selection.
+    """
+    from repro.markov.spectral import use_backend
     from repro.sim.replication import simulate_hap_mm1
 
-    return simulate_hap_mm1(params, horizon=horizon, seed=seed, rng_mode=rng_mode)
+    with use_backend(backend):
+        return simulate_hap_mm1(
+            params, horizon=horizon, seed=seed, rng_mode=rng_mode
+        )
 
 
 def _profiled_simulate(hap, args: argparse.Namespace, out):
@@ -221,15 +250,18 @@ def _profiled_simulate(hap, args: argparse.Namespace, out):
 
 
 def _command_simulate(args: argparse.Namespace, out) -> int:
+    from repro.markov.spectral import use_backend
+
     hap = _hap_from_args(args)
     if args.replications > 1 and not args.profile:
         return _command_simulate_campaign(args, hap, out)
     if args.profile:
         result = _profiled_simulate(hap, args, out)
     else:
-        result = hap.simulate(
-            horizon=args.horizon, seed=args.seed, rng_mode=args.rng_mode
-        )
+        with use_backend(getattr(args, "backend", None)):
+            result = hap.simulate(
+                horizon=args.horizon, seed=args.seed, rng_mode=args.rng_mode
+            )
     print(f"messages served      : {result.messages_served}", file=out)
     print(f"mean delay           : {result.mean_delay:.6g} s", file=out)
     print(f"sigma (arrival-busy) : {result.sigma:.4f}", file=out)
@@ -245,7 +277,13 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
     from repro.runtime.executor import ParallelReplicator
 
     campaign = ParallelReplicator(max_workers=args.workers).run(
-        partial(_simulation_task, hap.params, args.horizon, args.rng_mode),
+        partial(
+            _simulation_task,
+            hap.params,
+            args.horizon,
+            args.rng_mode,
+            getattr(args, "backend", None),
+        ),
         args.replications,
         base_seed=args.seed,
     )

@@ -29,9 +29,17 @@ headline pipeline and the figure sweeps stop rebuilding the identical
 truncated chain once per Solution.  Because the cached :class:`MappedMMPP`
 instances are shared, everything they memoize is shared too: the modulating
 chain's stationary vector (cached on the :class:`~repro.markov.ctmc.CTMC`),
-the spectral/uniformized analytic kernels (cached on the
-:class:`~repro.markov.mmpp.MMPP`), and the lazily-computed boundary mass.
-Callers must treat cached instances as immutable.
+the analytic kernels (cached on the :class:`~repro.markov.mmpp.MMPP`, one
+per analytic backend — so a chain already factorized under ``dense`` is not
+re-factorized when ``krylov`` is requested, and vice versa), and the
+lazily-computed boundary mass.  Callers must treat cached instances as
+immutable.
+
+The generator built here is CSR from :func:`repro.markov.truncation.build_generator`
+and *stays* CSR: mapping, trimming (a sparse row/column slice plus a
+diagonal correction), and every downstream analytic consumer operate
+without a dense round-trip, which is what lets truncation boxes of tens of
+thousands of states run on the Krylov analytic backend.
 
 ``mass_tol`` enables *mass-adaptive trimming*: the box keeps a rectangle's
 worth of corner states whose stationary probability is far below

@@ -119,6 +119,12 @@ def solve_solution0(
     backend:
         ``"qbd"`` (default, exact in ``z``), ``"direct"`` (sparse LU on the
         ``z``-truncated chain) or ``"power"`` (paper-faithful iteration).
+        This selects the *queue solver*, not the analytic grid-evaluation
+        backend of :mod:`repro.markov.spectral` (``dense``/``krylov``/
+        ``auto``) — every queue backend here already assembles its blocks
+        sparsely (:func:`_augment_with_queue` is a CSR Kronecker build, and
+        ``qbd`` crosses to dense exactly once, at the R-solver boundary
+        where R is dense by nature).
     modulating_bounds:
         Truncation of the modulating chain; ``(x_max, y_max)`` for collapsed
         symmetric HAPs, else one bound per dimension.
@@ -265,7 +271,7 @@ def _stationary_direct(generator: sp.csr_matrix) -> np.ndarray:
     a = generator.T.tocsc()
     # Q^T[1:, 1:] x = -Q^T[1:, 0] with pi[0] := 1.
     left = a[1:, 1:]
-    rhs = -np.asarray(a[1:, 0].todense()).ravel()
+    rhs = -np.asarray(a[1:, 0].toarray()).ravel()
     x = spla.spsolve(left, rhs)
     pi = np.concatenate([[1.0], x])
     pi = np.maximum(pi, 0.0)

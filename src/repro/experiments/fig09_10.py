@@ -78,8 +78,13 @@ def run_fig9(
     grid_upper: float = 0.7,
     grid_points: int = 200,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> Fig9Result:
-    """Compute both densities on a grid plus the crossing points."""
+    """Compute both densities on a grid plus the crossing points.
+
+    ``backend`` selects the analytic grid-evaluation backend
+    (``dense``/``krylov``/``auto``); ``None`` keeps the process default.
+    """
     params = fig9_parameters()
     dist = InterarrivalDistribution(params)
     rate = params.mean_message_rate
@@ -91,7 +96,10 @@ def run_fig9(
         intersections=tuple(density_intersections(dist)),
         grid=grid,
         hap_density=grid_map(
-            partial(_hap_density, params), grid, max_workers=max_workers
+            partial(_hap_density, params),
+            grid,
+            max_workers=max_workers,
+            backend=backend,
         ),
         poisson_density=poisson_interarrival_density(rate, grid),
     )
@@ -184,6 +192,7 @@ def run_fig10_tail(
     tail_end: float = 0.7,
     grid_points: int = 120,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> Fig9Result:
     """The Figure-10 zoom: the tail window around the second crossing."""
     params = fig9_parameters()
@@ -199,7 +208,10 @@ def run_fig10_tail(
         ),
         grid=grid,
         hap_density=grid_map(
-            partial(_hap_density, params), grid, max_workers=max_workers
+            partial(_hap_density, params),
+            grid,
+            max_workers=max_workers,
+            backend=backend,
         ),
         poisson_density=poisson_interarrival_density(rate, grid),
     )

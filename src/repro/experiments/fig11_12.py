@@ -113,20 +113,22 @@ def run_fig11(
     horizon: float = 300_000.0,
     seed: int = 11,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Delay versus server capacity at fixed ``lambda-bar = 8.25``.
 
     The lowest capacities sit at the paper's 64 % utilization corner where
     HAP's delay blows up; expect large run-to-run variation there (that
     *is* the finding).  Points are independent and fan out over
-    ``max_workers`` processes (default: one per CPU).
+    ``max_workers`` processes (default: one per CPU); ``backend`` selects
+    the analytic grid-evaluation backend inside each worker.
     """
     params = base_parameters()
     tasks = [
         (f"mu={mu:g}", partial(_sweep_point, params, mu, mu, horizon, seed + k))
         for k, mu in enumerate(capacities)
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers)
+    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
 
 
 def run_fig12(
@@ -142,6 +144,7 @@ def run_fig12(
     horizon: float = 300_000.0,
     seed: int = 12,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> list[SweepPoint]:
     """Delay versus message arrival rate at fixed ``mu'' = 17``.
 
@@ -168,4 +171,4 @@ def run_fig12(
                 ),
             )
         )
-    return run_analytic_sweep(tasks, max_workers=max_workers)
+    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)

@@ -77,6 +77,7 @@ def run_fig19(
     factors: tuple[float, ...] = (0.85, 0.90, 0.95, 1.0, 1.05, 1.10, 1.15),
     service_rate: float = 20.0,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> list[LevelSweepPoint]:
     """Perturb each level's arrival rate and solve with Solution 2.
 
@@ -94,7 +95,7 @@ def run_fig19(
         for level in ("user", "application", "message")
         for factor in factors
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers)
+    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
 
 
 def run_sec5_joint_scaling(
@@ -196,6 +197,7 @@ def run_fig20(
     max_apps: int = 60,
     service_rate: float = 20.0,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> list[Fig20Point]:
     """Sweep the load; compare unbounded Solution 2 with the bounded variant.
 
@@ -211,4 +213,4 @@ def run_fig20(
         )
         for lam in user_rates
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers)
+    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)

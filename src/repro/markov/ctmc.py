@@ -23,7 +23,7 @@ from scipy.linalg import expm
 
 from repro.markov.uniformization import UNIFORMIZATION_MARGIN
 
-__all__ = ["CTMC"]
+__all__ = ["CTMC", "sample_embedded_jump"]
 
 #: Tolerance used when validating that generator rows sum to zero.
 _ROW_SUM_TOL = 1e-8
@@ -34,6 +34,25 @@ def _as_dense(matrix) -> np.ndarray:
     if sp.issparse(matrix):
         return np.asarray(matrix.todense(), dtype=float)
     return np.asarray(matrix, dtype=float)
+
+
+def sample_embedded_jump(jump_probs, state: int, rng: np.random.Generator) -> int:
+    """Draw the next state of the embedded jump chain from row ``state``.
+
+    Works on both representations :meth:`CTMC.embedded_transition_matrix`
+    can return.  For CSR the draw runs on the row's non-zero pattern only —
+    and, because ``Generator.choice`` inverts the cumulative sum of ``p``
+    with a single uniform and zero-probability entries never win a
+    ``searchsorted`` tie, the consumed random stream *and* the selected
+    successor are identical to the dense-row draw.  Sparse chains therefore
+    reproduce the exact sample paths the dense representation produced.
+    """
+    if sp.issparse(jump_probs):
+        start, end = jump_probs.indptr[state], jump_probs.indptr[state + 1]
+        columns = jump_probs.indices[start:end]
+        probabilities = jump_probs.data[start:end]
+        return int(columns[rng.choice(probabilities.size, p=probabilities)])
+    return int(rng.choice(jump_probs.shape[0], p=jump_probs[state]))
 
 
 @dataclass
@@ -59,7 +78,7 @@ class CTMC:
     generator: object
     validate: bool = True
     _stationary: np.ndarray | None = field(default=None, init=False, repr=False)
-    _embedded: np.ndarray | None = field(default=None, init=False, repr=False)
+    _embedded: object = field(default=None, init=False, repr=False)
     _holding: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -93,30 +112,55 @@ class CTMC:
         """Number of states in the chain."""
         return self.generator.shape[0]
 
-    def stationary_distribution(self) -> np.ndarray:
+    def stationary_distribution(self, method: str = "direct") -> np.ndarray:
         """Solve ``pi @ Q = 0`` with ``sum(pi) == 1``.
 
         The singular system is made non-singular by replacing one balance
         equation with the normalization constraint, the standard trick for
-        irreducible chains.  The result is cached.
+        irreducible chains.  Sparse generators stay sparse end to end: the
+        replaced system is assembled as a CSR vertical stack (all balance
+        rows of ``Q^T`` but the last, then a dense normalization row) —
+        never a dense or LIL round-trip — and handed to a sparse solver.
+        The result is cached (the stationary vector is unique, so whichever
+        ``method`` computed it first serves every later call).
+
+        Parameters
+        ----------
+        method:
+            ``"direct"`` (default) uses a sparse/dense LU solve.
+            ``"gmres"`` uses restarted GMRES on the same CSR system —
+            useful for very large chains where the LU fill-in dominates —
+            falling back to the direct solve if the iteration fails to
+            converge to a clean distribution.
         """
         if self._stationary is not None:
             return self._stationary
+        if method not in ("direct", "gmres"):
+            raise ValueError(f"unknown stationary method {method!r}")
         n = self.num_states
         if n == 1:
             self._stationary = np.ones(1)
             return self._stationary
+        b = np.zeros(n)
+        b[n - 1] = 1.0
         if sp.issparse(self.generator):
-            a = self.generator.T.tolil(copy=True)
-            a[n - 1, :] = 1.0
-            b = np.zeros(n)
-            b[n - 1] = 1.0
-            pi = spla.spsolve(a.tocsc(), b)
+            qt = self.generator.T.tocsr()
+            a = sp.vstack(
+                [qt[: n - 1, :], sp.csr_matrix(np.ones((1, n)))],
+                format="csr",
+            )
+            pi = None
+            if method == "gmres":
+                solution, info = spla.gmres(
+                    a.tocsc(), b, rtol=1e-12, atol=0.0, maxiter=5 * n
+                )
+                if info == 0 and solution.min() > -1e-8:
+                    pi = solution
+            if pi is None:
+                pi = spla.spsolve(a.tocsc(), b)
         else:
             a = np.asarray(self.generator, dtype=float).T.copy()
             a[n - 1, :] = 1.0
-            b = np.zeros(n)
-            b[n - 1] = 1.0
             pi = np.linalg.solve(a, b)
         pi = np.maximum(pi, 0.0)
         total = pi.sum()
@@ -172,21 +216,47 @@ class CTMC:
             self._holding = -np.asarray(self.generator.diagonal(), dtype=float)
         return self._holding
 
-    def embedded_transition_matrix(self) -> np.ndarray:
-        """Jump-chain transition probabilities (dense).  Cached.
+    def embedded_transition_matrix(self):
+        """Jump-chain transition probabilities.  Cached.
+
+        Dense generators return a dense array (unchanged legacy behavior);
+        sparse generators return CSR with the same row-normalized
+        off-diagonal entries — the dense form is ``O(n^2)`` memory for a
+        matrix with ``O(n)`` non-zeros on truncated HAP chains.
 
         Absorbing states (zero outflow) self-loop with probability one.
         """
         if self._embedded is not None:
             return self._embedded
-        q = _as_dense(self.generator)
-        rates = -np.diagonal(q)
-        active = rates > 0
-        # Divide active rows by their exit rate; absorbing rows stay zero
-        # until the diagonal fixup gives them a probability-one self-loop.
-        divisors = np.where(active, rates, 1.0)
-        probs = np.where(active[:, None], q / divisors[:, None], 0.0)
-        np.fill_diagonal(probs, np.where(active, 0.0, 1.0))
+        if sp.issparse(self.generator):
+            q = self.generator.tocoo()
+            rates = -np.asarray(self.generator.diagonal(), dtype=float)
+            active = rates > 0
+            off = q.row != q.col
+            rows = q.row[off]
+            cols = q.col[off]
+            divisors = np.where(active, rates, 1.0)
+            data = q.data[off] / divisors[rows]
+            # Probability-one self-loops for absorbing states.
+            absorbing = np.flatnonzero(~active)
+            rows = np.concatenate([rows, absorbing])
+            cols = np.concatenate([cols, absorbing])
+            data = np.concatenate([data, np.ones(absorbing.size)])
+            probs = sp.coo_matrix(
+                (data, (rows, cols)), shape=self.generator.shape
+            ).tocsr()
+            probs.sort_indices()
+            probs.eliminate_zeros()
+        else:
+            q = np.asarray(self.generator, dtype=float)
+            rates = -np.diagonal(q)
+            active = rates > 0
+            # Divide active rows by their exit rate; absorbing rows stay
+            # zero until the diagonal fixup gives them a probability-one
+            # self-loop.
+            divisors = np.where(active, rates, 1.0)
+            probs = np.where(active[:, None], q / divisors[:, None], 0.0)
+            np.fill_diagonal(probs, np.where(active, 0.0, 1.0))
         self._embedded = probs
         return probs
 
@@ -215,7 +285,7 @@ class CTMC:
             now += rng.exponential(1.0 / rate)
             if now >= horizon:
                 break
-            state = int(rng.choice(self.num_states, p=jump_probs[state]))
+            state = sample_embedded_jump(jump_probs, state, rng)
             times.append(now)
             states.append(state)
         return np.asarray(times), np.asarray(states, dtype=int)

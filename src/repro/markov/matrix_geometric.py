@@ -48,9 +48,11 @@ lightly-loaded sweep points; the fallback keeps the result exact either way.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.linalg import lu_factor, lu_solve
 
 from repro.markov.mmpp import MMPP
@@ -60,6 +62,14 @@ __all__ = ["QBDSolution", "solve_mmpp_m1"]
 #: Iteration budget for the warm-start fixed-point refinement before the
 #: solver gives up and falls back to a cold cyclic-reduction solve.
 _WARM_START_BUDGET = 40
+
+#: The R matrix of an MMPP/M/1 QBD is dense regardless of how sparse the
+#: blocks are, so the solve is O(n^3) per reduction step and O(n^2) memory
+#: in the phase count no matter what.  Above this many phases that cost is
+#: almost certainly an accident (an untrimmed truncation box); the solver
+#: warns and points at the mass-based trimming knobs rather than silently
+#: grinding.
+_QBD_PHASE_WARN_LIMIT = 4000
 
 
 @dataclass(frozen=True)
@@ -354,11 +364,26 @@ def solve_mmpp_m1(
             f"unstable queue: mean arrival rate {mean_rate:g} >= "
             f"service rate {service_rate:g}"
         )
-    d0 = mmpp.d0()
-    n = d0.shape[0]
+    n = mmpp.num_states
+    if n > _QBD_PHASE_WARN_LIMIT:
+        warnings.warn(
+            f"QBD solve over {n} phases: R is dense, so this is O(n^3) per "
+            "reduction step regardless of block sparsity — consider a "
+            "tighter phase_mass_tol / truncation box",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     identity = np.eye(n)
-    a0 = mmpp.d1()
+    # Assemble the blocks sparsely and cross the dense boundary exactly once
+    # (the R solvers are dense by nature — R itself has no sparsity): for a
+    # sparse modulating chain this avoids the two intermediate n x n dense
+    # arrays mmpp.d0() would allocate.
+    if sp.issparse(mmpp.generator):
+        d0 = np.asarray(mmpp.d0_sparse().toarray(), dtype=float)
+    else:
+        d0 = mmpp.d0()
     a1 = d0 - service_rate * identity
+    a0 = mmpp.d1()
     a2 = service_rate * identity
     rate_matrix = None
     if initial_rate_matrix is not None:

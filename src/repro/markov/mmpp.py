@@ -21,20 +21,14 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.markov.ctmc import CTMC
-from repro.markov.spectral import SpectralKernel, UniformizedKernel
+from repro.markov.spectral import (
+    KrylovKernel,
+    SpectralKernel,
+    UniformizedKernel,
+    resolve_backend,
+)
 
 __all__ = ["MMPP", "fit_mmpp2_to_moments"]
-
-#: Above this phase count the dense eigendecomposition stops paying off and
-#: the analytic kernels switch to the uniformized power-series evaluator.
-_SPECTRAL_SIZE_LIMIT = 600
-
-
-def _make_kernel(matrix):
-    """Pick the grid-evaluation kernel for ``expm(matrix * t)`` forms."""
-    if matrix.shape[0] <= _SPECTRAL_SIZE_LIMIT:
-        return SpectralKernel(matrix)
-    return UniformizedKernel(matrix)
 
 
 @dataclass
@@ -52,8 +46,7 @@ class MMPP:
     generator: object
     rates: np.ndarray
     _chain: CTMC = field(init=False, repr=False)
-    _d0_kernel: object = field(init=False, repr=False, default=None)
-    _generator_kernel: object = field(init=False, repr=False, default=None)
+    _kernels: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.rates = np.asarray(self.rates, dtype=float)
@@ -82,46 +75,87 @@ class MMPP:
         dense = np.asarray(q.todense() if sp.issparse(q) else q, dtype=float)
         return dense - np.diag(self.rates)
 
+    def d0_sparse(self) -> sp.csr_matrix:
+        """Neuts' ``D0 = Q - diag(rates)`` in CSR form, no dense round-trip.
+
+        The sparse analytic backend and the QBD block assembly consume this
+        directly; on a truncated HAP chain ``D0`` has ``O(n)`` non-zeros
+        (nearest-neighbour transitions plus the diagonal), so the dense
+        ``n x n`` form in :meth:`d0` is pure waste above a few hundred
+        states.
+        """
+        q = self.generator
+        q = q.tocsr() if sp.issparse(q) else sp.csr_matrix(
+            np.asarray(q, dtype=float)
+        )
+        return (q - sp.diags(self.rates, format="csr")).tocsr()
+
     def d1(self) -> np.ndarray:
         """Neuts' ``D1 = diag(rates)`` (dense)."""
         return np.diag(self.rates)
 
-    def d0_kernel(self):
-        """Grid-evaluation kernel for ``expm(D0 t)`` forms.  Built once.
+    def d1_sparse(self) -> sp.csr_matrix:
+        """Neuts' ``D1 = diag(rates)`` in CSR form."""
+        return sp.diags(self.rates, format="csr").tocsr()
 
-        A :class:`~repro.markov.spectral.SpectralKernel` (one-shot
-        eigendecomposition, Schur fallback) for modest phase counts, a
-        :class:`~repro.markov.spectral.UniformizedKernel` beyond
-        ``_SPECTRAL_SIZE_LIMIT`` states.
+    def _resolve_backend(self, backend: str | None) -> str:
+        return resolve_backend(backend, self.num_states)
+
+    def d0_kernel(self, backend: str | None = None):
+        """Grid-evaluation kernel for ``expm(D0 t)`` forms.
+
+        Built once per resolved backend and cached on the instance (the
+        mapping cache in :mod:`repro.core.mmpp_mapping` shares MMPP
+        instances, so a chain factorized under one backend is not penalized
+        when another backend is requested later).  ``backend=None`` defers
+        to the process default (see
+        :func:`repro.markov.spectral.resolve_backend`): a dense
+        :class:`~repro.markov.spectral.SpectralKernel` for modest phase
+        counts, the action-based
+        :class:`~repro.markov.spectral.KrylovKernel` for large ones.
         """
-        if self._d0_kernel is None:
-            self._d0_kernel = _make_kernel(self.d0())
-        return self._d0_kernel
+        resolved = self._resolve_backend(backend)
+        key = ("d0", resolved)
+        if key not in self._kernels:
+            if resolved == "krylov":
+                self._kernels[key] = KrylovKernel(self.d0_sparse())
+            else:
+                self._kernels[key] = SpectralKernel(self.d0())
+        return self._kernels[key]
 
-    def generator_kernel(self):
-        """Grid-evaluation kernel for ``expm(Q t)`` forms.  Built once.
+    def generator_kernel(self, backend: str | None = None):
+        """Grid-evaluation kernel for ``expm(Q t)`` forms.
 
-        Unlike ``D0``, a *generator* always has the uniformized power
-        series as a fast, unconditionally stable evaluator, so when the
-        eigendecomposition fails its residual check (lattice generators
-        routinely have near-defective eigenvector bases) the fallback is
-        :class:`UniformizedKernel` — per-grid-point Schur ``expm`` would
-        reintroduce exactly the per-point cost this layer removes.
+        Same backend contract and per-backend caching as
+        :meth:`d0_kernel`.  On the dense path a *generator* always has the
+        uniformized power series as a fast, unconditionally stable
+        evaluator, so when the eigendecomposition fails its residual check
+        (lattice generators routinely have near-defective eigenvector
+        bases) the fallback is :class:`UniformizedKernel` — per-grid-point
+        Schur ``expm`` would reintroduce exactly the per-point cost this
+        layer removes.  The krylov path needs no such fallback: the
+        truncated-Taylor action is unconditionally stable.
         """
-        if self._generator_kernel is None:
-            kernel = None
-            if self.num_states <= _SPECTRAL_SIZE_LIMIT:
+        resolved = self._resolve_backend(backend)
+        key = ("generator", resolved)
+        if key not in self._kernels:
+            if resolved == "krylov":
+                q = self.generator
+                q = q.tocsr() if sp.issparse(q) else sp.csr_matrix(
+                    np.asarray(q, dtype=float)
+                )
+                self._kernels[key] = KrylovKernel(q)
+            else:
                 q = self.generator
                 dense = np.asarray(
                     q.todense() if sp.issparse(q) else q, dtype=float
                 )
                 spectral = SpectralKernel(dense)
                 if spectral.method == "eig":
-                    kernel = spectral
-            if kernel is None:
-                kernel = UniformizedKernel(self.generator)
-            self._generator_kernel = kernel
-        return self._generator_kernel
+                    self._kernels[key] = spectral
+                else:
+                    self._kernels[key] = UniformizedKernel(self.generator)
+        return self._kernels[key]
 
     # ------------------------------------------------------------------
     # First- and second-order statistics
@@ -187,19 +221,29 @@ class MMPP:
         """
         if order < 1:
             raise ValueError("order must be >= 1")
-        from scipy.linalg import lu_factor, lu_solve
-
         pi = self.stationary_distribution()
         weights = pi * self.rates
         phi = weights / weights.sum()
-        # vec <- vec (-D0)^{-1} is a transposed solve; factor (-D0)^T once.
-        lu_neg_d0t = lu_factor(-self.d0().T)
         ones = np.ones(self.num_states)
+        # vec <- vec (-D0)^{-1} is a transposed solve; factor (-D0)^T once.
+        # Sparse chains get a sparse LU — the dense factorization is O(n^3)
+        # time / O(n^2) memory and is exactly the ceiling the sparse backend
+        # removes.
+        if sp.issparse(self.generator):
+            import scipy.sparse.linalg as spla
+
+            lu = spla.splu((-self.d0_sparse().T).tocsc())
+            solve = lu.solve
+        else:
+            from scipy.linalg import lu_factor, lu_solve
+
+            lu_neg_d0t = lu_factor(-self.d0().T)
+            solve = lambda vec: lu_solve(lu_neg_d0t, vec)  # noqa: E731
         moments = []
         vec = phi.copy()
         factorial = 1.0
         for k in range(1, order + 1):
-            vec = lu_solve(lu_neg_d0t, vec)
+            vec = solve(vec)
             factorial *= k
             moments.append(float(factorial * (vec @ ones)))
         return moments
@@ -210,7 +254,7 @@ class MMPP:
         return m2 / m1**2 - 1.0
 
     def exact_interarrival_density(
-        self, t: np.ndarray, method: str = "spectral"
+        self, t: np.ndarray, method: str = "spectral", backend: str | None = None
     ) -> np.ndarray:
         """Exact stationary-interval interarrival density.
 
@@ -221,14 +265,15 @@ class MMPP:
         drift those solutions ignore; tests quantify it.
 
         ``method="spectral"`` (default) evaluates the whole grid from the
-        cached :meth:`d0_kernel` factorization; ``method="expm"`` is the
+        cached :meth:`d0_kernel` factorization under the requested analytic
+        ``backend`` (``None`` = process default); ``method="expm"`` is the
         legacy one-``expm``-per-point path, kept as the equivalence anchor.
         """
         phi = self.palm_state_distribution()
         rate_vector = self.rates  # D1 @ 1 = rates
         t = np.atleast_1d(np.asarray(t, dtype=float))
         if method == "spectral":
-            return self.d0_kernel().bilinear(phi, rate_vector, t)
+            return self.d0_kernel(backend).bilinear(phi, rate_vector, t)
         if method != "expm":
             raise ValueError(f"unknown interarrival method {method!r}")
         from scipy.linalg import expm
@@ -240,20 +285,20 @@ class MMPP:
         return values
 
     def exact_interarrival_cdf(
-        self, t: np.ndarray, method: str = "spectral"
+        self, t: np.ndarray, method: str = "spectral", backend: str | None = None
     ) -> np.ndarray:
         """Exact stationary-interval interarrival distribution ``A(t)``.
 
         ``A(t) = 1 - phi exp(D0 t) 1`` — the survival function is the
         probability no arrival has fired by ``t`` given the post-arrival
-        phase mix ``phi``.  Same ``method`` contract as
+        phase mix ``phi``.  Same ``method``/``backend`` contract as
         :meth:`exact_interarrival_density`.
         """
         phi = self.palm_state_distribution()
         ones = np.ones(self.num_states)
         t = np.atleast_1d(np.asarray(t, dtype=float))
         if method == "spectral":
-            return 1.0 - self.d0_kernel().bilinear(phi, ones, t)
+            return 1.0 - self.d0_kernel(backend).bilinear(phi, ones, t)
         if method != "expm":
             raise ValueError(f"unknown interarrival method {method!r}")
         from scipy.linalg import expm
@@ -294,22 +339,23 @@ class MMPP:
         return (joint - m1**2) / variance
 
     def rate_autocovariance(
-        self, lags: np.ndarray, method: str = "spectral"
+        self, lags: np.ndarray, method: str = "spectral", backend: str | None = None
     ) -> np.ndarray:
         """Autocovariance ``Cov(r(0), r(u))`` of the modulating rate.
 
         ``c(u) = (pi * r) exp(Q u) r - lambda-bar^2`` — a bilinear form in
         the modulating generator's exponential.  ``method="spectral"``
         (default) evaluates the whole lag grid through the cached
-        :meth:`generator_kernel`; ``method="legacy"`` is the previous
-        one-transient-solve-per-lag path, kept as the equivalence anchor.
+        :meth:`generator_kernel` under the requested analytic ``backend``;
+        ``method="legacy"`` is the previous one-transient-solve-per-lag
+        path, kept as the equivalence anchor.
         """
         lags = np.atleast_1d(np.asarray(lags, dtype=float))
         pi = self.stationary_distribution()
         mean = float(pi @ self.rates)
         weighted = pi * self.rates
         if method == "spectral":
-            forward = self.generator_kernel().bilinear(
+            forward = self.generator_kernel(backend).bilinear(
                 weighted, self.rates, lags
             )
             return forward - mean**2
@@ -322,7 +368,11 @@ class MMPP:
         return covariances
 
     def index_of_dispersion(
-        self, t: float, quad_points: int = 256, method: str = "spectral"
+        self,
+        t: float,
+        quad_points: int = 256,
+        method: str = "spectral",
+        backend: str | None = None,
     ) -> float:
         """Index of dispersion for counts ``IDC(t) = Var N(t) / E N(t)``.
 
@@ -336,7 +386,7 @@ class MMPP:
         if t <= 0:
             raise ValueError("t must be positive")
         us = np.linspace(0.0, t, quad_points)
-        covariance = self.rate_autocovariance(us, method=method)
+        covariance = self.rate_autocovariance(us, method=method, backend=backend)
         integrand = (t - us) * covariance
         mean_count = self.mean_rate() * t
         variance = mean_count + 2.0 * np.trapezoid(integrand, us)

@@ -203,7 +203,12 @@ def build_generator(
 
     Returns
     -------
-    A CSR generator matrix with zero row sums.
+    A CSR float64 generator matrix with zero row sums and sorted indices.
+    This matrix is the head of the sparse pipeline: it flows untouched
+    through :mod:`repro.core.mmpp_mapping` into :class:`repro.markov.mmpp.MMPP`
+    and :class:`repro.markov.ctmc.CTMC`, which keep it CSR on every analytic
+    path (stationary solves, kernels, QBD block assembly) — no consumer
+    densifies it.
     """
     rows: list[int] = []
     cols: list[int] = []
@@ -230,6 +235,9 @@ def build_generator(
             cols.append(source_index)
             vals.append(-outflow)
     generator = sp.coo_matrix(
-        (vals, (rows, cols)), shape=(space.size, space.size)
+        (np.asarray(vals, dtype=float), (rows, cols)),
+        shape=(space.size, space.size),
     )
-    return generator.tocsr()
+    csr = generator.tocsr()
+    csr.sort_indices()
+    return csr

@@ -29,6 +29,7 @@ from functools import partial
 
 import numpy as np
 
+from repro.markov.spectral import use_backend
 from repro.runtime.sweep import SweepPoint, sweep
 
 __all__ = ["grid_map", "run_analytic_sweep"]
@@ -36,18 +37,29 @@ __all__ = ["grid_map", "run_analytic_sweep"]
 
 @dataclass(frozen=True)
 class _SeedlessTask:
-    """Picklable adapter giving a zero-argument task the ``task(seed)`` shape."""
+    """Picklable adapter giving a zero-argument task the ``task(seed)`` shape.
+
+    Carries the analytic-backend selection into the worker *process*: the
+    process-wide default set by the parent (e.g. the CLI's ``--backend``)
+    does not survive pickling, so the resolved request rides on the task and
+    is re-applied around the call via
+    :func:`repro.markov.spectral.use_backend` (``None`` = leave the worker's
+    default alone).
+    """
 
     fn: Callable
+    backend: str | None = None
 
     def __call__(self, seed: int):
-        return self.fn()
+        with use_backend(self.backend):
+            return self.fn()
 
 
 def run_analytic_sweep(
     tasks: Sequence[tuple[str, Callable]],
     max_workers: int | None = None,
     chunk_size: int | None = None,
+    backend: str | None = None,
 ) -> list:
     """Evaluate labelled zero-argument tasks over the sweep pool.
 
@@ -58,6 +70,11 @@ def run_analytic_sweep(
         point.  Labels must be unique (they key failure reports).
     max_workers, chunk_size:
         As in :func:`repro.runtime.sweep.sweep`.
+    backend:
+        Analytic grid-evaluation backend (``dense``/``krylov``/``auto``)
+        applied around every task — in the worker process when the sweep
+        fans out, so ``--backend`` selections survive the pool boundary.
+        ``None`` (default) leaves each worker's process default in place.
 
     Returns
     -------
@@ -69,7 +86,11 @@ def run_analytic_sweep(
         return []
     labels = [label for label, _ in tasks]
     points = [
-        SweepPoint(label=label, task=_SeedlessTask(fn), num_replications=1)
+        SweepPoint(
+            label=label,
+            task=_SeedlessTask(fn, backend=backend),
+            num_replications=1,
+        )
         for label, fn in tasks
     ]
     result = sweep(
@@ -88,13 +109,15 @@ def grid_map(
     grid: np.ndarray,
     num_chunks: int | None = None,
     max_workers: int | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Evaluate a vectorized ``fn`` over ``grid`` in parallel chunks.
 
     ``fn`` must map an abscissa array to a same-length value array and be
     picklable.  The grid is split into ``num_chunks`` contiguous chunks
     (default: one per worker the executor would use, capped at 8) and the
-    partial curves are concatenated in grid order.
+    partial curves are concatenated in grid order.  ``backend`` has the
+    :func:`run_analytic_sweep` semantics.
     """
     grid = np.atleast_1d(np.asarray(grid))
     if grid.size == 0:
@@ -109,5 +132,5 @@ def grid_map(
         (f"chunk-{index}", partial(_apply_chunk, fn, chunk))
         for index, chunk in enumerate(chunks)
     ]
-    parts = run_analytic_sweep(tasks, max_workers=max_workers)
+    parts = run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
     return np.concatenate([np.atleast_1d(part) for part in parts])

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.client_server import ClientServerHAPParameters
 from repro.core.params import HAPParameters
+from repro.markov.ctmc import sample_embedded_jump
 from repro.markov.mmpp import MMPP
 from repro.sim.engine import Event, Simulator
 from repro.sim.monitors import TimeWeightedValue, TraceRecorder
@@ -461,8 +462,8 @@ class MMPPSource:
             self.messages_emitted += 1
             self.emit(Message(arrival_time=sim.now))
         else:
-            self.state = int(
-                self.rng.choice(len(self._jump_probs), p=self._jump_probs[self.state])
+            self.state = sample_embedded_jump(
+                self._jump_probs, self.state, self.rng
             )
         self._schedule_next()
 

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.markov.ctmc import CTMC
+from repro.markov.ctmc import CTMC, sample_embedded_jump
+from repro.markov.spectral import AUTO_DENSE_LIMIT
 
 
 def two_state() -> CTMC:
@@ -147,6 +148,82 @@ class TestSimulation:
         np.testing.assert_allclose(
             occupancy, chain.stationary_distribution(), atol=0.03
         )
+
+
+class TestSparseStaysSparse:
+    """Sparse generators must cross every hot CTMC path without a dense
+    round-trip — the PR-4 no-densify contract, checked above the size at
+    which the auto backend switches to Krylov (where an accidental
+    ``todense()`` would silently erase the scaling win)."""
+
+    @staticmethod
+    def _birth_death(n: int) -> sp.csr_matrix:
+        up = np.full(n - 1, 0.8)
+        down = np.linspace(0.5, 1.5, n - 1)
+        q = sp.diags([down, up], offsets=(-1, 1), format="csr")
+        diagonal = -np.asarray(q.sum(axis=1)).ravel()
+        return (q + sp.diags(diagonal)).tocsr()
+
+    @staticmethod
+    def _forbid_densify(monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise AssertionError("sparse chain was densified")
+
+        for cls in (sp.csr_matrix, sp.csc_matrix, sp.coo_matrix):
+            monkeypatch.setattr(cls, "toarray", boom)
+            monkeypatch.setattr(cls, "todense", boom)
+
+    def test_analytic_paths_never_densify(self, monkeypatch):
+        n = AUTO_DENSE_LIMIT + 100
+        chain = CTMC(self._birth_death(n))
+        self._forbid_densify(monkeypatch)
+        pi = chain.stationary_distribution()
+        assert pi.shape == (n,)
+        assert pi.sum() == pytest.approx(1.0)
+        probs = chain.embedded_transition_matrix()
+        assert sp.issparse(probs)
+        np.testing.assert_allclose(
+            np.asarray(probs.sum(axis=1)).ravel(), np.ones(n)
+        )
+        assert chain.holding_rates().shape == (n,)
+
+    def test_gmres_path_never_densifies(self, monkeypatch):
+        n = AUTO_DENSE_LIMIT + 100
+        chain = CTMC(self._birth_death(n))
+        dense_pi = CTMC(
+            np.asarray(self._birth_death(n).todense())
+        ).stationary_distribution()
+        self._forbid_densify(monkeypatch)
+        pi = chain.stationary_distribution(method="gmres")
+        np.testing.assert_allclose(pi, dense_pi, atol=1e-10)
+
+    def test_simulation_never_densifies(self, monkeypatch):
+        n = AUTO_DENSE_LIMIT + 100
+        chain = CTMC(self._birth_death(n))
+        self._forbid_densify(monkeypatch)
+        rng = np.random.default_rng(17)
+        times, states = chain.simulate_path(n // 2, horizon=20.0, rng=rng)
+        assert times.size == states.size
+        assert times.size > 1
+
+    def test_sparse_jump_draw_matches_dense_stream(self):
+        # The embedded-jump draw must consume the same random stream and
+        # pick the same successor on CSR rows as on dense rows, or sparse
+        # chains would break seed reproducibility.
+        q = self._birth_death(50)
+        sparse_probs = CTMC(q).embedded_transition_matrix()
+        dense_probs = np.asarray(
+            CTMC(np.asarray(q.todense())).embedded_transition_matrix()
+        )
+        for state in (0, 1, 25, 49):
+            for seed in range(5):
+                sparse_next = sample_embedded_jump(
+                    sparse_probs, state, np.random.default_rng(seed)
+                )
+                dense_next = sample_embedded_jump(
+                    dense_probs, state, np.random.default_rng(seed)
+                )
+                assert sparse_next == dense_next
 
 
 class TestExpectedValue:

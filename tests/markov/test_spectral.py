@@ -14,10 +14,21 @@ import scipy.linalg as la
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import scipy.sparse as sp
+
 from repro.core.mmpp_mapping import hap_to_mmpp, symmetric_hap_to_mmpp
 from repro.core.params import ApplicationType, HAPParameters, MessageType
 from repro.experiments.configs import base_parameters, fig9_parameters
-from repro.markov.spectral import SpectralKernel, UniformizedKernel
+from repro.markov.spectral import (
+    AUTO_DENSE_LIMIT,
+    KrylovKernel,
+    SpectralKernel,
+    UniformizedKernel,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 
 
 def _expm_bilinear(matrix, left, right, times):
@@ -102,6 +113,209 @@ class TestUniformizedKernel:
             spectral.bilinear(pi, mmpp.rates, times),
             atol=1e-9,
         )
+
+
+class TestKrylovKernel:
+    @staticmethod
+    def _random_generator(n: int, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, n)) * (rng.random((n, n)) < 0.3)
+        np.fill_diagonal(matrix, 0.0)
+        matrix -= np.diag(matrix.sum(axis=1))
+        return matrix
+
+    def test_matches_expm_on_uniform_grid(self):
+        matrix = self._random_generator(12, 7)
+        kernel = KrylovKernel(sp.csr_matrix(matrix))
+        assert kernel.method == "krylov"
+        rng = np.random.default_rng(11)
+        left, right = rng.random(12), rng.random(12)
+        times = np.linspace(0.0, 5.0, 33)
+        np.testing.assert_allclose(
+            kernel.bilinear(left, right, times),
+            _expm_bilinear(matrix, left, right, times),
+            atol=1e-10,
+        )
+
+    def test_matches_expm_on_non_uniform_grid(self):
+        matrix = self._random_generator(10, 3)
+        kernel = KrylovKernel(sp.csr_matrix(matrix))
+        rng = np.random.default_rng(4)
+        left, right = rng.random(10), rng.random(10)
+        times = np.concatenate([[0.0], np.geomspace(1e-3, 8.0, 15)])
+        np.testing.assert_allclose(
+            kernel.bilinear(left, right, times),
+            _expm_bilinear(matrix, left, right, times),
+            atol=1e-10,
+        )
+
+    def test_unsorted_and_duplicate_times(self):
+        matrix = self._random_generator(8, 9)
+        kernel = KrylovKernel(sp.csr_matrix(matrix))
+        rng = np.random.default_rng(2)
+        left, right = rng.random(8), rng.random(8)
+        times = np.array([2.0, 0.0, 1.0, 2.0, 0.5, 1.0])
+        np.testing.assert_allclose(
+            kernel.bilinear(left, right, times),
+            _expm_bilinear(matrix, left, right, times),
+            atol=1e-10,
+        )
+
+    def test_time_zero_recovers_inner_product(self):
+        matrix = sp.csr_matrix(np.array([[-0.2, 0.2], [0.3, -0.3]]))
+        kernel = KrylovKernel(matrix)
+        value = kernel.bilinear(
+            np.array([0.5, 0.5]), np.array([1.0, 3.0]), np.array([0.0])
+        )
+        assert value[0] == pytest.approx(2.0, abs=1e-13)
+
+    def test_rejects_negative_times(self):
+        kernel = KrylovKernel(
+            sp.csr_matrix(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            kernel.bilinear(
+                np.ones(2), np.ones(2), np.array([0.5, -0.1])
+            )
+
+    def test_accepts_dense_input(self):
+        matrix = self._random_generator(6, 5)
+        dense_fed = KrylovKernel(matrix)
+        sparse_fed = KrylovKernel(sp.csr_matrix(matrix))
+        rng = np.random.default_rng(8)
+        left, right = rng.random(6), rng.random(6)
+        times = np.linspace(0.0, 2.0, 9)
+        np.testing.assert_allclose(
+            dense_fed.bilinear(left, right, times),
+            sparse_fed.bilinear(left, right, times),
+            atol=1e-13,
+        )
+
+    def test_matches_spectral_on_paper_chain(self):
+        mmpp = _figure_mmpp(fig9_parameters())
+        krylov = KrylovKernel(mmpp.generator)
+        spectral = SpectralKernel(np.asarray(mmpp.generator.todense()))
+        pi = mmpp.stationary_distribution()
+        times = np.linspace(0.0, 50.0, 11)
+        np.testing.assert_allclose(
+            krylov.bilinear(pi, mmpp.rates, times),
+            spectral.bilinear(pi, mmpp.rates, times),
+            atol=1e-9,
+        )
+
+
+class TestBackendRegistry:
+    def test_explicit_choice_passes_through(self):
+        assert resolve_backend("dense", num_states=10**6) == "dense"
+        assert resolve_backend("krylov", num_states=2) == "krylov"
+
+    def test_auto_switches_on_state_count(self):
+        assert resolve_backend("auto", num_states=AUTO_DENSE_LIMIT) == "dense"
+        assert (
+            resolve_backend("auto", num_states=AUTO_DENSE_LIMIT + 1)
+            == "krylov"
+        )
+
+    def test_auto_with_unknown_size_stays_dense(self):
+        assert resolve_backend("auto", num_states=None) == "dense"
+
+    def test_none_resolves_via_process_default(self):
+        previous = set_default_backend("krylov")
+        try:
+            assert resolve_backend(None, num_states=2) == "krylov"
+        finally:
+            set_default_backend(previous)
+
+    def test_set_default_returns_previous(self):
+        first = set_default_backend("dense")
+        try:
+            assert set_default_backend("auto") == "dense"
+        finally:
+            set_default_backend(first)
+
+    def test_use_backend_scopes_and_restores(self):
+        before = get_default_backend()
+        with use_backend("krylov"):
+            assert get_default_backend() == "krylov"
+        assert get_default_backend() == before
+
+    def test_use_backend_none_is_a_no_op(self):
+        before = get_default_backend()
+        with use_backend(None):
+            assert get_default_backend() == before
+        assert get_default_backend() == before
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown analytic backend"):
+            resolve_backend("pade")
+        with pytest.raises(ValueError, match="unknown analytic backend"):
+            set_default_backend("pade")
+        with pytest.raises(ValueError, match="unknown analytic backend"):
+            with use_backend("pade"):
+                pass  # pragma: no cover
+
+
+class TestDenseKrylovEquivalence:
+    """The PR-4 contract: above the auto threshold, the Krylov backend
+    reproduces the dense spectral answers to 1e-9 on every analytic
+    quantity.  (The full ~2.2k-state headline chain is locked the same way
+    in ``benchmarks/test_bench_scale.py``; this chain clears the threshold
+    while keeping the dense anchor tier-1-affordable.)"""
+
+    @staticmethod
+    def _large_mmpp():
+        mapped = symmetric_hap_to_mmpp(base_parameters(), x_max=7, y_max=99)
+        assert mapped.mmpp.num_states > AUTO_DENSE_LIMIT
+        return mapped.mmpp
+
+    def test_auto_resolves_to_krylov_above_threshold(self):
+        mmpp = self._large_mmpp()
+        assert isinstance(mmpp.d0_kernel(), KrylovKernel)
+        assert isinstance(mmpp.d0_kernel("dense"), SpectralKernel)
+        small = _figure_mmpp(fig9_parameters())
+        assert isinstance(small.d0_kernel(), SpectralKernel)
+
+    def test_kernels_cached_per_backend(self):
+        mmpp = self._large_mmpp()
+        assert mmpp.d0_kernel("krylov") is mmpp.d0_kernel("krylov")
+        assert mmpp.d0_kernel("krylov") is not mmpp.d0_kernel("dense")
+
+    def test_interarrival_density(self):
+        mmpp = self._large_mmpp()
+        grid = np.linspace(0.0, 0.7, 41)
+        np.testing.assert_allclose(
+            mmpp.exact_interarrival_density(grid, backend="krylov"),
+            mmpp.exact_interarrival_density(grid, backend="dense"),
+            atol=1e-9,
+        )
+
+    def test_interarrival_cdf(self):
+        mmpp = self._large_mmpp()
+        grid = np.linspace(0.0, 0.7, 41)
+        np.testing.assert_allclose(
+            mmpp.exact_interarrival_cdf(grid, backend="krylov"),
+            mmpp.exact_interarrival_cdf(grid, backend="dense"),
+            atol=1e-9,
+        )
+
+    def test_rate_autocovariance(self):
+        mmpp = self._large_mmpp()
+        lags = np.linspace(0.0, 200.0, 17)
+        np.testing.assert_allclose(
+            mmpp.rate_autocovariance(lags, backend="krylov"),
+            mmpp.rate_autocovariance(lags, backend="dense"),
+            atol=1e-9,
+        )
+
+    def test_index_of_dispersion(self):
+        mmpp = self._large_mmpp()
+        krylov = mmpp.index_of_dispersion(
+            100.0, quad_points=64, backend="krylov"
+        )
+        dense = mmpp.index_of_dispersion(
+            100.0, quad_points=64, backend="dense"
+        )
+        assert krylov == pytest.approx(dense, rel=1e-9)
 
 
 class TestSpectralVsExpmEquivalence:

@@ -1,0 +1,162 @@
+"""Tests for scripts/check_bench_regression.py — the CI perf gate.
+
+Loaded straight from the script file (scripts/ is not a package); the
+tests exercise the gate verdicts and, new in PR 4, the skip-with-warning
+semantics: a gate absent from either document is reported and skipped
+(exit 0), never silently dropped and never a hard failure — so partial
+bench runs gate what they ran and new gates don't break old baselines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts/check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+def _record(key: str, events_per_sec=1000.0, wall=10.0, rss=100.0) -> dict:
+    return {
+        "id": f"benchmarks/test_x.py::test_{key}",
+        "events_per_sec": events_per_sec,
+        "wall_clock_s": wall,
+        "peak_rss_mb": rss,
+    }
+
+
+def _bench_doc(tmp_path: Path, records: list[dict]) -> Path:
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps({"schema": "repro-bench/1", "benchmarks": records}))
+    return path
+
+
+def _baseline_doc(tmp_path: Path, records: dict) -> Path:
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps({"schema": "repro-bench-baseline/2", "records": records})
+    )
+    return path
+
+
+ALL_KEYS = sorted({key for key, _, _ in check_bench.GATES})
+
+
+def _full_run(tmp_path: Path, **tweaks) -> tuple[Path, Path]:
+    """A candidate + baseline pair covering every gate, optionally tweaked."""
+    records = [_record(key) for key in ALL_KEYS]
+    for record in records:
+        for key, metrics in tweaks.items():
+            if key in record["id"]:
+                record.update(metrics)
+    bench = _bench_doc(tmp_path, records)
+    baseline = _baseline_doc(tmp_path, {key: _record(key) for key in ALL_KEYS})
+    return bench, baseline
+
+
+class TestVerdicts:
+    def test_identical_run_passes(self, tmp_path, capsys):
+        bench, baseline = _full_run(tmp_path)
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        assert "SKIP" not in out
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        bench, baseline = _full_run(
+            tmp_path,
+            analytic_scale_ladder_8k={"events_per_sec": 100.0},
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_rss_regression_fails(self, tmp_path, capsys):
+        bench, baseline = _full_run(
+            tmp_path,
+            analytic_scale_ladder_8k={"peak_rss_mb": 1000.0},
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: analytic_scale_ladder_8k [peak_rss_mb" in out
+
+    def test_improvement_passes(self, tmp_path):
+        bench, baseline = _full_run(
+            tmp_path,
+            analytic_scale_ladder_8k={
+                "events_per_sec": 9000.0,
+                "peak_rss_mb": 10.0,
+            },
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+
+
+class TestSkipSemantics:
+    def test_gate_missing_from_baseline_skips_with_warning(
+        self, tmp_path, capsys
+    ):
+        # An old baseline that predates the scale-ladder gate: the new
+        # gate must SKIP loudly, everything else must still be checked.
+        bench, _ = _full_run(tmp_path)
+        old_keys = [k for k in ALL_KEYS if k != "analytic_scale_ladder_8k"]
+        baseline = _baseline_doc(
+            tmp_path, {key: _record(key) for key in old_keys}
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "SKIP: analytic_scale_ladder_8k" in out
+        assert "--update-baseline" in out
+        assert "2 skipped" in out  # both scale-ladder metrics
+        assert f"{len(check_bench.GATES) - 2} gate(s) checked" in out
+
+    def test_gate_missing_from_candidate_skips_with_warning(
+        self, tmp_path, capsys
+    ):
+        # A partial bench run (e.g. headline only) gates what it ran.
+        records = [_record("headline_replicated_campaign")]
+        bench = _bench_doc(tmp_path, records)
+        baseline = _baseline_doc(
+            tmp_path, {key: _record(key) for key in ALL_KEYS}
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "did not exercise" in out
+        assert "1 gate(s) checked" in out
+
+    def test_empty_candidate_still_hard_fails(self, tmp_path):
+        bench = _bench_doc(tmp_path, [])
+        baseline = _baseline_doc(
+            tmp_path, {key: _record(key) for key in ALL_KEYS}
+        )
+        with pytest.raises(SystemExit, match="no benchmark records"):
+            check_bench.main([str(bench), "--baseline", str(baseline)])
+
+
+class TestUpdateBaseline:
+    def test_writes_v2_schema_with_all_gates(self, tmp_path):
+        bench, _ = _full_run(tmp_path)
+        baseline = tmp_path / "new_baseline.json"
+        code = check_bench.main(
+            [str(bench), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert code == 0
+        document = json.loads(baseline.read_text())
+        assert document["schema"] == "repro-bench-baseline/2"
+        assert sorted(document["records"]) == ALL_KEYS
+
+    def test_round_trip_passes_clean(self, tmp_path, capsys):
+        bench, _ = _full_run(tmp_path)
+        baseline = tmp_path / "new_baseline.json"
+        check_bench.main(
+            [str(bench), "--baseline", str(baseline), "--update-baseline"]
+        )
+        assert check_bench.main([str(bench), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        assert "SKIP" not in out

@@ -135,6 +135,58 @@ class TestSimulate:
         assert first == second
 
 
+class TestBackendOption:
+    def test_default_is_auto(self):
+        for command in ("analyze", "simulate"):
+            args = build_parser().parse_args([command])
+            assert args.backend == "auto"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "pade"])
+
+    def test_size_has_no_backend(self):
+        # Sizing is closed-form only; no analytic kernels to select.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["size", "--delay-target", "1", "--backend", "dense"]
+            )
+
+    def test_analyze_backends_agree(self):
+        # The SMALL chain sits under the auto threshold, so auto == dense;
+        # forcing krylov must leave every reported number unchanged.
+        _, auto_text = run_cli(["analyze", *SMALL])
+        code, dense_text = run_cli(["analyze", *SMALL, "--backend", "dense"])
+        assert code == 0
+        assert dense_text == auto_text
+        code, krylov_text = run_cli(
+            ["analyze", *SMALL, "--backend", "krylov"]
+        )
+        assert code == 0
+        assert krylov_text.splitlines()[0] == auto_text.splitlines()[0]
+
+    def test_simulate_accepts_backend(self):
+        base = ["simulate", *SMALL, "--horizon", "800", "--seed", "4"]
+        code, forced = run_cli([*base, "--backend", "krylov"])
+        assert code == 0
+        assert "mean delay" in forced
+        # The backend selects analytic kernels, not simulation logic:
+        # the sample path must be bit-identical across backends.
+        _, default = run_cli(base)
+        assert forced == default
+
+    def test_campaign_accepts_backend(self):
+        code, text = run_cli(
+            [
+                "simulate", *SMALL, "--horizon", "600", "--seed", "2",
+                "--replications", "2", "--workers", "1",
+                "--backend", "krylov",
+            ]
+        )
+        assert code == 0
+        assert "95% CI" in text
+
+
 class TestSize:
     def test_sizing_output(self):
         code, text = run_cli(["size", *SMALL, "--delay-target", "1.0"])
