@@ -39,6 +39,10 @@ Baseline schema v2 stores one record per gate; v1 baselines (single
 The baseline is machine-dependent — wall-clock on a different box is not
 comparable — so CI pins one runner class and the tolerance absorbs its
 run-to-run noise.
+
+Exit codes: 0 = all gates pass, 1 = at least one regression (or an empty
+bench document), 2 = the gate could not run at all (missing or unreadable
+baseline/bench file).
 """
 
 from __future__ import annotations
@@ -62,6 +66,28 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("analytic_scale_ladder_8k", "events_per_sec", "higher"),
     ("analytic_scale_ladder_8k", "peak_rss_mb", "lower"),
 )
+
+
+def _load_json(path: Path, what: str) -> dict:
+    """Read a JSON document or exit 2 with a clear message.
+
+    Exit code 2 marks an *infrastructure* problem (missing or unreadable
+    input), distinct from exit 1 (a real benchmark regression) — CI can
+    tell "the gate failed" from "the gate could not run".
+    """
+    try:
+        text = path.read_text()
+    except OSError as error:
+        print(f"error: cannot read {what} {path}: {error}", file=sys.stderr)
+        raise SystemExit(2) from error
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {what} {path} is not valid JSON: {error}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from error
 
 
 def _find_record(document: dict, key: str, metric: str) -> dict | None:
@@ -109,7 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    document = json.loads(args.bench_json.read_text())
+    document = _load_json(args.bench_json, "bench document")
 
     if args.update_baseline:
         gated = {}
@@ -136,16 +162,25 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if not args.baseline.exists():
-        raise SystemExit(
+        print(
             f"error: baseline {args.baseline} missing; run with "
-            "--update-baseline on the reference machine and commit it"
+            "--update-baseline on the reference machine and commit it",
+            file=sys.stderr,
         )
-    baseline_doc = json.loads(args.baseline.read_text())
+        return 2
+    baseline_doc = _load_json(args.baseline, "baseline")
     if "records" in baseline_doc:
         baseline_records = baseline_doc["records"]
-    else:
+    elif "record" in baseline_doc:
         # v1 back-compat: single headline record.
         baseline_records = {GATES[0][0]: baseline_doc["record"]}
+    else:
+        print(
+            f"error: baseline {args.baseline} has neither 'records' (v2) "
+            "nor 'record' (v1); re-pin with --update-baseline",
+            file=sys.stderr,
+        )
+        return 2
 
     if not document.get("benchmarks"):
         raise SystemExit(

@@ -1,11 +1,14 @@
-"""Command-line interface: analyze, simulate, and size HAP workloads.
+"""Command-line interface: analyze, simulate, size, and chaos-test HAP workloads.
 
-Three subcommands, mirroring how a network engineer would use the library:
+Four subcommands, mirroring how a network engineer would use the library:
 
 * ``analyze``  — closed-form and (optionally) exact queueing analysis of a
   symmetric HAP against its Poisson baseline.
 * ``simulate`` — an event-driven run with the headline statistics.
 * ``size``     — minimum bandwidth for a mean-delay target.
+* ``chaos``    — deterministic fault-injection demo: run a campaign with
+  injected worker kills / hangs / poisoned solver rungs and verify the
+  runtime recovers with bit-identical statistics.
 
 Examples
 --------
@@ -14,10 +17,19 @@ Examples
     python -m repro.cli analyze --lam 0.0055 --mu 0.001 --lam1 0.01 \
         --mu1 0.01 --lam2 0.1 --mu2 20 -l 5 -m 3
     python -m repro.cli simulate --horizon 1e5 --seed 7
+    python -m repro.cli simulate --replications 16 --retries 2 --timeout 600 \
+        --checkpoint campaign.jsonl --resume
     python -m repro.cli size --delay-target 0.1
+    python -m repro.cli chaos --kill 2 --delay 3:30 --poison spectral-kernel:eig
 
 All parameters default to the paper's Section-4 base set, so bare
 subcommands reproduce paper numbers.
+
+Exit codes
+----------
+``0`` success; ``1`` partial or total failure (some replication failed, or
+the chaos verdict is a mismatch); ``2`` usage errors (bad arguments,
+missing files).
 """
 
 from __future__ import annotations
@@ -67,6 +79,62 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         "sparse action-based kernels, 'auto' (default) switches on "
         "modulating-chain size; applies to every analytic solve in the "
         "command, including sweeps fanned out over worker processes",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-replication wall-clock timeout in seconds (pool path "
+        "only); an overdue job's worker is killed and the job retried "
+        "or recorded as a timeout failure",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per failed replication (same seed, exponential "
+        "backoff + deterministic jitter); default 0 = record failures "
+        "without retrying",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        help="campaign-wide cap on total retries (default: unlimited)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="crash-safe JSONL journal path recording every completed "
+        "replication (atomic append + fsync)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: splice already-journaled replications "
+        "back in instead of re-running them; final statistics are "
+        "bit-identical to an uninterrupted run",
+    )
+
+
+def _retry_policy_from_args(args: argparse.Namespace):
+    """Build the campaign RetryPolicy from CLI flags (None = defaults)."""
+    from repro.runtime.resilience import RetryPolicy
+
+    if (
+        args.timeout is None
+        and args.retries == 0
+        and args.retry_budget is None
+    ):
+        return None
+    return RetryPolicy(
+        max_attempts=max(1, args.retries + 1),
+        timeout=args.timeout,
+        retry_budget=args.retry_budget,
     )
 
 
@@ -144,12 +212,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one replication under cProfile and print the top-20 "
         "cumulative-time entries before the results",
     )
+    _add_resilience_arguments(simulate)
 
     size = commands.add_parser(
         "size", help="minimum bandwidth for a mean-delay target"
     )
     _add_hap_arguments(size)
     size.add_argument("--delay-target", type=float, required=True)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection demo: injected kills/hangs/poisoned solver "
+        "rungs against the resilient campaign runtime",
+    )
+    _add_hap_arguments(chaos)
+    chaos.add_argument("--horizon", type=float, default=2_000.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--replications", type=int, default=6, help="campaign size"
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    chaos.add_argument(
+        "--kill",
+        action="append",
+        default=None,
+        metavar="SEED[:ATTEMPT]",
+        help="kill the worker running SEED on ATTEMPT (default 1) with "
+        "os._exit; repeatable",
+    )
+    chaos.add_argument(
+        "--delay",
+        action="append",
+        default=None,
+        metavar="SEED:SECONDS[:ATTEMPT]",
+        help="make SEED's job sleep SECONDS before running on ATTEMPT "
+        "(default 1) — with --timeout this is a hung job; repeatable",
+    )
+    chaos.add_argument(
+        "--poison",
+        action="append",
+        default=None,
+        metavar="[CHAIN:]RUNG",
+        help="poison a solver-degradation rung (e.g. 'spectral-kernel:eig' "
+        "or bare 'eig') and show the chain degrading; repeatable",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="per-replication timeout for the chaos campaign (seconds)",
+    )
+    chaos.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per failed replication in the chaos campaign",
+    )
     return parser
 
 
@@ -253,7 +373,12 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     from repro.markov.spectral import use_backend
 
     hap = _hap_from_args(args)
-    if args.replications > 1 and not args.profile:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=out)
+        return 2
+    # A checkpointed run is a campaign even at --replications 1: the
+    # journal/resume machinery lives on the campaign path.
+    if (args.replications > 1 or args.checkpoint) and not args.profile:
         return _command_simulate_campaign(args, hap, out)
     if args.profile:
         result = _profiled_simulate(hap, args, out)
@@ -276,7 +401,15 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
 
     from repro.runtime.executor import ParallelReplicator
 
-    campaign = ParallelReplicator(max_workers=args.workers).run(
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=out)
+        return 2
+    campaign = ParallelReplicator(
+        max_workers=args.workers,
+        policy=_retry_policy_from_args(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    ).run(
         partial(
             _simulation_task,
             hap.params,
@@ -317,6 +450,138 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
     return 0 if not campaign.failures else 1
 
 
+def _parse_kill(spec: str) -> tuple[int, int]:
+    """``"SEED"`` or ``"SEED:ATTEMPT"`` -> (seed, attempt)."""
+    parts = spec.split(":")
+    if len(parts) == 1:
+        return int(parts[0]), 1
+    if len(parts) == 2:
+        return int(parts[0]), int(parts[1])
+    raise ValueError(f"bad --kill spec {spec!r}; expected SEED[:ATTEMPT]")
+
+
+def _parse_delay(spec: str) -> tuple[int, int, float]:
+    """``"SEED:SECONDS"`` or ``"SEED:SECONDS:ATTEMPT"`` -> plan triple."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return int(parts[0]), 1, float(parts[1])
+    if len(parts) == 3:
+        return int(parts[0]), int(parts[2]), float(parts[1])
+    raise ValueError(
+        f"bad --delay spec {spec!r}; expected SEED:SECONDS[:ATTEMPT]"
+    )
+
+
+def _command_chaos(args: argparse.Namespace, out) -> int:
+    """Fault-injection demo: prove the runtime recovers, bit for bit.
+
+    Runs the same replication campaign twice — fault-free, then under a
+    :class:`~repro.runtime.chaos.ChaosPlan` with retries enabled — and
+    verdicts whether the recovered statistics are bit-identical.  Poisoned
+    solver rungs are demonstrated against the analytic degradation chains
+    with their :class:`~repro.runtime.resilience.SolveDiagnostics` printed.
+    """
+    from functools import partial
+
+    from repro.runtime import chaos
+    from repro.runtime.executor import ParallelReplicator
+    from repro.runtime.resilience import RetryPolicy
+
+    hap = _hap_from_args(args)
+    try:
+        kills = tuple(_parse_kill(spec) for spec in (args.kill or ()))
+        delays = tuple(_parse_delay(spec) for spec in (args.delay or ()))
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    poisons = tuple(args.poison or ())
+    if not (kills or delays or poisons):
+        # Bare `cli chaos`: kill one worker mid-campaign by default.
+        kills = ((args.seed + 1, 1),)
+    plan = chaos.ChaosPlan(kill=kills, delay=delays, poison=poisons)
+    print(
+        f"chaos plan           : kills={list(kills)} delays={list(delays)} "
+        f"poisons={list(poisons)}",
+        file=out,
+    )
+
+    status = 0
+    if poisons:
+        status = max(status, _chaos_poison_demo(hap, plan, out))
+    if kills or delays:
+        task = partial(
+            _simulation_task, hap.params, args.horizon, "legacy", None
+        )
+        clean = ParallelReplicator(max_workers=args.workers).run(
+            task, args.replications, base_seed=args.seed
+        )
+        policy = RetryPolicy(
+            max_attempts=max(1, args.retries + 1),
+            timeout=args.timeout,
+            backoff_base=0.05,
+        )
+        faulted = ParallelReplicator(max_workers=args.workers, policy=policy).run(
+            chaos.wrap(task, plan), args.replications, base_seed=args.seed
+        )
+        print(f"fault-free campaign  : {clean.describe()}", file=out)
+        print(f"chaos campaign       : {faulted.describe()}", file=out)
+        for failure in faulted.failures:
+            print(
+                f"failed replication   : seed {failure.seed}: {failure.error}",
+                file=out,
+            )
+        identical = (
+            faulted.results == clean.results and faulted.seeds == clean.seeds
+        )
+        if identical and not faulted.failures:
+            print(
+                "verdict              : recovered, statistics bit-identical "
+                "to the fault-free run",
+                file=out,
+            )
+        else:
+            print(
+                "verdict              : MISMATCH — recovery did not "
+                "reproduce the fault-free statistics",
+                file=out,
+            )
+            status = 1
+    return status
+
+
+def _chaos_poison_demo(hap, plan, out) -> int:
+    """Show each targeted degradation chain answering below its poison."""
+    import numpy as np
+
+    from repro.markov.ctmc import CTMC
+    from repro.markov.spectral import SpectralKernel
+    from repro.runtime import chaos
+    from repro.runtime.resilience import DegradationError
+
+    import scipy.sparse as sp
+
+    status = 0
+    mmpp = hap.to_mmpp().mmpp
+    generator = mmpp.generator
+    if not sp.issparse(generator):
+        generator = sp.csr_matrix(np.asarray(generator, dtype=float))
+    with chaos.chaos_active(plan):
+        try:
+            kernel = SpectralKernel(mmpp.d0())
+            print(kernel.diagnostics.describe(), file=out)
+        except DegradationError as error:
+            print(f"spectral-kernel      : exhausted — {error}", file=out)
+            status = 1
+        try:
+            chain = CTMC(generator, validate=False)
+            chain.stationary_distribution()
+            print(chain.stationary_diagnostics.describe(), file=out)
+        except DegradationError as error:
+            print(f"ctmc-stationary      : exhausted — {error}", file=out)
+            status = 1
+    return status
+
+
 def _command_size(args: argparse.Namespace, out) -> int:
     from repro.control.bandwidth import bandwidth_for_delay_target
 
@@ -350,6 +615,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _command_analyze(args, out)
     if args.command == "simulate":
         return _command_simulate(args, out)
+    if args.command == "chaos":
+        return _command_chaos(args, out)
     return _command_size(args, out)
 
 

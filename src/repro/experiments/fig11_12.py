@@ -114,6 +114,9 @@ def run_fig11(
     seed: int = 11,
     max_workers: int | None = None,
     backend: str | None = None,
+    policy=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[SweepPoint]:
     """Delay versus server capacity at fixed ``lambda-bar = 8.25``.
 
@@ -121,14 +124,25 @@ def run_fig11(
     HAP's delay blows up; expect large run-to-run variation there (that
     *is* the finding).  Points are independent and fan out over
     ``max_workers`` processes (default: one per CPU); ``backend`` selects
-    the analytic grid-evaluation backend inside each worker.
+    the analytic grid-evaluation backend inside each worker.  ``policy``,
+    ``checkpoint`` and ``resume`` have the
+    :func:`~repro.runtime.analytic.run_analytic_sweep` semantics — a
+    checkpointed sweep interrupted mid-grid resumes from the last
+    completed capacity point.
     """
     params = base_parameters()
     tasks = [
         (f"mu={mu:g}", partial(_sweep_point, params, mu, mu, horizon, seed + k))
         for k, mu in enumerate(capacities)
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
+    return run_analytic_sweep(
+        tasks,
+        max_workers=max_workers,
+        backend=backend,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
 
 def run_fig12(
@@ -145,13 +159,16 @@ def run_fig12(
     seed: int = 12,
     max_workers: int | None = None,
     backend: str | None = None,
+    policy=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[SweepPoint]:
     """Delay versus message arrival rate at fixed ``mu'' = 17``.
 
     The sweep changes the load the way the paper does — through the user
     arrival rate ``lambda`` — so the hierarchy's shape stays fixed while
     ``lambda-bar`` scales linearly.  Points fan out over ``max_workers``
-    processes like :func:`run_fig11`.
+    processes like :func:`run_fig11`, with the same resilience knobs.
     """
     tasks = []
     for k, lam in enumerate(user_rates):
@@ -171,4 +188,11 @@ def run_fig12(
                 ),
             )
         )
-    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
+    return run_analytic_sweep(
+        tasks,
+        max_workers=max_workers,
+        backend=backend,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+    )

@@ -69,6 +69,7 @@ def run_fig13(
     seed: int = 13,
     service_rate: float = 17.0,
     max_workers: int | None = None,
+    policy=None,
 ) -> Fig13Result:
     """Compare convergence of the two delay estimators.
 
@@ -76,7 +77,10 @@ def run_fig13(
     those delays is exactly the paper's y-axis.  The HAP and Poisson runs
     are independent grid points of a :func:`repro.runtime.sweep.sweep`, so
     on a multi-core machine they execute concurrently; both pin the same
-    ``seed``, so results match the legacy serial driver exactly.
+    ``seed``, so results match the legacy serial driver exactly.  These
+    are the repo's longest single runs, so ``policy`` (a
+    :class:`~repro.runtime.resilience.RetryPolicy`) is worth setting on
+    shared machines where a worker can be OOM-killed mid-run.
     """
     params = base_parameters(service_rate=service_rate)
     result = sweep(
@@ -99,6 +103,7 @@ def run_fig13(
         ],
         num_replications=1,
         max_workers=max_workers,
+        policy=policy,
     )
     result.raise_if_failed()
     hap_delays = result["hap"].results[0]
@@ -316,12 +321,14 @@ def run_fig18(
     seed: int = 18,
     service_rate: float = 15.0,
     max_workers: int | None = None,
+    policy=None,
 ) -> Fig18Result:
     """Busy/idle/height statistics for HAP and the load-matched Poisson.
 
     The two runs are grid points of one :func:`repro.runtime.sweep.sweep`
     (concurrent on multi-core machines); each pins the same ``seed`` the
-    legacy serial driver used, so the statistics are unchanged.
+    legacy serial driver used, so the statistics are unchanged.  ``policy``
+    adds :func:`run_fig13`'s retry/timeout protection.
     """
     params = base_parameters(service_rate=service_rate)
     result = sweep(
@@ -344,6 +351,7 @@ def run_fig18(
         ],
         num_replications=1,
         max_workers=max_workers,
+        policy=policy,
     )
     result.raise_if_failed()
     hap = result["hap"].results[0]

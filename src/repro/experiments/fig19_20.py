@@ -78,13 +78,18 @@ def run_fig19(
     service_rate: float = 20.0,
     max_workers: int | None = None,
     backend: str | None = None,
+    policy=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[LevelSweepPoint]:
     """Perturb each level's arrival rate and solve with Solution 2.
 
     The paper notes Solutions 1/2 are only trend-accurate past 30 %
     utilization, and uses them exactly this way — for the trend.  The
     ``3 levels x len(factors)`` grid fans out over ``max_workers``
-    processes; results keep the serial (level, factor) order.
+    processes; results keep the serial (level, factor) order.  ``policy``,
+    ``checkpoint`` and ``resume`` have the
+    :func:`~repro.runtime.analytic.run_analytic_sweep` semantics.
     """
     base = base_parameters(service_rate=service_rate)
     tasks = [
@@ -95,7 +100,14 @@ def run_fig19(
         for level in ("user", "application", "message")
         for factor in factors
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
+    return run_analytic_sweep(
+        tasks,
+        max_workers=max_workers,
+        backend=backend,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
 
 def run_sec5_joint_scaling(
@@ -198,13 +210,17 @@ def run_fig20(
     service_rate: float = 20.0,
     max_workers: int | None = None,
     backend: str | None = None,
+    policy=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[Fig20Point]:
     """Sweep the load; compare unbounded Solution 2 with the bounded variant.
 
     The paper's bounds: 12 users / 60 applications, versus 60/300 as the
     "effectively unbounded" reference (our unbounded arm is the closed form,
     i.e. genuinely unbounded).  Load points are independent and fan out
-    over ``max_workers`` processes.
+    over ``max_workers`` processes, with :func:`run_fig19`'s resilience
+    knobs.
     """
     tasks = [
         (
@@ -213,4 +229,11 @@ def run_fig20(
         )
         for lam in user_rates
     ]
-    return run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
+    return run_analytic_sweep(
+        tasks,
+        max_workers=max_workers,
+        backend=backend,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+    )

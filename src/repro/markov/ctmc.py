@@ -14,6 +14,7 @@ and sample paths.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,6 +78,9 @@ class CTMC:
 
     generator: object
     validate: bool = True
+    #: :class:`~repro.runtime.resilience.SolveDiagnostics` of the sparse
+    #: stationary solve (None before the first solve and on the dense path).
+    stationary_diagnostics: object = field(default=None, init=False, repr=False)
     _stationary: np.ndarray | None = field(default=None, init=False, repr=False)
     _embedded: object = field(default=None, init=False, repr=False)
     _holding: np.ndarray | None = field(default=None, init=False, repr=False)
@@ -124,14 +128,24 @@ class CTMC:
         The result is cached (the stationary vector is unique, so whichever
         ``method`` computed it first serves every later call).
 
+        Sparse solves run as a declarative degradation chain
+        (:class:`~repro.runtime.resilience.DegradationChain`, name
+        ``"ctmc-stationary"``) over three rungs — ``spsolve`` (sparse LU),
+        ``gmres`` (restarted iteration) and ``lstsq`` (dense least-squares,
+        the last resort for systems the factorizations cannot handle) —
+        ordered by ``method``.  A rung whose answer is non-finite, carries
+        negative probability mass, or sums to zero abdicates to the next.
+        The answering rung is recorded in ``stationary_diagnostics``, and
+        any fallback (e.g. GMRES stagnating and the direct solve taking
+        over) emits a :class:`RuntimeWarning` naming both rungs.
+
         Parameters
         ----------
         method:
-            ``"direct"`` (default) uses a sparse/dense LU solve.
-            ``"gmres"`` uses restarted GMRES on the same CSR system —
-            useful for very large chains where the LU fill-in dominates —
-            falling back to the direct solve if the iteration fails to
-            converge to a clean distribution.
+            ``"direct"`` (default) prefers the sparse LU solve;
+            ``"gmres"`` prefers restarted GMRES on the same CSR system —
+            useful for very large chains where the LU fill-in dominates.
+            Either way the remaining rungs back the preferred one up.
         """
         if self._stationary is not None:
             return self._stationary
@@ -144,20 +158,64 @@ class CTMC:
         b = np.zeros(n)
         b[n - 1] = 1.0
         if sp.issparse(self.generator):
+            from repro.runtime.resilience import DegradationChain, RungRejected
+
             qt = self.generator.T.tocsr()
             a = sp.vstack(
                 [qt[: n - 1, :], sp.csr_matrix(np.ones((1, n)))],
                 format="csr",
             )
-            pi = None
-            if method == "gmres":
+
+            def validated(candidate, rung):
+                candidate = np.asarray(candidate, dtype=float)
+                if not np.all(np.isfinite(candidate)):
+                    raise RungRejected(f"{rung} produced non-finite entries")
+                if candidate.min() <= -1e-8:
+                    raise RungRejected(
+                        f"{rung} produced negative probability mass"
+                    )
+                if candidate.sum() <= 0.0:
+                    raise RungRejected(f"{rung} produced a zero vector")
+                return candidate
+
+            def solve_direct():
+                return validated(spla.spsolve(a.tocsc(), b), "spsolve")
+
+            def solve_gmres():
                 solution, info = spla.gmres(
                     a.tocsc(), b, rtol=1e-12, atol=0.0, maxiter=5 * n
                 )
-                if info == 0 and solution.min() > -1e-8:
-                    pi = solution
-            if pi is None:
-                pi = spla.spsolve(a.tocsc(), b)
+                if info != 0:
+                    raise RungRejected(
+                        f"gmres did not converge (info={info})"
+                    )
+                return validated(solution, "gmres")
+
+            def solve_lstsq():
+                solution = np.linalg.lstsq(a.toarray(), b, rcond=None)[0]
+                return validated(solution, "lstsq")
+
+            rungs = [
+                ("spsolve", solve_direct),
+                ("gmres", solve_gmres),
+                ("lstsq", solve_lstsq),
+            ]
+            if method == "gmres":
+                rungs = [rungs[1], rungs[0], rungs[2]]
+            pi, diagnostics = DegradationChain("ctmc-stationary", rungs).run()
+            self.stationary_diagnostics = diagnostics
+            if diagnostics.degraded:
+                failed = ", ".join(
+                    attempt.rung
+                    for attempt in diagnostics.attempts
+                    if not attempt.ok
+                )
+                warnings.warn(
+                    f"stationary solve degraded: {failed} failed, "
+                    f"answered by {diagnostics.rung!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         else:
             a = np.asarray(self.generator, dtype=float).T.copy()
             a[n - 1, :] = 1.0

@@ -86,12 +86,18 @@ class QBDSolution:
         Mean arrival rate of the input MMPP.
     service_rate:
         The exponential server's rate ``mu``.
+    diagnostics:
+        :class:`~repro.runtime.resilience.SolveDiagnostics` of the ``R``
+        solve — whether the warm start answered or the cold solve had to
+        (``None`` for solutions built before the chain existed, e.g. by
+        old pickles).
     """
 
     rate_matrix: np.ndarray
     boundary: np.ndarray
     mean_rate: float
     service_rate: float
+    diagnostics: object = None
 
     @property
     def utilization(self) -> float:
@@ -351,6 +357,16 @@ def solve_mmpp_m1(
         refinement does not reach ``tol`` — the warm start can only change
         the wall-clock, never the answer beyond tolerance.
 
+    Notes
+    -----
+    The ``R`` solve runs as a declarative degradation chain
+    (:class:`~repro.runtime.resilience.DegradationChain`, name
+    ``"qbd-rate-matrix"``): the ``warm-start`` rung (present only when
+    ``initial_rate_matrix`` is given) abdicates when the budgeted
+    refinement fails to contract, and the cold ``method`` rung (``"cr"``
+    by default) backs it up.  Which rung answered is recorded in the
+    returned solution's ``diagnostics``.
+
     Raises
     ------
     ValueError
@@ -385,7 +401,11 @@ def solve_mmpp_m1(
     a1 = d0 - service_rate * identity
     a0 = mmpp.d1()
     a2 = service_rate * identity
-    rate_matrix = None
+    if method not in ("cr", "lr", "fixed-point"):
+        raise ValueError(f"unknown R-matrix method {method!r}")
+    from repro.runtime.resilience import DegradationChain, RungRejected
+
+    rungs = []
     if initial_rate_matrix is not None:
         if initial_rate_matrix.shape != a0.shape:
             raise ValueError(
@@ -393,9 +413,21 @@ def solve_mmpp_m1(
                 f"{initial_rate_matrix.shape} does not match the "
                 f"{a0.shape} phase space"
             )
-        rate_matrix = _refine_rate_matrix(a0, a1, a2, tol, initial_rate_matrix)
-    if rate_matrix is None:
-        rate_matrix = _solve_rate_matrix(a0, a1, a2, tol, max_iterations, method)
+
+        def refine_warm_start():
+            refined = _refine_rate_matrix(a0, a1, a2, tol, initial_rate_matrix)
+            if refined is None:
+                raise RungRejected(
+                    "warm-start refinement did not contract to tolerance "
+                    f"within its {_WARM_START_BUDGET}-sweep budget"
+                )
+            return refined
+
+        rungs.append(("warm-start", refine_warm_start))
+    rungs.append(
+        (method, lambda: _solve_rate_matrix(a0, a1, a2, tol, max_iterations, method))
+    )
+    rate_matrix, diagnostics = DegradationChain("qbd-rate-matrix", rungs).run()
 
     # Boundary: pi_0 (B00 + R A2) = 0, normalized by pi_0 (I - R)^{-1} 1 = 1,
     # where B00 = D0 (no service completes at level 0).  The singular n x n
@@ -418,4 +450,5 @@ def solve_mmpp_m1(
         boundary=boundary,
         mean_rate=mean_rate,
         service_rate=service_rate,
+        diagnostics=diagnostics,
     )

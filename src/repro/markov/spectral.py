@@ -172,23 +172,43 @@ def _as_dense(matrix) -> np.ndarray:
 class SpectralKernel:
     """Evaluate ``left @ expm(M t) @ right`` over time grids from one factorization.
 
+    Factorization is a declarative degradation chain
+    (:class:`~repro.runtime.resilience.DegradationChain`, name
+    ``"spectral-kernel"``) with three rungs, most-preferred first:
+
+    ``eig``
+        One-shot diagonalization; rejected
+        (:class:`~repro.runtime.resilience.RungRejected`) when the
+        reconstruction residual exceeds ``max_residual`` — defective or
+        ill-conditioned matrices are not trusted.
+    ``schur``
+        Real Schur form; ``expm`` of the quasi-triangular factor per grid
+        point — slower but unconditionally stable.
+    ``uniformized``
+        :class:`UniformizedKernel` power series; applicable to Metzler
+        matrices (generators and sub-generators such as an MMPP's ``D0``),
+        the last resort when even the Schur factorization fails.
+
     Parameters
     ----------
     matrix:
         Square real matrix ``M`` (dense or sparse; densified internally).
     max_residual:
         Relative tolerance on ``|V diag(w) V^{-1} - M|`` deciding whether
-        the eigendecomposition is accurate enough; above it the kernel
-        switches to the Schur fallback.
+        the eigendecomposition is accurate enough.
 
     Attributes
     ----------
     method:
-        ``"eig"`` when the diagonalization is in use, ``"schur"`` for the
-        fallback path.
+        The answering rung: ``"eig"``, ``"schur"`` or ``"uniformized"``.
+    diagnostics:
+        The chain's :class:`~repro.runtime.resilience.SolveDiagnostics` —
+        which rung answered and what failed above it.
     """
 
     def __init__(self, matrix, max_residual: float = _DEFAULT_MAX_RESIDUAL):
+        from repro.runtime.resilience import DegradationChain, RungRejected
+
         m = _as_dense(matrix)
         if m.ndim != 2 or m.shape[0] != m.shape[1]:
             raise ValueError(f"matrix must be square, got shape {m.shape}")
@@ -197,28 +217,56 @@ class SpectralKernel:
         self._vectors: np.ndarray | None = None
         self._vectors_inv: np.ndarray | None = None
         self._schur: tuple[np.ndarray, np.ndarray] | None = None
+        self._uniformized: UniformizedKernel | None = None
         scale = max(1.0, float(np.abs(m).max()))
-        try:
-            # Near-defective matrices make inverting V ill-conditioned; the
-            # residual check below decides, so the warning is just noise.
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", la.LinAlgWarning)
-                w, v = la.eig(m)
-                v_inv = la.inv(v)
-            residual = float(
-                np.abs((v * w[None, :]) @ v_inv - m).max()
-            )
-        except la.LinAlgError:
-            residual = np.inf
-        if residual <= max_residual * scale:
-            self.method = "eig"
-            self._eigenvalues = w
-            self._vectors = v
-            self._vectors_inv = v_inv
+
+        def factor_eig():
+            try:
+                # Near-defective matrices make inverting V ill-conditioned;
+                # the residual check decides, so the warning is just noise.
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", la.LinAlgWarning)
+                    w, v = la.eig(m)
+                    v_inv = la.inv(v)
+                residual = float(np.abs((v * w[None, :]) @ v_inv - m).max())
+            except la.LinAlgError as exc:
+                raise RungRejected(f"eigendecomposition failed: {exc}") from exc
+            if residual > max_residual * scale:
+                raise RungRejected(
+                    f"reconstruction residual {residual:.3g} exceeds "
+                    f"{max_residual:g} * scale (defective or "
+                    "ill-conditioned matrix)"
+                )
+            return ("eig", (w, v, v_inv))
+
+        def factor_schur():
+            return ("schur", la.schur(m, output="real"))
+
+        def factor_uniformized():
+            off_diagonal = m - np.diag(np.diag(m))
+            if off_diagonal.min() < 0.0:
+                raise RungRejected(
+                    "matrix is not Metzler; the uniformized power series "
+                    "does not apply"
+                )
+            return ("uniformized", UniformizedKernel(m))
+
+        chain = DegradationChain(
+            "spectral-kernel",
+            [
+                ("eig", factor_eig),
+                ("schur", factor_schur),
+                ("uniformized", factor_uniformized),
+            ],
+        )
+        (method, payload), self.diagnostics = chain.run()
+        self.method = method
+        if method == "eig":
+            self._eigenvalues, self._vectors, self._vectors_inv = payload
+        elif method == "schur":
+            self._schur = payload
         else:
-            self.method = "schur"
-            t, z = la.schur(m, output="real")
-            self._schur = (t, z)
+            self._uniformized = payload
 
     @property
     def num_states(self) -> int:
@@ -234,6 +282,8 @@ class SpectralKernel:
             coefficients = (left @ self._vectors) * (self._vectors_inv @ right)
             values = np.exp(np.multiply.outer(times, self._eigenvalues)) @ coefficients
             return np.ascontiguousarray(values.real)
+        if self.method == "uniformized":
+            return self._uniformized.bilinear(left, right, times)
         t, z = self._schur
         left_t = left @ z
         right_t = z.T @ right

@@ -18,9 +18,15 @@ Two layers:
 * :func:`~repro.runtime.sweep.sweep` runs a grid of parameter points ×
   replications — the shape every ``repro.experiments.fig*`` driver needs —
   with chunked dispatch and an optional wall-clock budget.
+
+Fault tolerance rides on both layers via :mod:`repro.runtime.resilience`
+(per-job timeouts, seed-preserving retries, pool respawn on worker death,
+crash-safe checkpoint journals) and is proven by the deterministic
+fault-injection harness in :mod:`repro.runtime.chaos`.
 """
 
 from repro.runtime.analytic import grid_map, run_analytic_sweep
+from repro.runtime.chaos import ChaosPlan
 from repro.runtime.executor import (
     CampaignResult,
     ParallelReplicator,
@@ -29,13 +35,33 @@ from repro.runtime.executor import (
     default_worker_count,
     derive_seeds,
 )
-from repro.runtime.sweep import SweepPoint, SweepPointResult, SweepResult, sweep
+from repro.runtime.resilience import (
+    CheckpointJournal,
+    DegradationChain,
+    DegradationError,
+    RetryPolicy,
+    SolveDiagnostics,
+)
+from repro.runtime.sweep import (
+    SweepCampaignResult,
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+    sweep,
+)
 
 __all__ = [
     "CampaignResult",
+    "ChaosPlan",
+    "CheckpointJournal",
+    "DegradationChain",
+    "DegradationError",
     "ParallelReplicator",
     "ReplicationError",
     "ReplicationFailure",
+    "RetryPolicy",
+    "SolveDiagnostics",
+    "SweepCampaignResult",
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",

@@ -30,6 +30,7 @@ from functools import partial
 import numpy as np
 
 from repro.markov.spectral import use_backend
+from repro.runtime.resilience import CheckpointJournal, RetryPolicy
 from repro.runtime.sweep import SweepPoint, sweep
 
 __all__ = ["grid_map", "run_analytic_sweep"]
@@ -60,6 +61,9 @@ def run_analytic_sweep(
     max_workers: int | None = None,
     chunk_size: int | None = None,
     backend: str | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint: CheckpointJournal | str | None = None,
+    resume: bool = False,
 ) -> list:
     """Evaluate labelled zero-argument tasks over the sweep pool.
 
@@ -75,6 +79,15 @@ def run_analytic_sweep(
         applied around every task — in the worker process when the sweep
         fans out, so ``--backend`` selections survive the pool boundary.
         ``None`` (default) leaves each worker's process default in place.
+    policy:
+        Optional :class:`~repro.runtime.resilience.RetryPolicy`: per-point
+        timeouts and retries (an analytic point is deterministic, but a
+        worker can still be OOM-killed or hang in an ill-conditioned
+        solve).
+    checkpoint, resume:
+        Optional crash-safe journal; with ``resume=True`` a sweep that
+        died at grid point *k* recomputes only the missing points.  Keys
+        are the task labels, so labels must be stable across runs.
 
     Returns
     -------
@@ -94,7 +107,13 @@ def run_analytic_sweep(
         for label, fn in tasks
     ]
     result = sweep(
-        points, num_replications=1, max_workers=max_workers, chunk_size=chunk_size
+        points,
+        num_replications=1,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     result.raise_if_failed()
     return [result[label].results[0] for label in labels]
@@ -110,14 +129,16 @@ def grid_map(
     num_chunks: int | None = None,
     max_workers: int | None = None,
     backend: str | None = None,
+    policy: RetryPolicy | None = None,
 ) -> np.ndarray:
     """Evaluate a vectorized ``fn`` over ``grid`` in parallel chunks.
 
     ``fn`` must map an abscissa array to a same-length value array and be
     picklable.  The grid is split into ``num_chunks`` contiguous chunks
     (default: one per worker the executor would use, capped at 8) and the
-    partial curves are concatenated in grid order.  ``backend`` has the
-    :func:`run_analytic_sweep` semantics.
+    partial curves are concatenated in grid order.  ``backend`` and
+    ``policy`` have the :func:`run_analytic_sweep` semantics (chunk labels
+    depend on ``num_chunks``, so checkpointing lives one level up).
     """
     grid = np.atleast_1d(np.asarray(grid))
     if grid.size == 0:
@@ -132,5 +153,7 @@ def grid_map(
         (f"chunk-{index}", partial(_apply_chunk, fn, chunk))
         for index, chunk in enumerate(chunks)
     ]
-    parts = run_analytic_sweep(tasks, max_workers=max_workers, backend=backend)
+    parts = run_analytic_sweep(
+        tasks, max_workers=max_workers, backend=backend, policy=policy
+    )
     return np.concatenate([np.atleast_1d(part) for part in parts])

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for the campaign runtime.
+
+Recovery code that is only exercised by real outages is recovery code that
+does not work.  This module injects the three failure modes the resilience
+layer (:mod:`repro.runtime.resilience`) must survive — and injects them
+*deterministically*, keyed by ``(seed, attempt)``, so every chaos test is
+exactly reproducible at any worker count:
+
+* **worker kills** — ``os._exit`` from inside the worker process, which the
+  parent observes as a ``BrokenProcessPool`` (indistinguishable from an
+  OOM-kill or a segfault);
+* **delays** — ``time.sleep`` before the task body, long enough to trip a
+  per-job timeout (a hung solve);
+* **poisoned solver rungs** — a named rung of a
+  :class:`~repro.runtime.resilience.DegradationChain` raises
+  :class:`PoisonedRungError` instead of running, forcing the chain down its
+  ladder.
+
+A :class:`ChaosPlan` is a frozen, picklable value; :func:`wrap` attaches it
+to a campaign task so the faults ride into worker processes alongside the
+job.  The executor publishes the current ``(seed, attempt)`` via
+:func:`set_context` before each job body runs, which is what lets a fault
+fire on the first attempt and stand down on the retry — the recovery path
+is then observable end to end.
+
+The plan is inert unless activated: production campaigns never pay for the
+checks beyond one module-attribute read per rung/job.
+
+Standalone use: ``python -m repro.cli chaos`` runs a demonstration campaign
+with injected faults and reports the recovery trail.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosTask",
+    "PoisonedRungError",
+    "activate",
+    "active_plan",
+    "chaos_active",
+    "current_attempt",
+    "current_seed",
+    "deactivate",
+    "raise_if_poisoned",
+    "set_context",
+    "wrap",
+]
+
+#: Exit status used for injected worker kills; 137 mirrors SIGKILL (128 + 9),
+#: the signature of an OOM-killed worker.
+KILL_EXIT_CODE = 137
+
+
+class PoisonedRungError(RuntimeError):
+    """Raised in place of running a solver rung poisoned by the active plan."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic set of faults, keyed by ``(seed, attempt)``.
+
+    Attributes
+    ----------
+    kill:
+        ``(seed, attempt)`` pairs; a worker running that seed's job on that
+        attempt dies with ``os._exit`` (the parent sees a broken pool).
+    delay:
+        ``(seed, attempt, seconds)`` triples; the job sleeps before its task
+        body runs (with a per-job timeout this is a hung job).
+    poison:
+        Degradation-chain rungs that raise :class:`PoisonedRungError`
+        instead of running.  Entries are either a bare rung name
+        (``"eig"`` — poisons that rung in every chain) or a qualified
+        ``"chain:rung"`` (``"ctmc-stationary:spsolve"``).
+
+    All fields are tuples, so plans are hashable, picklable, and cross the
+    process-pool boundary unchanged.
+    """
+
+    kill: tuple[tuple[int, int], ...] = ()
+    delay: tuple[tuple[int, int, float], ...] = ()
+    poison: tuple[str, ...] = ()
+
+    def kills(self, seed: int, attempt: int) -> bool:
+        """Whether this plan kills the worker running ``seed`` on ``attempt``."""
+        return (seed, attempt) in self.kill
+
+    def delay_for(self, seed: int, attempt: int) -> float:
+        """Injected sleep (seconds) before ``seed``'s attempt; 0.0 if none."""
+        return sum(s for s_seed, s_attempt, s in self.delay
+                   if s_seed == seed and s_attempt == attempt)
+
+    def poisons(self, chain: str, rung: str) -> bool:
+        """Whether ``rung`` of ``chain`` is poisoned."""
+        return rung in self.poison or f"{chain}:{rung}" in self.poison
+
+
+#: Process-local chaos state.  ``_plan`` is the active plan (None = chaos
+#: off); ``_seed``/``_attempt`` are the job context the executor publishes.
+_plan: ChaosPlan | None = None
+_seed: int | None = None
+_attempt: int = 1
+
+
+def activate(plan: ChaosPlan) -> None:
+    """Make ``plan`` the process's active chaos plan."""
+    global _plan
+    _plan = plan
+
+
+def deactivate() -> None:
+    """Clear the active chaos plan (chaos off)."""
+    global _plan
+    _plan = None
+
+
+def active_plan() -> ChaosPlan | None:
+    """The active plan, or ``None`` when chaos is off."""
+    return _plan
+
+
+@contextmanager
+def chaos_active(plan: ChaosPlan | None):
+    """Scope ``plan`` to a block (``None`` is a no-op passthrough)."""
+    global _plan
+    if plan is None:
+        yield
+        return
+    previous = _plan
+    activate(plan)
+    try:
+        yield
+    finally:
+        _plan = previous
+
+
+def set_context(seed: int | None, attempt: int = 1) -> None:
+    """Publish the running job's ``(seed, attempt)``.
+
+    Called by the executor's worker-side wrapper before every job body, so
+    chaos faults (and anything else that wants it, e.g. tests asserting
+    retry counts) can key off the attempt number deterministically.
+    """
+    global _seed, _attempt
+    _seed = seed
+    _attempt = attempt
+
+
+def current_seed() -> int | None:
+    """Seed of the job currently running in this process (None outside one)."""
+    return _seed
+
+
+def current_attempt() -> int:
+    """Attempt number (1-based) of the job currently running."""
+    return _attempt
+
+
+def raise_if_poisoned(chain: str, rung: str) -> None:
+    """Raise :class:`PoisonedRungError` when the active plan poisons a rung.
+
+    The hook :class:`~repro.runtime.resilience.DegradationChain` calls
+    before each rung.  A no-op (one attribute read) when chaos is off.
+    """
+    if _plan is not None and _plan.poisons(chain, rung):
+        raise PoisonedRungError(f"chaos: poisoned rung {chain}:{rung}")
+
+
+@dataclass(frozen=True)
+class ChaosTask:
+    """Picklable wrapper injecting a :class:`ChaosPlan` around a task.
+
+    Activates the plan inside the worker process (so poisoned rungs fire in
+    any solver the task touches), applies the delay and kill faults for the
+    current ``(seed, attempt)``, then runs the wrapped task.
+    """
+
+    task: Callable
+    plan: ChaosPlan = field(default_factory=ChaosPlan)
+
+    def __call__(self, seed: int):
+        global _plan
+        previous = _plan
+        activate(self.plan)
+        try:
+            attempt = current_attempt()
+            pause = self.plan.delay_for(seed, attempt)
+            if pause > 0.0:
+                time.sleep(pause)
+            if self.plan.kills(seed, attempt):
+                os._exit(KILL_EXIT_CODE)  # noqa: SLF001 — the point is an unclean death
+            return self.task(seed)
+        finally:
+            _plan = previous
+
+
+def wrap(task: Callable, plan: ChaosPlan) -> ChaosTask:
+    """Attach ``plan`` to ``task`` for dispatch through the runtime."""
+    return ChaosTask(task=task, plan=plan)

@@ -15,7 +15,9 @@ scheduling — so sweeps are reproducible at any worker count.
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -25,8 +27,15 @@ from repro.runtime.executor import (
     _Job,
     run_jobs,
 )
+from repro.runtime.resilience import CheckpointJournal, RetryPolicy
 
-__all__ = ["SweepPoint", "SweepPointResult", "SweepResult", "sweep"]
+__all__ = [
+    "SweepCampaignResult",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -53,16 +62,71 @@ class SweepPoint:
     num_replications: int | None = None
 
 
+class SweepCampaignResult(CampaignResult):
+    """A per-point campaign inside a sweep.
+
+    Points share one pool and their replications interleave, so a per-point
+    wall time is not well defined.  Historically ``wall_clock`` silently
+    held the *whole-sweep* wall-clock — the same number for every point —
+    which misled per-point timing tables (PR 1 review).  Reading
+    ``wall_clock`` on a per-point campaign is therefore **deprecated** (it
+    still returns the sweep total, with a :class:`DeprecationWarning`):
+    use ``busy_time`` for this point's cost, or
+    :attr:`SweepResult.wall_clock` for the sweep total.
+
+    ``events_per_second`` and ``describe`` are redefined off ``busy_time``
+    so per-point throughput is a real per-point figure.
+    """
+
+    # NOT a @dataclass: a property could not shadow the frozen parent's
+    # field (its generated __init__ assigns via object.__setattr__, which
+    # fires property setters), so the deprecation hooks attribute access.
+    def __getattribute__(self, name):
+        if name == "wall_clock":
+            warnings.warn(
+                "per-point CampaignResult.wall_clock inside a sweep is the "
+                "whole-sweep wall-clock, not a per-point time; use "
+                "busy_time for this point's cost or SweepResult.wall_clock "
+                "for the sweep total",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return super().__getattribute__(name)
+
+    @property
+    def events_per_second(self) -> float:
+        """Per-point throughput: this point's events / its busy seconds."""
+        if self.busy_time <= 0.0:
+            return math.nan
+        return self.events_processed / self.busy_time
+
+    def describe(self) -> str:
+        """One line of per-point stats, timed off ``busy_time``."""
+        rate = self.events_per_second
+        rate_text = f"{rate:,.0f} events/s" if not math.isnan(rate) else "n/a"
+        parts = [
+            f"{self.completed}/{self.requested} replications",
+            f"{self.busy_time:.2f} s busy",
+            rate_text,
+        ]
+        if self.failures:
+            parts.append(f"{len(self.failures)} failed")
+        if self.skipped_seeds:
+            parts.append(f"{len(self.skipped_seeds)} skipped (budget)")
+        if self.retried_seeds:
+            parts.append(f"{len(self.retried_seeds)} retried")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed (checkpoint)")
+        return ", ".join(parts)
+
+
 @dataclass(frozen=True)
 class SweepPointResult:
     """One grid point's campaign, keyed by its label.
 
-    Points share one pool and their replications interleave, so a per-point
-    wall time is not well defined: ``campaign.wall_clock`` (and hence
-    ``campaign.events_per_second``) is the *whole-sweep* wall-clock, the
-    same for every point.  For a per-point cost figure use
-    ``campaign.busy_time`` — the summed execution seconds of that point's
-    replications alone.
+    ``campaign`` is a :class:`SweepCampaignResult`: per-point timing comes
+    from ``busy_time`` (the summed execution seconds of this point's
+    replications alone); accessing its ``wall_clock`` is deprecated.
     """
 
     label: str
@@ -135,10 +199,9 @@ class SweepResult:
     def describe(self) -> str:
         """Per-point progress/timing lines plus a sweep total.
 
-        The wall-clock (and events/s) on each per-point line is the shared
-        whole-sweep wall-clock, not a per-point time — see
-        :class:`SweepPointResult`; per-point busy seconds are the
-        point-specific figure.
+        Per-point lines are timed off each point's ``busy_time`` (the only
+        well-defined per-point figure — points interleave over one shared
+        pool); the closing total carries the sweep wall-clock.
         """
         lines = [
             f"{point.label:<12} {point.campaign.describe()}"
@@ -177,6 +240,9 @@ def sweep(
     max_workers: int | None = None,
     chunk_size: int | None = None,
     wall_clock_budget: float | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint: CheckpointJournal | str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run a grid of parameter points × replications over one pool.
 
@@ -196,13 +262,22 @@ def sweep(
         Optional budget in seconds, checked at chunk boundaries.  Jobs are
         dispatched round-robin across points, so a truncated sweep has
         evenly thinned replication counts instead of whole missing points.
+    policy:
+        Optional :class:`~repro.runtime.resilience.RetryPolicy` adding
+        per-job timeouts and seed-preserving retries across the grid.
+    checkpoint, resume:
+        Optional crash-safe journal (path or
+        :class:`~repro.runtime.resilience.CheckpointJournal`); with
+        ``resume=True`` a sweep interrupted at grid point *k* restarts
+        from its last completed replication and produces bit-identical
+        result tables.  Journal keys are ``"<label>/seed=<seed>"``, so
+        resuming is safe across re-orderings of the same grid.
 
     Notes
     -----
-    Each returned :class:`~repro.runtime.executor.CampaignResult` carries
-    the *whole-sweep* wall-clock (points interleave over one shared pool),
-    so per-point throughput should be read off ``busy_time``; see
-    :class:`SweepPointResult`.
+    Each returned campaign is a :class:`SweepCampaignResult`: per-point
+    throughput reads off ``busy_time``, and accessing its ``wall_clock``
+    (the whole-sweep figure) is deprecated; see :class:`SweepPointResult`.
     """
     if num_replications < 1:
         raise ValueError("need at least one replication per point")
@@ -228,11 +303,13 @@ def sweep(
             if round_index >= replications[position]:
                 continue
             coordinates.append((position, round_index))
+            seed = first_seeds[position] + round_index
             jobs.append(
                 _Job(
                     index=len(jobs),
-                    seed=first_seeds[position] + round_index,
+                    seed=seed,
                     task=point.task,
+                    key=f"{point.label}/seed={seed}",
                 )
             )
 
@@ -242,6 +319,9 @@ def sweep(
         max_workers=max_workers,
         chunk_size=chunk_size,
         wall_clock_budget=wall_clock_budget,
+        policy=policy,
+        journal=checkpoint,
+        resume=resume,
     )
     wall_clock = time.perf_counter() - started
 
@@ -266,11 +346,12 @@ def sweep(
                 seed=o.seed,
                 error=o.error,
                 traceback=o.traceback,
+                attempts=o.attempts,
             )
             for o in ordered
             if o.error is not None
         )
-        campaign = CampaignResult(
+        campaign = SweepCampaignResult(
             results=tuple(o.value for o in successes),
             seeds=tuple(o.seed for o in successes),
             failures=failures,
@@ -278,6 +359,10 @@ def sweep(
             wall_clock=wall_clock,
             busy_time=sum(o.elapsed for o in ordered),
             max_workers=workers,
+            retried_seeds=tuple(
+                sorted({o.seed for o in ordered if o.attempts > 1})
+            ),
+            resumed=sum(1 for o in ordered if o.from_checkpoint),
         )
         results.append(SweepPointResult(label=point.label, campaign=campaign))
     return SweepResult(

@@ -235,3 +235,38 @@ class TestExpectedValue:
     def test_rejects_wrong_shape(self):
         with pytest.raises(ValueError):
             two_state().expected_value(np.array([1.0, 2.0, 3.0]))
+
+
+class TestStationaryDegradation:
+    """The sparse stationary solve backs a stalled GMRES up with spsolve."""
+
+    Q = np.array([[-3.0, 2.0, 1.0], [1.0, -4.0, 3.0], [2.0, 2.0, -4.0]])
+
+    def test_gmres_nonconvergence_falls_back_to_direct(self, monkeypatch):
+        import repro.markov.ctmc as ctmc_module
+
+        def stalled_gmres(a, b, **kwargs):
+            return np.zeros(b.shape[0]), 7  # info != 0: did not converge
+
+        monkeypatch.setattr(ctmc_module.spla, "gmres", stalled_gmres)
+        chain = CTMC(sp.csr_matrix(self.Q))
+        with pytest.warns(RuntimeWarning, match="gmres failed.*'spsolve'"):
+            pi = chain.stationary_distribution(method="gmres")
+        assert chain.stationary_diagnostics.rung == "spsolve"
+        assert chain.stationary_diagnostics.degraded
+        assert "info=7" in chain.stationary_diagnostics.attempts[0].error
+        np.testing.assert_allclose(
+            pi, CTMC(self.Q).stationary_distribution(), atol=1e-12
+        )
+
+    def test_healthy_gmres_answers_without_warning(self):
+        import warnings
+
+        chain = CTMC(sp.csr_matrix(self.Q))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            pi = chain.stationary_distribution(method="gmres")
+        assert chain.stationary_diagnostics.rung == "gmres"
+        np.testing.assert_allclose(
+            pi, CTMC(self.Q).stationary_distribution(), atol=1e-9
+        )

@@ -1,0 +1,447 @@
+"""Fault-injection suite: the resilience layer under deterministic chaos.
+
+This is the suite the CI ``fault-injection`` job runs.  It proves the
+recovery paths of :mod:`repro.runtime.executor` end to end against real
+injected faults — worker kills via ``os._exit`` (a genuine
+``BrokenProcessPool``), hung jobs against per-job timeouts, interrupted
+sweeps resumed from the checkpoint journal — and walks every rung of every
+solver degradation chain by poisoning the rungs above it.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.ctmc import CTMC
+from repro.markov.matrix_geometric import solve_mmpp_m1
+from repro.markov.mmpp import MMPP
+from repro.markov.spectral import SpectralKernel
+from repro.runtime import chaos
+from repro.runtime.chaos import ChaosPlan, ChaosTask, PoisonedRungError
+from repro.runtime.executor import ParallelReplicator
+from repro.runtime.resilience import DegradationError, RetryPolicy
+from repro.runtime.sweep import sweep
+
+
+@dataclass(frozen=True)
+class FakeResult:
+    """A picklable stand-in for SimulationResult's scalar surface."""
+
+    mean_delay: float
+    sigma: float
+    utilization: float
+    mean_queue_length: float
+    events_processed: int
+
+
+def _fake_run(seed: int) -> FakeResult:
+    """Deterministic, picklable task: statistics derived from the seed."""
+    return FakeResult(
+        mean_delay=float(seed) * 0.25,
+        sigma=0.5,
+        utilization=0.4,
+        mean_queue_length=float(seed),
+        events_processed=100 + seed,
+    )
+
+
+def _fake_run_shifted(seed: int) -> FakeResult:
+    """A second grid point's task, distinguishable from :func:`_fake_run`."""
+    return FakeResult(
+        mean_delay=float(seed) * 0.5 + 1.0,
+        sigma=0.25,
+        utilization=0.8,
+        mean_queue_length=float(seed) + 2.0,
+        events_processed=200 + seed,
+    )
+
+
+def _bursty_mmpp() -> MMPP:
+    generator = np.array([[-0.2, 0.2], [0.3, -0.3]])
+    return MMPP(generator, np.array([0.5, 4.0]))
+
+
+def _retry_policy(**kwargs) -> RetryPolicy:
+    """Retries with zero backoff: chaos tests should not sleep."""
+    kwargs.setdefault("max_attempts", 3)
+    return RetryPolicy(backoff_base=0.0, jitter=0.0, **kwargs)
+
+
+def _assert_bit_identical(faulted, clean) -> None:
+    """The chaos contract: recovered statistics match fault-free ones."""
+    assert faulted.seeds == clean.seeds
+    assert faulted.results == clean.results
+    assert not faulted.failures
+    for name, summary in clean.summaries().items():
+        assert faulted.summaries()[name].values == summary.values, name
+
+
+class TestChaosPlan:
+    def test_kill_and_delay_lookup_by_seed_and_attempt(self):
+        plan = ChaosPlan(kill=((2, 1),), delay=((3, 1, 0.5), (3, 1, 0.25)))
+        assert plan.kills(2, 1)
+        assert not plan.kills(2, 2)  # faults stand down on the retry
+        assert not plan.kills(3, 1)
+        assert plan.delay_for(3, 1) == 0.75  # delays for one key accumulate
+        assert plan.delay_for(3, 2) == 0.0
+
+    def test_poison_accepts_bare_and_qualified_rungs(self):
+        plan = ChaosPlan(poison=("eig", "ctmc-stationary:spsolve"))
+        assert plan.poisons("spectral-kernel", "eig")
+        assert plan.poisons("any-chain-at-all", "eig")
+        assert plan.poisons("ctmc-stationary", "spsolve")
+        assert not plan.poisons("qbd-rate-matrix", "spsolve")
+
+    def test_wrapped_task_is_picklable(self):
+        task = chaos.wrap(_fake_run, ChaosPlan(kill=((1, 1),)))
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.plan == task.plan
+
+    def test_raise_if_poisoned_only_fires_under_an_active_plan(self):
+        chaos.raise_if_poisoned("spectral-kernel", "eig")  # chaos off: no-op
+        with chaos.chaos_active(ChaosPlan(poison=("eig",))):
+            with pytest.raises(PoisonedRungError, match="spectral-kernel:eig"):
+                chaos.raise_if_poisoned("spectral-kernel", "eig")
+        chaos.raise_if_poisoned("spectral-kernel", "eig")  # plan restored off
+
+    def test_chaos_task_applies_delay_and_restores_plan(self):
+        task = ChaosTask(task=_fake_run, plan=ChaosPlan(delay=((5, 1, 0.05),)))
+        chaos.set_context(5, 1)
+        try:
+            started = time.perf_counter()
+            result = task(5)
+            elapsed = time.perf_counter() - started
+        finally:
+            chaos.set_context(None, 1)
+        assert result == _fake_run(5)
+        assert elapsed >= 0.05
+        assert chaos.active_plan() is None
+
+    def test_kill_stands_down_on_the_retry_attempt(self):
+        # Attempt 2 of a seed whose attempt 1 is a kill: must run normally.
+        # (Were the stand-down broken, this would os._exit the test runner.)
+        task = ChaosTask(task=_fake_run, plan=ChaosPlan(kill=((5, 1),)))
+        chaos.set_context(5, 2)
+        try:
+            assert task(5) == _fake_run(5)
+        finally:
+            chaos.set_context(None, 1)
+
+
+class TestWorkerKillWithoutRetries:
+    """Satellite regression: a dead worker must not kill the campaign."""
+
+    def test_kill_records_failures_and_campaign_continues(self):
+        task = chaos.wrap(_fake_run, ChaosPlan(kill=((2, 1),)))
+        campaign = ParallelReplicator(max_workers=2).run(task, 8, base_seed=0)
+        failed = {failure.seed for failure in campaign.failures}
+        assert 2 in failed
+        for failure in campaign.failures:
+            assert "worker died" in failure.error
+        # Every seed is accounted for: completed or failed, none lost.
+        assert campaign.completed + len(campaign.failures) == 8
+        assert set(campaign.seeds) | failed == set(range(8))
+        assert not campaign.skipped_seeds
+        # At most the in-flight jobs (2 per worker) died with the pool; the
+        # rest ran on the respawned pool — proof the campaign continued.
+        assert len(campaign.failures) <= 4
+        assert campaign.completed >= 4
+
+
+class TestWorkerKillWithRetries:
+    def test_campaign_recovers_bit_identical(self):
+        clean = ParallelReplicator(max_workers=2).run(_fake_run, 6, base_seed=0)
+        task = chaos.wrap(_fake_run, ChaosPlan(kill=((2, 1),)))
+        faulted = ParallelReplicator(
+            max_workers=2, policy=_retry_policy()
+        ).run(task, 6, base_seed=0)
+        _assert_bit_identical(faulted, clean)
+        assert 2 in faulted.retried_seeds
+
+
+class TestHungJob:
+    def test_timeout_plus_retry_recovers_bit_identical(self):
+        clean = ParallelReplicator(max_workers=2).run(_fake_run, 4, base_seed=0)
+        task = chaos.wrap(_fake_run, ChaosPlan(delay=((1, 1, 30.0),)))
+        faulted = ParallelReplicator(
+            max_workers=2, policy=_retry_policy(timeout=0.75)
+        ).run(task, 4, base_seed=0)
+        _assert_bit_identical(faulted, clean)
+        assert 1 in faulted.retried_seeds
+
+    def test_timeout_without_retries_records_failure(self):
+        task = chaos.wrap(_fake_run, ChaosPlan(delay=((1, 1, 30.0),)))
+        campaign = ParallelReplicator(
+            max_workers=2, policy=RetryPolicy(timeout=0.5)
+        ).run(task, 4, base_seed=0)
+        assert {failure.seed for failure in campaign.failures} == {1}
+        assert "timeout" in campaign.failures[0].error.lower()
+        assert set(campaign.seeds) == {0, 2, 3}
+
+    def test_kill_and_hang_together_recover_bit_identical(self):
+        # The acceptance scenario: one injected worker kill plus one hung
+        # job in the same campaign, statistics bit-identical to fault-free.
+        clean = ParallelReplicator(max_workers=2).run(_fake_run, 6, base_seed=0)
+        plan = ChaosPlan(kill=((2, 1),), delay=((4, 1, 30.0),))
+        faulted = ParallelReplicator(
+            max_workers=2, policy=_retry_policy(timeout=0.75)
+        ).run(chaos.wrap(_fake_run, plan), 6, base_seed=0)
+        _assert_bit_identical(faulted, clean)
+        assert {2, 4} <= set(faulted.retried_seeds)
+
+
+class TestSweepResume:
+    GRID = (("hap", _fake_run), ("poisson", _fake_run_shifted))
+
+    def _run(self, points=GRID, replications=3, **kwargs):
+        return sweep(
+            points,
+            num_replications=replications,
+            base_seed=0,
+            seed_stride=100,
+            max_workers=2,
+            **kwargs,
+        )
+
+    def test_sweep_interrupted_between_points_resumes_byte_identical(
+        self, tmp_path
+    ):
+        reference = self._run()
+        journal = tmp_path / "sweep.jsonl"
+        # "Interrupted after point 0": only the first point's units made it
+        # into the journal before the process died.
+        self._run(points=self.GRID[:1], checkpoint=str(journal))
+        resumed = self._run(checkpoint=str(journal), resume=True)
+        assert resumed["hap"].resumed == 3
+        assert resumed["poisson"].resumed == 0
+        for label in ("hap", "poisson"):
+            assert resumed[label].seeds == reference[label].seeds
+            assert pickle.dumps(resumed[label].results) == pickle.dumps(
+                reference[label].results
+            )
+
+    def test_sweep_interrupted_mid_point_resumes_byte_identical(self, tmp_path):
+        reference = self._run()
+        journal = tmp_path / "sweep.jsonl"
+        # "Interrupted mid-grid": every point completed only 2 of 3 rounds.
+        self._run(replications=2, checkpoint=str(journal))
+        resumed = self._run(checkpoint=str(journal), resume=True)
+        for label in ("hap", "poisson"):
+            assert resumed[label].resumed == 2
+            assert resumed[label].seeds == reference[label].seeds
+            assert resumed[label].results == reference[label].results
+
+    def test_chaotic_sweep_matches_clean_sweep(self):
+        # Kill a worker mid-sweep (seed 101 = point 1 round 1) with retries:
+        # the sweep's tables must come out bit-identical anyway.
+        reference = self._run()
+        plan = ChaosPlan(kill=((101, 1),))
+        chaotic = sweep(
+            (
+                ("hap", chaos.wrap(_fake_run, plan)),
+                ("poisson", chaos.wrap(_fake_run_shifted, plan)),
+            ),
+            num_replications=3,
+            base_seed=0,
+            seed_stride=100,
+            max_workers=2,
+            policy=_retry_policy(),
+        )
+        for label in ("hap", "poisson"):
+            assert chaotic[label].results == reference[label].results
+        assert not chaotic.failures
+
+
+class TestSpectralKernelRungs:
+    """Every rung of the ``spectral-kernel`` chain is reachable and correct."""
+
+    def _kernel(self, poison=()):
+        d0 = _bursty_mmpp().d0()
+        with chaos.chaos_active(ChaosPlan(poison=tuple(poison)) if poison else None):
+            return SpectralKernel(d0)
+
+    def _values(self, kernel):
+        left = np.array([0.6, 0.4])
+        right = np.ones(2)
+        return kernel.bilinear(left, right, np.linspace(0.0, 2.0, 7))
+
+    def test_healthy_matrix_answers_on_eig(self):
+        kernel = self._kernel()
+        assert kernel.method == "eig"
+        assert kernel.diagnostics.rung == "eig"
+        assert not kernel.diagnostics.degraded
+
+    def test_poisoned_eig_degrades_to_schur(self):
+        reference = self._values(self._kernel())
+        kernel = self._kernel(poison=("spectral-kernel:eig",))
+        assert kernel.method == "schur"
+        assert kernel.diagnostics.rung == "schur"
+        assert kernel.diagnostics.fallback_depth == 1
+        assert "PoisonedRungError" in kernel.diagnostics.attempts[0].error
+        np.testing.assert_allclose(
+            self._values(kernel), reference, rtol=1e-8, atol=1e-12
+        )
+
+    def test_poisoned_eig_and_schur_degrade_to_uniformized(self):
+        reference = self._values(self._kernel())
+        kernel = self._kernel(
+            poison=("spectral-kernel:eig", "spectral-kernel:schur")
+        )
+        assert kernel.method == "uniformized"
+        assert kernel.diagnostics.rung == "uniformized"
+        assert kernel.diagnostics.fallback_depth == 2
+        np.testing.assert_allclose(
+            self._values(kernel), reference, rtol=1e-8, atol=1e-12
+        )
+
+    def test_fully_poisoned_chain_raises_degradation_error(self):
+        with pytest.raises(DegradationError, match="spectral-kernel"):
+            self._kernel(poison=("eig", "schur", "uniformized"))
+
+    def test_uniformized_rung_rejects_non_metzler_matrices(self):
+        matrix = np.array([[-1.0, -0.5], [0.2, -1.0]])  # negative off-diagonal
+        with chaos.chaos_active(
+            ChaosPlan(poison=("spectral-kernel:eig", "spectral-kernel:schur"))
+        ):
+            with pytest.raises(DegradationError, match="Metzler"):
+                SpectralKernel(matrix)
+
+
+class TestCtmcStationaryRungs:
+    """Every rung of the ``ctmc-stationary`` chain is reachable and correct."""
+
+    Q = np.array([[-3.0, 2.0, 1.0], [1.0, -4.0, 3.0], [2.0, 2.0, -4.0]])
+
+    def _sparse_chain(self) -> CTMC:
+        return CTMC(sp.csr_matrix(self.Q))
+
+    def test_healthy_solve_answers_on_spsolve(self):
+        chain = self._sparse_chain()
+        pi = chain.stationary_distribution()
+        assert chain.stationary_diagnostics.rung == "spsolve"
+        assert not chain.stationary_diagnostics.degraded
+        np.testing.assert_allclose(pi, CTMC(self.Q).stationary_distribution())
+
+    def test_poisoned_spsolve_degrades_to_gmres_with_warning(self):
+        chain = self._sparse_chain()
+        with chaos.chaos_active(ChaosPlan(poison=("ctmc-stationary:spsolve",))):
+            with pytest.warns(RuntimeWarning, match="spsolve failed"):
+                pi = chain.stationary_distribution()
+        assert chain.stationary_diagnostics.rung == "gmres"
+        np.testing.assert_allclose(
+            pi, CTMC(self.Q).stationary_distribution(), atol=1e-9
+        )
+
+    def test_poisoned_spsolve_and_gmres_degrade_to_lstsq(self):
+        chain = self._sparse_chain()
+        poison = ("ctmc-stationary:spsolve", "ctmc-stationary:gmres")
+        with chaos.chaos_active(ChaosPlan(poison=poison)):
+            with pytest.warns(RuntimeWarning, match="answered by 'lstsq'"):
+                pi = chain.stationary_distribution()
+        assert chain.stationary_diagnostics.rung == "lstsq"
+        np.testing.assert_allclose(
+            pi, CTMC(self.Q).stationary_distribution(), atol=1e-9
+        )
+
+    def test_gmres_method_poisoned_falls_back_to_spsolve(self):
+        chain = self._sparse_chain()
+        with chaos.chaos_active(ChaosPlan(poison=("ctmc-stationary:gmres",))):
+            with pytest.warns(RuntimeWarning, match="answered by 'spsolve'"):
+                pi = chain.stationary_distribution(method="gmres")
+        assert chain.stationary_diagnostics.rung == "spsolve"
+        np.testing.assert_allclose(
+            pi, CTMC(self.Q).stationary_distribution(), atol=1e-12
+        )
+
+
+class TestQbdRateMatrixRungs:
+    """Every rung of the ``qbd-rate-matrix`` chain is reachable and correct."""
+
+    def test_cold_solve_answers_on_the_method_rung(self):
+        solution = solve_mmpp_m1(_bursty_mmpp(), 5.0)
+        assert solution.diagnostics.rung == "cr"
+        assert not solution.diagnostics.degraded
+
+    def test_warm_start_rung_answers_when_seeded_with_the_fixed_point(self):
+        mmpp = _bursty_mmpp()
+        cold = solve_mmpp_m1(mmpp, 5.0)
+        warm = solve_mmpp_m1(
+            mmpp, 5.0, initial_rate_matrix=cold.rate_matrix
+        )
+        assert warm.diagnostics.rung == "warm-start"
+        np.testing.assert_allclose(
+            warm.rate_matrix, cold.rate_matrix, atol=1e-10
+        )
+
+    def test_poisoned_warm_start_degrades_to_cold_solve(self):
+        mmpp = _bursty_mmpp()
+        cold = solve_mmpp_m1(mmpp, 5.0)
+        with chaos.chaos_active(
+            ChaosPlan(poison=("qbd-rate-matrix:warm-start",))
+        ):
+            solution = solve_mmpp_m1(
+                mmpp, 5.0, initial_rate_matrix=cold.rate_matrix
+            )
+        assert solution.diagnostics.rung == "cr"
+        assert solution.diagnostics.degraded
+        np.testing.assert_allclose(
+            solution.rate_matrix, cold.rate_matrix, atol=1e-10
+        )
+        assert solution.mean_delay() == pytest.approx(
+            cold.mean_delay(), rel=1e-10
+        )
+
+    def test_fully_poisoned_chain_raises_degradation_error(self):
+        mmpp = _bursty_mmpp()
+        cold = solve_mmpp_m1(mmpp, 5.0)
+        poison = ("qbd-rate-matrix:warm-start", "qbd-rate-matrix:cr")
+        with chaos.chaos_active(ChaosPlan(poison=poison)):
+            with pytest.raises(DegradationError, match="qbd-rate-matrix"):
+                solve_mmpp_m1(mmpp, 5.0, initial_rate_matrix=cold.rate_matrix)
+
+
+SMALL_HAP = [
+    "--lam", "0.05", "--mu", "0.05", "--lam1", "0.05", "--mu1", "0.05",
+    "--lam2", "0.4", "--mu2", "3.0", "-l", "2", "-m", "1",
+]
+
+
+class TestCliChaos:
+    """``python -m repro.cli chaos`` end to end (small horizon)."""
+
+    def _run(self, argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_kill_demo_recovers_and_exits_zero(self):
+        code, text = self._run(
+            [
+                "chaos", *SMALL_HAP,
+                "--horizon", "200", "--replications", "3", "--workers", "2",
+                "--kill", "1:1", "--retries", "2", "--timeout", "30",
+            ]
+        )
+        assert code == 0
+        assert "bit-identical" in text
+
+    def test_poison_demo_reports_the_degraded_rung(self):
+        code, text = self._run(
+            [
+                "chaos", *SMALL_HAP,
+                "--horizon", "100", "--replications", "2", "--workers", "1",
+                "--poison", "spectral-kernel:eig",
+                "--retries", "1", "--timeout", "30",
+            ]
+        )
+        assert code == 0
+        assert "answered by 'schur'" in text

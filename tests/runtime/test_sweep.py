@@ -139,3 +139,54 @@ class TestBudget:
         assert "a" in text
         assert "sweep total" in text
         assert result.events_processed == 0  # plain ints carry no events
+
+
+def _with_events(seed: int):
+    """Task whose result carries an event count (for throughput tests)."""
+    from types import SimpleNamespace
+
+    return SimpleNamespace(events_processed=50 + seed)
+
+
+class TestPerPointTiming:
+    """Per-point campaigns time off busy_time; wall_clock is deprecated."""
+
+    def test_per_point_campaign_is_a_sweep_campaign_result(self):
+        from repro.runtime import SweepCampaignResult
+
+        result = sweep([("a", _crash_on_odd)], num_replications=2, max_workers=1)
+        assert isinstance(result["a"], SweepCampaignResult)
+
+    def test_wall_clock_access_is_deprecated(self):
+        result = sweep([("a", _crash_on_odd)], num_replications=1, max_workers=1)
+        with pytest.deprecated_call(match="whole-sweep wall-clock"):
+            deprecated = result["a"].wall_clock
+        # The deprecated value is still the historic one: the sweep total.
+        assert deprecated == result.wall_clock
+
+    def test_sweep_total_wall_clock_stays_clean(self):
+        import warnings
+
+        result = sweep([("a", _crash_on_odd)], num_replications=1, max_workers=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert result.wall_clock >= 0.0
+
+    def test_describe_and_throughput_read_busy_time(self):
+        import math
+        import warnings
+
+        result = sweep(
+            [("a", _with_events), ("b", _with_events)],
+            num_replications=2,
+            max_workers=1,
+        )
+        campaign = result["a"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            text = campaign.describe()
+            rate = campaign.events_per_second
+        assert "s busy" in text
+        assert "s wall" not in text  # per-point lines carry no wall-clock
+        assert math.isfinite(rate) and rate > 0.0
+        assert rate == campaign.events_processed / campaign.busy_time

@@ -160,3 +160,39 @@ class TestUpdateBaseline:
         out = capsys.readouterr().out
         assert "0 regression(s)" in out
         assert "SKIP" not in out
+
+
+class TestInfrastructureExitCode:
+    """Exit 2 marks 'the gate could not run', distinct from a regression."""
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        bench = _bench_doc(tmp_path, [_record(key) for key in ALL_KEYS])
+        missing = tmp_path / "no-such-baseline.json"
+        assert check_bench.main([str(bench), "--baseline", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "baseline" in err and "--update-baseline" in err
+
+    def test_missing_bench_document_exits_two(self, tmp_path, capsys):
+        baseline = _baseline_doc(tmp_path, {key: _record(key) for key in ALL_KEYS})
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main(
+                [str(tmp_path / "no-such-bench.json"), "--baseline", str(baseline)]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        bench = _bench_doc(tmp_path, [_record(key) for key in ALL_KEYS])
+        corrupt = tmp_path / "baseline.json"
+        corrupt.write_text("{not json at all")
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main([str(bench), "--baseline", str(corrupt)])
+        assert excinfo.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_baseline_without_records_exits_two(self, tmp_path, capsys):
+        bench = _bench_doc(tmp_path, [_record(key) for key in ALL_KEYS])
+        empty = tmp_path / "baseline.json"
+        empty.write_text(json.dumps({"schema": "repro-bench-baseline/2"}))
+        assert check_bench.main([str(bench), "--baseline", str(empty)]) == 2
+        assert "neither 'records'" in capsys.readouterr().err

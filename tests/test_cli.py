@@ -219,3 +219,54 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestResilienceFlags:
+    def test_resume_without_checkpoint_is_a_usage_error(self):
+        code, text = run_cli(["simulate", *SMALL, "--horizon", "2000", "--resume"])
+        assert code == 2
+        assert "--resume requires --checkpoint" in text
+
+    def test_checkpoint_then_resume_is_bit_identical(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        argv = [
+            "simulate", *SMALL, "--horizon", "2000", "--seed", "7",
+            "--replications", "3", "--checkpoint", journal,
+        ]
+        code, first = run_cli(argv)
+        assert code == 0
+        code, resumed = run_cli([*argv, "--resume"])
+        assert code == 0
+        assert "3 resumed (checkpoint)" in resumed
+
+        def stats(text: str) -> list[str]:
+            return [
+                line for line in text.splitlines() if "campaign" not in line
+            ]
+
+        assert stats(resumed) == stats(first)
+
+    def test_single_replication_checkpoint_routes_through_campaign(
+        self, tmp_path
+    ):
+        journal = tmp_path / "single.jsonl"
+        code, text = run_cli(
+            [
+                "simulate", *SMALL, "--horizon", "2000", "--seed", "7",
+                "--checkpoint", str(journal),
+            ]
+        )
+        assert code == 0
+        assert "campaign" in text
+        assert journal.exists()
+
+    def test_retry_flags_are_accepted(self):
+        code, text = run_cli(
+            [
+                "simulate", *SMALL, "--horizon", "2000", "--seed", "7",
+                "--replications", "2", "--timeout", "60", "--retries", "1",
+                "--retry-budget", "4",
+            ]
+        )
+        assert code == 0
+        assert "mean delay" in text
