@@ -1,0 +1,99 @@
+"""Columnar engine benches: headline throughput and heap agreement.
+
+The columnar engine (``repro.sim.columnar``) generates each replication's
+whole M/HAP-approx arrival stream as numpy arrays and solves the queue
+with the chunked Lindley recursion, so its events/sec ceiling is memory
+bandwidth, not Python-level event dispatch.  Two benches:
+
+* ``test_columnar_headline_campaign`` — the BENCH_6 throughput gate: the
+  headline campaign (4 seeds, shared-memory result transport) must sustain
+  >= 1M events/sec where the heap engine managed ~273k (BENCH_4).
+* ``test_columnar_vs_heap_agreement`` — the correctness side of the same
+  coin: heap and columnar campaigns over identical parameters must agree
+  on mean delay within 3 sigma of their combined replication standard
+  errors.  (The engines draw from different determinism domains, so the
+  comparison is statistical, never bitwise.)
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from functools import partial
+
+from _util import run_once
+
+from repro.experiments.configs import base_parameters
+from repro.experiments.headline import run_headline_columnar_campaign
+from repro.runtime import ParallelReplicator
+from repro.sim.replication import simulate_hap_mm1
+
+
+def _bench_workers() -> int | None:
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS")
+    return int(workers_env) if workers_env else None
+
+
+def test_columnar_headline_campaign(benchmark, report, scale):
+    campaign = run_once(
+        benchmark,
+        lambda: run_headline_columnar_campaign(
+            num_replications=4,
+            sim_horizon=400_000.0 * scale,
+            max_workers=_bench_workers(),
+        ),
+    )
+    delay = campaign.summaries()["mean_delay"]
+    report(
+        "Columnar headline campaign (4-seed M/HAP-approx, shared-memory "
+        "transport; BENCH_6 gate: >= 1M events/s)",
+        f"mean delay {delay.mean:.4f} +/- {delay.half_width():.2g} s, "
+        f"{campaign.events_per_second:,.0f} events/s "
+        f"({campaign.max_workers} worker(s), "
+        f"{campaign.events_processed:,} events)",
+    )
+    assert campaign.failures == ()
+    assert campaign.completed == 4
+    # The hard throughput floor only binds at benchmark scale: tiny smoke
+    # horizons amortise less setup, and the JSON gate re-checks it anyway.
+    if scale >= 1.0:
+        assert campaign.events_per_second >= 1_000_000
+
+
+def test_columnar_vs_heap_agreement(benchmark, report, scale):
+    params = base_parameters(service_rate=20.0)
+    horizon = 100_000.0 * scale
+    workers = _bench_workers()
+
+    def both():
+        heap = ParallelReplicator(max_workers=workers).run(
+            partial(
+                simulate_hap_mm1, params, horizon, rng_mode="batched"
+            ),
+            4,
+            base_seed=7,
+        )
+        columnar = run_headline_columnar_campaign(
+            num_replications=4, sim_horizon=horizon, max_workers=workers
+        )
+        return heap, columnar
+
+    heap, columnar = run_once(benchmark, both)
+    heap_delay = heap.summaries()["mean_delay"]
+    columnar_delay = columnar.summaries()["mean_delay"]
+    gap = abs(columnar_delay.mean - heap_delay.mean)
+    combined_se = math.hypot(
+        heap_delay.std / math.sqrt(len(heap_delay.values)),
+        columnar_delay.std / math.sqrt(len(columnar_delay.values)),
+    )
+    report(
+        "Columnar vs heap mean-delay agreement (4 seeds each, 3-sigma "
+        "replication gate)",
+        f"heap {heap_delay.mean:.4f} s vs columnar "
+        f"{columnar_delay.mean:.4f} s; gap {gap:.4f} vs "
+        f"3*SE {3.0 * combined_se:.4f} "
+        f"(heap {heap.events_per_second:,.0f} ev/s, "
+        f"columnar {columnar.events_per_second:,.0f} ev/s)",
+    )
+    assert heap.failures == () and columnar.failures == ()
+    assert gap <= 3.0 * combined_se

@@ -24,6 +24,17 @@ PR 2's issue).  The gates:
 * ``analytic_scale_ladder_8k`` — ``events_per_sec`` (higher) *and*
   ``peak_rss_mb`` (lower), PR 4's Krylov-backend scale rung: grid
   evaluations/sec and peak resident memory on the ~8k-state chain.
+* ``columnar_headline_campaign`` — ``events_per_sec`` (higher), PR 6's
+  columnar-engine gate: the headline M/HAP-approx campaign through the
+  vectorized stream generator + Lindley recursion (>= 1M events/sec where
+  the heap engine managed ~273k).
+
+After the gates, the script reports the heap-vs-columnar peak-RSS diff
+(``headline_replicated_campaign`` vs ``columnar_headline_campaign``; pick
+other records with ``--rss-diff KEY KEY``).  The diff is informational,
+not a gate: ``ru_maxrss`` is a process-wide high-water mark, so records
+emitted by one pytest session share their peak and only cross-session
+BENCH files diff meaningfully.
 
 Gates missing from either document are *skipped with a warning* (so a
 partial bench run gates what it ran, and adding new gates cannot break
@@ -65,7 +76,42 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("headline_cross_method", "wall_clock_s", "lower"),
     ("analytic_scale_ladder_8k", "events_per_sec", "higher"),
     ("analytic_scale_ladder_8k", "peak_rss_mb", "lower"),
+    ("columnar_headline_campaign", "events_per_sec", "higher"),
 )
+
+#: Default record pair for the informational heap-vs-columnar RSS diff.
+RSS_DIFF_KEYS = ("headline_replicated_campaign", "columnar_headline_campaign")
+
+
+def _report_rss_diff(document: dict, keys: tuple[str, str]) -> None:
+    """Print the peak-RSS delta between two benchmark records.
+
+    Informational only — ``ru_maxrss`` never decreases within a process,
+    so two records from the same pytest session report the same peak and
+    the diff reads 0.  Comparing BENCH files from separate single-bench
+    runs is what makes the number meaningful.
+    """
+    first_key, second_key = keys
+    first = _find_record(document, first_key, "peak_rss_mb")
+    second = _find_record(document, second_key, "peak_rss_mb")
+    if first is None or second is None:
+        missing = first_key if first is None else second_key
+        print(
+            f"RSS DIFF: skipped — no peak_rss_mb record matching "
+            f"{missing!r} in the bench document"
+        )
+        return
+    delta = second["peak_rss_mb"] - first["peak_rss_mb"]
+    print(
+        f"RSS DIFF: {second_key} - {first_key} = {delta:+,.1f} MiB\n"
+        f"  {first_key:>32}: {first['peak_rss_mb']:>10,.1f} MiB\n"
+        f"  {second_key:>32}: {second['peak_rss_mb']:>10,.1f} MiB"
+    )
+    if first["peak_rss_mb"] == second["peak_rss_mb"]:
+        print(
+            "  (identical peaks usually mean one pytest session — "
+            "ru_maxrss is a process-wide high-water mark)"
+        )
 
 
 def _load_json(path: Path, what: str) -> dict:
@@ -132,6 +178,14 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="overwrite the baseline with the current gated records and exit 0",
+    )
+    parser.add_argument(
+        "--rss-diff",
+        nargs=2,
+        metavar=("HEAP_KEY", "COLUMNAR_KEY"),
+        default=RSS_DIFF_KEYS,
+        help="record-id substrings for the informational peak-RSS diff "
+        "(default: heap vs columnar headline campaigns)",
     )
     args = parser.parse_args(argv)
 
@@ -219,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{checked} gate(s) checked, {skipped} skipped, "
         f"{failed} regression(s)"
     )
+    _report_rss_diff(document, tuple(args.rss_diff))
     return 0 if failed == 0 else 1
 
 

@@ -19,6 +19,7 @@ Examples
     python -m repro.cli simulate --horizon 1e5 --seed 7
     python -m repro.cli simulate --replications 16 --retries 2 --timeout 600 \
         --checkpoint campaign.jsonl --resume
+    python -m repro.cli simulate --engine columnar --replications 16
     python -m repro.cli size --delay-target 0.1
     python -m repro.cli chaos --kill 2 --delay 3:30 --poison spectral-kernel:eig
 
@@ -207,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical to legacy)",
     )
     simulate.add_argument(
+        "--engine",
+        choices=("heap", "columnar"),
+        default="heap",
+        help="simulation engine: 'heap' is the event-driven simulator; "
+        "'columnar' generates the whole arrival stream as numpy arrays "
+        "via the symmetric (x, y) MMPP mapping and solves the queue "
+        "with a vectorized Lindley recursion — much faster, its own "
+        "determinism domain, exact HAP hierarchy dynamics approximated "
+        "only by the mapping's truncation box",
+    )
+    simulate.add_argument(
         "--profile",
         action="store_true",
         help="run one replication under cProfile and print the top-20 "
@@ -346,6 +358,17 @@ def _simulation_task(params, horizon: float, rng_mode: str, backend: str | None,
         )
 
 
+def _columnar_simulation_task(params, horizon: float, seed: int):
+    """Picklable columnar campaign task for ``simulate --engine columnar``.
+
+    Each worker builds the (LRU-cached, per-process) symmetric MMPP mapping
+    once, then every replication it runs reuses the cached chain.
+    """
+    from repro.sim.columnar import simulate_hap_approx_columnar
+
+    return simulate_hap_approx_columnar(params, horizon, seed=seed)
+
+
 def _profiled_simulate(hap, args: argparse.Namespace, out):
     """One replication under cProfile; prints top-20 cumulative entries.
 
@@ -382,6 +405,8 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
         return _command_simulate_campaign(args, hap, out)
     if args.profile:
         result = _profiled_simulate(hap, args, out)
+    elif args.engine == "columnar":
+        result = _columnar_simulation_task(hap.params, args.horizon, args.seed)
     else:
         with use_backend(getattr(args, "backend", None)):
             result = hap.simulate(
@@ -391,8 +416,11 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     print(f"mean delay           : {result.mean_delay:.6g} s", file=out)
     print(f"sigma (arrival-busy) : {result.sigma:.4f}", file=out)
     print(f"utilization          : {result.utilization:.4f}", file=out)
-    print(f"mean users / apps    : {result.mean_users:.2f} / "
-          f"{result.mean_apps:.2f}", file=out)
+    if args.engine != "columnar":
+        # Columnar runs drive the collapsed (x, y) chain; per-level
+        # user/app populations exist only in the event-driven hierarchy.
+        print(f"mean users / apps    : {result.mean_users:.2f} / "
+              f"{result.mean_apps:.2f}", file=out)
     return 0
 
 
@@ -400,23 +428,48 @@ def _command_simulate_campaign(args: argparse.Namespace, hap, out) -> int:
     from functools import partial
 
     from repro.runtime.executor import ParallelReplicator
+    from repro.runtime.resilience import as_journal
 
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=out)
         return 2
-    campaign = ParallelReplicator(
-        max_workers=args.workers,
-        policy=_retry_policy_from_args(args),
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-    ).run(
-        partial(
+    journal = as_journal(args.checkpoint)
+    if journal is not None:
+        # Journal keys are bare seeds; the fingerprint is what stops a
+        # resume from silently mixing determinism domains (e.g. a batched
+        # journal resumed in legacy mode, or heap rows spliced into a
+        # columnar campaign).
+        try:
+            journal.ensure_config(
+                {
+                    "rng_mode": args.rng_mode,
+                    "engine": args.engine,
+                    "horizon": args.horizon,
+                    "base_seed": args.seed,
+                },
+                resume=args.resume,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=out)
+            return 2
+    if args.engine == "columnar":
+        task = partial(_columnar_simulation_task, hap.params, args.horizon)
+    else:
+        task = partial(
             _simulation_task,
             hap.params,
             args.horizon,
             args.rng_mode,
             getattr(args, "backend", None),
-        ),
+        )
+    campaign = ParallelReplicator(
+        max_workers=args.workers,
+        policy=_retry_policy_from_args(args),
+        checkpoint=journal,
+        resume=args.resume,
+        engine=args.engine,
+    ).run(
+        task,
         args.replications,
         base_seed=args.seed,
     )

@@ -21,7 +21,13 @@ from repro.queueing.mm1 import solve_mm1
 from repro.runtime.executor import CampaignResult, ParallelReplicator
 from repro.sim.replication import simulate_hap_mm1
 
-__all__ = ["HeadlineCampaignResult", "HeadlineResult", "run_headline", "run_headline_campaign"]
+__all__ = [
+    "HeadlineCampaignResult",
+    "HeadlineResult",
+    "run_headline",
+    "run_headline_campaign",
+    "run_headline_columnar_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -195,3 +201,43 @@ def run_headline_campaign(
         summaries["sigma"].mean,
     )
     return HeadlineCampaignResult(headline=headline, campaign=campaign)
+
+
+def _headline_columnar_task(params, horizon, seed):
+    """Picklable columnar campaign task over the headline parameters.
+
+    Imported lazily so loading the experiments package never pulls the
+    columnar stack in; each worker builds the (per-process LRU-cached)
+    symmetric MMPP mapping once and reuses it across its replications.
+    """
+    from repro.sim.columnar import simulate_hap_approx_columnar
+
+    return simulate_hap_approx_columnar(params, horizon, seed=seed)
+
+
+def run_headline_columnar_campaign(
+    num_replications: int = 4,
+    sim_horizon: float = 400_000.0,
+    base_seed: int = 7,
+    max_workers: int | None = None,
+) -> CampaignResult:
+    """The headline simulation column via the columnar engine.
+
+    Same parameters and seed derivation as :func:`run_headline_campaign`'s
+    simulation leg, but each replication generates its whole M/HAP-approx
+    arrival stream as numpy arrays and solves the queue with the vectorized
+    Lindley recursion (:mod:`repro.sim.columnar`), with results transported
+    through one shared-memory matrix.  Returns the raw campaign — callers
+    compare its ``mean_delay`` summary against the heap campaign's (the
+    BENCH_6 agreement gate does exactly that).
+    """
+    params = base_parameters(service_rate=20.0)
+    campaign = ParallelReplicator(
+        max_workers=max_workers, engine="columnar"
+    ).run(
+        partial(_headline_columnar_task, params, sim_horizon),
+        num_replications,
+        base_seed=base_seed,
+    )
+    campaign.raise_if_failed()
+    return campaign

@@ -27,6 +27,7 @@ fault-injection harness in :mod:`repro.runtime.chaos`.
 
 from repro.runtime.analytic import grid_map, run_analytic_sweep
 from repro.runtime.chaos import ChaosPlan
+from repro.runtime.columnar import ColumnarReplication, run_columnar_campaign
 from repro.runtime.executor import (
     CampaignResult,
     ParallelReplicator,
@@ -54,6 +55,7 @@ __all__ = [
     "CampaignResult",
     "ChaosPlan",
     "CheckpointJournal",
+    "ColumnarReplication",
     "DegradationChain",
     "DegradationError",
     "ParallelReplicator",
@@ -69,5 +71,6 @@ __all__ = [
     "derive_seeds",
     "grid_map",
     "run_analytic_sweep",
+    "run_columnar_campaign",
     "sweep",
 ]

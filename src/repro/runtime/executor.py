@@ -207,9 +207,15 @@ class CampaignResult:
 
     @property
     def events_per_second(self) -> float:
-        """Aggregate simulation throughput: events / campaign wall-clock."""
+        """Aggregate simulation throughput: events / campaign wall-clock.
+
+        0.0 when the campaign consumed no wall-clock time (every unit
+        failed instantly, or everything was spliced from a checkpoint) —
+        a measured "no throughput", never a division error or NaN that
+        poisons downstream aggregation.
+        """
         if self.wall_clock <= 0.0:
-            return math.nan
+            return 0.0
         return self.events_processed / self.wall_clock
 
     def raise_if_failed(self) -> None:
@@ -709,6 +715,15 @@ class ParallelReplicator:
         With ``checkpoint``, splice already-journaled replications back in
         instead of re-running them — final statistics are bit-identical to
         an uninterrupted run.
+    engine:
+        ``"heap"`` (default) ships each replication's pickled
+        :class:`~repro.sim.replication.SimulationResult` back through the
+        pool.  ``"columnar"`` expects ``run_one`` to be a columnar task
+        (:mod:`repro.sim.columnar`) and transports results through one
+        shared-memory scalar matrix instead
+        (:func:`~repro.runtime.columnar.run_columnar_campaign`) — same
+        seeds, failure semantics, and ``CampaignResult`` contract, with
+        compact per-replication records.
 
     Examples
     --------
@@ -724,12 +739,18 @@ class ParallelReplicator:
         policy: RetryPolicy | None = None,
         checkpoint: CheckpointJournal | str | None = None,
         resume: bool = False,
+        engine: str = "heap",
     ):
+        if engine not in ("heap", "columnar"):
+            raise ValueError(
+                f"engine must be 'heap' or 'columnar' (got {engine!r})"
+            )
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.policy = policy
         self.checkpoint = checkpoint
         self.resume = resume
+        self.engine = engine
 
     def run(
         self,
@@ -746,6 +767,21 @@ class ParallelReplicator:
         :class:`RuntimeWarning` is emitted when ``max_workers > 1`` was
         explicitly requested.
         """
+        if self.engine == "columnar":
+            # Imported lazily: runtime.columnar imports this module.
+            from repro.runtime.columnar import run_columnar_campaign
+
+            return run_columnar_campaign(
+                run_one,
+                num_replications,
+                base_seed=base_seed,
+                max_workers=self.max_workers,
+                chunk_size=self.chunk_size,
+                wall_clock_budget=wall_clock_budget,
+                policy=self.policy,
+                checkpoint=self.checkpoint,
+                resume=self.resume,
+            )
         seeds = derive_seeds(num_replications, base_seed)
         jobs = [
             _Job(index=k, seed=seed, task=run_one) for k, seed in enumerate(seeds)

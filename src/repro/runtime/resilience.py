@@ -171,9 +171,11 @@ class CheckpointJournal:
 
     Failed units are journaled too (``status: "failed"``, no payload) for
     post-mortems, but :meth:`load` ignores them — a failed unit is re-run
-    on resume.  A truncated final line (crash mid-write) is tolerated and
-    skipped; corruption anywhere else raises, because silently dropping a
-    completed unit would change resumed statistics.
+    on resume.  A ``status: "config"`` line (see :meth:`record_config`)
+    fingerprints the campaign configuration so a resume cannot silently
+    mix determinism domains.  A truncated final line (crash mid-write) is
+    tolerated and skipped; corruption anywhere else raises, because
+    silently dropping a completed unit would change resumed statistics.
     """
 
     def __init__(self, path: str | Path, fsync: str = "always"):
@@ -232,6 +234,80 @@ class CheckpointJournal:
                 "error": error,
             }
         )
+
+    def record_config(self, config: dict) -> None:
+        """Append the campaign's configuration fingerprint.
+
+        Journal keys are bare ``seed=N`` strings, so nothing in a payload
+        says *how* a seed was run.  Resuming a ``rng_mode="batched"``
+        campaign without ``--rng-mode batched`` used to silently splice
+        batched journal rows together with legacy fresh runs — two
+        determinism domains in one "bit-identical" result.  The fingerprint
+        (JSON-scalar values only: rng_mode, engine, horizon, base_seed, …)
+        lets :meth:`ensure_config` refuse such a resume up front.
+        """
+        self._append(
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "status": "config",
+                "config": dict(config),
+            }
+        )
+
+    def load_config(self) -> dict | None:
+        """The journaled configuration fingerprint (last one wins), if any.
+
+        Tolerates journals written before fingerprints existed (returns
+        ``None``) — :meth:`load` likewise skips ``status: "config"`` lines,
+        so old and new journals interoperate in both directions.
+        """
+        if not self.path.exists():
+            return None
+        config: dict | None = None
+        lines = self.path.read_bytes().split(b"\n")
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if position >= len(lines) - 2:
+                    continue  # torn final record, as in load()
+                raise ValueError(
+                    f"corrupt checkpoint record at {self.path}:{position + 1}"
+                ) from None
+            if record.get("status") == "config":
+                config = record.get("config")
+        return config
+
+    def ensure_config(self, config: dict, resume: bool) -> None:
+        """Record ``config`` on a fresh journal; verify it on a resumed one.
+
+        Raises ``ValueError`` naming every mismatched key when a resume
+        would mix determinism domains (e.g. a batched journal resumed in
+        legacy mode).  A resumed journal without a fingerprint (pre-
+        fingerprint campaigns) is accepted as-is and stamped for next time.
+        """
+        recorded = self.load_config() if resume else None
+        if recorded is not None:
+            mismatches = {
+                key: (recorded.get(key), value)
+                for key, value in config.items()
+                if key in recorded and recorded[key] != value
+            }
+            if mismatches:
+                details = ", ".join(
+                    f"{key}: journal has {old!r}, campaign wants {new!r}"
+                    for key, (old, new) in sorted(mismatches.items())
+                )
+                raise ValueError(
+                    f"checkpoint journal {self.path} was written by an "
+                    f"incompatible campaign ({details}); resuming would mix "
+                    "determinism domains — rerun with the journaled "
+                    "configuration or start a fresh checkpoint"
+                )
+            return
+        self.record_config(config)
 
     def _append(self, record: dict) -> None:
         line = json.dumps(record, separators=(",", ":")) + "\n"

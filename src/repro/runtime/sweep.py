@@ -95,9 +95,13 @@ class SweepCampaignResult(CampaignResult):
 
     @property
     def events_per_second(self) -> float:
-        """Per-point throughput: this point's events / its busy seconds."""
+        """Per-point throughput: this point's events / its busy seconds.
+
+        0.0 (not NaN) when the point accumulated no busy time — e.g. every
+        replication failed instantly or was spliced from a checkpoint.
+        """
         if self.busy_time <= 0.0:
-            return math.nan
+            return 0.0
         return self.events_processed / self.busy_time
 
     def describe(self) -> str:
@@ -184,9 +188,13 @@ class SweepResult:
 
     @property
     def events_per_second(self) -> float:
-        """Aggregate throughput: grid events / sweep wall-clock."""
+        """Aggregate throughput: grid events / sweep wall-clock.
+
+        0.0 (not NaN) for a sweep that consumed no wall-clock time, so
+        downstream tables and gates see a number, not a NaN.
+        """
         if self.wall_clock <= 0.0:
-            return float("nan")
+            return 0.0
         return self.events_processed / self.wall_clock
 
     def raise_if_failed(self) -> None:

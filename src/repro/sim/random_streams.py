@@ -15,6 +15,7 @@ sizes for the heavy-tail extension study).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,7 +75,8 @@ class ExponentialBatcher:
     """Unit-exponential variates drawn in numpy blocks, served one at a time.
 
     The engine behind ``rng_mode="batched"`` (see
-    :class:`repro.sim.sources.HAPSource`): instead of one
+    :class:`repro.sim.sources.HAPSource`) and the block-draw substrate of
+    the columnar execution mode (:mod:`repro.sim.columnar`): instead of one
     ``Generator.exponential`` call per event — whose per-call overhead
     dominates Markov-modulated arrival simulation — a block of
     ``standard_exponential`` variates is drawn at once and handed out as
@@ -90,6 +92,13 @@ class ExponentialBatcher:
       underlying bit-stream consumption, so individual variates differ from
       per-call draws even at the same seed.  Distributions are identical
       (``exponential(scale)`` is ``scale * standard_exponential()``).
+
+    Means are validated *at draw time*: a nonpositive, NaN, or infinite
+    mean raises immediately instead of emitting inf/NaN interarrivals.  The
+    legacy per-call path is guarded downstream by
+    :meth:`repro.sim.engine.Simulator.schedule`, but block-drawn variates
+    can bypass the event heap entirely (the columnar engine never
+    schedules), so the batcher is the last line of defence.
     """
 
     __slots__ = ("_rng", "_block_size", "_block", "_index")
@@ -102,8 +111,18 @@ class ExponentialBatcher:
         self._block: list[float] = []
         self._index = 0
 
+    @staticmethod
+    def _validate_mean(mean: float) -> None:
+        # ``not (0 < mean < inf)`` is False for NaN too — one comparison
+        # chain covers nonpositive, NaN, and infinite means on the hot path.
+        if not 0.0 < mean < math.inf:
+            raise ValueError(
+                f"exponential mean must be positive and finite (got {mean})"
+            )
+
     def draw(self, mean: float) -> float:
         """One exponential variate with the given ``mean`` (``1/rate``)."""
+        self._validate_mean(mean)
         i = self._index
         block = self._block
         if i >= len(block):
@@ -115,6 +134,27 @@ class ExponentialBatcher:
             i = 0
         self._index = i + 1
         return block[i] * mean
+
+    def draw_block(self, count: int, mean: float) -> np.ndarray:
+        """``count`` exponential variates with the given ``mean``, as an array.
+
+        Consumes the same underlying bit-stream as ``count`` calls to
+        :meth:`draw` would (any partially-served block is used up first), so
+        mixing scalar and block draws stays seed-deterministic.
+        """
+        self._validate_mean(mean)
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        remaining = len(self._block) - self._index
+        if remaining >= count:
+            i = self._index
+            self._index = i + count
+            return np.asarray(self._block[i : i + count], dtype=float) * mean
+        head = np.asarray(self._block[self._index :], dtype=float)
+        self._block = []
+        self._index = 0
+        tail = self._rng.standard_exponential(count - len(head))
+        return np.concatenate([head, tail]) * mean
 
 
 @dataclass(frozen=True)

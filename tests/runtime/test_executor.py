@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import time
 import warnings
@@ -195,7 +194,10 @@ class TestWallClockBudget:
 
 
 class TestEmptyStats:
-    def test_events_per_second_nan_for_zero_wall_clock(self):
+    def test_events_per_second_zero_for_zero_wall_clock(self):
+        # Regression: a zero-time campaign (all-failed or fully resumed)
+        # must report 0.0 throughput, not NaN (which poisoned downstream
+        # aggregation) and certainly not a ZeroDivisionError.
         campaign = CampaignResult(
             results=(),
             seeds=(),
@@ -205,4 +207,17 @@ class TestEmptyStats:
             busy_time=0.0,
             max_workers=1,
         )
-        assert math.isnan(campaign.events_per_second)
+        assert campaign.events_per_second == 0.0
+        assert "0 events/s" in campaign.describe()
+
+    def test_events_per_second_zero_for_negative_wall_clock(self):
+        campaign = CampaignResult(
+            results=(),
+            seeds=(),
+            failures=(),
+            skipped_seeds=(),
+            wall_clock=-1.0,
+            busy_time=0.0,
+            max_workers=1,
+        )
+        assert campaign.events_per_second == 0.0

@@ -366,3 +366,119 @@ class TestCheckpointResume:
             max_workers=1, checkpoint=str(path), resume=True
         ).run(_times_ten, 2, base_seed=0)
         assert "2 resumed (checkpoint)" in resumed.describe()
+
+def _batched_hap_task(seed: int):
+    """Tiny batched-mode HAP replication (picklable)."""
+    from repro.experiments.configs import base_parameters
+    from repro.sim.replication import simulate_hap_mm1
+
+    result = simulate_hap_mm1(
+        base_parameters(service_rate=20.0),
+        horizon=200.0,
+        seed=seed,
+        rng_mode="batched",
+    )
+    return (result.mean_delay, result.sigma, result.events_processed)
+
+
+class TestConfigFingerprint:
+    CONFIG = {"rng_mode": "batched", "engine": "heap", "base_seed": 0}
+
+    def test_fresh_journal_is_stamped(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.ensure_config(self.CONFIG, resume=False)
+        journal.close()
+        assert journal.load_config() == self.CONFIG
+
+    def test_config_lines_are_invisible_to_load(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.ensure_config(self.CONFIG, resume=False)
+        journal.record(key="seed=0", index=0, seed=0, value=1.0, elapsed=0.1)
+        journal.close()
+        assert set(journal.load()) == {"seed=0"}
+
+    def test_matching_resume_is_accepted(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.ensure_config(self.CONFIG, resume=False)
+        journal.close()
+        journal.ensure_config(dict(self.CONFIG), resume=True)  # no raise
+
+    def test_mismatched_resume_names_every_bad_key(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.ensure_config(self.CONFIG, resume=False)
+        journal.close()
+        wanted = dict(self.CONFIG, rng_mode="legacy", engine="columnar")
+        with pytest.raises(ValueError) as excinfo:
+            journal.ensure_config(wanted, resume=True)
+        message = str(excinfo.value)
+        assert "determinism domains" in message
+        assert "rng_mode" in message and "'batched'" in message
+        assert "engine" in message and "'columnar'" in message
+
+    def test_extra_keys_do_not_trip_old_journals(self, tmp_path):
+        # A newer campaign may fingerprint keys an old journal never
+        # recorded; only keys present in BOTH are compared.
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.ensure_config({"rng_mode": "batched"}, resume=False)
+        journal.close()
+        journal.ensure_config(
+            {"rng_mode": "batched", "horizon": 100.0}, resume=True
+        )  # no raise
+
+    def test_pre_fingerprint_journal_is_accepted_and_stamped(self, tmp_path):
+        # Journals written before config fingerprints existed resume
+        # cleanly and pick up a fingerprint for the next resume.
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.record(key="seed=0", index=0, seed=0, value=1.0, elapsed=0.1)
+        journal.close()
+        assert journal.load_config() is None
+        journal.ensure_config(self.CONFIG, resume=True)
+        journal.close()
+        assert journal.load_config() == self.CONFIG
+        assert set(journal.load()) == {"seed=0"}
+
+    def test_load_config_last_record_wins(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "journal.jsonl")
+        journal.record_config({"rng_mode": "legacy"})
+        journal.record_config({"rng_mode": "batched"})
+        journal.close()
+        assert journal.load_config() == {"rng_mode": "batched"}
+
+    def test_load_config_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CheckpointJournal(path)
+        journal.record_config(self.CONFIG)
+        journal.close()
+        with path.open("ab") as handle:
+            handle.write(b'{"schema": "repro-ch')  # crash mid-append
+        assert journal.load_config() == self.CONFIG
+
+
+class TestBatchedModeResume:
+    def test_batched_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = as_journal(str(path))
+        journal.ensure_config({"rng_mode": "batched"}, resume=False)
+        reference = ParallelReplicator(max_workers=1).run(
+            _batched_hap_task, 3, base_seed=11
+        )
+        # Interrupted: two of three batched replications journaled.
+        ParallelReplicator(max_workers=1, checkpoint=journal).run(
+            _batched_hap_task, 2, base_seed=11
+        )
+        journal.ensure_config({"rng_mode": "batched"}, resume=True)
+        resumed = ParallelReplicator(
+            max_workers=1, checkpoint=journal, resume=True
+        ).run(_batched_hap_task, 3, base_seed=11)
+        assert resumed.resumed == 2
+        # Journaled batched rows splice bit-identically with fresh ones.
+        assert resumed.results == reference.results
+
+    def test_batched_journal_refuses_legacy_resume(self, tmp_path):
+        journal = as_journal(str(tmp_path / "journal.jsonl"))
+        journal.ensure_config({"rng_mode": "batched"}, resume=False)
+        ParallelReplicator(max_workers=1, checkpoint=journal).run(
+            _batched_hap_task, 2, base_seed=11
+        )
+        with pytest.raises(ValueError, match="determinism domains"):
+            journal.ensure_config({"rng_mode": "legacy"}, resume=True)

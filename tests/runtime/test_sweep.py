@@ -190,3 +190,28 @@ class TestPerPointTiming:
         assert "s wall" not in text  # per-point lines carry no wall-clock
         assert math.isfinite(rate) and rate > 0.0
         assert rate == campaign.events_processed / campaign.busy_time
+
+
+class TestZeroTimeThroughput:
+    """Regression: zero-time campaigns report 0.0 events/s, never NaN."""
+
+    def test_per_point_zero_busy_time_is_zero_rate(self):
+        from repro.runtime import SweepCampaignResult
+
+        campaign = SweepCampaignResult(
+            results=(),
+            seeds=(),
+            failures=(),
+            skipped_seeds=(),
+            wall_clock=0.0,
+            busy_time=0.0,
+            max_workers=1,
+        )
+        assert campaign.events_per_second == 0.0
+        assert "0 events/s" in campaign.describe()
+
+    def test_sweep_zero_wall_clock_is_zero_rate(self):
+        from repro.runtime.sweep import SweepResult
+
+        result = SweepResult(points=(), wall_clock=0.0, max_workers=1)
+        assert result.events_per_second == 0.0

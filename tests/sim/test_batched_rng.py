@@ -84,6 +84,36 @@ class TestExponentialBatcher:
         draws = np.array([batcher.draw(2.0) for _ in range(100_000)])
         assert abs(draws.mean() - 2.0) < 0.03
 
+    @pytest.mark.parametrize(
+        "mean", [0.0, -1.0, float("nan"), float("inf"), -float("inf")]
+    )
+    def test_rejects_degenerate_means_at_draw_time(self, mean):
+        # Regression: the batcher used to accept nonpositive/NaN means
+        # silently, emitting inf/NaN interarrivals that bypassed the
+        # Simulator.schedule guards (columnar draws never schedule).
+        batcher = ExponentialBatcher(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="exponential mean"):
+            batcher.draw(mean)
+        with pytest.raises(ValueError, match="exponential mean"):
+            batcher.draw_block(4, mean)
+
+    def test_draw_block_continues_the_scalar_bitstream(self):
+        # Mixing scalar and block draws consumes ONE bit-stream: k scalar
+        # draws then a block of n must equal n+k scalar draws.
+        scalar = ExponentialBatcher(np.random.default_rng(7), block_size=8)
+        mixed = ExponentialBatcher(np.random.default_rng(7), block_size=8)
+        expected = [scalar.draw(0.5) for _ in range(20)]
+        head = [mixed.draw(0.5) for _ in range(5)]
+        block = mixed.draw_block(15, 0.5)
+        np.testing.assert_allclose(
+            np.asarray(head + list(block)), np.asarray(expected), rtol=1e-15
+        )
+
+    def test_draw_block_rejects_negative_count(self):
+        batcher = ExponentialBatcher(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="count"):
+            batcher.draw_block(-1, 1.0)
+
 
 class TestDeterminismContract:
     def test_seed_stable(self):

@@ -270,3 +270,67 @@ class TestResilienceFlags:
         )
         assert code == 0
         assert "mean delay" in text
+
+class TestColumnarEngine:
+    def test_single_run_reports_and_skips_population_line(self):
+        code, text = run_cli(
+            ["simulate", "--engine", "columnar", "--horizon", "3000",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert "mean delay" in text
+        # The columnar engine drives the collapsed MMPP, so per-level
+        # user/app populations are not reported.
+        assert "mean users / apps" not in text
+
+    def test_columnar_is_seed_stable(self):
+        argv = ["simulate", "--engine", "columnar", "--horizon", "2000",
+                "--seed", "5"]
+        assert run_cli(argv) == run_cli(argv)
+
+    def test_columnar_campaign_reports_confidence(self):
+        code, text = run_cli(
+            ["simulate", "--engine", "columnar", "--horizon", "2000",
+             "--seed", "7", "--replications", "3"]
+        )
+        assert code == 0
+        assert "95% CI" in text
+        assert "campaign" in text
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["simulate", "--engine", "quantum", "--horizon", "100"])
+
+
+class TestConfigFingerprintFlags:
+    def test_mismatched_rng_mode_resume_exits_2(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        base = ["simulate", *SMALL, "--horizon", "2000", "--seed", "7",
+                "--replications", "2", "--checkpoint", journal]
+        code, _ = run_cli([*base, "--rng-mode", "batched"])
+        assert code == 0
+        code, text = run_cli([*base, "--rng-mode", "legacy", "--resume"])
+        assert code == 2
+        assert "determinism domains" in text
+        assert "rng_mode" in text
+
+    def test_mismatched_engine_resume_exits_2(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        base = ["simulate", "--horizon", "2000", "--seed", "7",
+                "--replications", "2", "--checkpoint", journal]
+        code, _ = run_cli(base)
+        assert code == 0
+        code, text = run_cli([*base, "--engine", "columnar", "--resume"])
+        assert code == 2
+        assert "engine" in text
+
+    def test_matching_resume_still_splices(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        argv = ["simulate", *SMALL, "--horizon", "2000", "--seed", "7",
+                "--replications", "2", "--checkpoint", journal,
+                "--rng-mode", "batched"]
+        code, _ = run_cli(argv)
+        assert code == 0
+        code, text = run_cli([*argv, "--resume"])
+        assert code == 0
+        assert "2 resumed (checkpoint)" in text
