@@ -89,11 +89,15 @@ def drain_records() -> list[dict]:
     return records
 
 
-def run_once(benchmark, fn):
+def run_once(benchmark, fn, extra=None):
     """Run ``fn`` exactly once under the benchmark timer and return it.
 
     The experiments are minutes-long simulations; statistical timing rounds
     would multiply that for no insight, so every benchmark uses one round.
+
+    ``extra`` merges additional metrics into the emitted record — either a
+    dict, or a callable receiving the benchmark's return value (how the
+    service benchmarks attach client-observed latency percentiles).
     """
     started = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
@@ -112,5 +116,7 @@ def run_once(benchmark, fn):
         "workers": _extract_workers(result),
         "peak_rss_mb": round(peak_rss_mb(), 1),
     }
+    if extra is not None:
+        record.update(extra(result) if callable(extra) else extra)
     _RECORDS.append(record)
     return result

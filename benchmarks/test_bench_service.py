@@ -1,0 +1,174 @@
+"""Online admission-control service: decisions/sec, one answer tier at a time.
+
+Each benchmark boots the asyncio service with a precomputed decision
+surface, drives a closed-loop query mix pinned to one answer tier through
+real TCP connections (the same path ``cli bench-serve`` measures), and
+reports sustained decisions/sec with client-observed latency percentiles.
+The tiers are the service's whole point:
+
+* **cached** — exact-grid lookups; the gate holds the ten-thousands/sec
+  bar the precomputed-surface design exists to clear.
+* **interpolated** — conservative corner bounds for off-grid queries.
+* **miss** — live Solution-2 solves through the worker pool; the p99
+  latency rides into the BENCH record and is gated (lower is better),
+  because a slow miss path is exactly the regression the three-tier
+  design guards against.
+
+Request counts are floored well above ``REPRO_BENCH_SCALE`` quick runs:
+throughput over a few hundred requests is dominated by connection setup
+and would gate noise, not the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+
+from _util import run_once
+
+from repro.core.params import HAPParameters
+from repro.service.client import generate_queries, run_load
+from repro.service.server import AdmissionService, start_server
+from repro.service.surfaces import build_decision_surfaces
+
+_SURFACES = None
+
+
+def _surfaces():
+    """Build the benchmark surface once per session (probe-cache warm)."""
+    global _SURFACES
+    if _SURFACES is None:
+        params = HAPParameters.symmetric(
+            user_arrival_rate=0.05,
+            user_departure_rate=0.05,
+            app_arrival_rate=0.05,
+            app_departure_rate=0.05,
+            message_arrival_rate=0.4,
+            message_service_rate=3.0,
+            num_app_types=2,
+            num_message_types=1,
+            name="bench-serve",
+        )
+        _SURFACES = build_decision_surfaces(
+            params, (0.6, 0.9, 1.4), max_population=8, max_workers=1
+        )
+    return _SURFACES
+
+
+class _ServiceBenchResult:
+    """Adapter exposing a LoadReport through run_once's record extractors.
+
+    ``events_processed`` / ``wall_clock`` make ``events_per_sec`` equal the
+    client-measured decisions/sec (the load run's span, not the benchmark's
+    wall-clock with server boot included).
+    """
+
+    def __init__(self, report):
+        self.report = report
+        self.events_processed = report.requests
+        self.wall_clock = report.elapsed_s
+
+
+def _latency_extra(result) -> dict:
+    return {
+        "p50_latency_ms": round(result.report.p50_latency_ms, 3),
+        "p99_latency_ms": round(result.report.p99_latency_ms, 3),
+    }
+
+
+def _drive(tier: str, requests: int, connections: int = 4):
+    """Serve on a dedicated thread/event loop; drive clients from this one.
+
+    Sharing one loop between server and load generator halves the apparent
+    throughput (every request pays both sides' scheduling on one loop); two
+    loops is also what a real deployment looks like.
+    """
+    surfaces = _surfaces()
+    service = AdmissionService(surfaces)
+    ready = threading.Event()
+    box: dict = {}
+
+    def serve() -> None:
+        async def main():
+            server = await start_server(service)
+            box["port"] = server.sockets[0].getsockname()[1]
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            ready.set()
+            await box["stop"].wait()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, name="bench-serve")
+    thread.start()
+    ready.wait()
+    try:
+        queries = generate_queries(surfaces, tier, requests)
+        # In a shared bench session the campaigns before this leave a large
+        # heap; cyclic-GC passes over it land on the event loop and halve
+        # the measured throughput.  Collect once, then pause the collector
+        # for the sub-second load run (refcounting still frees the hot-path
+        # garbage).
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            report = asyncio.run(
+                run_load(
+                    "127.0.0.1", box["port"], queries, connections=connections
+                )
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join()
+        service.close()
+    return _ServiceBenchResult(report)
+
+
+def test_service_cached_decisions(benchmark, report, scale):
+    requests = max(5000, int(12000 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive("cached", requests, connections=8),
+        extra=_latency_extra,
+    )
+    load = result.report
+    report("Service: cached-tier (surface lookup) decisions/sec", load.describe())
+    assert load.tiers == {"surface": requests}
+    # The headline bar: precomputed surfaces answer >= 10k decisions/sec.
+    assert load.decisions_per_sec >= 10_000
+
+
+def test_service_interpolated_decisions(benchmark, report, scale):
+    requests = max(1000, int(4000 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive("interpolated", requests),
+        extra=_latency_extra,
+    )
+    load = result.report
+    report(
+        "Service: interpolated-tier (conservative corner) decisions/sec",
+        load.describe(),
+    )
+    assert load.tiers == {"interpolated": requests}
+    assert load.decisions_per_sec >= 2_000
+
+
+def test_service_miss_decisions(benchmark, report, scale):
+    requests = max(200, int(800 * scale))
+    result = run_once(
+        benchmark, lambda: _drive("miss", requests), extra=_latency_extra
+    )
+    load = result.report
+    report("Service: miss-tier (live solve) decisions/sec", load.describe())
+    assert load.tiers == {"solve": requests}
+    assert load.decisions_per_sec >= 100
+    # A hung or runaway miss path shows up here long before the gate.
+    assert load.p99_latency_ms < 250

@@ -28,6 +28,11 @@ PR 2's issue).  The gates:
   columnar-engine gate: the headline M/HAP-approx campaign through the
   vectorized stream generator + Lindley recursion (>= 1M events/sec where
   the heap engine managed ~273k).
+* ``service_cached_decisions`` / ``service_interpolated_decisions`` /
+  ``service_miss_decisions`` — ``events_per_sec`` (higher), PR 7's
+  admission-service throughput per answer tier (decisions/sec through
+  real TCP connections); the miss tier additionally gates
+  ``p99_latency_ms`` (lower) — the live-solve tail must stay bounded.
 
 After the gates, the script reports the heap-vs-columnar peak-RSS diff
 (``headline_replicated_campaign`` vs ``columnar_headline_campaign``; pick
@@ -77,6 +82,10 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("analytic_scale_ladder_8k", "events_per_sec", "higher"),
     ("analytic_scale_ladder_8k", "peak_rss_mb", "lower"),
     ("columnar_headline_campaign", "events_per_sec", "higher"),
+    ("service_cached_decisions", "events_per_sec", "higher"),
+    ("service_interpolated_decisions", "events_per_sec", "higher"),
+    ("service_miss_decisions", "events_per_sec", "higher"),
+    ("service_miss_decisions", "p99_latency_ms", "lower"),
 )
 
 #: Default record pair for the informational heap-vs-columnar RSS diff.

@@ -1,14 +1,20 @@
-"""Command-line interface: analyze, simulate, size, and chaos-test HAP workloads.
+"""Command-line interface: analyze, simulate, size, serve, and chaos-test HAP workloads.
 
-Four subcommands, mirroring how a network engineer would use the library:
+Seven subcommands, mirroring how a network engineer would use the library:
 
 * ``analyze``  — closed-form and (optionally) exact queueing analysis of a
   symmetric HAP against its Poisson baseline.
 * ``simulate`` — an event-driven run with the headline statistics.
 * ``size``     — minimum bandwidth for a mean-delay target.
-* ``chaos``    — deterministic fault-injection demo: run a campaign with
-  injected worker kills / hangs / poisoned solver rungs and verify the
-  runtime recovers with bit-identical statistics.
+* ``build-surfaces`` — precompute the admission/bandwidth decision surfaces
+  into the versioned JSON artifact ``serve`` loads at boot.
+* ``serve``    — the online admission-control service (newline-delimited
+  JSON over TCP, three-tier answer path; ``--smoke`` for a self-test).
+* ``bench-serve`` — closed-loop decisions/sec benchmark against an
+  in-process server, one tier at a time.
+* ``chaos``    — deterministic fault-injection: against the campaign
+  runtime (default), or ``--target serve`` to prove poisoned/hung solves
+  degrade to conservative denies within the deadline.
 
 Examples
 --------
@@ -21,7 +27,11 @@ Examples
         --checkpoint campaign.jsonl --resume
     python -m repro.cli simulate --engine columnar --replications 16
     python -m repro.cli size --delay-target 0.1
+    python -m repro.cli build-surfaces --output surfaces.json
+    python -m repro.cli serve --surfaces surfaces.json --port 4731
+    python -m repro.cli bench-serve --tier cached --requests 5000
     python -m repro.cli chaos --kill 2 --delay 3:30 --poison spectral-kernel:eig
+    python -m repro.cli chaos --target serve
 
 All parameters default to the paper's Section-4 base set, so bare
 subcommands reproduce paper numbers.
@@ -153,6 +163,47 @@ def _hap_from_args(args: argparse.Namespace) -> HAP:
     )
 
 
+def _service_params(args: argparse.Namespace):
+    """A 2-application-type parameter set for the serving subcommands.
+
+    The decision surfaces (and the paper's Section-7 admissible-region
+    study) are 2-D; a wider symmetric HAP is truncated to its first two
+    application types rather than rejected.
+    """
+    from dataclasses import replace
+
+    params = _hap_from_args(args).params
+    if params.num_app_types != 2:
+        params = replace(params, applications=params.applications[:2])
+    return params
+
+
+def _parse_delay_targets(spec: str) -> tuple[float, ...]:
+    """Comma-separated delay-target grid, e.g. ``"0.1,0.15,0.2"``."""
+    try:
+        targets = tuple(float(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"bad --delay-targets spec {spec!r}") from None
+    if not targets:
+        raise ValueError("need at least one delay target")
+    return targets
+
+
+def _add_surface_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--delay-targets",
+        type=str,
+        default="0.1,0.15,0.2,0.3",
+        help="comma-separated delay-target grid for the decision surfaces",
+    )
+    parser.add_argument(
+        "--max-population",
+        type=int,
+        default=12,
+        help="largest per-type population the surfaces cover",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -232,6 +283,89 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hap_arguments(size)
     size.add_argument("--delay-target", type=float, required=True)
 
+    build_surfaces = commands.add_parser(
+        "build-surfaces",
+        help="precompute admission/bandwidth decision surfaces into the "
+        "versioned JSON artifact `serve` loads at boot",
+    )
+    _add_hap_arguments(build_surfaces)
+    build_surfaces.set_defaults(app_types=2)
+    _add_surface_arguments(build_surfaces)
+    build_surfaces.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pool width for the per-delay-target row fan-out (1 = "
+        "in-process, keeps the probe cache warm across rows)",
+    )
+    build_surfaces.add_argument(
+        "--output", type=str, required=True, help="artifact path to write"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="online admission-control service (newline-delimited JSON "
+        "over TCP; three-tier answer path)",
+    )
+    _add_hap_arguments(serve)
+    serve.set_defaults(app_types=2)
+    _add_surface_arguments(serve)
+    serve.add_argument(
+        "--surfaces",
+        type=str,
+        default=None,
+        help="surface artifact from `build-surfaces`; omitted = build a "
+        "small surface in-process at boot",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=4731, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--solve-timeout",
+        type=float,
+        default=10.0,
+        help="deadline for a tier-3 live solve; an overdue solve answers "
+        "a conservative deny",
+    )
+    serve.add_argument(
+        "--solver-workers", type=int, default=1, help="solve-pool width"
+    )
+    serve.add_argument(
+        "--exact",
+        action="store_true",
+        help="route tier-3 admits through the exact QBD ladder (warm-"
+        "started) before the Solution-2 closed form",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot, answer one query per tier through a loopback client, "
+        "print the answers, and exit (CI self-test)",
+    )
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="closed-loop decisions/sec benchmark against an in-process "
+        "server, one answer tier at a time",
+    )
+    _add_hap_arguments(bench_serve)
+    bench_serve.set_defaults(app_types=2)
+    _add_surface_arguments(bench_serve)
+    bench_serve.add_argument(
+        "--surfaces", type=str, default=None, help="surface artifact to load"
+    )
+    bench_serve.add_argument(
+        "--tier",
+        choices=("cached", "interpolated", "miss", "all"),
+        default="all",
+        help="which answer tier the query mix pins (default: all three)",
+    )
+    bench_serve.add_argument("--requests", type=int, default=2000)
+    bench_serve.add_argument("--connections", type=int, default=4)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--solve-timeout", type=float, default=10.0)
+
     chaos = commands.add_parser(
         "chaos",
         help="fault-injection demo: injected kills/hangs/poisoned solver "
@@ -281,6 +415,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="retries per failed replication in the chaos campaign",
+    )
+    chaos.add_argument(
+        "--target",
+        choices=("campaign", "serve"),
+        default="campaign",
+        help="'campaign' (default) chaos-tests the replication runtime; "
+        "'serve' chaos-tests the admission service: poisoned rungs and "
+        "injected slow solves must degrade to conservative denies "
+        "within the deadline",
+    )
+    chaos.add_argument(
+        "--requests",
+        type=int,
+        default=6,
+        help="miss-tier queries to drive through the service "
+        "(--target serve only)",
+    )
+    chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=1.5,
+        help="service solve deadline in seconds (--target serve only); "
+        "every answer, degraded or not, must land within it",
     )
     return parser
 
@@ -548,6 +705,8 @@ def _command_chaos(args: argparse.Namespace, out) -> int:
         print(f"error: {error}", file=out)
         return 2
     poisons = tuple(args.poison or ())
+    if args.target == "serve":
+        return _chaos_serve_demo(args, kills, delays, poisons, out)
     if not (kills or delays or poisons):
         # Bare `cli chaos`: kill one worker mid-campaign by default.
         kills = ((args.seed + 1, 1),)
@@ -602,6 +761,103 @@ def _command_chaos(args: argparse.Namespace, out) -> int:
     return status
 
 
+def _chaos_serve_demo(args, kills, delays, poisons, out) -> int:
+    """Chaos-test the admission service: faults must deny, never hang.
+
+    Drives ``--requests`` miss-tier queries (each needs a live solve)
+    through a loopback service while the chaos plan poisons solver rungs
+    and injects slow solves (``--delay`` specs are keyed by *request
+    index* here, not replication seed).  With no faults given, both
+    defaults fire: the Solution-2 rung is poisoned AND request 0's solve
+    hangs past the deadline.  Verdict (exit 0) requires every request
+    answered within the deadline and every degraded answer to be a deny —
+    the service may refuse carriable traffic under faults, never admit
+    uncarriable traffic, never hang.
+    """
+    import asyncio
+    import time
+
+    from repro.runtime import chaos
+    from repro.service.client import AdmissionClient
+    from repro.service.server import AdmissionService, start_server
+    from repro.service.surfaces import build_decision_surfaces
+
+    if kills:
+        print(
+            "note                 : --kill has no serve-mode meaning "
+            "(no worker processes to kill); ignored",
+            file=out,
+        )
+    if not (delays or poisons):
+        poisons = ("admission-solve:solution2",)
+        delays = ((0, 1, args.deadline * 4.0),)
+    plan = chaos.ChaosPlan(delay=delays, poison=poisons)
+    print(
+        f"chaos plan           : delays={list(delays)} "
+        f"poisons={list(poisons)} deadline={args.deadline:g}s",
+        file=out,
+    )
+    surfaces = build_decision_surfaces(
+        _service_params(args), (0.1, 0.2), max_population=6, max_workers=1
+    )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    miss_target = float(surfaces.delay_targets[-1]) * 3.0
+
+    async def drive() -> int:
+        service = AdmissionService(surfaces, solve_timeout=args.deadline)
+        server = await start_server(service)
+        host, port = server.sockets[0].getsockname()[:2]
+        answers = []
+        try:
+            with chaos.chaos_active(plan):
+                client = await AdmissionClient.open(host, port)
+                try:
+                    for index in range(args.requests):
+                        started = time.perf_counter()
+                        answer = await client.admit(
+                            float(index % (surfaces.max_population + 1)),
+                            1.0,
+                            miss_target,
+                        )
+                        elapsed = time.perf_counter() - started
+                        answers.append((answer, elapsed))
+                        print(
+                            f"request {index:<13}: tier={answer['tier']:<12} "
+                            f"admit={answer['admit']} "
+                            f"latency={elapsed * 1e3:.1f}ms",
+                            file=out,
+                        )
+                finally:
+                    await client.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+        # The deadline bounds the service-side solve; grant the client
+        # round-trip a scheduling margin on top.
+        margin = args.deadline + max(1.0, args.deadline)
+        hung = [e for _, e in answers if e > margin]
+        degraded = [a for a, _ in answers if a["tier"] == "degraded"]
+        degraded_admits = [a for a in degraded if a["admit"]]
+        ok = (
+            len(answers) == args.requests
+            and not hung
+            and degraded
+            and not degraded_admits
+        )
+        print(
+            f"verdict              : "
+            f"{len(answers)}/{args.requests} answered, "
+            f"{len(degraded)} degraded (all denies: "
+            f"{not degraded_admits}), {len(hung)} over deadline+margin — "
+            f"{'conservative degradation holds' if ok else 'FAULT HANDLING BROKEN'}",
+            file=out,
+        )
+        return 0 if ok else 1
+
+    return asyncio.run(drive())
+
+
 def _chaos_poison_demo(hap, plan, out) -> int:
     """Show each targeted degradation chain answering below its poison."""
     import numpy as np
@@ -633,6 +889,175 @@ def _chaos_poison_demo(hap, plan, out) -> int:
             print(f"ctmc-stationary      : exhausted — {error}", file=out)
             status = 1
     return status
+
+
+def _surfaces_from_args(args: argparse.Namespace, out):
+    """Load the ``--surfaces`` artifact, or build a grid in-process."""
+    from repro.service.surfaces import build_decision_surfaces, load_surfaces
+
+    if getattr(args, "surfaces", None):
+        surfaces = load_surfaces(args.surfaces)
+    else:
+        surfaces = build_decision_surfaces(
+            _service_params(args),
+            _parse_delay_targets(args.delay_targets),
+            max_population=args.max_population,
+            max_workers=1,
+        )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    return surfaces
+
+
+def _command_build_surfaces(args: argparse.Namespace, out) -> int:
+    from repro.control.admission_table import probe_stats
+    from repro.service.surfaces import build_decision_surfaces, save_surfaces
+
+    try:
+        targets = _parse_delay_targets(args.delay_targets)
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    before = probe_stats()
+    surfaces = build_decision_surfaces(
+        _service_params(args),
+        targets,
+        max_population=args.max_population,
+        max_workers=args.workers,
+    )
+    after = probe_stats()
+    path = save_surfaces(surfaces, args.output)
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    if args.workers in (None, 1):
+        # The probe cache is per-process; fan-out builds solve in workers.
+        print(
+            f"probes               : {after.probes - before.probes} "
+            f"({after.solves - before.solves} solves, "
+            f"{after.hits - before.hits} cache hits)",
+            file=out,
+        )
+    print(f"artifact             : {path}", file=out)
+    return 0
+
+
+async def _serve_smoke(service, surfaces, host: str, port: int, out) -> int:
+    """Answer one query per tier through a loopback client; 0 = healthy."""
+    from repro.service.client import AdmissionClient
+    from repro.service.server import start_server
+
+    server = await start_server(service, host=host, port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+    print(f"listening            : {host}:{bound_port} (smoke)", file=out)
+    status = 0
+    try:
+        client = await AdmissionClient.open(host, bound_port)
+        try:
+            grid_target = float(surfaces.delay_targets[0])
+            probes = (
+                ("surface", (1.0, 1.0, grid_target)),
+                ("interpolated", (0.5, 1.0, grid_target)),
+                ("miss", (1.0, 1.0, float(surfaces.delay_targets[-1]) * 2.0)),
+            )
+            for label, (n1, n2, target) in probes:
+                answer = await client.admit(n1, n2, target)
+                print(
+                    f"{label:<21}: admit={answer['admit']} "
+                    f"tier={answer['tier']} "
+                    f"latency={answer['latency_us']:.0f}us",
+                    file=out,
+                )
+                if not answer.get("ok"):
+                    status = 1
+            stats = await client.stats()
+            print(f"stats                : {stats}", file=out)
+        finally:
+            await client.close()
+    finally:
+        server.close()
+        await server.wait_closed()
+    print(
+        f"verdict              : {'healthy' if status == 0 else 'UNHEALTHY'}",
+        file=out,
+    )
+    return status
+
+
+async def _serve_forever(service, host: str, port: int, out) -> int:
+    from repro.service.server import start_server
+
+    server = await start_server(service, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    print(f"listening            : {bound[0]}:{bound[1]}", file=out)
+    async with server:
+        await server.serve_forever()
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.service.server import AdmissionService
+
+    try:
+        surfaces = _surfaces_from_args(args, out)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    service = AdmissionService(
+        surfaces,
+        solve_timeout=args.solve_timeout,
+        solver_workers=args.solver_workers,
+        exact=args.exact,
+    )
+    try:
+        if args.smoke:
+            return asyncio.run(
+                _serve_smoke(service, surfaces, args.host, args.port, out)
+            )
+        return asyncio.run(_serve_forever(service, args.host, args.port, out))
+    except KeyboardInterrupt:
+        print("interrupted          : shutting down", file=out)
+        return 0
+    finally:
+        service.close()
+
+
+def _command_bench_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+
+    from repro.service.client import generate_queries, run_load
+    from repro.service.server import AdmissionService, start_server
+
+    try:
+        surfaces = _surfaces_from_args(args, out)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    tiers = (
+        ("cached", "interpolated", "miss")
+        if args.tier == "all"
+        else (args.tier,)
+    )
+
+    async def bench() -> int:
+        service = AdmissionService(surfaces, solve_timeout=args.solve_timeout)
+        server = await start_server(service)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            for tier in tiers:
+                queries = generate_queries(
+                    surfaces, tier, args.requests, seed=args.seed
+                )
+                report = await run_load(
+                    host, port, queries, connections=args.connections
+                )
+                print(f"{tier:<21}: {report.describe()}", file=out)
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+        return 0
+
+    return asyncio.run(bench())
 
 
 def _command_size(args: argparse.Namespace, out) -> int:
@@ -670,6 +1095,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _command_simulate(args, out)
     if args.command == "chaos":
         return _command_chaos(args, out)
+    if args.command == "build-surfaces":
+        return _command_build_surfaces(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
+    if args.command == "bench-serve":
+        return _command_bench_serve(args, out)
     return _command_size(args, out)
 
 

@@ -18,10 +18,14 @@ each ATM interface, and a connectionless (CL) overlay designed on top.
 
 from repro.control.admission_table import (
     AdmissionTable,
+    ProbeStats,
     admissible_region,
     build_admission_table,
+    clear_probe_cache,
     linear_region_approximation,
     max_admissible_user_rate,
+    pinned_population_params,
+    probe_stats,
 )
 from repro.control.bandwidth import (
     bandwidth_for_delay_target,
@@ -32,11 +36,15 @@ from repro.control.overlay import OverlayDesign, design_cl_overlay
 __all__ = [
     "AdmissionTable",
     "OverlayDesign",
+    "ProbeStats",
     "admissible_region",
     "bandwidth_for_delay_target",
     "bandwidth_for_wait_percentile",
     "build_admission_table",
+    "clear_probe_cache",
     "design_cl_overlay",
     "linear_region_approximation",
     "max_admissible_user_rate",
+    "pinned_population_params",
+    "probe_stats",
 ]

@@ -16,25 +16,98 @@ paper recommends for control-plane use at utilizations under ~30 %):
 * :func:`linear_region_approximation` — Hui-style half-plane
   ``n_1 / N_1 + n_2 / N_2 <= 1`` fitted to the region's axis intercepts.
 * :func:`build_admission_table` / :class:`AdmissionTable` — the precomputed
-  lookup used on the admission fast path.
+  lookup used on the admission fast path, JSON round-trippable
+  (schema ``repro-admission-table/1``) so services can load it at boot.
+
+The delay probes behind the bisections are memoized in a keyed, bounded LRU
+(:func:`probe_stats` exposes hit/solve counters): an admissible-region build
+probes the same ``(params, mix, service_rate)`` points many times across
+neighbouring binary searches, and surface builds over delay-target grids
+(:mod:`repro.service.surfaces`) repeat whole rows — without the cache the
+Solution-2 solves dominate surface-build time.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
-
-import numpy as np
+from functools import lru_cache
 
 from repro.core.params import HAPParameters
 from repro.core.solution2 import solve_solution2
 
 __all__ = [
     "AdmissionTable",
+    "ProbeStats",
     "admissible_region",
     "build_admission_table",
+    "clear_probe_cache",
     "linear_region_approximation",
     "max_admissible_user_rate",
+    "pinned_population_params",
+    "probe_stats",
 ]
+
+#: JSON schema identifier for serialized tables; bump on breaking changes.
+TABLE_SCHEMA = "repro-admission-table/1"
+
+#: Bounded size of each memoized probe cache (entries, not bytes — a cached
+#: entry is one float keyed by a parameter fingerprint).
+_PROBE_CACHE_SIZE = 16_384
+
+
+@dataclass(frozen=True)
+class ProbeStats:
+    """Accounting for the memoized Solution-2 delay probes.
+
+    Attributes
+    ----------
+    probes:
+        Total delay probes issued by the bisections (cache hits + solves).
+    solves:
+        Probes that actually ran a Solution-2 solve (cache misses).
+    """
+
+    probes: int
+    solves: int
+
+    @property
+    def hits(self) -> int:
+        """Probes answered from the cache without solving."""
+        return self.probes - self.solves
+
+
+def probe_stats() -> ProbeStats:
+    """Current cumulative probe counters (process-wide, monotone).
+
+    Callers wanting a per-operation delta should snapshot before and after;
+    the benchmark suite asserts a repeated surface build adds zero solves.
+    """
+    rate = _cached_rate_delay.cache_info()
+    mix = _cached_mix_delay.cache_info()
+    return ProbeStats(
+        probes=rate.hits + rate.misses + mix.hits + mix.misses,
+        solves=rate.misses + mix.misses,
+    )
+
+
+def clear_probe_cache() -> None:
+    """Drop every memoized probe (and reset the counters)."""
+    _cached_rate_delay.cache_clear()
+    _cached_mix_delay.cache_clear()
+
+
+@lru_cache(maxsize=_PROBE_CACHE_SIZE)
+def _cached_rate_delay(
+    params: HAPParameters, user_rate: float, service_rate: float
+) -> float:
+    candidate = replace(params, user_arrival_rate=user_rate)
+    if candidate.mean_message_rate >= service_rate:
+        return float("inf")
+    try:
+        return solve_solution2(candidate, service_rate).mean_delay
+    except (ValueError, ArithmeticError):
+        return float("inf")
 
 
 def _delay_at_user_rate(
@@ -43,15 +116,10 @@ def _delay_at_user_rate(
     """Solution-2 delay after swapping in a new user arrival rate.
 
     Returns +inf for unstable loads, which the bisection treats as
-    "not admissible".
+    "not admissible".  Memoized: frozen parameter objects hash by value, so
+    repeated probes across bisections cost one dict lookup.
     """
-    candidate = replace(params, user_arrival_rate=user_rate)
-    if candidate.mean_message_rate >= service_rate:
-        return float("inf")
-    try:
-        return solve_solution2(candidate, service_rate).mean_delay
-    except (ValueError, ArithmeticError):
-        return float("inf")
+    return _cached_rate_delay(params, user_rate, service_rate)
 
 
 def max_admissible_user_rate(
@@ -90,35 +158,63 @@ def max_admissible_user_rate(
     return low
 
 
-def _delay_for_population_mix(
-    params: HAPParameters,
-    populations: tuple[float, ...],
-    service_rate: float,
-) -> float:
-    """Solution-2 delay when application populations are *pinned*.
+def pinned_population_params(
+    params: HAPParameters, populations: tuple[float, ...]
+) -> HAPParameters | None:
+    """Parameters with application populations *pinned* at ``populations``.
 
     For admission control over connection-oriented services, the control
     variable is the number of admitted connections of each type, not the
     free-running population.  We model "``n_i`` connections of type ``i``"
     by scaling each type's invocation rate so its mean population equals
     ``n_i`` (the fluid-equivalent load), keeping everything else intact.
+    Returns ``None`` when every population is pinned at zero (an empty mix
+    offers no load).  Shared by the Solution-2 probes here and the exact
+    QBD miss path in :mod:`repro.service.server`.
     """
     apps = []
     for app, target in zip(params.applications, populations):
         mean_now = params.mean_users * app.offered_instances
         if target <= 0:
             continue
-        scale = target / mean_now
-        apps.append(replace(app, arrival_rate=app.arrival_rate * scale))
+        scaled = app.arrival_rate * (target / mean_now)
+        if scaled <= 0:  # target so small the scaled rate underflowed
+            continue
+        apps.append(replace(app, arrival_rate=scaled))
     if not apps:
+        return None
+    return replace(params, applications=tuple(apps))
+
+
+@lru_cache(maxsize=_PROBE_CACHE_SIZE)
+def _cached_mix_delay(
+    params: HAPParameters,
+    populations: tuple[float, ...],
+    service_rate: float,
+) -> float:
+    candidate = pinned_population_params(params, populations)
+    if candidate is None:
         return 0.0
-    candidate = replace(params, applications=tuple(apps))
     if candidate.mean_message_rate >= service_rate:
         return float("inf")
     try:
         return solve_solution2(candidate, service_rate).mean_delay
     except (ValueError, ArithmeticError):
         return float("inf")
+
+
+def _delay_for_population_mix(
+    params: HAPParameters,
+    populations: tuple[float, ...],
+    service_rate: float,
+) -> float:
+    """Solution-2 delay with populations pinned (memoized probe).
+
+    See :func:`pinned_population_params` for the pinning model.  The
+    neighbouring binary searches of :func:`admissible_region` re-probe the
+    same mixes constantly; the LRU turns those re-probes into lookups.
+    """
+    return _cached_mix_delay(params, tuple(populations), service_rate)
 
 
 def admissible_region(
@@ -193,19 +289,69 @@ class AdmissionTable:
     boundary: tuple[tuple[int, int], ...]
     delay_target: float
 
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_limits", {n1: n2 for n1, n2 in self.boundary}
+        )
+
     def admit(self, n1: int, n2: int) -> bool:
-        """O(log) table lookup: is the mix ``(n1, n2)`` admissible?"""
+        """O(1) table lookup: is the mix ``(n1, n2)`` admissible?"""
         if n1 < 0 or n2 < 0:
             raise ValueError("populations cannot be negative")
-        limits = dict(self.boundary)
-        if n1 not in limits:
+        limit = self._limits.get(n1)
+        if limit is None:
             return False
-        return n2 <= limits[n1]
+        return n2 <= limit
 
     @property
     def size(self) -> int:
         """Number of stored boundary points."""
         return len(self.boundary)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize as a versioned JSON document (``repro-admission-table/1``).
+
+        The artifact carries the staircase boundary and the delay target it
+        enforces — everything an interface needs to answer admits without
+        the model that built the table.
+        """
+        return json.dumps(
+            {
+                "schema": TABLE_SCHEMA,
+                "delay_target": self.delay_target,
+                "boundary": [[int(n1), int(n2)] for n1, n2 in self.boundary],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdmissionTable":
+        """Rebuild a table from :meth:`to_json` output.
+
+        Raises
+        ------
+        ValueError
+            When the document carries a missing or unknown ``schema`` — a
+            stale artifact must be rebuilt, never silently reinterpreted
+            (a wrong boundary admits traffic the delay target cannot carry).
+        """
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"admission table is not valid JSON: {error}")
+        schema = document.get("schema") if isinstance(document, dict) else None
+        if schema != TABLE_SCHEMA:
+            raise ValueError(
+                f"unsupported admission-table schema {schema!r} "
+                f"(expected {TABLE_SCHEMA}); rebuild the table with "
+                "build_admission_table"
+            )
+        boundary = tuple(
+            (int(n1), int(n2)) for n1, n2 in document["boundary"]
+        )
+        return cls(
+            boundary=boundary, delay_target=float(document["delay_target"])
+        )
 
 
 def build_admission_table(

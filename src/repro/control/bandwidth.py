@@ -22,18 +22,20 @@ def _delay_at_service_rate(
     solver: str,
     solver_kwargs: dict,
 ) -> float:
+    if solver not in ("solution2", "solution0"):
+        # Validated outside the try: a typo'd solver name must surface as
+        # a ValueError, not masquerade as an unmeetable delay target.
+        raise ValueError(f"unknown solver {solver!r}")
     if params.mean_message_rate >= service_rate:
         return float("inf")
     try:
         if solver == "solution2":
             return solve_solution2(params, service_rate).mean_delay
-        if solver == "solution0":
-            from repro.core.solution0 import solve_solution0
+        from repro.core.solution0 import solve_solution0
 
-            return solve_solution0(
-                params, service_rate, backend="qbd", **solver_kwargs
-            ).mean_delay
-        raise ValueError(f"unknown solver {solver!r}")
+        return solve_solution0(
+            params, service_rate, backend="qbd", **solver_kwargs
+        ).mean_delay
     except (ValueError, ArithmeticError):
         return float("inf")
 

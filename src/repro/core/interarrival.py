@@ -184,6 +184,8 @@ class InterarrivalDistribution:
         """
         anchors = [0.0]
         point = 0.2 * self.mean()
+        if not point > 0.0:  # degenerate mixture: mean underflowed to zero
+            return [0.0, upper]
         while point < upper:
             anchors.append(point)
             point *= 4.0

@@ -1,0 +1,272 @@
+"""Client and closed-loop load generator for the admission service.
+
+:class:`AdmissionClient` speaks the server's newline-delimited-JSON protocol
+over one TCP connection; :func:`run_load` drives a fleet of such connections
+closed-loop (each sends its next query as soon as the previous answer lands)
+and reports decisions/sec with client-observed latency percentiles — the
+numbers behind ``cli bench-serve`` and ``benchmarks/test_bench_service.py``.
+
+:func:`generate_queries` manufactures deterministic query mixes that pin a
+specific answer tier (``cached`` / ``interpolated`` / ``miss``), so the
+benchmarks measure one tier at a time instead of a blend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.surfaces import DecisionSurfaces
+
+__all__ = [
+    "AdmissionClient",
+    "LoadReport",
+    "generate_queries",
+    "run_load",
+]
+
+
+class AdmissionClient:
+    """One TCP connection to the admission service.
+
+    Usage::
+
+        client = await AdmissionClient.open("127.0.0.1", 4731)
+        answer = await client.admit(3, 5, 0.02)
+        await client.close()
+
+    Requests on a single client are serialized (one in flight at a time);
+    open several clients for concurrency, as :func:`run_load` does.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "AdmissionClient":
+        """Connect to a running service."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        """Send one raw request object; return the response object.
+
+        Raises ``RuntimeError`` when the server answers ``ok: false`` or
+        ``ConnectionError`` when it hangs up mid-exchange.
+        """
+        line = json.dumps(payload).encode() + b"\n"
+        async with self._lock:
+            self._writer.write(line)
+            await self._writer.drain()
+            answer = await self._reader.readline()
+        if not answer:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(answer)
+        if not response.get("ok", False):
+            raise RuntimeError(
+                f"service error: {response.get('error', 'unknown')!r}"
+            )
+        return response
+
+    async def admit(self, n1: float, n2: float, delay_target: float) -> dict:
+        """Admit/deny the mix ``(n1, n2)`` under ``delay_target``."""
+        return await self.request(
+            {"op": "admit", "n1": n1, "n2": n2, "delay_target": delay_target}
+        )
+
+    async def bandwidth(self, delay_target: float) -> dict:
+        """Minimum bandwidth meeting ``delay_target`` (``null`` = refused)."""
+        return await self.request({"op": "bandwidth", "delay_target": delay_target})
+
+    async def stats(self) -> dict:
+        """The server's per-tier counters."""
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def ping(self) -> dict:
+        """Liveness probe."""
+        return await self.request({"op": "ping"})
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def generate_queries(
+    surfaces: DecisionSurfaces,
+    tier: str,
+    count: int,
+    seed: int = 0,
+) -> list[tuple[float, float, float]]:
+    """Deterministic ``(n1, n2, delay_target)`` queries pinned to one tier.
+
+    * ``"cached"`` — integral populations on exact grid delay targets:
+      every query answers from the tier-1 surface lookup.
+    * ``"interpolated"`` — fractional ``n1`` and/or between-row delay
+      targets inside the hull: every query answers from the tier-2
+      conservative interpolation.
+    * ``"miss"`` — delay targets beyond the grid's last row: every query
+      goes to the tier-3 live solve.
+
+    Seeded (`numpy` PCG64), so benchmark runs replay the same mix.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    rng = np.random.default_rng(seed)
+    targets = surfaces.delay_targets
+    max_pop = surfaces.max_population
+    queries: list[tuple[float, float, float]] = []
+    if tier == "cached":
+        rows = rng.integers(0, len(targets), size=count)
+        n1s = rng.integers(0, max_pop + 1, size=count)
+        n2s = rng.integers(0, max_pop + 1, size=count)
+        for row, n1, n2 in zip(rows, n1s, n2s):
+            queries.append((float(n1), float(n2), float(targets[row])))
+    elif tier == "interpolated":
+        # Fractional n1 forces interpolation even on a single-row grid;
+        # between-row delay targets add the second axis when available.
+        n1s = rng.uniform(0.25, max(max_pop - 0.25, 0.3), size=count)
+        n2s = rng.integers(0, max_pop + 1, size=count)
+        if len(targets) > 1:
+            rows = rng.integers(0, len(targets) - 1, size=count)
+            theta = rng.uniform(0.2, 0.8, size=count)
+            delays = targets[rows] + theta * (targets[rows + 1] - targets[rows])
+        else:
+            delays = np.full(count, float(targets[0]))
+        for n1, n2, delay in zip(n1s, n2s, delays):
+            queries.append((float(n1), float(n2), float(delay)))
+    elif tier == "miss":
+        n1s = rng.integers(0, max_pop + 1, size=count)
+        n2s = rng.integers(0, max_pop + 1, size=count)
+        scale = rng.uniform(1.5, 3.0, size=count)
+        for n1, n2, s in zip(n1s, n2s, scale):
+            queries.append((float(n1), float(n2), float(targets[-1]) * float(s)))
+    else:
+        raise ValueError(
+            f"unknown tier {tier!r}; use 'cached', 'interpolated', or 'miss'"
+        )
+    return queries
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate result of one closed-loop load run.
+
+    Attributes
+    ----------
+    requests:
+        Total answered queries.
+    elapsed_s:
+        Wall-clock span of the run.
+    decisions_per_sec:
+        ``requests / elapsed_s``.
+    p50_latency_ms, p99_latency_ms, max_latency_ms:
+        Client-observed per-request latency percentiles (milliseconds).
+    admitted, denied:
+        Decision outcome counts.
+    tiers:
+        Answer-tier histogram (``surface`` / ``interpolated`` / ``solve``
+        / ``degraded``) as reported per response.
+    """
+
+    requests: int
+    elapsed_s: float
+    decisions_per_sec: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    max_latency_ms: float
+    admitted: int
+    denied: int
+    tiers: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-paragraph summary for CLI output."""
+        tier_text = ", ".join(
+            f"{tier}={count}" for tier, count in sorted(self.tiers.items())
+        )
+        return (
+            f"{self.requests} decisions in {self.elapsed_s:.3f} s "
+            f"({self.decisions_per_sec:,.0f}/s), latency p50 "
+            f"{self.p50_latency_ms:.3f} ms / p99 {self.p99_latency_ms:.3f} ms "
+            f"/ max {self.max_latency_ms:.3f} ms; "
+            f"{self.admitted} admitted, {self.denied} denied [{tier_text}]"
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+async def run_load(
+    host: str,
+    port: int,
+    queries: list[tuple[float, float, float]],
+    connections: int = 4,
+) -> LoadReport:
+    """Drive ``queries`` through the service closed-loop; aggregate a report.
+
+    The queries are dealt round-robin across ``connections`` TCP
+    connections; each connection issues its next query the moment the
+    previous answer arrives (closed loop, no think time), so the measured
+    decisions/sec is the service's sustained throughput at that concurrency.
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    connections = max(1, min(connections, len(queries)))
+    loop = asyncio.get_running_loop()
+    clients = [
+        await AdmissionClient.open(host, port) for _ in range(connections)
+    ]
+    shards: list[list[tuple[float, float, float]]] = [
+        queries[i::connections] for i in range(connections)
+    ]
+    latencies: list[float] = []
+    tiers: dict[str, int] = {}
+    admitted = denied = 0
+
+    async def drive(client: AdmissionClient, shard) -> None:
+        nonlocal admitted, denied
+        for n1, n2, delay_target in shard:
+            started = loop.time()
+            response = await client.admit(n1, n2, delay_target)
+            latencies.append(loop.time() - started)
+            tier = response.get("tier", "unknown")
+            tiers[tier] = tiers.get(tier, 0) + 1
+            if response.get("admit"):
+                admitted += 1
+            else:
+                denied += 1
+
+    run_started = loop.time()
+    try:
+        await asyncio.gather(
+            *(drive(client, shard) for client, shard in zip(clients, shards))
+        )
+    finally:
+        for client in clients:
+            await client.close()
+    elapsed = max(loop.time() - run_started, 1e-9)
+    latencies.sort()
+    return LoadReport(
+        requests=len(latencies),
+        elapsed_s=elapsed,
+        decisions_per_sec=len(latencies) / elapsed,
+        p50_latency_ms=_percentile(latencies, 0.50) * 1e3,
+        p99_latency_ms=_percentile(latencies, 0.99) * 1e3,
+        max_latency_ms=(latencies[-1] if latencies else 0.0) * 1e3,
+        admitted=admitted,
+        denied=denied,
+        tiers=tiers,
+    )

@@ -1,0 +1,497 @@
+"""The asyncio admission-control service: three tiers, conservative by design.
+
+Answer path for an ``admit(n1, n2, delay_target)`` query:
+
+1. **surface** — the query sits exactly on the precomputed grid: one array
+   lookup, synchronous on the event loop (microseconds, vectorizable via
+   :meth:`~repro.service.surfaces.DecisionSurfaces.admit_batch`).
+2. **interpolated** — the query lies inside the grid hull but off-grid: the
+   conservative-corner bound (see :mod:`repro.service.surfaces`), still
+   synchronous.  The bilinear estimate rides along for planning.
+3. **solve** — a true miss (outside the hull): a live solve dispatched to a
+   reusable worker pool via ``run_in_executor`` under ``asyncio.wait_for``,
+   so the event loop never blocks and no request outlives its deadline.
+   The solve itself is a :class:`~repro.runtime.resilience.DegradationChain`
+   (``admission-solve``): optionally the exact QBD ladder — warm-started
+   across misses through the PR-3 mapping cache — then the Solution-2
+   closed form.  A solve that times out, exhausts its ladder, or hits a
+   poisoned rung (:mod:`repro.runtime.chaos`) degrades to tier
+   **degraded**: a conservative *deny* (bandwidth queries answer ``inf`` —
+   "do not commit").  The service may under-admit under faults; it never
+   over-admits and never hangs.
+
+The TCP front end (:func:`start_server`) speaks newline-delimited JSON —
+one request object per line, one response object per line — the simplest
+protocol a 1993-style ATM interface shim or a modern sidecar can speak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import count
+
+from repro.control.admission_table import (
+    _delay_for_population_mix,
+    pinned_population_params,
+)
+from repro.control.bandwidth import bandwidth_for_delay_target
+from repro.runtime import chaos
+from repro.runtime.resilience import DegradationChain, DegradationError
+from repro.service.surfaces import DecisionSurfaces
+
+__all__ = [
+    "AdmissionService",
+    "BandwidthAnswer",
+    "Decision",
+    "start_server",
+]
+
+#: Degradation-chain identity for the miss path; chaos poison keys are
+#: ``"admission-solve:qbd"`` / ``"admission-solve:solution2"``.
+SOLVE_CHAIN = "admission-solve"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admit/deny answer with its provenance.
+
+    Attributes
+    ----------
+    admit:
+        The decision.  Under degradation this is always ``False``.
+    tier:
+        ``"surface"`` | ``"interpolated"`` | ``"solve"`` | ``"degraded"``.
+    max_n2:
+        The boundary value the decision compared against (``None`` on the
+        solve/degraded tiers, which probe the queried point directly).
+    estimate:
+        Bilinear boundary estimate (interpolated tier only) — planning
+        data, never the decision.
+    latency_s:
+        Service-side decision latency in seconds.
+    detail:
+        Human-readable context (degradation reason, solver rung, ...).
+    """
+
+    admit: bool
+    tier: str
+    max_n2: float | None
+    estimate: float | None
+    latency_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BandwidthAnswer:
+    """One bandwidth-for-delay-target answer.
+
+    ``bandwidth`` is ``inf`` on the degraded tier: a service that cannot
+    size a link refuses to commit capacity rather than under-provisioning.
+    """
+
+    bandwidth: float
+    estimate: float | None
+    tier: str
+    latency_s: float
+    detail: str = ""
+
+
+def _solve_admit_miss(
+    surfaces: DecisionSurfaces,
+    n1: float,
+    n2: float,
+    delay_target: float,
+    request_index: int,
+    exact: bool,
+    warm_state: dict,
+):
+    """Worker-pool body for a tier-3 admit: returns (delay, diagnostics).
+
+    Runs in a pool thread, never on the event loop.  Chaos faults are
+    honoured here: the active plan's injected delay for this request index
+    is slept (a hung solve), and the degradation chain consults the
+    poisoned-rung registry before each rung.
+    """
+    plan = chaos.active_plan()
+    if plan is not None:
+        chaos.set_context(request_index, 1)
+        pause = plan.delay_for(request_index, 1)
+        if pause > 0.0:
+            time.sleep(pause)
+    params = surfaces.params
+    service_rate = surfaces.service_rate
+
+    def qbd_rung() -> float:
+        from repro.core.solution0 import solve_solution0
+
+        pinned = pinned_population_params(params, (n1, n2))
+        if pinned is None:
+            return 0.0
+        warm = warm_state.get("rate_matrix")
+        try:
+            result = solve_solution0(
+                params=pinned,
+                service_rate=service_rate,
+                backend="qbd",
+                qbd_initial_rate_matrix=warm,
+            )
+        except ValueError:
+            if warm is None:
+                raise
+            # A warm R from a differently-shaped phase space (the auto
+            # modulating bounds track the pinned mix) is rejected with a
+            # ValueError; drop it and solve cold.
+            warm_state.pop("rate_matrix", None)
+            result = solve_solution0(
+                params=pinned, service_rate=service_rate, backend="qbd"
+            )
+        if result.rate_matrix is not None:
+            warm_state["rate_matrix"] = result.rate_matrix
+        return result.mean_delay
+
+    def solution2_rung() -> float:
+        return _delay_for_population_mix(
+            params, (float(n1), float(n2)), service_rate
+        )
+
+    rungs = [("qbd", qbd_rung)] if exact else []
+    rungs.append(("solution2", solution2_rung))
+    return DegradationChain(SOLVE_CHAIN, rungs).run()
+
+
+def _solve_bandwidth_miss(
+    surfaces: DecisionSurfaces, delay_target: float, request_index: int
+):
+    """Worker-pool body for a tier-3 bandwidth query."""
+    plan = chaos.active_plan()
+    if plan is not None:
+        chaos.set_context(request_index, 1)
+        pause = plan.delay_for(request_index, 1)
+        if pause > 0.0:
+            time.sleep(pause)
+
+    def solution2_rung() -> float:
+        return bandwidth_for_delay_target(surfaces.params, delay_target)
+
+    return DegradationChain(SOLVE_CHAIN, [("solution2", solution2_rung)]).run()
+
+
+class AdmissionService:
+    """Answers admit/deny and bandwidth queries against decision surfaces.
+
+    Parameters
+    ----------
+    surfaces:
+        The precomputed :class:`~repro.service.surfaces.DecisionSurfaces`
+        (typically loaded from the boot artifact).
+    solve_timeout:
+        Deadline in seconds for a tier-3 live solve; an overdue solve
+        degrades to a conservative deny.  The deadline bounds the *answer*,
+        not the worker thread (a stuck thread keeps its pool slot until it
+        returns — size ``solver_workers`` accordingly).
+    solver_workers:
+        Width of the reusable solve pool (threads; the solves are
+        numpy/scipy-bound and release the GIL in their kernels).
+    exact:
+        Route tier-3 admits through the exact QBD ladder (warm-started
+        across misses via the cached HAP→MMPP mapping) before the
+        Solution-2 closed form.  Off by default: Solution 2 is the paper's
+        recommended control-plane solver in its validity region.
+    """
+
+    def __init__(
+        self,
+        surfaces: DecisionSurfaces,
+        solve_timeout: float = 10.0,
+        solver_workers: int = 1,
+        exact: bool = False,
+    ):
+        if solve_timeout <= 0:
+            raise ValueError("solve_timeout must be positive")
+        if solver_workers < 1:
+            raise ValueError("solver_workers must be at least 1")
+        self.surfaces = surfaces
+        self.solve_timeout = float(solve_timeout)
+        self.exact = bool(exact)
+        self._pool = ThreadPoolExecutor(
+            max_workers=solver_workers, thread_name_prefix="repro-solve"
+        )
+        self._qbd_warm: dict = {}
+        self._request_index = count()
+        self.counters: dict[str, int] = {
+            "surface": 0,
+            "interpolated": 0,
+            "solve": 0,
+            "degraded": 0,
+            "denied": 0,
+            "admitted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Decision paths
+    # ------------------------------------------------------------------
+    def _finish(self, decision: Decision) -> Decision:
+        self.counters[decision.tier] += 1
+        self.counters["admitted" if decision.admit else "denied"] += 1
+        return decision
+
+    @staticmethod
+    def _validate_admit_query(n1: float, n2: float, delay_target: float) -> None:
+        for label, value in (("n1", n1), ("n2", n2)):
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{label} must be finite and non-negative")
+        if not math.isfinite(delay_target) or delay_target <= 0:
+            raise ValueError("delay_target must be finite and positive")
+
+    async def admit(self, n1: float, n2: float, delay_target: float) -> Decision:
+        """Admit or deny the mix ``(n1, n2)`` under ``delay_target``."""
+        started = time.perf_counter()
+        self._validate_admit_query(n1, n2, delay_target)
+        n1, n2, delay_target = float(n1), float(n2), float(delay_target)
+
+        bound = self.surfaces.grid_bound(n1, delay_target)
+        if bound is not None:
+            return self._finish(
+                Decision(
+                    admit=n2 <= bound,
+                    tier="surface",
+                    max_n2=bound,
+                    estimate=None,
+                    latency_s=time.perf_counter() - started,
+                )
+            )
+
+        interpolated = self.surfaces.interpolated_bound(n1, delay_target)
+        if interpolated is not None:
+            return self._finish(
+                Decision(
+                    admit=n2 <= interpolated.max_n2,
+                    tier="interpolated",
+                    max_n2=interpolated.max_n2,
+                    estimate=interpolated.estimate,
+                    latency_s=time.perf_counter() - started,
+                    detail="conservative corner bound",
+                )
+            )
+
+        index = next(self._request_index)
+        loop = asyncio.get_running_loop()
+        try:
+            delay, diagnostics = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._pool,
+                    _solve_admit_miss,
+                    self.surfaces,
+                    n1,
+                    n2,
+                    delay_target,
+                    index,
+                    self.exact,
+                    self._qbd_warm,
+                ),
+                timeout=self.solve_timeout,
+            )
+        except asyncio.TimeoutError:
+            return self._finish(
+                Decision(
+                    admit=False,
+                    tier="degraded",
+                    max_n2=None,
+                    estimate=None,
+                    latency_s=time.perf_counter() - started,
+                    detail=f"solve exceeded {self.solve_timeout:g}s deadline; "
+                    "conservative deny",
+                )
+            )
+        except (DegradationError, Exception) as error:  # noqa: BLE001
+            return self._finish(
+                Decision(
+                    admit=False,
+                    tier="degraded",
+                    max_n2=None,
+                    estimate=None,
+                    latency_s=time.perf_counter() - started,
+                    detail=f"solve failed ({error!r}); conservative deny",
+                )
+            )
+        return self._finish(
+            Decision(
+                admit=delay <= delay_target,
+                tier="solve",
+                max_n2=None,
+                estimate=delay,
+                latency_s=time.perf_counter() - started,
+                detail=f"live solve answered by rung {diagnostics.rung!r}",
+            )
+        )
+
+    async def bandwidth(self, delay_target: float) -> BandwidthAnswer:
+        """Minimum bandwidth meeting ``delay_target`` (``inf`` = refused)."""
+        started = time.perf_counter()
+        if not math.isfinite(delay_target) or delay_target <= 0:
+            raise ValueError("delay_target must be finite and positive")
+        delay_target = float(delay_target)
+
+        answer = self.surfaces.bandwidth_bound(delay_target)
+        if answer is not None:
+            bound, estimate, exact = answer
+            tier = "surface" if exact else "interpolated"
+            self.counters[tier] += 1
+            return BandwidthAnswer(
+                bandwidth=bound,
+                estimate=estimate,
+                tier=tier,
+                latency_s=time.perf_counter() - started,
+            )
+
+        index = next(self._request_index)
+        loop = asyncio.get_running_loop()
+        try:
+            bandwidth, diagnostics = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._pool,
+                    _solve_bandwidth_miss,
+                    self.surfaces,
+                    delay_target,
+                    index,
+                ),
+                timeout=self.solve_timeout,
+            )
+        except asyncio.TimeoutError:
+            self.counters["degraded"] += 1
+            return BandwidthAnswer(
+                bandwidth=math.inf,
+                estimate=None,
+                tier="degraded",
+                latency_s=time.perf_counter() - started,
+                detail=f"solve exceeded {self.solve_timeout:g}s deadline; "
+                "refusing to size the link",
+            )
+        except (DegradationError, Exception) as error:  # noqa: BLE001
+            self.counters["degraded"] += 1
+            return BandwidthAnswer(
+                bandwidth=math.inf,
+                estimate=None,
+                tier="degraded",
+                latency_s=time.perf_counter() - started,
+                detail=f"solve failed ({error!r}); refusing to size the link",
+            )
+        self.counters["solve"] += 1
+        return BandwidthAnswer(
+            bandwidth=bandwidth,
+            estimate=bandwidth,
+            tier="solve",
+            latency_s=time.perf_counter() - started,
+            detail=f"live solve answered by rung {diagnostics.rung!r}",
+        )
+
+    def stats(self) -> dict[str, int]:
+        """A snapshot of the per-tier and admit/deny counters."""
+        return dict(self.counters)
+
+    def close(self) -> None:
+        """Shut the solve pool down (pending solves are abandoned)."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "AdmissionService":
+        """Context-manager entry (returns the service)."""
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        """Context-manager exit: close the solve pool."""
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# TCP front end (newline-delimited JSON)
+# ----------------------------------------------------------------------
+def _decision_payload(decision: Decision) -> dict:
+    return {
+        "ok": True,
+        "admit": decision.admit,
+        "tier": decision.tier,
+        "max_n2": decision.max_n2,
+        "estimate": decision.estimate,
+        "latency_us": round(decision.latency_s * 1e6, 1),
+        "detail": decision.detail,
+    }
+
+
+def _bandwidth_payload(answer: BandwidthAnswer) -> dict:
+    return {
+        "ok": True,
+        "bandwidth": None if math.isinf(answer.bandwidth) else answer.bandwidth,
+        "estimate": answer.estimate,
+        "tier": answer.tier,
+        "latency_us": round(answer.latency_s * 1e6, 1),
+        "detail": answer.detail,
+    }
+
+
+async def _handle_request(service: AdmissionService, request: dict) -> dict:
+    op = request.get("op")
+    if op == "admit":
+        decision = await service.admit(
+            float(request["n1"]),
+            float(request["n2"]),
+            float(request["delay_target"]),
+        )
+        return _decision_payload(decision)
+    if op == "bandwidth":
+        answer = await service.bandwidth(float(request["delay_target"]))
+        return _bandwidth_payload(answer)
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    raise ValueError(f"unknown op {op!r}")
+
+
+async def _handle_connection(
+    service: AdmissionService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: a request line in, a response line out."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response = await _handle_request(service, request)
+            except Exception as error:  # noqa: BLE001 — protocol errors answer, not kill
+                response = {"ok": False, "error": str(error)}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # Server shutdown cancels handlers mid-close; the connection is
+            # going away either way, so end the task cleanly.
+            pass
+
+
+async def start_server(
+    service: AdmissionService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the TCP front end; ``port=0`` picks an ephemeral port.
+
+    Returns the asyncio server (not yet ``serve_forever``-ed); the bound
+    address is ``server.sockets[0].getsockname()``.
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)

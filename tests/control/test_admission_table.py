@@ -5,10 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.control.admission_table import (
+    AdmissionTable,
     admissible_region,
     build_admission_table,
+    clear_probe_cache,
     linear_region_approximation,
     max_admissible_user_rate,
+    pinned_population_params,
+    probe_stats,
 )
 from repro.core.params import ApplicationType, HAPParameters, MessageType
 from repro.core.solution2 import solve_solution2
@@ -119,3 +123,87 @@ class TestLinearApproximation:
             linear_region_approximation([])
         with pytest.raises(ValueError):
             linear_region_approximation([(1, 5)])  # missing n1=0 point
+
+    def test_degenerate_zero_intercepts_rejected(self):
+        # A region that only contains the origin has no half-plane; both
+        # zero intercepts must be refused, not divided by.
+        with pytest.raises(ValueError, match="degenerate"):
+            linear_region_approximation([(0, 0)])
+        with pytest.raises(ValueError, match="degenerate"):
+            linear_region_approximation([(0, 0), (1, 0)])
+        with pytest.raises(ValueError, match="degenerate"):
+            linear_region_approximation([(0, 5)])  # n1 never leaves the axis
+
+
+class TestTableSerialization:
+    def test_round_trip_preserves_decisions(self, two_type):
+        table = build_admission_table(two_type, 0.6, max_population=12)
+        restored = AdmissionTable.from_json(table.to_json())
+        assert restored.boundary == table.boundary
+        assert restored.delay_target == table.delay_target
+        for n1 in range(14):
+            for n2 in range(14):
+                assert restored.admit(n1, n2) == table.admit(n1, n2)
+
+    def test_stale_schema_refused(self, two_type):
+        import json
+
+        table = build_admission_table(two_type, 0.6, max_population=6)
+        document = json.loads(table.to_json())
+        document["schema"] = "repro-admission-table/0"
+        with pytest.raises(ValueError, match="unsupported admission-table"):
+            AdmissionTable.from_json(json.dumps(document))
+
+    def test_missing_schema_refused(self):
+        with pytest.raises(ValueError, match="unsupported admission-table"):
+            AdmissionTable.from_json('{"boundary": [], "delay_target": 1.0}')
+
+    def test_invalid_json_refused(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            AdmissionTable.from_json("{half a document")
+
+
+class TestProbeCache:
+    def test_repeat_build_solves_nothing(self, two_type):
+        clear_probe_cache()
+        admissible_region(two_type, 0.6, max_population=8)
+        first = probe_stats()
+        assert first.solves > 0
+        admissible_region(two_type, 0.6, max_population=8)
+        second = probe_stats()
+        # Every probe of the repeat build is a cache hit.
+        assert second.solves == first.solves
+        assert second.probes > first.probes
+
+    def test_stats_accounting(self, two_type):
+        clear_probe_cache()
+        assert probe_stats().probes == 0
+        admissible_region(two_type, 0.6, max_population=4)
+        stats = probe_stats()
+        assert stats.probes == stats.solves + stats.hits
+        assert stats.solves <= stats.probes
+
+    def test_clear_resets_counters(self, two_type):
+        admissible_region(two_type, 0.6, max_population=4)
+        clear_probe_cache()
+        assert probe_stats().probes == 0
+        assert probe_stats().solves == 0
+
+
+class TestPinnedPopulations:
+    def test_pinned_means_match_targets(self, two_type):
+        pinned = pinned_population_params(two_type, (3.0, 2.0))
+        assert pinned is not None
+        for app, target in zip(pinned.applications, (3.0, 2.0)):
+            assert pinned.mean_users * app.offered_instances == pytest.approx(
+                target
+            )
+
+    def test_empty_mix_is_none(self, two_type):
+        assert pinned_population_params(two_type, (0.0, 0.0)) is None
+
+    def test_zero_population_type_dropped(self, two_type):
+        pinned = pinned_population_params(two_type, (0.0, 2.0))
+        assert pinned is not None
+        assert len(pinned.applications) == 1
+        assert pinned.applications[0].name == "heavy"

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
+import repro.control.bandwidth as bandwidth_module
 from repro.control.bandwidth import (
+    _delay_at_service_rate,
     bandwidth_for_delay_target,
     bandwidth_for_wait_percentile,
 )
@@ -37,6 +41,65 @@ class TestDelayTarget:
     def test_rejects_nonpositive_target(self, small_hap):
         with pytest.raises(ValueError):
             bandwidth_for_delay_target(small_hap, 0.0)
+
+
+class TestDelayProbeEdgeCases:
+    def test_unstable_load_probes_as_infinite_delay(self, small_hap):
+        """At or below the offered load the queue diverges: probe reads inf."""
+        lam = small_hap.mean_message_rate
+        assert _delay_at_service_rate(small_hap, lam, "solution2", {}) == math.inf
+        assert (
+            _delay_at_service_rate(small_hap, lam * 0.5, "solution2", {})
+            == math.inf
+        )
+
+    def test_solver_failure_probes_as_infinite_delay(
+        self, small_hap, monkeypatch
+    ):
+        """A solver blow-up reads as "target not met", not a crash."""
+
+        def explode(*_args, **_kwargs):
+            raise ArithmeticError("synthetic solver failure")
+
+        monkeypatch.setattr(bandwidth_module, "solve_solution2", explode)
+        assert (
+            _delay_at_service_rate(small_hap, 100.0, "solution2", {})
+            == math.inf
+        )
+
+    def test_unknown_solver_raises_not_masks(self, small_hap):
+        """A typo'd solver name must be a ValueError, not a fake bracket failure."""
+        with pytest.raises(ValueError, match="unknown solver"):
+            bandwidth_for_delay_target(small_hap, 0.8, solver="solution3")
+
+    def test_bracket_failure_raises_arithmetic_error(
+        self, small_hap, monkeypatch
+    ):
+        """When no finite mu ever meets the target, the search must say so."""
+
+        def always_fails(*_args, **_kwargs):
+            raise ValueError("synthetic: no solve converges")
+
+        monkeypatch.setattr(bandwidth_module, "solve_solution2", always_fails)
+        with pytest.raises(ArithmeticError, match="no finite bandwidth"):
+            bandwidth_for_delay_target(small_hap, 0.8)
+
+    def test_percentile_bracket_failure_raises_arithmetic_error(
+        self, small_hap, monkeypatch
+    ):
+        def always_fails(*_args, **_kwargs):
+            raise ValueError("synthetic: no solve converges")
+
+        monkeypatch.setattr(bandwidth_module, "solve_solution2", always_fails)
+        with pytest.raises(ArithmeticError, match="no finite bandwidth"):
+            bandwidth_for_wait_percentile(small_hap, 0.5, quantile=0.9)
+
+    def test_result_exceeds_both_lower_bounds(self, small_hap):
+        """The sized mu clears stability AND the one-service-time floor."""
+        target = 0.8
+        mu = bandwidth_for_delay_target(small_hap, target)
+        assert mu > small_hap.mean_message_rate
+        assert mu > 1.0 / target
 
 
 class TestWaitPercentile:

@@ -29,6 +29,7 @@ def _record(key: str, events_per_sec=1000.0, wall=10.0, rss=100.0) -> dict:
         "events_per_sec": events_per_sec,
         "wall_clock_s": wall,
         "peak_rss_mb": rss,
+        "p99_latency_ms": 5.0,
     }
 
 

@@ -1,0 +1,1 @@
+"""Tests for the repro.service online admission-control package."""

@@ -1,0 +1,225 @@
+"""Tests for repro.service.surfaces: build, lookups, contract, artifact."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.admission_table import (
+    _delay_for_population_mix,
+    probe_stats,
+)
+from repro.service.surfaces import (
+    SURFACE_SCHEMA,
+    DecisionSurfaces,
+    build_decision_surfaces,
+    load_surfaces,
+    save_surfaces,
+)
+
+
+class TestBuild:
+    def test_shapes_and_grid(self, surfaces):
+        assert surfaces.delay_targets.shape == (3,)
+        assert surfaces.max_n2.shape == (3, 9)
+        assert surfaces.bandwidth.shape == (3,)
+        assert surfaces.max_population == 8
+        assert surfaces.grid_points == 27
+
+    def test_monotone_in_delay_target(self, surfaces):
+        """Looser targets admit at least as much — the contract's backbone."""
+        assert np.all(np.diff(surfaces.max_n2, axis=0) >= 0)
+        assert np.all(np.diff(surfaces.bandwidth) <= 0)
+
+    def test_monotone_in_n1(self, surfaces):
+        """More type-1 connections never admit more type-2 alongside."""
+        assert np.all(np.diff(surfaces.max_n2, axis=1) <= 0)
+
+    def test_rows_match_direct_admissible_region(self, surfaces, surface_params):
+        from repro.control.admission_table import admissible_region
+
+        boundary = dict(
+            admissible_region(surface_params, 0.9, max_population=8)
+        )
+        row = surfaces.max_n2[1]
+        for n1 in range(9):
+            assert row[n1] == float(boundary.get(n1, -1))
+
+    def test_rejects_bad_inputs(self, surface_params):
+        with pytest.raises(ValueError, match="2 application types"):
+            from dataclasses import replace
+
+            one_type = replace(
+                surface_params, applications=surface_params.applications[:1]
+            )
+            build_decision_surfaces(one_type, (0.6,))
+        with pytest.raises(ValueError, match="at least one delay target"):
+            build_decision_surfaces(surface_params, ())
+        with pytest.raises(ValueError, match="positive"):
+            build_decision_surfaces(surface_params, (-0.5,))
+
+    def test_rebuild_is_all_cache_hits(self, surfaces, surface_params):
+        """The memoized probes make a repeat build solve-free (satellite 1)."""
+        before = probe_stats()
+        rebuilt = build_decision_surfaces(
+            surface_params, (0.6, 0.9, 1.4), max_population=8, max_workers=1
+        )
+        after = probe_stats()
+        assert after.solves == before.solves
+        assert after.probes > before.probes
+        assert np.array_equal(rebuilt.max_n2, surfaces.max_n2)
+
+
+class TestLookups:
+    def test_grid_bound_on_grid(self, surfaces):
+        assert surfaces.grid_bound(0.0, 0.6) == surfaces.max_n2[0, 0]
+        assert surfaces.grid_bound(3.0, 1.4) == surfaces.max_n2[2, 3]
+
+    def test_grid_bound_off_grid_is_none(self, surfaces):
+        assert surfaces.grid_bound(2.5, 0.6) is None
+        assert surfaces.grid_bound(2.0, 0.75) is None
+        assert surfaces.grid_bound(2.0, 5.0) is None
+
+    def test_admit_batch_matches_scalar(self, surfaces):
+        n1 = np.array([0.0, 1.0, 4.0, 8.0])
+        n2 = np.array([0.0, 2.0, 1.0, 0.0])
+        targets = np.array([0.6, 0.9, 1.4, 0.9])
+        answers = surfaces.admit_batch(n1, n2, targets)
+        for i in range(4):
+            bound = surfaces.grid_bound(float(n1[i]), float(targets[i]))
+            assert answers[i] == (n2[i] <= bound)
+
+    def test_admit_batch_rejects_off_grid(self, surfaces):
+        with pytest.raises(ValueError, match="exact-grid"):
+            surfaces.admit_batch(
+                np.array([0.5]), np.array([0.0]), np.array([0.6])
+            )
+        with pytest.raises(ValueError, match="exact-grid"):
+            surfaces.admit_batch(
+                np.array([1.0]), np.array([0.0]), np.array([0.75])
+            )
+
+    def test_interpolated_bound_is_conservative_corner(self, surfaces):
+        bound = surfaces.interpolated_bound(2.3, 1.0)
+        # Corner: row of largest target <= 1.0 (0.9), column ceil(2.3) = 3.
+        assert bound is not None
+        assert bound.max_n2 == surfaces.max_n2[1, 3]
+        assert not bound.exact
+
+    def test_interpolated_estimate_between_corners(self, surfaces):
+        bound = surfaces.interpolated_bound(2.5, 1.1)
+        corners = surfaces.max_n2[1:3, 2:4]
+        assert corners.min() <= bound.estimate <= corners.max()
+
+    def test_outside_hull_is_none(self, surfaces):
+        assert surfaces.interpolated_bound(2.0, 0.1) is None
+        assert surfaces.interpolated_bound(2.0, 99.0) is None
+        assert surfaces.interpolated_bound(99.0, 0.9) is None
+
+    def test_bandwidth_bound_never_under_provisions(self, surfaces):
+        bound, estimate, exact = surfaces.bandwidth_bound(1.0)
+        assert not exact
+        assert bound == surfaces.bandwidth[1]
+        assert bound >= estimate  # bandwidth falls with looser targets
+        assert surfaces.bandwidth_bound(99.0) is None
+
+    def test_bandwidth_bound_exact_on_grid(self, surfaces):
+        bound, estimate, exact = surfaces.bandwidth_bound(0.9)
+        assert exact
+        assert bound == estimate == surfaces.bandwidth[1]
+
+
+class TestConservativeContract:
+    """The acceptance property: interpolated admits re-admit under a solve."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n1=st.floats(min_value=0.0, max_value=8.0),
+        theta=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_interpolated_admit_confirmed_by_direct_solve(self, n1, theta):
+        surfaces = _CONTRACT_SURFACES
+        params = _CONTRACT_PARAMS
+        lo, hi = float(surfaces.delay_targets[0]), float(
+            surfaces.delay_targets[-1]
+        )
+        delay_target = lo + theta * (hi - lo)
+        bound = surfaces.interpolated_bound(n1, delay_target)
+        assert bound is not None
+        if bound.max_n2 < 0:
+            return  # corner admits nothing; nothing to confirm
+        # The largest n2 the interpolated tier would admit...
+        n2 = float(math.floor(bound.max_n2))
+        # ...must be admitted by a direct Solution-2 solve at the exact
+        # queried (n1, n2, delay_target) point.
+        delay = _delay_for_population_mix(
+            params, (float(n1), n2), surfaces.service_rate
+        )
+        assert delay <= delay_target * (1.0 + 1e-9)
+
+
+# Hypothesis forbids function-scoped fixtures inside @given; the contract
+# surface is built once at import instead (cheap: probes hit the LRU).
+_CONTRACT_PARAMS = None
+_CONTRACT_SURFACES = None
+
+
+def _build_contract_surface():
+    global _CONTRACT_PARAMS, _CONTRACT_SURFACES
+    from tests.service.conftest import _small_params
+
+    if _CONTRACT_SURFACES is None:
+        _CONTRACT_PARAMS = _small_params()
+        _CONTRACT_SURFACES = build_decision_surfaces(
+            _CONTRACT_PARAMS, (0.6, 0.9, 1.4), max_population=8, max_workers=1
+        )
+
+
+_build_contract_surface()
+
+
+class TestArtifact:
+    def test_round_trip(self, surfaces, tmp_path):
+        path = save_surfaces(surfaces, tmp_path / "surfaces.json")
+        loaded = load_surfaces(path)
+        assert np.array_equal(loaded.delay_targets, surfaces.delay_targets)
+        assert np.array_equal(loaded.max_n2, surfaces.max_n2)
+        assert np.array_equal(loaded.bandwidth, surfaces.bandwidth)
+        assert loaded.service_rate == surfaces.service_rate
+        assert loaded.params == surfaces.params
+
+    def test_round_trip_preserves_infinite_bandwidth(self, surfaces):
+        import dataclasses
+
+        crippled = dataclasses.replace(
+            surfaces,
+            bandwidth=np.array([math.inf] * len(surfaces.delay_targets)),
+        )
+        loaded = DecisionSurfaces.from_json(crippled.to_json())
+        assert np.all(np.isinf(loaded.bandwidth))
+
+    def test_stale_schema_refused(self, surfaces):
+        document = json.loads(surfaces.to_json())
+        document["schema"] = "repro-admission-surface/0"
+        with pytest.raises(ValueError, match="unsupported surface schema"):
+            DecisionSurfaces.from_json(json.dumps(document))
+
+    def test_missing_schema_refused(self):
+        with pytest.raises(ValueError, match="unsupported surface schema"):
+            DecisionSurfaces.from_json('{"delay_targets": [0.5]}')
+
+    def test_invalid_json_refused(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            DecisionSurfaces.from_json("not json at all")
+
+    def test_corrupt_grid_refused(self, surfaces):
+        document = json.loads(surfaces.to_json())
+        document["delay_targets"] = [0.9, 0.6, 1.4]  # not increasing
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DecisionSurfaces.from_json(json.dumps(document))
+        assert SURFACE_SCHEMA.startswith("repro-admission-surface/")

@@ -302,6 +302,91 @@ class TestColumnarEngine:
             run_cli(["simulate", "--engine", "quantum", "--horizon", "100"])
 
 
+class TestServiceCommands:
+    # A tiny surface grid keeps each CLI invocation around a second.
+    SURFACE = [*SMALL, "--delay-targets", "0.6,0.9", "--max-population", "4"]
+
+    def test_build_surfaces_writes_loadable_artifact(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        code, text = run_cli(
+            ["build-surfaces", *self.SURFACE, "--output", str(path)]
+        )
+        assert code == 0
+        assert "artifact" in text
+        assert "probes" in text  # single-worker build reports cache stats
+        from repro.service.surfaces import load_surfaces
+
+        loaded = load_surfaces(path)
+        assert loaded.max_population == 4
+        assert loaded.delay_targets.tolist() == [0.6, 0.9]
+
+    def test_build_surfaces_rejects_bad_targets(self, tmp_path):
+        code, text = run_cli(
+            [
+                "build-surfaces", *SMALL, "--delay-targets", "fast,faster",
+                "--output", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2
+        assert "error" in text
+
+    def test_serve_smoke_exercises_all_tiers(self):
+        code, text = run_cli(
+            ["serve", *self.SURFACE, "--smoke", "--port", "0"]
+        )
+        assert code == 0
+        assert "tier=surface" in text
+        assert "tier=interpolated" in text
+        assert "tier=solve" in text
+        assert "verdict" in text
+        assert "healthy" in text
+
+    def test_serve_smoke_from_artifact(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        code, _ = run_cli(
+            ["build-surfaces", *self.SURFACE, "--output", str(path)]
+        )
+        assert code == 0
+        code, text = run_cli(
+            ["serve", *SMALL, "--surfaces", str(path), "--smoke", "--port", "0"]
+        )
+        assert code == 0
+        assert "healthy" in text
+
+    def test_serve_missing_artifact_is_usage_error(self):
+        code, text = run_cli(
+            ["serve", *SMALL, "--surfaces", "/no/such/artifact.json",
+             "--smoke", "--port", "0"]
+        )
+        assert code == 2
+        assert "error" in text
+
+    def test_bench_serve_reports_throughput(self):
+        code, text = run_cli(
+            [
+                "bench-serve", *self.SURFACE, "--tier", "cached",
+                "--requests", "50", "--connections", "2",
+            ]
+        )
+        assert code == 0
+        assert "cached" in text
+        assert "decisions" in text
+        assert "p99" in text
+
+    def test_chaos_serve_degrades_conservatively(self):
+        code, text = run_cli(
+            [
+                "chaos", *SMALL, "--target", "serve",
+                "--requests", "3", "--deadline", "0.4",
+            ]
+        )
+        assert code == 0
+        assert "conservative degradation holds" in text
+        assert "tier=degraded" in text
+        assert "admit=False" in text
+        assert "admit=True" not in text
+
+
 class TestConfigFingerprintFlags:
     def test_mismatched_rng_mode_resume_exits_2(self, tmp_path):
         journal = str(tmp_path / "campaign.jsonl")

@@ -76,6 +76,7 @@ class TestPackaging:
             "control",
             "experiments",
             "runtime",
+            "service",
             "cli",
         }
         found = {
