@@ -3,22 +3,30 @@
 The columnar engine (``repro.sim.columnar``) generates each replication's
 whole M/HAP-approx arrival stream as numpy arrays and solves the queue
 with the chunked Lindley recursion, so its events/sec ceiling is memory
-bandwidth, not Python-level event dispatch.  Two benches:
+bandwidth, not Python-level event dispatch.  Four benches:
 
 * ``test_columnar_headline_campaign`` — the BENCH_6 throughput gate: the
   headline campaign (4 seeds, shared-memory result transport) must sustain
   >= 1M events/sec where the heap engine managed ~273k (BENCH_4).
-* ``test_columnar_vs_heap_agreement`` — the correctness side of the same
-  coin: heap and columnar campaigns over identical parameters must agree
-  on mean delay within 3 sigma of their combined replication standard
-  errors.  (The engines draw from different determinism domains, so the
-  comparison is statistical, never bitwise.)
+* ``test_columnar_batched_headline_campaign`` — the BENCH_8 gate: a
+  32-seed campaign through the replication-batched engine (all rows
+  advanced in lock-step as 2-D arrays, one kernel call per worker) must
+  sustain >= 4M events/sec at full scale — >= 3x the single-replication
+  columnar throughput recorded in BENCH_6/ROADMAP (~1.24M).  The gate
+  also proves the batching is free of statistical cost: row 0 must be
+  bit-identical to a plain sequential columnar run of the same seed.
+* ``test_columnar_vs_heap_agreement`` / the batched variant — the
+  correctness side of the same coin: heap and columnar campaigns over
+  identical parameters must agree on mean delay within 3 sigma of their
+  combined replication standard errors.  (The engines draw from different
+  determinism domains, so the comparison is statistical, never bitwise.)
 """
 
 from __future__ import annotations
 
 import math
 import os
+import time
 from functools import partial
 
 from _util import run_once
@@ -60,6 +68,64 @@ def test_columnar_headline_campaign(benchmark, report, scale):
         assert campaign.events_per_second >= 1_000_000
 
 
+def test_columnar_batched_headline_campaign(benchmark, report, scale):
+    from repro.sim.columnar import simulate_hap_approx_columnar
+
+    params = base_parameters(service_rate=20.0)
+    horizon = 400_000.0 * scale
+
+    # Reference point, outside the benchmark timer: one sequential columnar
+    # replication of the campaign's first seed.  Its throughput anchors the
+    # recorded speedup, and its result doubles as the bit-identity witness.
+    started = time.perf_counter()
+    sequential = simulate_hap_approx_columnar(params, horizon, seed=7)
+    single_rep_rate = sequential.events_processed / (
+        time.perf_counter() - started
+    )
+
+    def speedup(campaign):
+        return {
+            "single_rep_events_per_sec": round(single_rep_rate, 1),
+            "speedup_vs_single_rep": round(
+                campaign.events_per_second / single_rep_rate, 2
+            ),
+        }
+
+    campaign = run_once(
+        benchmark,
+        lambda: run_headline_columnar_campaign(
+            num_replications=32,
+            sim_horizon=horizon,
+            max_workers=_bench_workers(),
+            engine="columnar-batched",
+        ),
+        extra=speedup,
+    )
+    delay = campaign.summaries()["mean_delay"]
+    report(
+        "Batched columnar headline campaign (32-seed lock-step 2-D kernel; "
+        "BENCH_8 gate: >= 4M events/s at full scale)",
+        f"mean delay {delay.mean:.4f} +/- {delay.half_width():.2g} s, "
+        f"{campaign.events_per_second:,.0f} events/s "
+        f"({campaign.events_per_second / single_rep_rate:.2f}x one "
+        f"sequential columnar replication at {single_rep_rate:,.0f} ev/s; "
+        f"{campaign.max_workers} worker(s), "
+        f"{campaign.events_processed:,} events)",
+    )
+    assert campaign.failures == ()
+    assert campaign.completed == 32
+    # Lock-step batching must not change a single bit: the campaign's first
+    # row is the same replication the sequential engine just ran.
+    first = campaign.results[0]
+    for field in ("mean_delay", "sigma", "utilization", "messages_served"):
+        assert getattr(first, field) == getattr(sequential, field)
+    # The hard throughput floor only binds at benchmark scale (cf. the
+    # columnar gate above): >= 4M ev/s is >= 3x the ~1.24M single-rep
+    # columnar throughput BENCH_6 recorded on this container class.
+    if scale >= 1.0:
+        assert campaign.events_per_second >= 4_000_000
+
+
 def test_columnar_vs_heap_agreement(benchmark, report, scale):
     params = base_parameters(service_rate=20.0)
     horizon = 100_000.0 * scale
@@ -96,4 +162,46 @@ def test_columnar_vs_heap_agreement(benchmark, report, scale):
         f"columnar {columnar.events_per_second:,.0f} ev/s)",
     )
     assert heap.failures == () and columnar.failures == ()
+    assert gap <= 3.0 * combined_se
+
+
+def test_columnar_batched_vs_heap_agreement(benchmark, report, scale):
+    params = base_parameters(service_rate=20.0)
+    horizon = 100_000.0 * scale
+    workers = _bench_workers()
+
+    def both():
+        heap = ParallelReplicator(max_workers=workers).run(
+            partial(
+                simulate_hap_mm1, params, horizon, rng_mode="batched"
+            ),
+            4,
+            base_seed=7,
+        )
+        batched = run_headline_columnar_campaign(
+            num_replications=4,
+            sim_horizon=horizon,
+            max_workers=workers,
+            engine="columnar-batched",
+        )
+        return heap, batched
+
+    heap, batched = run_once(benchmark, both)
+    heap_delay = heap.summaries()["mean_delay"]
+    batched_delay = batched.summaries()["mean_delay"]
+    gap = abs(batched_delay.mean - heap_delay.mean)
+    combined_se = math.hypot(
+        heap_delay.std / math.sqrt(len(heap_delay.values)),
+        batched_delay.std / math.sqrt(len(batched_delay.values)),
+    )
+    report(
+        "Batched columnar vs heap mean-delay agreement (4 seeds each, "
+        "3-sigma replication gate)",
+        f"heap {heap_delay.mean:.4f} s vs batched "
+        f"{batched_delay.mean:.4f} s; gap {gap:.4f} vs "
+        f"3*SE {3.0 * combined_se:.4f} "
+        f"(heap {heap.events_per_second:,.0f} ev/s, "
+        f"batched {batched.events_per_second:,.0f} ev/s)",
+    )
+    assert heap.failures == () and batched.failures == ()
     assert gap <= 3.0 * combined_se

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Render the committed BENCH_*.json trajectory as markdown tables.
+
+Usage::
+
+    python scripts/bench_history.py                  # committed history
+    python scripts/bench_history.py --fresh BENCH_8.json
+    python scripts/bench_history.py --metric events_per_sec
+
+Every PR that touches performance commits one ``BENCH_<n>.json`` snapshot
+at the repo root (emitted by ``pytest benchmarks/``, schema in
+EXPERIMENTS.md).  This script lines those snapshots up — one table per
+metric family, one column per snapshot, one row per benchmark gate — so
+the whole perf trajectory (events/sec, wall-clock, peak RSS across PRs)
+reads at a glance in CI logs or a PR description.
+
+The history is sparse by design and the renderer embraces that:
+
+* missing snapshots (there is no BENCH_5) simply do not get a column;
+* benchmarks that did not exist yet (or were not re-run) in a given
+  snapshot render as ``—``;
+* snapshots record their own ``scale``, which is printed in the column
+  header — comparing columns only makes sense at equal scale.
+
+``--fresh PATH`` overlays a freshly emitted document over the committed
+snapshot of the same name (CI passes the file it just generated, which
+shadows the committed one in the table).  Exit code is 0 unless no
+snapshot could be read at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Metric families rendered by default, with human units.
+METRICS: tuple[tuple[str, str], ...] = (
+    ("events_per_sec", "events/sec"),
+    ("wall_clock_s", "wall-clock s"),
+    ("peak_rss_mb", "peak RSS MiB"),
+)
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def _short_id(record_id: str) -> str:
+    """``test_bench_foo.py::test_bar`` -> ``bar`` (fallback: unchanged)."""
+    name = record_id.split("::")[-1]
+    return name[len("test_") :] if name.startswith("test_") else name
+
+
+def discover_snapshots(root: Path, fresh: Path | None = None) -> list[Path]:
+    """Committed ``BENCH_<n>.json`` files in numeric order, gaps and all."""
+    found = {
+        int(_BENCH_NAME.match(path.name).group(1)): path
+        for path in root.glob("BENCH_*.json")
+        if _BENCH_NAME.match(path.name)
+    }
+    if fresh is not None:
+        match = _BENCH_NAME.match(fresh.name)
+        if match is None:
+            raise SystemExit(
+                f"error: --fresh {fresh} is not named BENCH_<n>.json"
+            )
+        found[int(match.group(1))] = fresh
+    return [found[number] for number in sorted(found)]
+
+
+def load_snapshot(path: Path) -> dict | None:
+    """One parsed snapshot, or None (with a warning) if unreadable."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"warning: skipping {path.name}: {error}", file=sys.stderr)
+        return None
+    if not isinstance(document.get("benchmarks"), list):
+        print(
+            f"warning: skipping {path.name}: no 'benchmarks' list",
+            file=sys.stderr,
+        )
+        return None
+    return document
+
+
+def _format(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, (int, float)):
+        return f"{value:,.1f}"
+    return str(value)
+
+
+def render_table(snapshots: list[tuple[str, dict]], metric: str, unit: str) -> str:
+    """One markdown table: benchmarks x snapshots for a single metric."""
+    columns = []
+    cells: dict[str, dict[str, object]] = {}
+    order: list[str] = []
+    for name, document in snapshots:
+        scale = document.get("scale")
+        header = f"{name} (x{scale:g})" if scale is not None else name
+        columns.append(header)
+        for record in document["benchmarks"]:
+            row = _short_id(record.get("id", "?"))
+            if record.get(metric) is None:
+                continue
+            if row not in cells:
+                cells[row] = {}
+                order.append(row)
+            cells[row][header] = record[metric]
+    if not order:
+        return f"### {metric} ({unit})\n\n(no records)\n"
+    lines = [
+        f"### {metric} ({unit})",
+        "",
+        "| benchmark | " + " | ".join(columns) + " |",
+        "|---" * (len(columns) + 1) + "|",
+    ]
+    for row in order:
+        values = (_format(cells[row].get(column)) for column in columns)
+        lines.append(f"| {row} | " + " | ".join(values) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json snapshots",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="freshly emitted BENCH_<n>.json overlaying its committed twin",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        choices=[name for name, _ in METRICS],
+        help="restrict to one metric family (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the markdown here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    paths = discover_snapshots(args.root, args.fresh)
+    snapshots = []
+    for path in paths:
+        document = load_snapshot(path)
+        if document is not None:
+            snapshots.append((path.stem, document))
+    if not snapshots:
+        print("error: no readable BENCH_*.json snapshots", file=sys.stderr)
+        return 1
+
+    wanted = args.metric or [name for name, _ in METRICS]
+    sections = [
+        render_table(snapshots, name, unit)
+        for name, unit in METRICS
+        if name in wanted
+    ]
+    text = "## Benchmark trajectory\n\n" + "\n".join(sections)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ PR 2's issue).  The gates:
   admission-service throughput per answer tier (decisions/sec through
   real TCP connections); the miss tier additionally gates
   ``p99_latency_ms`` (lower) — the live-solve tail must stay bounded.
+* ``columnar_batched_headline_campaign`` — ``events_per_sec`` (higher),
+  PR 8's replication-batched columnar gate: the 32-seed headline
+  campaign through the lock-step 2-D kernel (>= 4M events/sec at full
+  scale — >= 3x the single-replication columnar throughput).
 
 After the gates, the script reports the heap-vs-columnar peak-RSS diff
 (``headline_replicated_campaign`` vs ``columnar_headline_campaign``; pick
@@ -86,6 +90,7 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("service_interpolated_decisions", "events_per_sec", "higher"),
     ("service_miss_decisions", "events_per_sec", "higher"),
     ("service_miss_decisions", "p99_latency_ms", "lower"),
+    ("columnar_batched_headline_campaign", "events_per_sec", "higher"),
 )
 
 #: Default record pair for the informational heap-vs-columnar RSS diff.

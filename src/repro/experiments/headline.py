@@ -215,11 +215,19 @@ def _headline_columnar_task(params, horizon, seed):
     return simulate_hap_approx_columnar(params, horizon, seed=seed)
 
 
+def _headline_columnar_batch_task(params, horizon, seeds):
+    """Picklable batched columnar task: one whole seed group in lock-step."""
+    from repro.sim.columnar import simulate_hap_approx_columnar_batch
+
+    return simulate_hap_approx_columnar_batch(params, horizon, seeds)
+
+
 def run_headline_columnar_campaign(
     num_replications: int = 4,
     sim_horizon: float = 400_000.0,
     base_seed: int = 7,
     max_workers: int | None = None,
+    engine: str = "columnar",
 ) -> CampaignResult:
     """The headline simulation column via the columnar engine.
 
@@ -227,15 +235,26 @@ def run_headline_columnar_campaign(
     simulation leg, but each replication generates its whole M/HAP-approx
     arrival stream as numpy arrays and solves the queue with the vectorized
     Lindley recursion (:mod:`repro.sim.columnar`), with results transported
-    through one shared-memory matrix.  Returns the raw campaign — callers
-    compare its ``mean_delay`` summary against the heap campaign's (the
-    BENCH_6 agreement gate does exactly that).
+    through one shared-memory matrix.  ``engine="columnar-batched"`` runs
+    contiguous seed groups in lock-step through the 2-D batched kernel
+    instead (:mod:`repro.sim.columnar_batch`) — row-for-row bit-identical,
+    one kernel call per worker.  Returns the raw campaign — callers compare
+    its ``mean_delay`` summary against the heap campaign's (the BENCH_6
+    agreement gate does exactly that).
     """
+    if engine not in ("columnar", "columnar-batched"):
+        raise ValueError(
+            "engine must be 'columnar' or 'columnar-batched' "
+            f"(got {engine!r})"
+        )
     params = base_parameters(service_rate=20.0)
-    campaign = ParallelReplicator(
-        max_workers=max_workers, engine="columnar"
-    ).run(
-        partial(_headline_columnar_task, params, sim_horizon),
+    task = (
+        _headline_columnar_batch_task
+        if engine == "columnar-batched"
+        else _headline_columnar_task
+    )
+    campaign = ParallelReplicator(max_workers=max_workers, engine=engine).run(
+        partial(task, params, sim_horizon),
         num_replications,
         base_seed=base_seed,
     )

@@ -723,7 +723,11 @@ class ParallelReplicator:
         shared-memory scalar matrix instead
         (:func:`~repro.runtime.columnar.run_columnar_campaign`) — same
         seeds, failure semantics, and ``CampaignResult`` contract, with
-        compact per-replication records.
+        compact per-replication records.  ``"columnar-batched"`` expects a
+        *batched* task — ``run_one(seeds) -> list of results`` — and
+        dispatches contiguous seed groups into the lock-step 2-D kernel
+        (:mod:`repro.sim.columnar_batch`); rows are bit-identical to
+        ``"columnar"`` for the same seed list.
 
     Examples
     --------
@@ -741,9 +745,10 @@ class ParallelReplicator:
         resume: bool = False,
         engine: str = "heap",
     ):
-        if engine not in ("heap", "columnar"):
+        if engine not in ("heap", "columnar", "columnar-batched"):
             raise ValueError(
-                f"engine must be 'heap' or 'columnar' (got {engine!r})"
+                "engine must be 'heap', 'columnar', or 'columnar-batched' "
+                f"(got {engine!r})"
             )
         self.max_workers = max_workers
         self.chunk_size = chunk_size
@@ -767,7 +772,7 @@ class ParallelReplicator:
         :class:`RuntimeWarning` is emitted when ``max_workers > 1`` was
         explicitly requested.
         """
-        if self.engine == "columnar":
+        if self.engine in ("columnar", "columnar-batched"):
             # Imported lazily: runtime.columnar imports this module.
             from repro.runtime.columnar import run_columnar_campaign
 
@@ -781,6 +786,7 @@ class ParallelReplicator:
                 policy=self.policy,
                 checkpoint=self.checkpoint,
                 resume=self.resume,
+                batch=self.engine == "columnar-batched",
             )
         seeds = derive_seeds(num_replications, base_seed)
         jobs = [

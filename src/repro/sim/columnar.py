@@ -14,6 +14,11 @@ evaluated chunk-by-chunk via cumulative sums and running minima, so peak
 temporary memory is bounded by the chunk size regardless of stream length.
 No numba, no event heap: everything is numpy primitives.
 
+The replication-batched variant (:mod:`repro.sim.columnar_batch`,
+re-exported here as ``simulate_*_columnar_batch``) runs R replications in
+lock-step as ``(R, block)`` 2-D arrays, bit-identical row for row to the
+sequential functions below — one engine, two dispatch shapes.
+
 Semantics contract (mirrors the heap engine observable-for-observable)
 ----------------------------------------------------------------------
 * delays/waits are observed for messages that *arrived at or after the
@@ -64,15 +69,43 @@ from repro.sim.random_streams import ExponentialBatcher, RandomStreams
 from repro.sim.replication import SimulationResult, _validate_window
 
 __all__ = [
+    "BatchWorkspace",
     "MMPPStreamArrays",
     "lindley_waits",
+    "lindley_waits_batch",
     "sample_mmpp_stream",
+    "sample_mmpp_streams_batch",
     "sample_poisson_stream",
     "simulate_hap_approx_columnar",
+    "simulate_hap_approx_columnar_batch",
     "simulate_hap_columnar",
     "simulate_mmpp_columnar",
+    "simulate_mmpp_columnar_batch",
     "simulate_poisson_columnar",
+    "simulate_poisson_columnar_batch",
 ]
+
+#: Names served from :mod:`repro.sim.columnar_batch` via module
+#: ``__getattr__`` (PEP 562) — the batch family is part of this module's
+#: public API without this module importing the batch engine eagerly.
+_BATCH_EXPORTS = frozenset(
+    {
+        "BatchWorkspace",
+        "lindley_waits_batch",
+        "sample_mmpp_streams_batch",
+        "simulate_hap_approx_columnar_batch",
+        "simulate_mmpp_columnar_batch",
+        "simulate_poisson_columnar_batch",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.sim import columnar_batch
+
+        return getattr(columnar_batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Variates drawn per numpy block — part of the determinism contract.
 DEFAULT_BLOCK_SIZE = 65_536
@@ -194,31 +227,78 @@ class MMPPStreamArrays:
         return int(self.jump_times.size)
 
 
+@dataclass(frozen=True)
+class _EmbeddedChain:
+    """Padded per-state jump-chain lookup tables.
+
+    ``cumulative[s, :lengths[s]]`` holds the cumulative transition
+    probabilities out of state ``s`` (bit-identical to ``np.cumsum`` over
+    that state's positive entries) and ``targets[s, :lengths[s]]`` the
+    matching destination states.  Pad columns carry ``+inf`` cumulative
+    values, so a right-sided rank query (``count of entries <= u``) over a
+    full padded row equals ``searchsorted`` on the unpadded one — that is
+    what lets the batched walk look all rows up with one 2-D gather.
+    Memory is ``O(n_states * max_row_nnz)``: the truncated HAP lattices
+    have a handful of neighbours per state, so the padding is tiny.
+    """
+
+    targets: np.ndarray  # (n_states, width) int64
+    cumulative: np.ndarray  # (n_states, width) float64, +inf pads
+    lengths: np.ndarray  # (n_states,) int64
+
+
+def _embedded_chain(chain) -> _EmbeddedChain:
+    """Build :class:`_EmbeddedChain` in one vectorized pass over the matrix.
+
+    No per-state Python loop: the CSR path scatters ``indptr``/``data``
+    straight into the padded matrices, the dense path masks positive
+    entries, and one ``cumsum(axis=1)`` over the zero-padded rows produces
+    per-row cumulatives bit-identical to the old row-by-row ``np.cumsum``
+    (trailing zeros never perturb a leading prefix sum).
+    """
+    matrix = chain.embedded_transition_matrix()
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        n_states = csr.shape[0]
+        counts = np.diff(csr.indptr).astype(np.int64)
+        width = max(int(counts.max(initial=0)), 1)
+        row_of = np.repeat(np.arange(n_states), counts)
+        col_of = np.arange(csr.indices.size) - np.repeat(
+            csr.indptr[:-1].astype(np.int64), counts
+        )
+        data = csr.data
+        target_values = csr.indices
+    else:
+        dense = np.asarray(matrix, dtype=float)
+        n_states = dense.shape[0]
+        mask = dense > 0.0
+        counts = mask.sum(axis=1, dtype=np.int64)
+        width = max(int(counts.max(initial=0)), 1)
+        row_of, target_values = np.nonzero(mask)
+        offsets = np.zeros(n_states, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        col_of = np.arange(row_of.size) - offsets[row_of]
+        data = dense[mask]
+    padded = np.zeros((n_states, width))
+    padded[row_of, col_of] = data
+    cumulative = np.cumsum(padded, axis=1)
+    cumulative[np.arange(width) >= counts[:, None]] = np.inf
+    targets = np.zeros((n_states, width), dtype=np.int64)
+    targets[row_of, col_of] = target_values
+    return _EmbeddedChain(targets=targets, cumulative=cumulative, lengths=counts)
+
+
 def _embedded_rows(chain) -> list[tuple[np.ndarray, np.ndarray]]:
     """Per-state ``(targets, cumulative probabilities)`` of the jump chain.
 
-    Stored row-by-row in O(nnz) memory (never a dense ``n x n`` cumulative
-    matrix), so the walk scales to the sparse truncated HAP chains.
+    Views into the padded :func:`_embedded_chain` tables — same arrays the
+    old per-state CSR/dense loop produced, built vectorized.
     """
-    matrix = chain.embedded_transition_matrix()
-    rows: list[tuple[np.ndarray, np.ndarray]] = []
-    if sp.issparse(matrix):
-        csr = matrix.tocsr()
-        indptr, indices, data = csr.indptr, csr.indices, csr.data
-        for state in range(csr.shape[0]):
-            start, stop = indptr[state], indptr[state + 1]
-            rows.append(
-                (
-                    indices[start:stop].astype(np.int64),
-                    np.cumsum(data[start:stop]),
-                )
-            )
-    else:
-        dense = np.asarray(matrix, dtype=float)
-        for state in range(dense.shape[0]):
-            targets = np.flatnonzero(dense[state] > 0.0).astype(np.int64)
-            rows.append((targets, np.cumsum(dense[state, targets])))
-    return rows
+    packed = _embedded_chain(chain)
+    return [
+        (packed.targets[s, :n], packed.cumulative[s, :n])
+        for s, n in enumerate(packed.lengths)
+    ]
 
 
 def sample_mmpp_stream(
@@ -380,8 +460,28 @@ def _columnar_queue_result(
     Every statistic replicates the heap engine's observation rule — see the
     module docstring's semantics contract.
     """
-    observed = max(horizon - warmup, 1e-12)
     waits = lindley_waits(arrivals, services, chunk_size=chunk_size)
+    return _queue_result_from_waits(
+        arrivals, services, waits, horizon, warmup, source_events, extras
+    )
+
+
+def _queue_result_from_waits(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    waits: np.ndarray,
+    horizon: float,
+    warmup: float,
+    source_events: int,
+    extras: dict,
+) -> SimulationResult:
+    """The statistics pass shared by the sequential and batched engines.
+
+    Takes precomputed waits so the batched engine can feed rows of its 2-D
+    Lindley recursion through the *same* reductions — bit-identity between
+    the engines then follows from identical inputs, not parallel code.
+    """
+    observed = max(horizon - warmup, 1e-12)
     starts = arrivals + waits
     departures = starts + services
     delays = waits + services

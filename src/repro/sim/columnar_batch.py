@@ -1,0 +1,815 @@
+"""Replication-batched columnar engine: whole campaigns as 2-D arrays.
+
+The columnar engine (:mod:`repro.sim.columnar`) already pays Python
+overhead per *block* instead of per event, but it still runs one
+replication per call: every replication walks its own modulating chain,
+lays its own candidate blocks, and allocates fresh temporaries.  A
+Monte-Carlo campaign is R independent, identically structured
+replications — exactly the shape that amortizes interpreter overhead to
+near zero when stacked row-wise.  This module runs R replications in
+**lock-step**:
+
+* the R embedded jump chains advance *simultaneously* — one vectorized
+  state lookup (a padded-cumulative rank gather over all rows) per chain
+  step instead of one ``searchsorted`` per replication per step;
+* ``Poisson(r_max)`` candidate generation and thinning run over a
+  ``(R, block)`` 2-D workspace, rows retiring as they pass the horizon;
+* the FCFS queue is solved by a row-wise chunked Lindley recursion
+  (:func:`lindley_waits_batch`) — 2-D ``cumsum`` / ``minimum.accumulate``
+  per chunk with a per-row scalar carry;
+* a :class:`BatchWorkspace` pool preallocates every recurring buffer
+  once per campaign and serves the hot numpy calls through ``out=``
+  variants, so the steady state performs no heap allocation beyond the
+  result arrays themselves.
+
+Determinism contract (the same domain as the sequential columnar engine)
+------------------------------------------------------------------------
+Each row consumes its own :class:`~repro.sim.random_streams.RandomStreams`
+substreams (``"columnar-source"``, ``"columnar-server"``) in *exactly* the
+sequential draw order — block refills, splices, and all.  Rows are
+therefore **bit-identical** to sequential ``simulate_*_columnar`` runs
+with the same seeds and ``block_size``: interleaving draws *across* rows
+is free (independent generators), and within a row the lock-step walk
+preserves the per-row call sequence because every active row consumes
+exactly one sojourn per step and one jump uniform per non-overshooting
+step, so block refills stay synchronized.  Only ``extras`` metadata
+differs (``engine="columnar-batched"`` plus batch bookkeeping).  Golden
+arrays and hypothesis tests pin this contract.
+
+Memory model
+------------
+The chain walk spans all R rows (jump storage is small: one float and one
+int per modulating jump per row).  The candidate/thinning/Lindley phase —
+whose temporaries scale with ``horizon * r_max`` per row — processes rows
+in groups bounded by ``max_group_bytes`` (default 256 MiB), so peak
+memory stays flat while interpreter overhead is still amortized across
+the group.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import HAPParameters
+from repro.markov.mmpp import MMPP
+from repro.sim.columnar import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_CHUNK_SIZE,
+    MMPPStreamArrays,
+    _embedded_chain,
+    _queue_result_from_waits,
+    _service_block,
+)
+from repro.sim.random_streams import RandomStreams
+from repro.sim.replication import SimulationResult, _validate_window
+
+__all__ = [
+    "BatchWorkspace",
+    "lindley_waits_batch",
+    "sample_mmpp_streams_batch",
+    "simulate_hap_approx_columnar_batch",
+    "simulate_mmpp_columnar_batch",
+    "simulate_poisson_columnar_batch",
+]
+
+#: Default budget for one candidate/thinning/Lindley row group.
+DEFAULT_GROUP_BYTES = 256 * 2**20
+
+_EMPTY = np.empty(0)
+
+
+class BatchWorkspace:
+    """A keyed pool of reusable numpy buffers for the batched engine.
+
+    ``array(key, shape)`` returns a view of a backing buffer that is
+    allocated on first use and grown only when a larger request arrives —
+    across the chunks, groups, and repeated batch calls of a campaign the
+    steady state allocates nothing.  Buffers are plain ``np.empty``
+    storage: callers own initialization.  Pass one workspace to repeated
+    ``simulate_*_columnar_batch`` calls to share the pool; call
+    :meth:`release` to drop the memory when a campaign ends.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def array(self, key: str, shape, dtype=np.float64) -> np.ndarray:
+        """A ``shape``-shaped view of the (grown-once) buffer for ``key``."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.dtype != dtype or buffer.size < size:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held across all pooled buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def release(self) -> None:
+        """Drop every pooled buffer (outstanding views keep their storage)."""
+        self._buffers.clear()
+
+
+def _rows_per_group(
+    bytes_per_row: float, max_group_bytes: int | None, total_rows: int
+) -> int:
+    """How many rows the candidate/Lindley phase processes at once."""
+    budget = DEFAULT_GROUP_BYTES if max_group_bytes is None else max(
+        int(max_group_bytes), 1
+    )
+    per_row = max(bytes_per_row, 1.0)
+    return max(1, min(total_rows, int(budget / per_row)))
+
+
+@dataclass
+class _BatchWalk:
+    """Everything the lock-step chain walk produced, per row.
+
+    ``sojourn_leftovers``/``uniform_leftovers`` are the partially served
+    variate blocks each row's generator would still hold after a
+    sequential walk — the candidate and thinning phases splice them first,
+    which is what keeps per-row bit-streams identical to the sequential
+    engine's batcher semantics.
+    """
+
+    initial_states: np.ndarray
+    jump_times: list[np.ndarray]
+    states: list[np.ndarray]
+    sojourn_leftovers: list[np.ndarray]
+    uniform_leftovers: list[np.ndarray]
+
+
+def _walk_embedded_chains(
+    packed,
+    holding: np.ndarray,
+    sojourn_means: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    initial_states: np.ndarray,
+    horizon: float,
+    block_size: int,
+    workspace: BatchWorkspace,
+) -> _BatchWalk:
+    """Advance R embedded jump chains simultaneously.
+
+    One step of the loop advances *every* still-active row by one chain
+    jump: gather the step's sojourn variates from the ``(R, block)``
+    workspace, add state-dependent means, retire rows passing the
+    horizon, then resolve all jump targets with a single padded-cumulative
+    rank query (``count of cumulative <= u`` per row — exactly
+    ``searchsorted(..., side="right")`` plus the sequential clamp).
+
+    The per-row draw order is the sequential walk's: every active row
+    consumes one sojourn per step and one jump uniform per
+    non-overshooting step, so the ``(R, block)`` refills happen for all
+    active rows at the same step (``step % block_size == 0``), each from
+    its own generator, in the sequential order (sojourn block before
+    uniform block).
+
+    The hot loop runs one step for *all* rows in ~a dozen numpy calls:
+    per-row position (``state``, ``now``) is kept compacted to the active
+    rows so the common all-active case indexes the ``(R, block)``
+    workspaces with plain slices, and rows retire (overshoot or absorbing
+    state) by flushing their current-block jumps and freezing their
+    batcher leftovers at that instant — an O(R)-rare event, off the hot
+    path.  Absorbing-state checks are skipped entirely when the chain has
+    none (every mapped HAP chain).
+    """
+    count = len(rngs)
+    sojourn_blocks = workspace.array("walk-sojourns", (count, block_size))
+    uniform_blocks = workspace.array("walk-uniforms", (count, block_size))
+    jump_block = workspace.array("walk-jump-times", (count, block_size))
+    state_block = workspace.array(
+        "walk-jump-states", (count, block_size), dtype=np.int64
+    )
+    cumulative = packed.cumulative
+    targets = packed.targets
+    lengths_minus_1 = packed.lengths - 1
+    holding_positive = holding > 0.0
+    has_absorbing = not bool(holding_positive.all())
+
+    jump_pieces: list[list[np.ndarray]] = [[] for _ in range(count)]
+    state_pieces: list[list[np.ndarray]] = [[] for _ in range(count)]
+    sojourn_leftovers: list[np.ndarray] = [_EMPTY] * count
+    uniform_leftovers: list[np.ndarray] = [_EMPTY] * count
+
+    # Compacted to active rows, aligned with ``row_ids``.  ``selector``
+    # indexes the (count, block) workspaces: a plain slice while every row
+    # is active (views, no fancy-indexing copies), the row-id array after
+    # the first retirement.
+    state_active = np.array(initial_states, dtype=np.int64)
+    now_active = np.zeros(count)
+    row_ids = np.arange(count)
+    if has_absorbing:
+        keep = holding_positive[state_active]
+        row_ids = row_ids[keep]
+        state_active = state_active[keep]
+        now_active = now_active[keep]
+    selector = slice(None) if row_ids.size == count else row_ids
+
+    step = 0
+    while row_ids.size:
+        column = step % block_size
+        if column == 0:
+            if step:
+                # Rows still active at a block boundary jumped at every
+                # column of the finished block: flush it whole.
+                for row in row_ids:
+                    jump_pieces[row].append(jump_block[row].copy())
+                    state_pieces[row].append(state_block[row].copy())
+            for row in row_ids:
+                rngs[row].standard_exponential(out=sojourn_blocks[row])
+        advance = sojourn_blocks[selector, column] * sojourn_means[state_active]
+        now_active += advance
+        overshoot = now_active > horizon
+        if overshoot.any():
+            # Overshooting rows retire without jumping: they consumed the
+            # sojourn at this column but no jump uniform, so the sojourn
+            # leftover starts past this column and the uniform leftover at
+            # it (empty at column 0 — the row's last uniform block, if
+            # any, was exactly exhausted).
+            for local in np.flatnonzero(overshoot):
+                row = int(row_ids[local])
+                jump_pieces[row].append(jump_block[row, :column].copy())
+                state_pieces[row].append(state_block[row, :column].copy())
+                sojourn_leftovers[row] = sojourn_blocks[row, column + 1 :]
+                if column:
+                    uniform_leftovers[row] = uniform_blocks[row, column:]
+            keep = ~overshoot
+            row_ids = row_ids[keep]
+            state_active = state_active[keep]
+            now_active = now_active[keep]
+            if not row_ids.size:
+                break
+            selector = row_ids
+        jump_block[selector, column] = now_active
+        if column == 0:
+            # Jump uniforms refill in the same step for every surviving
+            # row (they all carry jumps == step), after the sojourn
+            # refill — the sequential per-row call order.
+            for row in row_ids:
+                rngs[row].random(out=uniform_blocks[row])
+        uniform = uniform_blocks[selector, column]
+        position = (cumulative[state_active] <= uniform[:, None]).sum(axis=1)
+        np.minimum(position, lengths_minus_1[state_active], out=position)
+        state_active = targets[state_active, position]
+        state_block[selector, column] = state_active
+        if has_absorbing:
+            alive = holding_positive[state_active]
+            if not alive.all():
+                # Absorbed rows recorded this step's jump, then stop: both
+                # leftovers start past this column.
+                for local in np.flatnonzero(~alive):
+                    row = int(row_ids[local])
+                    jump_pieces[row].append(
+                        jump_block[row, : column + 1].copy()
+                    )
+                    state_pieces[row].append(
+                        state_block[row, : column + 1].copy()
+                    )
+                    sojourn_leftovers[row] = sojourn_blocks[row, column + 1 :]
+                    uniform_leftovers[row] = uniform_blocks[row, column + 1 :]
+                row_ids = row_ids[alive]
+                state_active = state_active[alive]
+                now_active = now_active[alive]
+                selector = row_ids
+        step += 1
+
+    jump_times: list[np.ndarray] = []
+    states: list[np.ndarray] = []
+    for row in range(count):
+        if jump_pieces[row]:
+            times = np.concatenate(jump_pieces[row])
+            visited = np.concatenate(state_pieces[row])
+        else:
+            times = np.empty(0)
+            visited = np.empty(0, dtype=np.int64)
+        trajectory = np.empty(visited.size + 1, dtype=np.int64)
+        trajectory[0] = initial_states[row]
+        trajectory[1:] = visited
+        jump_times.append(times)
+        states.append(trajectory)
+    return _BatchWalk(
+        initial_states=np.asarray(initial_states, dtype=np.int64),
+        jump_times=jump_times,
+        states=states,
+        sojourn_leftovers=sojourn_leftovers,
+        uniform_leftovers=uniform_leftovers,
+    )
+
+
+def _blocked_cumulative_rows(
+    rngs: Sequence[np.random.Generator],
+    leftovers: Sequence[np.ndarray],
+    mean: float,
+    horizon: float,
+    block_size: int,
+    workspace: BatchWorkspace,
+) -> list[np.ndarray]:
+    """Rate-``1/mean`` Poisson event times on ``(0, horizon]``, per row.
+
+    The 2-D twin of :func:`repro.sim.columnar._cumulative_exponentials`:
+    rows advance block-by-block through one ``(R, block)`` workspace and
+    retire as their running offset passes the horizon.  Each row's first
+    block splices its leftover variates (a partially served walk block)
+    before asking its generator for more — the batcher bit-stream rule.
+    """
+    count = len(rngs)
+    blocks = workspace.array("cumulative-blocks", (count, block_size))
+    scaled = workspace.array("cumulative-scaled", (block_size,))
+    pieces: list[list[np.ndarray]] = [[] for _ in range(count)]
+    offsets = np.zeros(count)
+    alive = list(range(count))
+    first = [True] * count
+    while alive:
+        survivors: list[int] = []
+        for row in alive:
+            block = blocks[row]
+            if first[row]:
+                first[row] = False
+                head = leftovers[row]
+                if head.size:
+                    block[: head.size] = head
+                    rngs[row].standard_exponential(out=block[head.size :])
+                else:
+                    rngs[row].standard_exponential(out=block)
+            else:
+                rngs[row].standard_exponential(out=block)
+            np.multiply(block, mean, out=scaled)
+            piece = np.cumsum(scaled)
+            np.add(piece, offsets[row], out=piece)
+            pieces[row].append(piece)
+            offsets[row] = piece[-1]
+            if offsets[row] <= horizon:
+                survivors.append(row)
+        alive = survivors
+    times: list[np.ndarray] = []
+    for row in range(count):
+        merged = np.concatenate(pieces[row])
+        pieces[row].clear()
+        times.append(merged[merged <= horizon])
+    return times
+
+
+def _thin_group(
+    walk: _BatchWalk,
+    rows: Sequence[int],
+    rates: np.ndarray,
+    r_max: float,
+    horizon: float,
+    rngs: Sequence[np.random.Generator],
+    block_size: int,
+    workspace: BatchWorkspace,
+) -> list[tuple[np.ndarray, int]]:
+    """Candidates + thinning for one row group: ``(arrivals, candidates)``."""
+    candidate_rows = _blocked_cumulative_rows(
+        [rngs[row] for row in rows],
+        [walk.sojourn_leftovers[row] for row in rows],
+        1.0 / r_max,
+        horizon,
+        block_size,
+        workspace,
+    )
+    output: list[tuple[np.ndarray, int]] = []
+    for local, row in enumerate(rows):
+        candidates = candidate_rows[local]
+        # Rate at each candidate: the sequential engine gathers
+        # rates[states[searchsorted(jump_times, t, "right")]] per candidate;
+        # with sorted candidates the same map is a run-length expansion —
+        # search the (few) jump times into the (many) candidates and repeat
+        # each visited state's rate across its segment.  Pure integer
+        # bookkeeping, so the thresholds are bit-identical.
+        jump_times = walk.jump_times[row]
+        cuts = np.empty(jump_times.size + 2, dtype=np.int64)
+        cuts[0] = 0
+        cuts[-1] = candidates.size
+        cuts[1:-1] = np.searchsorted(candidates, jump_times, side="left")
+        thresholds = np.repeat(rates[walk.states[row]], np.diff(cuts))
+        leftover = walk.uniform_leftovers[row]
+        if leftover.size >= candidates.size:
+            uniforms = leftover[: candidates.size]
+        else:
+            uniforms = workspace.array("thin-uniforms", (candidates.size,))
+            uniforms[: leftover.size] = leftover
+            rngs[row].random(out=uniforms[leftover.size :])
+        accept = uniforms * r_max < thresholds
+        output.append((candidates[accept], int(candidates.size)))
+    return output
+
+
+def _lindley_rows(
+    arrival_rows: Sequence[np.ndarray],
+    service_rows: Sequence[np.ndarray],
+    chunk_size: int,
+    initial_wait: float,
+    workspace: BatchWorkspace,
+) -> list[np.ndarray]:
+    """Row-wise chunked Lindley recursion over a padded ``(R, N)`` matrix.
+
+    Returns *views* into the workspace's wait buffer (valid until the next
+    Lindley call on the same workspace).  Rows are padded by repeating the
+    last arrival with zero services, so padded increments are zero and the
+    per-row scalar carry stays exact for short rows; every real column is
+    bit-identical to :func:`repro.sim.columnar.lindley_waits` on that row
+    (same chunk boundaries, same strictly-sequential ``cumsum`` /
+    ``minimum.accumulate`` per row, same carry arithmetic).
+    """
+    if len(arrival_rows) != len(service_rows):
+        raise ValueError("need matching arrival and service row lists")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if not math.isfinite(initial_wait) or initial_wait < 0.0:
+        raise ValueError(
+            f"initial_wait must be finite and >= 0 (got {initial_wait})"
+        )
+    count = len(arrival_rows)
+    arrivals: list[np.ndarray] = []
+    services: list[np.ndarray] = []
+    sizes: list[int] = []
+    for arrival_row, service_row in zip(arrival_rows, service_rows):
+        arrival = np.ascontiguousarray(arrival_row, dtype=float)
+        service = np.ascontiguousarray(service_row, dtype=float)
+        if arrival.ndim != 1 or arrival.shape != service.shape:
+            raise ValueError(
+                "arrival and service arrays must be 1-D and aligned"
+            )
+        if arrival.size and (
+            not np.isfinite(service).all() or (service < 0.0).any()
+        ):
+            raise ValueError("service times must be finite and non-negative")
+        arrivals.append(arrival)
+        services.append(service)
+        sizes.append(arrival.size)
+    width = max(sizes, default=0)
+    if count == 0 or width == 0:
+        return [np.empty(0) for _ in range(count)]
+
+    arrival_pad = workspace.array("lindley-arrivals", (count, width))
+    service_pad = workspace.array("lindley-services", (count, width))
+    waits = workspace.array("lindley-waits", (count, width))
+    for row in range(count):
+        size = sizes[row]
+        arrival_pad[row, :size] = arrivals[row]
+        arrival_pad[row, size:] = arrivals[row][size - 1] if size else 0.0
+        service_pad[row, :size] = services[row]
+        service_pad[row, size:] = 0.0
+    waits[:, 0] = initial_wait
+    carry = workspace.array("lindley-carry", (count,))
+    carry[:] = initial_wait
+    for start in range(1, width, chunk_size):
+        stop = min(start + chunk_size, width)
+        span = stop - start
+        increments = workspace.array("lindley-increments", (count, span))
+        np.subtract(
+            arrival_pad[:, start:stop],
+            arrival_pad[:, start - 1 : stop - 1],
+            out=increments,
+        )
+        if (increments < 0.0).any():
+            raise ValueError("arrival times must be non-decreasing")
+        np.subtract(
+            service_pad[:, start - 1 : stop - 1], increments, out=increments
+        )
+        prefix = workspace.array("lindley-prefix", (count, span + 1))
+        prefix[:, 0] = 0.0
+        np.cumsum(increments, axis=1, out=prefix[:, 1:])
+        scratch = workspace.array("lindley-scratch", (count, span))
+        np.minimum.accumulate(prefix[:, :-1], axis=1, out=scratch)
+        body = prefix[:, 1:]
+        chunk = workspace.array("lindley-chunk", (count, span))
+        np.subtract(body, scratch, out=chunk)
+        np.add(carry[:, None], body, out=scratch)
+        np.maximum(chunk, scratch, out=chunk)
+        np.maximum(chunk, 0.0, out=chunk)
+        waits[:, start:stop] = chunk
+        carry[:] = chunk[:, -1]
+    return [waits[row, : sizes[row]] for row in range(count)]
+
+
+def lindley_waits_batch(
+    arrival_rows: Sequence[np.ndarray],
+    service_rows: Sequence[np.ndarray],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    initial_wait: float = 0.0,
+    workspace: BatchWorkspace | None = None,
+) -> list[np.ndarray]:
+    """FCFS waits for R replications at once, row-wise chunked.
+
+    The 2-D counterpart of :func:`repro.sim.columnar.lindley_waits`: rows
+    are padded into one ``(R, N)`` matrix and each chunk is one
+    ``cumsum(axis=1)`` + ``minimum.accumulate(axis=1)`` pass with a
+    per-row scalar carry.  Every returned row is **bit-identical** to
+    ``lindley_waits`` on that row alone (the per-row arithmetic and chunk
+    boundaries are unchanged; only interpreter overhead is shared), and
+    ``chunk_size`` remains outside the determinism contract exactly as in
+    the 1-D case.
+    """
+    workspace = BatchWorkspace() if workspace is None else workspace
+    rows = _lindley_rows(
+        list(arrival_rows), list(service_rows), chunk_size, initial_wait,
+        workspace,
+    )
+    return [row.copy() for row in rows]
+
+
+def _mmpp_walks(
+    mmpp: MMPP,
+    horizon: float,
+    rngs: Sequence[np.random.Generator],
+    initial_state: int | None,
+    block_size: int,
+    workspace: BatchWorkspace,
+) -> tuple[np.ndarray, _BatchWalk]:
+    """Validate, draw initial states, and run the lock-step chain walk."""
+    if not 0.0 < horizon < math.inf:
+        raise ValueError(f"horizon must be positive and finite (got {horizon})")
+    rates = np.asarray(mmpp.rates, dtype=float)
+    chain = mmpp.chain
+    holding = np.asarray(chain.holding_rates(), dtype=float)
+    if initial_state is None:
+        pi = mmpp.stationary_distribution()
+        initial_states = np.array(
+            [int(rng.choice(rates.size, p=pi)) for rng in rngs],
+            dtype=np.int64,
+        )
+    else:
+        if not 0 <= initial_state < rates.size:
+            raise ValueError(f"initial_state {initial_state} out of range")
+        initial_states = np.full(len(rngs), int(initial_state), dtype=np.int64)
+    packed = _embedded_chain(chain)
+    with np.errstate(divide="ignore"):
+        sojourn_means = np.where(holding > 0.0, 1.0 / holding, np.inf)
+    walk = _walk_embedded_chains(
+        packed,
+        holding,
+        sojourn_means,
+        rngs,
+        initial_states,
+        horizon,
+        block_size,
+        workspace,
+    )
+    return rates, walk
+
+
+def sample_mmpp_streams_batch(
+    mmpp: MMPP,
+    horizon: float,
+    rngs: Sequence[np.random.Generator],
+    initial_state: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    workspace: BatchWorkspace | None = None,
+    max_group_bytes: int | None = None,
+) -> list[MMPPStreamArrays]:
+    """R MMPP arrival streams in lock-step, one per generator.
+
+    Row ``k`` is bit-identical (arrivals, jump times, states, candidate
+    count) to ``sample_mmpp_stream(mmpp, horizon, rngs[k], ...)`` with a
+    fresh generator in the same state — the batched determinism contract.
+    Memory scales with ``R * horizon`` for the retained streams; the
+    candidate phase itself is bounded by ``max_group_bytes``.
+    """
+    rngs = list(rngs)
+    if not rngs:
+        return []
+    workspace = BatchWorkspace() if workspace is None else workspace
+    rates, walk = _mmpp_walks(
+        mmpp, horizon, rngs, initial_state, block_size, workspace
+    )
+    r_max = float(rates.max()) if rates.size else 0.0
+    streams: list[MMPPStreamArrays] = []
+    if r_max <= 0.0:
+        for row in range(len(rngs)):
+            streams.append(
+                MMPPStreamArrays(
+                    arrivals=np.empty(0),
+                    jump_times=walk.jump_times[row],
+                    states=walk.states[row],
+                    initial_state=int(walk.initial_states[row]),
+                    candidates=0,
+                )
+            )
+        return streams
+    group_rows = _rows_per_group(
+        horizon * r_max * 8.0 * 6.0, max_group_bytes, len(rngs)
+    )
+    for start in range(0, len(rngs), group_rows):
+        rows = range(start, min(start + group_rows, len(rngs)))
+        thinned = _thin_group(
+            walk, rows, rates, r_max, horizon, rngs, block_size, workspace
+        )
+        for local, row in enumerate(rows):
+            arrivals, candidates = thinned[local]
+            streams.append(
+                MMPPStreamArrays(
+                    arrivals=arrivals,
+                    jump_times=walk.jump_times[row],
+                    states=walk.states[row],
+                    initial_state=int(walk.initial_states[row]),
+                    candidates=candidates,
+                )
+            )
+    return streams
+
+
+def simulate_poisson_columnar_batch(
+    rate: float,
+    horizon: float,
+    service_rate: float,
+    seeds: Sequence[int],
+    warmup: float | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workspace: BatchWorkspace | None = None,
+    max_group_bytes: int | None = None,
+) -> list[SimulationResult]:
+    """Batched columnar M/M/1: one result per seed, rows bit-identical to
+    :func:`repro.sim.columnar.simulate_poisson_columnar` per seed."""
+    if warmup is None:
+        warmup = 0.05 * horizon
+    _validate_window(horizon, warmup)
+    if not 0.0 <= rate < math.inf:
+        raise ValueError(f"rate must be non-negative and finite (got {rate})")
+    if not 0.0 < horizon < math.inf:
+        raise ValueError(f"horizon must be positive and finite (got {horizon})")
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        return []
+    workspace = BatchWorkspace() if workspace is None else workspace
+    results: list[SimulationResult | None] = [None] * len(seeds)
+    group_rows = _rows_per_group(
+        horizon * rate * 8.0 * 5.0, max_group_bytes, len(seeds)
+    )
+    for start in range(0, len(seeds), group_rows):
+        group = seeds[start : start + group_rows]
+        streams = [RandomStreams(seed) for seed in group]
+        if rate == 0.0:
+            arrival_rows = [np.empty(0) for _ in group]
+        else:
+            arrival_rows = _blocked_cumulative_rows(
+                [stream.get("columnar-source") for stream in streams],
+                [_EMPTY] * len(group),
+                1.0 / rate,
+                horizon,
+                block_size,
+                workspace,
+            )
+        service_rows = [
+            _service_block(
+                streams[local].get("columnar-server"),
+                arrival_rows[local].size,
+                service_rate,
+                block_size,
+            )
+            for local in range(len(group))
+        ]
+        wait_rows = _lindley_rows(
+            arrival_rows, service_rows, chunk_size, 0.0, workspace
+        )
+        for local in range(len(group)):
+            results[start + local] = _queue_result_from_waits(
+                arrival_rows[local],
+                service_rows[local],
+                wait_rows[local],
+                horizon,
+                warmup,
+                source_events=0,
+                extras={
+                    "engine": "columnar-batched",
+                    "source": "poisson",
+                    "batch_rows": len(seeds),
+                },
+            )
+    return results
+
+
+def simulate_mmpp_columnar_batch(
+    mmpp: MMPP,
+    horizon: float,
+    service_rate: float,
+    seeds: Sequence[int],
+    warmup: float | None = None,
+    initial_state: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workspace: BatchWorkspace | None = None,
+    max_group_bytes: int | None = None,
+) -> list[SimulationResult]:
+    """Batched columnar MMPP/M/1 — R replications in lock-step.
+
+    One chain walk advances every row simultaneously; candidates,
+    thinning, services, and the Lindley queue then run group-by-group
+    within the ``max_group_bytes`` budget.  Result rows are bit-identical
+    to :func:`repro.sim.columnar.simulate_mmpp_columnar` per seed (extras
+    carry ``engine="columnar-batched"`` instead).
+    """
+    if warmup is None:
+        warmup = 0.05 * horizon
+    _validate_window(horizon, warmup)
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        return []
+    workspace = BatchWorkspace() if workspace is None else workspace
+    streams = [RandomStreams(seed) for seed in seeds]
+    source_rngs = [stream.get("columnar-source") for stream in streams]
+    rates, walk = _mmpp_walks(
+        mmpp, horizon, source_rngs, initial_state, block_size, workspace
+    )
+    r_max = float(rates.max()) if rates.size else 0.0
+    results: list[SimulationResult | None] = [None] * len(seeds)
+    group_rows = _rows_per_group(
+        horizon * max(r_max, 0.0) * 8.0 * 6.0, max_group_bytes, len(seeds)
+    )
+    for start in range(0, len(seeds), group_rows):
+        rows = range(start, min(start + group_rows, len(seeds)))
+        if r_max <= 0.0:
+            thinned = [(np.empty(0), 0) for _ in rows]
+        else:
+            thinned = _thin_group(
+                walk, rows, rates, r_max, horizon, source_rngs, block_size,
+                workspace,
+            )
+        arrival_rows = [arrivals for arrivals, _ in thinned]
+        service_rows = [
+            _service_block(
+                streams[row].get("columnar-server"),
+                arrival_rows[local].size,
+                service_rate,
+                block_size,
+            )
+            for local, row in enumerate(rows)
+        ]
+        wait_rows = _lindley_rows(
+            arrival_rows, service_rows, chunk_size, 0.0, workspace
+        )
+        for local, row in enumerate(rows):
+            jumps = int(walk.jump_times[row].size)
+            results[row] = _queue_result_from_waits(
+                arrival_rows[local],
+                service_rows[local],
+                wait_rows[local],
+                horizon,
+                warmup,
+                source_events=jumps,
+                extras={
+                    "engine": "columnar-batched",
+                    "source": "mmpp",
+                    "modulating_states": int(rates.size),
+                    "modulating_jumps": jumps,
+                    "thinning_candidates": thinned[local][1],
+                    "batch_rows": len(seeds),
+                },
+            )
+    return results
+
+
+def simulate_hap_approx_columnar_batch(
+    params: HAPParameters,
+    horizon: float,
+    seeds: Sequence[int],
+    service_rate: float | None = None,
+    warmup: float | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workspace: BatchWorkspace | None = None,
+    max_group_bytes: int | None = None,
+) -> list[SimulationResult]:
+    """Batched columnar M/HAP-approx/1 via the symmetric MMPP mapping.
+
+    Warmup and service-rate defaults mirror
+    :func:`repro.sim.columnar.simulate_hap_approx_columnar`, so each row
+    is bit-identical to the sequential run with the same seed.
+    """
+    from repro.core.mmpp_mapping import symmetric_hap_to_mmpp
+
+    if service_rate is None:
+        service_rate = params.common_service_rate()
+    if warmup is None:
+        warmup = min(10.0 / params.user_departure_rate, 0.1 * horizon)
+    mapped = symmetric_hap_to_mmpp(params)
+    results = simulate_mmpp_columnar_batch(
+        mapped.mmpp,
+        horizon,
+        service_rate,
+        seeds,
+        warmup=warmup,
+        block_size=block_size,
+        chunk_size=chunk_size,
+        workspace=workspace,
+        max_group_bytes=max_group_bytes,
+    )
+    for result in results:
+        result.extras["source"] = "hap-approx"
+    return results

@@ -140,3 +140,168 @@ class TestCheckpointResume:
         )
         assert resumed.resumed == 3
         assert resumed.results == uninterrupted.results
+
+
+def _batch_task(seeds):
+    """Picklable batched task: the whole seed group in one lock-step call."""
+    from repro.sim.columnar import simulate_poisson_columnar_batch
+
+    return simulate_poisson_columnar_batch(5.0, 2_000.0, 8.0, seeds)
+
+
+def _short_batch_task(seeds):
+    """Misbehaving batched task: returns one result too few."""
+    return _batch_task(seeds)[:-1]
+
+
+def _failing_batch_task(seeds):
+    if 2 in seeds:
+        raise ValueError("injected group failure")
+    return _batch_task(seeds)
+
+
+class TestBatchedCampaign:
+    def test_batched_matches_per_replication_bit_for_bit(self):
+        sequential = run_columnar_campaign(
+            _columnar_task, 5, base_seed=3, max_workers=1
+        )
+        batched = run_columnar_campaign(
+            _batch_task, 5, base_seed=3, max_workers=1, batch=True
+        )
+        assert batched.seeds == sequential.seeds
+        assert batched.results == sequential.results
+
+    def test_group_partitions_are_invisible(self):
+        serial = run_columnar_campaign(
+            _batch_task, 6, base_seed=0, max_workers=1, batch=True
+        )
+        pooled = run_columnar_campaign(
+            _batch_task, 6, base_seed=0, max_workers=2, batch=True
+        )
+        chunked = run_columnar_campaign(
+            _batch_task, 6, base_seed=0, max_workers=2, chunk_size=2,
+            batch=True,
+        )
+        assert serial.results == pooled.results == chunked.results
+        assert serial.seeds == pooled.seeds == chunked.seeds
+
+    def test_engine_dispatch_through_parallel_replicator(self):
+        direct = run_columnar_campaign(
+            _batch_task, 3, base_seed=5, max_workers=1, batch=True
+        )
+        via_replicator = ParallelReplicator(
+            max_workers=1, engine="columnar-batched"
+        ).run(_batch_task, 3, base_seed=5)
+        assert direct.results == via_replicator.results
+
+    def test_rejects_unknown_engine_naming_the_batched_one(self):
+        with pytest.raises(ValueError, match="columnar-batched"):
+            ParallelReplicator(engine="batched")
+
+    def test_group_failure_expands_to_per_seed_failures(self):
+        campaign = run_columnar_campaign(
+            _failing_batch_task, 4, base_seed=0, max_workers=1,
+            chunk_size=2, batch=True,
+        )
+        # Groups (0, 1) and (2, 3); the second explodes as a unit.
+        assert campaign.completed == 2
+        assert campaign.seeds == (0, 1)
+        assert [failure.seed for failure in campaign.failures] == [2, 3]
+        assert all(
+            "injected group failure" in failure.traceback
+            for failure in campaign.failures
+        )
+
+    def test_wrong_result_count_fails_the_whole_group(self):
+        campaign = run_columnar_campaign(
+            _short_batch_task, 2, base_seed=0, max_workers=1, batch=True
+        )
+        assert campaign.completed == 0
+        assert len(campaign.failures) == 2
+        assert "for 2 seeds" in campaign.failures[0].traceback
+
+    def test_checkpoint_resume_restores_whole_groups(self, tmp_path):
+        journal = tmp_path / "batched.jsonl"
+        first = run_columnar_campaign(
+            _batch_task, 4, base_seed=0, max_workers=1, chunk_size=2,
+            checkpoint=str(journal), batch=True,
+        )
+        resumed = run_columnar_campaign(
+            _batch_task, 4, base_seed=0, max_workers=1, chunk_size=2,
+            checkpoint=str(journal), resume=True, batch=True,
+        )
+        assert resumed.resumed == 4
+        assert resumed.results == first.results
+
+
+class TestSharedMemoryCleanup:
+    """The campaign must never leak its shared-memory segment.
+
+    A leaked segment outlives the process and eats /dev/shm until reboot,
+    so the teardown runs ``close()`` and ``unlink()`` in nested ``finally``
+    blocks — each must happen even when the other (or the dispatch) raises.
+    """
+
+    def test_segment_unlinked_when_dispatch_raises(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.runtime import columnar as columnar_runtime
+
+        real = shared_memory.SharedMemory
+        created = {}
+
+        def capture(*args, **kwargs):
+            segment = real(*args, **kwargs)
+            created["name"] = segment.name
+            return segment
+
+        monkeypatch.setattr(
+            columnar_runtime.shared_memory, "SharedMemory", capture
+        )
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("dispatch exploded")
+
+        monkeypatch.setattr(columnar_runtime, "run_jobs", explode)
+        with pytest.raises(RuntimeError, match="dispatch exploded"):
+            run_columnar_campaign(_columnar_task, 2, max_workers=1)
+        with pytest.raises(FileNotFoundError):
+            real(name=created["name"])
+
+    def test_segment_unlinked_even_when_close_raises(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.runtime import columnar as columnar_runtime
+
+        real = shared_memory.SharedMemory
+        created = {}
+
+        class FlakyClose(real):
+            # Class-level default: __init__ can raise midway (the pre-3.13
+            # ``track=`` probe in ``_attach``), and ``__del__`` still calls
+            # ``close()`` on the partially built object.
+            _flaky = False
+
+            def __init__(self, *args, create=False, **kwargs):
+                super().__init__(*args, create=create, **kwargs)
+                # Only the parent's owning segment misbehaves; worker
+                # attachments (create=False) close normally.
+                self._flaky = create
+                if create:
+                    created["name"] = self.name
+
+            def close(self):
+                super().close()
+                if self._flaky:
+                    # Raise once: __del__ closes again during GC and must
+                    # not spray unraisable exceptions into the test run.
+                    self._flaky = False
+                    raise OSError("injected close failure")
+
+        monkeypatch.setattr(
+            columnar_runtime.shared_memory, "SharedMemory", FlakyClose
+        )
+        with pytest.raises(OSError, match="injected close failure"):
+            run_columnar_campaign(_columnar_task, 1, max_workers=1)
+        with pytest.raises(FileNotFoundError):
+            real(name=created["name"])

@@ -1,0 +1,154 @@
+"""Tests for scripts/bench_history.py (the perf-trajectory renderer)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+
+import bench_history  # noqa: E402  (path bootstrap above)
+
+
+def _write_snapshot(root: Path, number: int, records: list[dict], scale=0.05):
+    document = {
+        "schema": "repro-bench/1",
+        "scale": scale,
+        "benchmarks": records,
+    }
+    path = root / f"BENCH_{number}.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+def _record(test, **metrics):
+    record = {"id": f"test_bench_x.py::test_{test}"}
+    record.update(metrics)
+    return record
+
+
+class TestDiscovery:
+    def test_snapshots_sort_numerically_with_gaps(self, tmp_path):
+        for number in (10, 2, 4):  # no 3, and 10 must sort after 4
+            _write_snapshot(tmp_path, number, [])
+        paths = bench_history.discover_snapshots(tmp_path)
+        assert [path.name for path in paths] == [
+            "BENCH_2.json",
+            "BENCH_4.json",
+            "BENCH_10.json",
+        ]
+
+    def test_fresh_overlay_shadows_the_committed_twin(self, tmp_path):
+        _write_snapshot(tmp_path, 2, [])
+        committed = _write_snapshot(tmp_path, 8, [])
+        fresh_dir = tmp_path / "ci"
+        fresh_dir.mkdir()
+        fresh = _write_snapshot(fresh_dir, 8, [_record("gate", wall_clock_s=1)])
+        paths = bench_history.discover_snapshots(tmp_path, fresh=fresh)
+        assert committed not in paths
+        assert paths == [tmp_path / "BENCH_2.json", fresh]
+
+    def test_fresh_must_be_named_like_a_snapshot(self, tmp_path):
+        odd = tmp_path / "results.json"
+        odd.write_text("{}")
+        with pytest.raises(SystemExit, match="BENCH_<n>"):
+            bench_history.discover_snapshots(tmp_path, fresh=odd)
+
+    def test_unreadable_snapshot_is_skipped_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "BENCH_3.json").write_text("{not json")
+        assert bench_history.load_snapshot(tmp_path / "BENCH_3.json") is None
+        assert "skipping BENCH_3.json" in capsys.readouterr().err
+
+
+class TestRendering:
+    def test_table_lines_up_benchmarks_across_snapshots(self, tmp_path):
+        _write_snapshot(
+            tmp_path, 2, [_record("alpha", events_per_sec=100.0)]
+        )
+        _write_snapshot(
+            tmp_path,
+            4,
+            [
+                _record("alpha", events_per_sec=250.0),
+                _record("beta", events_per_sec=7.5),
+            ],
+        )
+        snapshots = [
+            (path.stem, bench_history.load_snapshot(path))
+            for path in bench_history.discover_snapshots(tmp_path)
+        ]
+        table = bench_history.render_table(
+            snapshots, "events_per_sec", "events/sec"
+        )
+        assert "| alpha | 100.0 | 250.0 |" in table
+        # beta did not exist in BENCH_2: em-dash, not a crash.
+        assert "| beta | — | 7.5 |" in table
+        assert "BENCH_2 (x0.05)" in table
+
+    def test_null_metrics_render_as_missing(self, tmp_path):
+        _write_snapshot(
+            tmp_path,
+            6,
+            [_record("gamma", events_per_sec=None, wall_clock_s=3.0)],
+        )
+        snapshots = [
+            ("BENCH_6", bench_history.load_snapshot(tmp_path / "BENCH_6.json"))
+        ]
+        table = bench_history.render_table(
+            snapshots, "events_per_sec", "events/sec"
+        )
+        assert "(no records)" in table
+
+    def test_main_renders_all_metric_families(self, tmp_path, capsys):
+        _write_snapshot(
+            tmp_path,
+            2,
+            [
+                _record(
+                    "alpha",
+                    events_per_sec=1.0,
+                    wall_clock_s=2.0,
+                    peak_rss_mb=3.0,
+                )
+            ],
+        )
+        assert bench_history.main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Benchmark trajectory" in out
+        for family in ("events_per_sec", "wall_clock_s", "peak_rss_mb"):
+            assert f"### {family}" in out
+
+    def test_main_with_no_snapshots_fails(self, tmp_path, capsys):
+        assert bench_history.main(["--root", str(tmp_path)]) == 1
+        assert "no readable" in capsys.readouterr().err
+
+    def test_output_file_and_metric_filter(self, tmp_path):
+        _write_snapshot(
+            tmp_path, 2, [_record("alpha", events_per_sec=5.0)]
+        )
+        target = tmp_path / "history.md"
+        code = bench_history.main(
+            [
+                "--root",
+                str(tmp_path),
+                "--metric",
+                "events_per_sec",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "events_per_sec" in text
+        assert "wall_clock_s" not in text
+
+    def test_renders_the_committed_repo_history(self, capsys):
+        # The real trajectory at the repo root must always render: this is
+        # the exact invocation CI runs after the regression gate.
+        root = Path(__file__).resolve().parents[2]
+        assert bench_history.main(["--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "columnar_headline_campaign" in out

@@ -394,3 +394,87 @@ class TestHAPColumnar:
         assert result.extras["engine"] == "heap-fallback"
         assert "lifetime" in result.extras["fallback_reason"]
         assert result.messages_served > 0
+
+
+class TestEmbeddedRowsVectorized:
+    """The vectorized jump-chain table builder vs a plain per-state loop.
+
+    ``_embedded_rows`` used to build ``(targets, cumulative)`` with a
+    Python loop over states; the vectorized ``_embedded_chain`` scatter
+    must reproduce those arrays bit-for-bit — they are inputs to the
+    golden-locked walk, so even a last-bit cumsum difference would shift
+    every seeded columnar result.
+    """
+
+    @staticmethod
+    def _reference_rows(chain):
+        import scipy.sparse as sp
+
+        matrix = chain.embedded_transition_matrix()
+        if sp.issparse(matrix):
+            matrix = matrix.toarray()
+        matrix = np.asarray(matrix, dtype=float)
+        rows = []
+        for state in range(matrix.shape[0]):
+            mask = matrix[state] > 0.0
+            targets = np.nonzero(mask)[0].astype(np.int64)
+            rows.append((targets, np.cumsum(matrix[state][mask])))
+        return rows
+
+    def _check(self, chain):
+        from repro.sim.columnar import _embedded_rows
+
+        vectorized = _embedded_rows(chain)
+        reference = self._reference_rows(chain)
+        assert len(vectorized) == len(reference)
+        for (targets, cumulative), (ref_targets, ref_cumulative) in zip(
+            vectorized, reference
+        ):
+            assert np.array_equal(targets, ref_targets)
+            assert np.array_equal(cumulative, ref_cumulative)
+
+    def test_dense_generator(self):
+        generator = np.array(
+            [
+                [-1.0, 0.7, 0.3],
+                [0.2, -0.5, 0.3],
+                [1.5, 0.5, -2.0],
+            ]
+        )
+        self._check(MMPP(generator, np.array([1.0, 2.0, 3.0])).chain)
+
+    def test_dense_generator_with_absorbing_state(self):
+        generator = np.array([[-0.8, 0.8], [0.0, 0.0]])
+        self._check(MMPP(generator, np.array([5.0, 0.0])).chain)
+
+    def test_sparse_generator(self):
+        import scipy.sparse as sp
+
+        from repro.markov.ctmc import CTMC
+
+        rng = np.random.default_rng(17)
+        size = 40
+        dense = np.zeros((size, size))
+        for state in range(size):
+            neighbours = rng.choice(
+                [s for s in range(size) if s != state],
+                size=rng.integers(1, 4),
+                replace=False,
+            )
+            dense[state, neighbours] = rng.random(neighbours.size) + 0.05
+            dense[state, state] = -dense[state].sum()
+        self._check(CTMC(sp.csr_matrix(dense)))
+
+    def test_sparse_chain_with_empty_row(self):
+        import scipy.sparse as sp
+
+        from repro.markov.ctmc import CTMC
+
+        dense = np.array(
+            [
+                [-1.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [0.5, 0.5, -1.0],
+            ]
+        )
+        self._check(CTMC(sp.csr_matrix(dense)))

@@ -1,0 +1,372 @@
+"""Tests for the replication-batched columnar engine (repro.sim.columnar_batch).
+
+The batched kernel's whole value proposition is *bit-identity*: each row
+of a lock-step batch must consume its seed's substreams exactly as the
+sequential columnar engine does, so batching R replications is free of
+statistical cost.  These tests pin that contract three ways:
+
+* a hypothesis property drives Poisson/MMPP/HAP-approx batches across
+  random parameters, replication counts, and (contract-bearing) block
+  sizes, comparing every result field bitwise against sequential runs;
+* the BENCH_6 golden stream (seed 2024) must fall out of the batched
+  sampler unchanged — same arrays the sequential sampler locks;
+* unit tests cover the sharp edges: absorbing modulating chains, zero
+  rates, workspace reuse, group splitting, and the batched Lindley
+  recursion against its 1-D twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.mmpp import MMPP
+from repro.sim.columnar import (
+    lindley_waits,
+    sample_mmpp_stream,
+    simulate_hap_approx_columnar,
+    simulate_mmpp_columnar,
+    simulate_poisson_columnar,
+)
+from repro.sim.columnar_batch import (
+    BatchWorkspace,
+    lindley_waits_batch,
+    sample_mmpp_streams_batch,
+    simulate_hap_approx_columnar_batch,
+    simulate_mmpp_columnar_batch,
+    simulate_poisson_columnar_batch,
+)
+
+RESULT_FIELDS = (
+    "mean_delay",
+    "mean_wait",
+    "sigma",
+    "utilization",
+    "mean_queue_length",
+    "messages_served",
+    "effective_arrival_rate",
+    "delay_variance",
+    "events_processed",
+)
+
+
+def assert_rows_bit_identical(sequential, batched, context=""):
+    """Every result field equal bitwise; NaN counts as equal to NaN.
+
+    (An empty stream legitimately produces NaN statistics — mean delay of
+    zero messages — and NaN != NaN would fail a correct comparison.)
+    """
+    for field in RESULT_FIELDS:
+        left = getattr(sequential, field)
+        right = getattr(batched, field)
+        same = left == right or (left != left and right != right)
+        assert same, f"{context}{field}: {left!r} != {right!r}"
+    left_extras = dict(sequential.extras)
+    right_extras = dict(batched.extras)
+    for extras in (left_extras, right_extras):
+        extras.pop("engine", None)
+        extras.pop("batch_rows", None)
+    assert left_extras == right_extras, context
+
+
+def _two_state_mmpp(rate_low=1.0, rate_high=12.0):
+    generator = np.array([[-0.25, 0.25], [2.0, -2.0]])
+    return MMPP(generator, np.array([rate_low, rate_high]))
+
+
+class TestGoldenBatchStream:
+    """The BENCH_6 golden arrays must survive lock-step batching unchanged."""
+
+    def test_batched_sampler_reproduces_the_golden_stream(self):
+        batched = sample_mmpp_streams_batch(
+            _two_state_mmpp(),
+            200.0,
+            [np.random.default_rng(2024)],
+            initial_state=0,
+            workspace=BatchWorkspace(),
+        )[0]
+        sequential = sample_mmpp_stream(
+            _two_state_mmpp(),
+            200.0,
+            np.random.default_rng(2024),
+            initial_state=0,
+        )
+        assert np.array_equal(batched.arrivals, sequential.arrivals)
+        assert np.array_equal(batched.jump_times, sequential.jump_times)
+        assert np.array_equal(batched.states, sequential.states)
+        assert batched.initial_state == 0
+        # The same locked constants TestGoldenMMPPStream pins for the
+        # sequential sampler (tests/sim/test_columnar.py).
+        assert batched.arrivals.size == 475
+        assert batched.jump_times.size == 110
+        assert batched.candidates == 2362
+        assert float(batched.arrivals[-1]) == 197.38233791937876
+
+    def test_neighbouring_rows_do_not_perturb_the_golden_row(self):
+        # Row 1 is the golden stream; rows 0 and 2 are strangers.  The
+        # lock-step walk interleaves all three, but each row's generator
+        # must see exactly its own draw sequence.
+        rngs = [np.random.default_rng(seed) for seed in (11, 2024, 99)]
+        batched = sample_mmpp_streams_batch(
+            _two_state_mmpp(),
+            200.0,
+            rngs,
+            initial_state=0,
+            workspace=BatchWorkspace(),
+        )[1]
+        assert batched.arrivals.size == 475
+        assert batched.candidates == 2362
+        assert float(batched.arrivals[-1]) == 197.38233791937876
+
+
+@st.composite
+def _mmpp_batch_cases(draw):
+    n_states = draw(st.integers(min_value=2, max_value=3))
+    rates = np.array(
+        [
+            draw(st.floats(min_value=0.0, max_value=25.0))
+            for _ in range(n_states)
+        ]
+    )
+    generator = np.zeros((n_states, n_states))
+    for i in range(n_states):
+        for j in range(n_states):
+            if i != j:
+                generator[i, j] = draw(
+                    st.floats(min_value=0.05, max_value=3.0)
+                )
+        generator[i, i] = -generator[i].sum()
+    return {
+        "mmpp": MMPP(generator, rates),
+        "horizon": draw(st.floats(min_value=40.0, max_value=250.0)),
+        "initial_state": draw(st.integers(0, n_states - 1)),
+        "block_size": draw(st.integers(min_value=8, max_value=128)),
+        "chunk_size": draw(st.integers(min_value=1, max_value=512)),
+        "base_seed": draw(st.integers(min_value=0, max_value=2**20)),
+        "rows": draw(st.integers(min_value=1, max_value=5)),
+    }
+
+
+class TestBitIdentityProperty:
+    @given(case=_mmpp_batch_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_mmpp_batch_rows_match_sequential(self, case):
+        seeds = list(range(case["base_seed"], case["base_seed"] + case["rows"]))
+        batched = simulate_mmpp_columnar_batch(
+            case["mmpp"],
+            case["horizon"],
+            14.0,
+            seeds,
+            initial_state=case["initial_state"],
+            block_size=case["block_size"],
+            chunk_size=case["chunk_size"],
+        )
+        for seed, row in zip(seeds, batched):
+            sequential = simulate_mmpp_columnar(
+                case["mmpp"],
+                case["horizon"],
+                14.0,
+                seed=seed,
+                initial_state=case["initial_state"],
+                block_size=case["block_size"],
+                chunk_size=case["chunk_size"],
+            )
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+
+    @given(
+        rate=st.floats(min_value=0.0, max_value=20.0),
+        horizon=st.floats(min_value=40.0, max_value=400.0),
+        block_size=st.integers(min_value=8, max_value=128),
+        chunk_size=st.integers(min_value=1, max_value=512),
+        base_seed=st.integers(min_value=0, max_value=2**20),
+        rows=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_batch_rows_match_sequential(
+        self, rate, horizon, block_size, chunk_size, base_seed, rows
+    ):
+        seeds = list(range(base_seed, base_seed + rows))
+        batched = simulate_poisson_columnar_batch(
+            rate,
+            horizon,
+            9.0,
+            seeds,
+            block_size=block_size,
+            chunk_size=chunk_size,
+        )
+        for seed, row in zip(seeds, batched):
+            sequential = simulate_poisson_columnar(
+                rate,
+                horizon,
+                9.0,
+                seed=seed,
+                block_size=block_size,
+                chunk_size=chunk_size,
+            )
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+
+    @given(
+        base_seed=st.integers(min_value=0, max_value=2**16),
+        rows=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_hap_approx_batch_rows_match_sequential(self, base_seed, rows):
+        from repro.experiments.configs import base_parameters
+
+        params = base_parameters(service_rate=20.0)
+        seeds = list(range(base_seed, base_seed + rows))
+        batched = simulate_hap_approx_columnar_batch(params, 1_500.0, seeds)
+        for seed, row in zip(seeds, batched):
+            sequential = simulate_hap_approx_columnar(
+                params, 1_500.0, seed=seed
+            )
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+            assert row.extras["engine"] == "columnar-batched"
+            assert row.extras["source"] == "hap-approx"
+            assert row.extras["batch_rows"] == rows
+
+
+class TestSharpEdges:
+    def test_stationary_initial_state_draws_match_sequential(self):
+        mmpp = _two_state_mmpp()
+        seeds = [31, 32, 33]
+        batched = simulate_mmpp_columnar_batch(mmpp, 120.0, 14.0, seeds)
+        for seed, row in zip(seeds, batched):
+            sequential = simulate_mmpp_columnar(mmpp, 120.0, 14.0, seed=seed)
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+
+    @pytest.mark.parametrize("initial_state", [0, 1])
+    def test_absorbing_chain_rows_match_sequential(self, initial_state):
+        # State 1 absorbs (zero exit rate) and emits nothing: rows retire
+        # from the lock-step walk at different steps and must still consume
+        # their streams exactly as the scalar walk does.
+        mmpp = MMPP(
+            np.array([[-0.8, 0.8], [0.0, 0.0]]), np.array([5.0, 0.0])
+        )
+        seeds = [7, 8, 9, 10]
+        batched = simulate_mmpp_columnar_batch(
+            mmpp, 80.0, 20.0, seeds, initial_state=initial_state, block_size=8
+        )
+        for seed, row in zip(seeds, batched):
+            sequential = simulate_mmpp_columnar(
+                mmpp,
+                80.0,
+                20.0,
+                seed=seed,
+                initial_state=initial_state,
+                block_size=8,
+            )
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+
+    def test_zero_rate_poisson_batch(self):
+        batched = simulate_poisson_columnar_batch(0.0, 300.0, 9.0, [1, 2])
+        for seed, row in zip([1, 2], batched):
+            sequential = simulate_poisson_columnar(0.0, 300.0, 9.0, seed=seed)
+            assert_rows_bit_identical(sequential, row, f"seed={seed} ")
+            assert row.messages_served == 0
+
+    def test_group_splitting_is_invisible(self):
+        # max_group_bytes=1 forces one row per phase-B group; the output
+        # must match an unsplit batch exactly.
+        mmpp = _two_state_mmpp()
+        seeds = [5, 6, 7, 8]
+        split = simulate_mmpp_columnar_batch(
+            mmpp, 150.0, 14.0, seeds, max_group_bytes=1
+        )
+        whole = simulate_mmpp_columnar_batch(mmpp, 150.0, 14.0, seeds)
+        for left, right in zip(split, whole):
+            assert_rows_bit_identical(left, right, "group-split ")
+
+    def test_workspace_reuse_across_batches(self):
+        # A dirty workspace (buffers full of a previous batch's variates)
+        # must not leak into the next batch's results.
+        mmpp = _two_state_mmpp()
+        workspace = BatchWorkspace()
+        first = simulate_mmpp_columnar_batch(
+            mmpp, 150.0, 14.0, [1, 2], workspace=workspace
+        )
+        again = simulate_mmpp_columnar_batch(
+            mmpp, 150.0, 14.0, [1, 2], workspace=workspace
+        )
+        for left, right in zip(first, again):
+            assert_rows_bit_identical(left, right, "workspace-reuse ")
+        assert workspace.nbytes > 0
+        workspace.release()
+        assert workspace.nbytes == 0
+
+    def test_empty_seed_list_returns_empty(self):
+        assert simulate_poisson_columnar_batch(5.0, 100.0, 9.0, []) == []
+
+    def test_invalid_horizon_message_matches_sequential(self):
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            simulate_mmpp_columnar_batch(_two_state_mmpp(), -1.0, 14.0, [1])
+
+    def test_initial_state_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_mmpp_columnar_batch(
+                _two_state_mmpp(), 100.0, 14.0, [1], initial_state=5
+            )
+
+
+class TestLindleyBatch:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 5000])
+    def test_rows_match_the_sequential_recursion(self, chunk_size):
+        rng = np.random.default_rng(3)
+        arrival_rows = []
+        service_rows = []
+        for count in (0, 1, 17, 400):
+            arrivals = np.sort(rng.random(count) * 100.0)
+            services = rng.exponential(0.1, size=count)
+            arrival_rows.append(arrivals)
+            service_rows.append(services)
+        batched = lindley_waits_batch(
+            arrival_rows, service_rows, chunk_size=chunk_size
+        )
+        for arrivals, services, waits in zip(
+            arrival_rows, service_rows, batched
+        ):
+            expected = lindley_waits(
+                arrivals, services, chunk_size=chunk_size
+            )
+            assert np.array_equal(waits, expected)
+
+    def test_rows_of_unequal_length_pad_invisibly(self):
+        # The 2-D kernel pads short rows to the longest; padding must not
+        # bleed into real waits.
+        rng = np.random.default_rng(11)
+        arrival_rows = [
+            np.sort(rng.random(3) * 10.0),
+            np.sort(rng.random(900) * 10.0),
+        ]
+        service_rows = [rng.exponential(1.0, 3), rng.exponential(1.0, 900)]
+        batched = lindley_waits_batch(arrival_rows, service_rows)
+        for arrivals, services, waits in zip(
+            arrival_rows, service_rows, batched
+        ):
+            assert waits.size == arrivals.size
+            assert np.array_equal(waits, lindley_waits(arrivals, services))
+
+    def test_initial_wait_carries_into_every_row(self):
+        arrivals = np.array([1.0, 2.0, 3.0])
+        services = np.array([0.5, 0.5, 0.5])
+        batched = lindley_waits_batch(
+            [arrivals, arrivals], [services, services], initial_wait=4.0
+        )
+        expected = lindley_waits(arrivals, services, initial_wait=4.0)
+        assert np.array_equal(batched[0], expected)
+        assert np.array_equal(batched[1], expected)
+
+    def test_validation_mirrors_the_sequential_messages(self):
+        good = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="matching arrival and service"):
+            lindley_waits_batch([good], [])
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            lindley_waits_batch([good], [good], chunk_size=0)
+        with pytest.raises(ValueError, match="initial_wait must be finite"):
+            lindley_waits_batch([good], [good], initial_wait=-1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            lindley_waits_batch([good[::-1].copy()], [good])
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            lindley_waits_batch([good], [np.array([0.5, -0.5])])
