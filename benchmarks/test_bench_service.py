@@ -14,6 +14,16 @@ The tiers are the service's whole point:
   because a slow miss path is exactly the regression the three-tier
   design guards against.
 
+Two rungs cover the PR-9 serving work:
+
+* **sharded cached** — an SO_REUSEPORT fleet mapping one shared-memory
+  surface; the >= 3x-BENCH_7 multi-core assert is skipped (with an
+  explicit warning) on boxes without enough cores, but the figure is
+  always recorded so the baseline gate can pin it where it was measured.
+* **batch cached** — the ``admit_batch`` verb amortizes protocol
+  round-trips, so it must beat BENCH_7's scalar cached figure even on
+  one core.
+
 Request counts are floored well above ``REPRO_BENCH_SCALE`` quick runs:
 throughput over a few hundred requests is dominated by connection setup
 and would gate noise, not the service.
@@ -23,14 +33,21 @@ from __future__ import annotations
 
 import asyncio
 import gc
+import os
 import threading
+import warnings
 
 from _util import run_once
 
 from repro.core.params import HAPParameters
 from repro.service.client import generate_queries, run_load
 from repro.service.server import AdmissionService, start_server
+from repro.service.sharded import ShardFleet
 from repro.service.surfaces import build_decision_surfaces
+
+#: BENCH_7's cached-tier decisions/sec — the reference both new serving
+#: rungs are measured against (3x for the sharded fleet, 1x for batch).
+BENCH7_CACHED_DECISIONS_PER_SEC = 12_053.5
 
 _SURFACES = None
 
@@ -77,7 +94,33 @@ def _latency_extra(result) -> dict:
     }
 
 
-def _drive(tier: str, requests: int, connections: int = 4):
+def _load_without_gc(host, port, queries, connections, batch_size):
+    """Run the closed loop with the cyclic collector paused.
+
+    In a shared bench session the campaigns before this leave a large
+    heap; cyclic-GC passes over it land on the event loop and halve the
+    measured throughput.  Collect once, then pause the collector for the
+    sub-second load run (refcounting still frees the hot-path garbage).
+    """
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return asyncio.run(
+            run_load(
+                host,
+                port,
+                queries,
+                connections=connections,
+                batch_size=batch_size,
+            )
+        )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _drive(tier: str, requests: int, connections: int = 4, batch_size: int = 0):
     """Serve on a dedicated thread/event loop; drive clients from this one.
 
     Sharing one loop between server and load generator halves the apparent
@@ -107,27 +150,25 @@ def _drive(tier: str, requests: int, connections: int = 4):
     ready.wait()
     try:
         queries = generate_queries(surfaces, tier, requests)
-        # In a shared bench session the campaigns before this leave a large
-        # heap; cyclic-GC passes over it land on the event loop and halve
-        # the measured throughput.  Collect once, then pause the collector
-        # for the sub-second load run (refcounting still frees the hot-path
-        # garbage).
-        gc.collect()
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            report = asyncio.run(
-                run_load(
-                    "127.0.0.1", box["port"], queries, connections=connections
-                )
-            )
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        report = _load_without_gc(
+            "127.0.0.1", box["port"], queries, connections, batch_size
+        )
     finally:
         box["loop"].call_soon_threadsafe(box["stop"].set)
         thread.join()
         service.close()
+    return _ServiceBenchResult(report)
+
+
+def _drive_sharded(
+    tier: str, requests: int, shards: int, connections: int, batch_size: int = 0
+):
+    """Boot an SO_REUSEPORT fleet and drive the same closed loop at it."""
+    surfaces = _surfaces()
+    with ShardFleet(surfaces, shards=shards) as fleet:
+        host, port = fleet.address
+        queries = generate_queries(surfaces, tier, requests)
+        report = _load_without_gc(host, port, queries, connections, batch_size)
     return _ServiceBenchResult(report)
 
 
@@ -172,3 +213,52 @@ def test_service_miss_decisions(benchmark, report, scale):
     assert load.decisions_per_sec >= 100
     # A hung or runaway miss path shows up here long before the gate.
     assert load.p99_latency_ms < 250
+
+
+def test_service_sharded_cached_decisions(benchmark, report, scale):
+    cores = os.cpu_count() or 1
+    shards = max(2, min(4, cores))
+    requests = max(8000, int(24000 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive_sharded("cached", requests, shards=shards, connections=8),
+        extra=lambda r: {**_latency_extra(r), "shards": shards, "cores": cores},
+    )
+    load = result.report
+    report(
+        f"Service: sharded cached-tier decisions/sec ({shards} shards)",
+        load.describe(),
+    )
+    assert load.tiers == {"surface": requests}
+    floor = 3.0 * BENCH7_CACHED_DECISIONS_PER_SEC
+    if cores >= 4:
+        # The tentpole gate: the fleet must turn spare cores into >= 3x
+        # BENCH_7's single-process cached throughput.
+        assert load.decisions_per_sec >= floor
+    else:
+        warnings.warn(
+            f"sharded >=3x gate skipped: host has {cores} CPU(s), so the "
+            f"fleet cannot exceed one core's throughput; recorded "
+            f"{load.decisions_per_sec:.0f} decisions/sec against a "
+            f"{floor:.0f}/sec multi-core bar",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+def test_service_batch_cached_decisions(benchmark, report, scale):
+    requests = max(20_000, int(48_000 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive("cached", requests, connections=4, batch_size=256),
+        extra=lambda r: {**_latency_extra(r), "batch_size": 256},
+    )
+    load = result.report
+    report(
+        "Service: batched cached-tier (admit_batch, 256 rows) decisions/sec",
+        load.describe(),
+    )
+    assert load.tiers == {"surface": requests}
+    # Strictly better than BENCH_7's scalar cached rung: amortizing the
+    # protocol round-trip must pay for itself even on one core.
+    assert load.decisions_per_sec > BENCH7_CACHED_DECISIONS_PER_SEC

@@ -4,7 +4,7 @@
 Usage::
 
     python scripts/bench_history.py                  # committed history
-    python scripts/bench_history.py --fresh BENCH_8.json
+    python scripts/bench_history.py --fresh BENCH_9.json
     python scripts/bench_history.py --metric events_per_sec
 
 Every PR that touches performance commits one ``BENCH_<n>.json`` snapshot
@@ -95,8 +95,19 @@ def _format(value) -> str:
     return str(value)
 
 
-def render_table(snapshots: list[tuple[str, dict]], metric: str, unit: str) -> str:
-    """One markdown table: benchmarks x snapshots for a single metric."""
+def render_table(
+    snapshots: list[tuple[str, dict]],
+    metric: str,
+    unit: str,
+    row_filter=None,
+    title: str | None = None,
+) -> str:
+    """One markdown table: benchmarks x snapshots for a single metric.
+
+    ``row_filter`` (short-id -> bool) restricts rows, for focused views
+    like the service decisions/sec trajectory; ``title`` overrides the
+    default ``metric`` heading.
+    """
     columns = []
     cells: dict[str, dict[str, object]] = {}
     order: list[str] = []
@@ -106,16 +117,19 @@ def render_table(snapshots: list[tuple[str, dict]], metric: str, unit: str) -> s
         columns.append(header)
         for record in document["benchmarks"]:
             row = _short_id(record.get("id", "?"))
+            if row_filter is not None and not row_filter(row):
+                continue
             if record.get(metric) is None:
                 continue
             if row not in cells:
                 cells[row] = {}
                 order.append(row)
             cells[row][header] = record[metric]
+    heading = title or metric
     if not order:
-        return f"### {metric} ({unit})\n\n(no records)\n"
+        return f"### {heading} ({unit})\n\n(no records)\n"
     lines = [
-        f"### {metric} ({unit})",
+        f"### {heading} ({unit})",
         "",
         "| benchmark | " + " | ".join(columns) + " |",
         "|---" * (len(columns) + 1) + "|",
@@ -171,6 +185,19 @@ def main(argv: list[str] | None = None) -> int:
         for name, unit in METRICS
         if name in wanted
     ]
+    if "events_per_sec" in wanted:
+        # Focused view of the admission-serving trajectory: scalar,
+        # interpolated, miss, sharded-fleet, and batched rungs side by
+        # side, in decisions/sec (their events/sec unit).
+        sections.append(
+            render_table(
+                snapshots,
+                "events_per_sec",
+                "decisions/sec",
+                row_filter=lambda row: row.startswith("service_"),
+                title="admission service throughput",
+            )
+        )
     text = "## Benchmark trajectory\n\n" + "\n".join(sections)
     if args.output is not None:
         args.output.write_text(text + "\n")

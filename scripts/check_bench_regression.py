@@ -37,6 +37,13 @@ PR 2's issue).  The gates:
   PR 8's replication-batched columnar gate: the 32-seed headline
   campaign through the lock-step 2-D kernel (>= 4M events/sec at full
   scale — >= 3x the single-replication columnar throughput).
+* ``service_sharded_cached_decisions`` — ``events_per_sec`` (higher),
+  PR 9's SO_REUSEPORT fleet gate: cached decisions/sec across a
+  multi-shard fleet mapping one shared-memory surface (>= 3x BENCH_7's
+  single-process cached figure on a multi-core runner).
+* ``service_batch_cached_decisions`` — ``events_per_sec`` (higher),
+  PR 9's ``admit_batch`` verb gate: batched cached decisions/sec, which
+  must stay strictly above the scalar cached rung even on one core.
 
 After the gates, the script reports the heap-vs-columnar peak-RSS diff
 (``headline_replicated_campaign`` vs ``columnar_headline_campaign``; pick
@@ -91,6 +98,8 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("service_miss_decisions", "events_per_sec", "higher"),
     ("service_miss_decisions", "p99_latency_ms", "lower"),
     ("columnar_batched_headline_campaign", "events_per_sec", "higher"),
+    ("service_sharded_cached_decisions", "events_per_sec", "higher"),
+    ("service_batch_cached_decisions", "events_per_sec", "higher"),
 )
 
 #: Default record pair for the informational heap-vs-columnar RSS diff.

@@ -303,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     build_surfaces.add_argument(
         "--output", type=str, required=True, help="artifact path to write"
     )
+    build_surfaces.add_argument(
+        "--binary",
+        action="store_true",
+        help="also write the .npz binary sidecar next to the JSON "
+        "artifact — shard fleets map it instead of re-parsing JSON "
+        "per process",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -340,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
         "started) before the Solution-2 closed form",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes sharing the listening port via SO_REUSEPORT "
+        "(1 = single-process; >1 boots the supervised fleet)",
+    )
+    serve.add_argument(
         "--smoke",
         action="store_true",
         help="boot, answer one query per tier through a loopback client, "
@@ -367,6 +381,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--connections", type=int, default=4)
     bench_serve.add_argument("--seed", type=int, default=0)
     bench_serve.add_argument("--solve-timeout", type=float, default=10.0)
+    bench_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="benchmark against an SO_REUSEPORT fleet of this many shard "
+        "processes instead of the in-process server",
+    )
+    bench_serve.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="send admit_batch requests of this many rows per round trip "
+        "(0 = the per-query admit verb)",
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -420,12 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--target",
-        choices=("campaign", "serve"),
+        choices=("campaign", "serve", "fleet"),
         default="campaign",
         help="'campaign' (default) chaos-tests the replication runtime; "
         "'serve' chaos-tests the admission service: poisoned rungs and "
         "injected slow solves must degrade to conservative denies "
-        "within the deadline",
+        "within the deadline; 'fleet' SIGKILLs a shard of a sharded "
+        "fleet mid-load: survivors must keep answering conservatively "
+        "and the respawned shard must rejoin",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="fleet size for --target fleet",
     )
     chaos.add_argument(
         "--requests",
@@ -725,6 +761,8 @@ def _command_chaos(args: argparse.Namespace, out) -> int:
     poisons = tuple(args.poison or ())
     if args.target == "serve":
         return _chaos_serve_demo(args, kills, delays, poisons, out)
+    if args.target == "fleet":
+        return _chaos_fleet_demo(args, kills, delays, poisons, out)
     if not (kills or delays or poisons):
         # Bare `cli chaos`: kill one worker mid-campaign by default.
         kills = ((args.seed + 1, 1),)
@@ -876,6 +914,126 @@ def _chaos_serve_demo(args, kills, delays, poisons, out) -> int:
     return asyncio.run(drive())
 
 
+def _chaos_fleet_demo(args, kills, delays, poisons, out) -> int:
+    """Shard-kill chaos: the fleet keeps answering, conservatively.
+
+    Boots a ``--shards`` SO_REUSEPORT fleet with the Solution-2 rung
+    poisoned (so every miss degrades to a conservative deny), drives
+    ``--requests`` miss-tier queries, and SIGKILLs a shard halfway
+    through.  ``--kill`` specs name shard indexes here (not seeds).
+    Verdict (exit 0) requires every request answered within
+    deadline+margin, every degraded answer a deny, and the respawned
+    shard back in the fleet at the end — a dead shard may cost retries,
+    never a hang and never a loosened admit.
+    """
+    import asyncio
+    import time
+
+    from repro.runtime import chaos
+    from repro.service.client import AdmissionClient
+    from repro.service.sharded import ShardFleet
+    from repro.service.surfaces import build_decision_surfaces
+
+    if not poisons:
+        poisons = ("admission-solve:solution2",)
+    victims = sorted(
+        {seed for seed, _ in kills if 0 <= seed < args.shards}
+    ) or [0]
+    plan = chaos.ChaosPlan(delay=delays, poison=poisons)
+    print(
+        f"chaos plan           : kill shard(s) {victims}, "
+        f"poisons={list(poisons)} deadline={args.deadline:g}s",
+        file=out,
+    )
+    surfaces = build_decision_surfaces(
+        _service_params(args), (0.1, 0.2), max_population=6, max_workers=1
+    )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    miss_target = float(surfaces.delay_targets[-1]) * 3.0
+    margin = args.deadline + max(1.0, args.deadline)
+
+    async def ask_with_retry(host, port, n1, n2, target):
+        # A connection riding the killed shard dies with a reset; the
+        # retry reconnects and the kernel re-balances to a live shard.
+        last_error = None
+        for _ in range(40):
+            try:
+                client = await AdmissionClient.open(host, port)
+                try:
+                    return await client.admit(n1, n2, target)
+                finally:
+                    await client.close()
+            except (ConnectionError, OSError) as error:
+                last_error = error
+                await asyncio.sleep(0.05)
+        raise ConnectionError(f"fleet unreachable: {last_error}")
+
+    async def drive(fleet) -> int:
+        host, port = fleet.address
+        answers = []
+        kill_at = max(1, args.requests // 2)
+        for index in range(args.requests):
+            if index == kill_at:
+                for victim in victims:
+                    pid = fleet.kill_shard(victim)
+                    print(
+                        f"killed               : shard {victim} (pid {pid})",
+                        file=out,
+                    )
+            started = time.perf_counter()
+            answer = await ask_with_retry(
+                host,
+                port,
+                float(index % (surfaces.max_population + 1)),
+                1.0,
+                miss_target,
+            )
+            elapsed = time.perf_counter() - started
+            answers.append((answer, elapsed))
+            print(
+                f"request {index:<13}: tier={answer['tier']:<12} "
+                f"admit={answer['admit']} latency={elapsed * 1e3:.1f}ms",
+                file=out,
+            )
+        rejoin_deadline = time.monotonic() + 30.0
+        while fleet.alive() < fleet.shards and time.monotonic() < rejoin_deadline:
+            await asyncio.sleep(0.1)
+        rejoined = fleet.alive() == fleet.shards
+        hung = [e for _, e in answers if e > margin]
+        degraded = [a for a, _ in answers if a["tier"] == "degraded"]
+        degraded_admits = [a for a in degraded if a["admit"]]
+        ok = (
+            len(answers) == args.requests
+            and not hung
+            and degraded
+            and not degraded_admits
+            and rejoined
+        )
+        print(
+            f"verdict              : {len(answers)}/{args.requests} "
+            f"answered, {len(degraded)} degraded (all denies: "
+            f"{not degraded_admits}), {len(hung)} over deadline+margin, "
+            f"respawn rejoined: {rejoined} — "
+            f"{'conservative fleet degradation holds' if ok else 'FAULT HANDLING BROKEN'}",
+            file=out,
+        )
+        return 0 if ok else 1
+
+    fleet = ShardFleet(
+        surfaces,
+        shards=args.shards,
+        solve_timeout=args.deadline,
+        chaos_plan=plan,
+    )
+    with fleet:
+        host, port = fleet.address
+        print(
+            f"fleet                : {args.shards} shards at {host}:{port}",
+            file=out,
+        )
+        return asyncio.run(drive(fleet))
+
+
 def _chaos_poison_demo(hap, plan, out) -> int:
     """Show each targeted degradation chain answering below its poison."""
     import numpy as np
@@ -928,7 +1086,12 @@ def _surfaces_from_args(args: argparse.Namespace, out):
 
 def _command_build_surfaces(args: argparse.Namespace, out) -> int:
     from repro.control.admission_table import probe_stats
-    from repro.service.surfaces import build_decision_surfaces, save_surfaces
+    from repro.service.surfaces import (
+        binary_sidecar_path,
+        build_decision_surfaces,
+        save_surfaces,
+        save_surfaces_binary,
+    )
 
     try:
         targets = _parse_delay_targets(args.delay_targets)
@@ -954,6 +1117,9 @@ def _command_build_surfaces(args: argparse.Namespace, out) -> int:
             file=out,
         )
     print(f"artifact             : {path}", file=out)
+    if args.binary:
+        sidecar = save_surfaces_binary(surfaces, binary_sidecar_path(path))
+        print(f"binary sidecar       : {sidecar}", file=out)
     return 0
 
 
@@ -999,6 +1165,89 @@ async def _serve_smoke(service, surfaces, host: str, port: int, out) -> int:
     return status
 
 
+async def _fleet_smoke(fleet, surfaces, out) -> int:
+    """Answer one query per tier + a batch + fleet stats; 0 = healthy."""
+    from repro.service.client import AdmissionClient
+
+    host, port = fleet.address
+    status = 0
+    client = await AdmissionClient.open(host, port)
+    try:
+        grid_target = float(surfaces.delay_targets[0])
+        probes = (
+            ("surface", (1.0, 1.0, grid_target)),
+            ("interpolated", (0.5, 1.0, grid_target)),
+            ("miss", (1.0, 1.0, float(surfaces.delay_targets[-1]) * 2.0)),
+        )
+        for label, (n1, n2, target) in probes:
+            answer = await client.admit(n1, n2, target)
+            print(
+                f"{label:<21}: admit={answer['admit']} "
+                f"tier={answer['tier']} "
+                f"latency={answer['latency_us']:.0f}us",
+                file=out,
+            )
+            if not answer.get("ok"):
+                status = 1
+        batch = await client.admit_batch(
+            [1.0, 0.5], [1.0, 1.0], [grid_target, grid_target]
+        )
+        print(
+            f"batch                : rows={batch['rows']} "
+            f"tiers={batch['tier']}",
+            file=out,
+        )
+        stats = await client.request({"op": "stats", "scope": "fleet"})
+        print(
+            f"fleet stats          : shards={stats.get('shards')} "
+            f"{stats['stats']}",
+            file=out,
+        )
+        if stats.get("shards") != fleet.shards or stats.get("scope") != "fleet":
+            status = 1
+        if fleet.alive() != fleet.shards:
+            status = 1
+    finally:
+        await client.close()
+    print(
+        f"verdict              : {'healthy' if status == 0 else 'UNHEALTHY'}",
+        file=out,
+    )
+    return status
+
+
+def _serve_fleet(args: argparse.Namespace, surfaces, out) -> int:
+    import asyncio
+    import time
+
+    from repro.service.sharded import ShardFleet
+
+    fleet = ShardFleet(
+        surfaces,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        solve_timeout=args.solve_timeout,
+        solver_workers=args.solver_workers,
+        exact=args.exact,
+    )
+    with fleet:
+        host, port = fleet.address
+        print(
+            f"listening            : {host}:{port} "
+            f"({args.shards} shards, SO_REUSEPORT)",
+            file=out,
+        )
+        if args.smoke:
+            return asyncio.run(_fleet_smoke(fleet, surfaces, out))
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("interrupted          : shutting down fleet", file=out)
+            return 0
+
+
 async def _serve_forever(service, host: str, port: int, out) -> int:
     from repro.service.server import start_server
 
@@ -1020,6 +1269,11 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=out)
+        return 2
+    if args.shards > 1:
+        return _serve_fleet(args, surfaces, out)
     service = AdmissionService(
         surfaces,
         solve_timeout=args.solve_timeout,
@@ -1055,25 +1309,53 @@ def _command_bench_serve(args: argparse.Namespace, out) -> int:
         if args.tier == "all"
         else (args.tier,)
     )
+    label_suffix = f" [batch={args.batch}]" if args.batch > 0 else ""
+
+    async def drive(host: str, port: int) -> None:
+        for tier in tiers:
+            queries = generate_queries(
+                surfaces, tier, args.requests, seed=args.seed
+            )
+            report = await run_load(
+                host,
+                port,
+                queries,
+                connections=args.connections,
+                batch_size=args.batch,
+            )
+            print(f"{tier:<21}: {report.describe()}{label_suffix}", file=out)
 
     async def bench() -> int:
         service = AdmissionService(surfaces, solve_timeout=args.solve_timeout)
         server = await start_server(service)
         host, port = server.sockets[0].getsockname()[:2]
         try:
-            for tier in tiers:
-                queries = generate_queries(
-                    surfaces, tier, args.requests, seed=args.seed
-                )
-                report = await run_load(
-                    host, port, queries, connections=args.connections
-                )
-                print(f"{tier:<21}: {report.describe()}", file=out)
+            await drive(host, port)
         finally:
             server.close()
             await server.wait_closed()
             service.close()
         return 0
+
+    if args.shards > 1:
+        from repro.service.sharded import ShardFleet
+
+        fleet = ShardFleet(
+            surfaces, shards=args.shards, solve_timeout=args.solve_timeout
+        )
+        with fleet:
+            host, port = fleet.address
+            print(
+                f"fleet                : {args.shards} shards at "
+                f"{host}:{port} (SO_REUSEPORT)",
+                file=out,
+            )
+
+            async def bench_fleet() -> int:
+                await drive(host, port)
+                return 0
+
+            return asyncio.run(bench_fleet())
 
     return asyncio.run(bench())
 

@@ -16,36 +16,49 @@ answers each connection request with a table lookup at the interface.
   poisoned, or failed solves degrade to a conservative *deny* — the service
   may refuse traffic the network could carry, but never admits traffic that
   would violate the delay target, and never hangs a request.
-* :mod:`repro.service.client` — newline-delimited-JSON TCP client and the
-  closed-loop load generator behind ``cli bench-serve``.
+* :mod:`repro.service.client` — newline-delimited-JSON TCP client (single
+  and pipelined-batch verbs) and the closed-loop load generator behind
+  ``cli bench-serve``.
+* :mod:`repro.service.sharded` — the multi-core fleet: ``SO_REUSEPORT``
+  shard processes behind one address, zero-copy shared-memory surface
+  grids, shared per-tier counter table, and a supervisor that respawns
+  crashed shards on the :mod:`repro.runtime.resilience` backoff schedule.
 """
 
 from repro.service.client import AdmissionClient, LoadReport, run_load
 from repro.service.server import (
     AdmissionService,
     BandwidthAnswer,
+    BatchDecision,
     Decision,
     start_server,
 )
+from repro.service.sharded import FleetCounters, ShardFleet, SharedSurfaces
 from repro.service.surfaces import (
     SURFACE_SCHEMA,
     DecisionSurfaces,
     build_decision_surfaces,
     load_surfaces,
     save_surfaces,
+    save_surfaces_binary,
 )
 
 __all__ = [
     "AdmissionClient",
     "AdmissionService",
     "BandwidthAnswer",
+    "BatchDecision",
     "Decision",
     "DecisionSurfaces",
+    "FleetCounters",
     "LoadReport",
     "SURFACE_SCHEMA",
+    "ShardFleet",
+    "SharedSurfaces",
     "build_decision_surfaces",
     "load_surfaces",
     "run_load",
     "save_surfaces",
+    "save_surfaces_binary",
     "start_server",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -79,13 +80,34 @@ class AdmissionClient:
             {"op": "admit", "n1": n1, "n2": n2, "delay_target": delay_target}
         )
 
+    async def admit_batch(
+        self,
+        n1: list[float],
+        n2: list[float],
+        delay_target: list[float],
+    ) -> dict:
+        """Answer many admit queries in one protocol round trip.
+
+        The response carries parallel per-row arrays (``admit``, ``tier``,
+        ``max_n2``, ``estimate``) plus ``rows``; each row is identical to
+        what the per-query :meth:`admit` would have answered.
+        """
+        return await self.request(
+            {
+                "op": "admit_batch",
+                "n1": list(n1),
+                "n2": list(n2),
+                "delay_target": list(delay_target),
+            }
+        )
+
     async def bandwidth(self, delay_target: float) -> dict:
         """Minimum bandwidth meeting ``delay_target`` (``null`` = refused)."""
         return await self.request({"op": "bandwidth", "delay_target": delay_target})
 
-    async def stats(self) -> dict:
-        """The server's per-tier counters."""
-        return (await self.request({"op": "stats"}))["stats"]
+    async def stats(self, scope: str = "shard") -> dict:
+        """Per-tier counters; ``scope="fleet"`` sums every shard's row."""
+        return (await self.request({"op": "stats", "scope": scope}))["stats"]
 
     async def ping(self) -> dict:
         """Liveness probe."""
@@ -202,11 +224,30 @@ class LoadReport:
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list."""
+    """Nearest-rank percentile of an already-sorted list.
+
+    The rank is ``floor(q * (n - 1) + 0.5)`` — explicit round-half-up.
+    ``round()`` would round half-to-even (banker's rounding), which makes
+    p50 of an even-length sample flip between the two middle neighbours
+    depending on the sample size's parity class, so the same latency
+    distribution could report different medians across runs.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    rank = math.floor(q * (len(sorted_values) - 1) + 0.5)
+    return sorted_values[min(len(sorted_values) - 1, rank)]
+
+
+_ZERO_REPORT = LoadReport(
+    requests=0,
+    elapsed_s=0.0,
+    decisions_per_sec=0.0,
+    p50_latency_ms=0.0,
+    p99_latency_ms=0.0,
+    max_latency_ms=0.0,
+    admitted=0,
+    denied=0,
+)
 
 
 async def run_load(
@@ -214,6 +255,7 @@ async def run_load(
     port: int,
     queries: list[tuple[float, float, float]],
     connections: int = 4,
+    batch_size: int = 0,
 ) -> LoadReport:
     """Drive ``queries`` through the service closed-loop; aggregate a report.
 
@@ -221,9 +263,23 @@ async def run_load(
     connections; each connection issues its next query the moment the
     previous answer arrives (closed loop, no think time), so the measured
     decisions/sec is the service's sustained throughput at that concurrency.
+    Against a sharded fleet the same call measures aggregate fleet
+    throughput — the kernel spreads the connections across shard processes.
+
+    ``batch_size > 0`` switches each connection to the pipelined
+    ``admit_batch`` verb, sending up to that many queries per protocol
+    round trip.  Decisions/sec still counts individual query rows; the
+    latency percentiles then describe whole round trips (one batch each),
+    not per-row service time.
+
+    An empty ``queries`` list reports all-zero (it used to divide by
+    zero); ``connections`` beyond ``len(queries)`` is clamped so no dealt
+    slice is empty.
     """
     if not queries:
-        raise ValueError("need at least one query")
+        return _ZERO_REPORT
+    if batch_size < 0:
+        raise ValueError("batch_size must be non-negative")
     connections = max(1, min(connections, len(queries)))
     loop = asyncio.get_running_loop()
     clients = [
@@ -234,14 +290,16 @@ async def run_load(
     ]
     latencies: list[float] = []
     tiers: dict[str, int] = {}
+    requests = 0
     admitted = denied = 0
 
     async def drive(client: AdmissionClient, shard) -> None:
-        nonlocal admitted, denied
+        nonlocal requests, admitted, denied
         for n1, n2, delay_target in shard:
             started = loop.time()
             response = await client.admit(n1, n2, delay_target)
             latencies.append(loop.time() - started)
+            requests += 1
             tier = response.get("tier", "unknown")
             tiers[tier] = tiers.get(tier, 0) + 1
             if response.get("admit"):
@@ -249,10 +307,26 @@ async def run_load(
             else:
                 denied += 1
 
+    async def drive_batched(client: AdmissionClient, shard) -> None:
+        nonlocal requests, admitted, denied
+        for start in range(0, len(shard), batch_size):
+            chunk = shard[start : start + batch_size]
+            n1s, n2s, delays = (list(column) for column in zip(*chunk))
+            started = loop.time()
+            response = await client.admit_batch(n1s, n2s, delays)
+            latencies.append(loop.time() - started)
+            requests += int(response.get("rows", len(chunk)))
+            for tier in response.get("tier", []):
+                tiers[tier] = tiers.get(tier, 0) + 1
+            hits = sum(bool(a) for a in response.get("admit", []))
+            admitted += hits
+            denied += int(response.get("rows", len(chunk))) - hits
+
+    driver = drive_batched if batch_size > 0 else drive
     run_started = loop.time()
     try:
         await asyncio.gather(
-            *(drive(client, shard) for client, shard in zip(clients, shards))
+            *(driver(client, shard) for client, shard in zip(clients, shards))
         )
     finally:
         for client in clients:
@@ -260,9 +334,9 @@ async def run_load(
     elapsed = max(loop.time() - run_started, 1e-9)
     latencies.sort()
     return LoadReport(
-        requests=len(latencies),
+        requests=requests,
         elapsed_s=elapsed,
-        decisions_per_sec=len(latencies) / elapsed,
+        decisions_per_sec=requests / elapsed,
         p50_latency_ms=_percentile(latencies, 0.50) * 1e3,
         p99_latency_ms=_percentile(latencies, 0.99) * 1e3,
         max_latency_ms=(latencies[-1] if latencies else 0.0) * 1e3,

@@ -35,6 +35,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import count
 
+import numpy as np
+
 from repro.control.admission_table import (
     _delay_for_population_mix,
     pinned_population_params,
@@ -47,13 +49,19 @@ from repro.service.surfaces import DecisionSurfaces
 __all__ = [
     "AdmissionService",
     "BandwidthAnswer",
+    "BatchDecision",
     "Decision",
+    "MAX_BATCH_ROWS",
     "start_server",
 ]
 
 #: Degradation-chain identity for the miss path; chaos poison keys are
 #: ``"admission-solve:qbd"`` / ``"admission-solve:solution2"``.
 SOLVE_CHAIN = "admission-solve"
+
+#: Largest row count one ``admit_batch`` request may carry — bounds the
+#: memory a single protocol line can pin on the event loop.
+MAX_BATCH_ROWS = 65_536
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,28 @@ class Decision:
     estimate: float | None
     latency_s: float
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One ``admit_batch`` answer: per-row arrays plus the batch latency.
+
+    Row ``i`` carries exactly what the per-query :class:`Decision` for the
+    same ``(n1, n2, delay_target)`` would — same tier, same admit bit,
+    same bound — the batch verb is a transport, not a different decision
+    procedure (locked by a differential test in ``tests/service``).
+    """
+
+    admit: list[bool]
+    tier: list[str]
+    max_n2: list[float | None]
+    estimate: list[float | None]
+    latency_s: float
+
+    @property
+    def rows(self) -> int:
+        """Number of queries answered by the batch."""
+        return len(self.admit)
 
 
 @dataclass(frozen=True)
@@ -202,6 +232,11 @@ class AdmissionService:
         across misses via the cached HAP→MMPP mapping) before the
         Solution-2 closed form.  Off by default: Solution 2 is the paper's
         recommended control-plane solver in its validity region.
+    counters_mirror:
+        Optional sink receiving every counter increment as
+        ``mirror.add(name, k)`` — how a sharded worker publishes its
+        per-tier counters into the fleet's shared-memory block without
+        the hot path ever taking a cross-process lock.
     """
 
     def __init__(
@@ -210,6 +245,7 @@ class AdmissionService:
         solve_timeout: float = 10.0,
         solver_workers: int = 1,
         exact: bool = False,
+        counters_mirror=None,
     ):
         if solve_timeout <= 0:
             raise ValueError("solve_timeout must be positive")
@@ -223,6 +259,10 @@ class AdmissionService:
         )
         self._qbd_warm: dict = {}
         self._request_index = count()
+        self._mirror = counters_mirror
+        #: Fleet-wide counter view (set by the sharded worker); ``None``
+        #: on a single-process service, where ``stats`` answers locally.
+        self.fleet = None
         self.counters: dict[str, int] = {
             "surface": 0,
             "interpolated": 0,
@@ -235,9 +275,14 @@ class AdmissionService:
     # ------------------------------------------------------------------
     # Decision paths
     # ------------------------------------------------------------------
+    def _count(self, name: str, k: int = 1) -> None:
+        self.counters[name] += k
+        if self._mirror is not None:
+            self._mirror.add(name, k)
+
     def _finish(self, decision: Decision) -> Decision:
-        self.counters[decision.tier] += 1
-        self.counters["admitted" if decision.admit else "denied"] += 1
+        self._count(decision.tier)
+        self._count("admitted" if decision.admit else "denied")
         return decision
 
     @staticmethod
@@ -330,6 +375,114 @@ class AdmissionService:
             )
         )
 
+    async def admit_batch(self, n1, n2, delay_target) -> BatchDecision:
+        """Answer many admit queries in one call, splitting rows by tier.
+
+        Exact-grid rows answer through the vectorized
+        :meth:`~repro.service.surfaces.DecisionSurfaces.admit_batch` path
+        in one numpy pass; in-hull off-grid rows take the conservative
+        corner; only true misses reach the solver pool (concurrently, via
+        the per-query :meth:`admit` path so deadlines, degradation, and
+        chaos faults behave exactly as they do for single queries).
+        """
+        started = time.perf_counter()
+        n1 = np.asarray(n1, dtype=float)
+        n2 = np.asarray(n2, dtype=float)
+        delay_target = np.asarray(delay_target, dtype=float)
+        if not (n1.ndim == n2.ndim == delay_target.ndim == 1):
+            raise ValueError("batch queries must be 1-D arrays")
+        if not (n1.shape == n2.shape == delay_target.shape):
+            raise ValueError("n1, n2, delay_target must have equal lengths")
+        rows = int(n1.shape[0])
+        if rows > MAX_BATCH_ROWS:
+            raise ValueError(
+                f"batch carries {rows} rows; the protocol limit is "
+                f"{MAX_BATCH_ROWS}"
+            )
+        if rows == 0:
+            return BatchDecision(
+                admit=[],
+                tier=[],
+                max_n2=[],
+                estimate=[],
+                latency_s=time.perf_counter() - started,
+            )
+        for label, values in (("n1", n1), ("n2", n2)):
+            if not bool(np.all(np.isfinite(values) & (values >= 0))):
+                raise ValueError(f"{label} must be finite and non-negative")
+        if not bool(np.all(np.isfinite(delay_target) & (delay_target > 0))):
+            raise ValueError("delay_target must be finite and positive")
+
+        admit: list[bool] = [False] * rows
+        tier: list[str] = [""] * rows
+        max_n2: list[float | None] = [None] * rows
+        estimate: list[float | None] = [None] * rows
+
+        on_grid = self.surfaces.grid_mask(n1, delay_target)
+        grid_rows = np.flatnonzero(on_grid)
+        if grid_rows.size:
+            grid_admit = self.surfaces.admit_batch(
+                n1[grid_rows], n2[grid_rows], delay_target[grid_rows]
+            )
+            target_rows = np.clip(
+                np.searchsorted(
+                    self.surfaces.delay_targets, delay_target[grid_rows]
+                ),
+                0,
+                len(self.surfaces.delay_targets) - 1,
+            )
+            bounds = self.surfaces.max_n2[
+                target_rows, n1[grid_rows].astype(np.intp)
+            ]
+            for offset, row in enumerate(grid_rows):
+                admit[row] = bool(grid_admit[offset])
+                tier[row] = "surface"
+                max_n2[row] = float(bounds[offset])
+            admitted = int(np.count_nonzero(grid_admit))
+            self._count("surface", int(grid_rows.size))
+            self._count("admitted", admitted)
+            self._count("denied", int(grid_rows.size) - admitted)
+
+        misses: list[int] = []
+        for row in np.flatnonzero(~on_grid):
+            row = int(row)
+            bound = self.surfaces.interpolated_bound(
+                float(n1[row]), float(delay_target[row])
+            )
+            if bound is None:
+                misses.append(row)
+                continue
+            ok = float(n2[row]) <= bound.max_n2
+            admit[row] = ok
+            tier[row] = "interpolated"
+            max_n2[row] = bound.max_n2
+            estimate[row] = bound.estimate
+            self._count("interpolated")
+            self._count("admitted" if ok else "denied")
+
+        if misses:
+            decisions = await asyncio.gather(
+                *(
+                    self.admit(
+                        float(n1[row]), float(n2[row]), float(delay_target[row])
+                    )
+                    for row in misses
+                )
+            )
+            for row, decision in zip(misses, decisions):
+                admit[row] = decision.admit
+                tier[row] = decision.tier
+                max_n2[row] = decision.max_n2
+                estimate[row] = decision.estimate
+
+        return BatchDecision(
+            admit=admit,
+            tier=tier,
+            max_n2=max_n2,
+            estimate=estimate,
+            latency_s=time.perf_counter() - started,
+        )
+
     async def bandwidth(self, delay_target: float) -> BandwidthAnswer:
         """Minimum bandwidth meeting ``delay_target`` (``inf`` = refused)."""
         started = time.perf_counter()
@@ -341,7 +494,7 @@ class AdmissionService:
         if answer is not None:
             bound, estimate, exact = answer
             tier = "surface" if exact else "interpolated"
-            self.counters[tier] += 1
+            self._count(tier)
             return BandwidthAnswer(
                 bandwidth=bound,
                 estimate=estimate,
@@ -363,7 +516,7 @@ class AdmissionService:
                 timeout=self.solve_timeout,
             )
         except asyncio.TimeoutError:
-            self.counters["degraded"] += 1
+            self._count("degraded")
             return BandwidthAnswer(
                 bandwidth=math.inf,
                 estimate=None,
@@ -373,7 +526,7 @@ class AdmissionService:
                 "refusing to size the link",
             )
         except (DegradationError, Exception) as error:  # noqa: BLE001
-            self.counters["degraded"] += 1
+            self._count("degraded")
             return BandwidthAnswer(
                 bandwidth=math.inf,
                 estimate=None,
@@ -381,7 +534,7 @@ class AdmissionService:
                 latency_s=time.perf_counter() - started,
                 detail=f"solve failed ({error!r}); refusing to size the link",
             )
-        self.counters["solve"] += 1
+        self._count("solve")
         return BandwidthAnswer(
             bandwidth=bandwidth,
             estimate=bandwidth,
@@ -433,6 +586,31 @@ def _bandwidth_payload(answer: BandwidthAnswer) -> dict:
     }
 
 
+def _batch_payload(batch: BatchDecision) -> dict:
+    return {
+        "ok": True,
+        "rows": batch.rows,
+        "admit": batch.admit,
+        "tier": batch.tier,
+        "max_n2": batch.max_n2,
+        "estimate": batch.estimate,
+        "latency_us": round(batch.latency_s * 1e6, 1),
+    }
+
+
+def _stats_payload(service: AdmissionService, request: dict) -> dict:
+    """Local counters, or the fleet-wide sum when asked for (and sharded)."""
+    if request.get("scope") == "fleet" and service.fleet is not None:
+        return {
+            "ok": True,
+            "stats": service.fleet.totals(),
+            "scope": "fleet",
+            "shards": service.fleet.shards,
+            "per_shard": service.fleet.per_shard(),
+        }
+    return {"ok": True, "stats": service.stats(), "scope": "shard", "shards": 1}
+
+
 async def _handle_request(service: AdmissionService, request: dict) -> dict:
     op = request.get("op")
     if op == "admit":
@@ -442,11 +620,16 @@ async def _handle_request(service: AdmissionService, request: dict) -> dict:
             float(request["delay_target"]),
         )
         return _decision_payload(decision)
+    if op == "admit_batch":
+        batch = await service.admit_batch(
+            request["n1"], request["n2"], request["delay_target"]
+        )
+        return _batch_payload(batch)
     if op == "bandwidth":
         answer = await service.bandwidth(float(request["delay_target"]))
         return _bandwidth_payload(answer)
     if op == "stats":
-        return {"ok": True, "stats": service.stats()}
+        return _stats_payload(service, request)
     if op == "ping":
         return {"ok": True, "pong": True}
     raise ValueError(f"unknown op {op!r}")
@@ -483,9 +666,17 @@ async def _handle_connection(
 
 
 async def start_server(
-    service: AdmissionService, host: str = "127.0.0.1", port: int = 0
+    service: AdmissionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    reuse_port: bool = False,
 ) -> asyncio.AbstractServer:
     """Bind the TCP front end; ``port=0`` picks an ephemeral port.
+
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several processes
+    can listen on the same address and let the kernel load-balance
+    accepted connections across them — the sharded fleet's front end
+    (:mod:`repro.service.sharded`).
 
     Returns the asyncio server (not yet ``serve_forever``-ed); the bound
     address is ``server.sockets[0].getsockname()``.
@@ -494,4 +685,6 @@ async def start_server(
     async def handler(reader, writer):
         await _handle_connection(service, reader, writer)
 
-    return await asyncio.start_server(handler, host=host, port=port)
+    return await asyncio.start_server(
+        handler, host=host, port=port, reuse_port=reuse_port or None
+    )

@@ -1,0 +1,591 @@
+"""Multi-core admission serving: an SO_REUSEPORT fleet of shard processes.
+
+The single-process :class:`~repro.service.server.AdmissionService` is
+GIL-capped: one event loop answers every cached lookup, so decisions/sec
+plateaus no matter how many cores the host has.  This module scales the
+same service horizontally with three pieces:
+
+* **SO_REUSEPORT accept sharding** — every shard process binds its *own*
+  listening socket on the *same* ``(host, port)`` with ``SO_REUSEPORT``;
+  the kernel hashes incoming connections across the listening sockets, so
+  no userspace proxy or accept lock sits on the hot path.  The supervisor
+  holds the port with a bound-but-never-listening placeholder socket
+  (non-listening sockets receive no connections), which both reserves an
+  ephemeral ``port=0`` pick and keeps the address stable while shards die
+  and respawn around it.
+
+* **Zero-copy shared surfaces** — the supervisor publishes the
+  ``delay_targets`` / ``max_n2`` / ``bandwidth`` grids once into a
+  :mod:`multiprocessing.shared_memory` block (:class:`SharedSurfaces`);
+  every shard maps the block and wraps numpy views around it instead of
+  re-parsing the JSON artifact per process.  The versioned-schema refusal
+  contract travels with the descriptor: a shard refuses to attach a
+  segment published for a different schema.
+
+* **Shared fleet counters** — per-tier counters live in one int64
+  shared-memory table, one row per shard (single writer per row, no
+  locks).  Any shard can answer ``{"op": "stats", "scope": "fleet"}`` by
+  summing rows, so aggregate observability does not require asking every
+  shard.
+
+The supervisor monitors its workers and respawns crashed shards using the
+campaign :class:`~repro.runtime.resilience.RetryPolicy` machinery — the
+same deterministic backoff schedule, attempt cap, and fleet-wide retry
+budget that bound worst-case work under repeated faults in campaign runs.
+While a shard is down the survivors keep answering (the kernel only
+balances across *live* listening sockets); the conservative-deny
+contract is per-process and therefore unaffected by fleet membership.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import secrets
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.runtime import chaos
+from repro.runtime.resilience import RetryPolicy
+from repro.service.server import AdmissionService, start_server
+from repro.service.surfaces import (
+    SURFACE_SCHEMA,
+    DecisionSurfaces,
+    _params_from_dict,
+    _params_to_dict,
+)
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "FleetCounters",
+    "ShardConfig",
+    "ShardFleet",
+    "SharedSurfaces",
+    "SurfaceDescriptor",
+]
+
+#: Counter table columns, in storage order (must cover every key the
+#: service increments — :attr:`AdmissionService.counters`).
+COUNTER_FIELDS = (
+    "surface",
+    "interpolated",
+    "solve",
+    "degraded",
+    "denied",
+    "admitted",
+)
+
+_FIELD_INDEX = {name: column for column, name in enumerate(COUNTER_FIELDS)}
+
+#: Default respawn schedule for crashed shards: a few fast retries with
+#: the campaign backoff curve, budgeted fleet-wide so a crash-looping
+#: shard cannot spin the supervisor forever.
+DEFAULT_RESPAWN_POLICY = RetryPolicy(
+    max_attempts=5,
+    backoff_base=0.05,
+    backoff_factor=2.0,
+    backoff_max=2.0,
+    jitter=0.0,
+    retry_budget=16,
+)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering in the resource tracker (3.13+).
+
+    Same idiom as :mod:`repro.runtime.columnar`: the publisher owns
+    unlinking; attachers that also register the segment race it at
+    interpreter exit and spew spurious warnings.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover — Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy surface transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SurfaceDescriptor:
+    """Picklable handle a shard needs to map the published surfaces.
+
+    Carries the scalar/metadata half of the artifact in-line (params as a
+    JSON blob, service rate, schema string) and points at the shared
+    segment for the grids.  The ``schema`` field keeps the versioned
+    refusal contract across the shared-memory transport: attach refuses a
+    descriptor stamped for a different layout exactly as
+    :func:`~repro.service.surfaces.load_surfaces` refuses a stale file.
+    """
+
+    shm_name: str
+    schema: str
+    params_json: str
+    service_rate: float
+    targets: int
+    populations: int
+
+
+def _grid_floats(targets: int, populations: int) -> int:
+    """Total float64 slots: delay_targets + bandwidth + max_n2."""
+    return targets * (populations + 2)
+
+
+class SharedSurfaces:
+    """One shared-memory copy of the decision grids, mapped by every shard.
+
+    ``publish`` (supervisor side) copies the grids into a fresh segment
+    and owns its lifetime; ``attach`` (shard side) wraps zero-copy numpy
+    views around the same pages.  The attached
+    :class:`~repro.service.surfaces.DecisionSurfaces` is plugged straight
+    into an :class:`~repro.service.server.AdmissionService` — the service
+    only ever reads the grids.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: SurfaceDescriptor,
+        surfaces: DecisionSurfaces,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.descriptor = descriptor
+        self.surfaces = surfaces
+        self._owner = owner
+
+    @classmethod
+    def publish(cls, surfaces: DecisionSurfaces) -> "SharedSurfaces":
+        """Copy ``surfaces``' grids into a new shared segment (supervisor)."""
+        targets = len(surfaces.delay_targets)
+        populations = surfaces.max_population + 1
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=_grid_floats(targets, populations) * 8,
+            name=f"repro-surface-{secrets.token_hex(4)}",
+        )
+        block = np.ndarray(
+            (_grid_floats(targets, populations),), dtype=np.float64, buffer=shm.buf
+        )
+        block[:targets] = np.asarray(surfaces.delay_targets, dtype=float)
+        block[targets : 2 * targets] = np.asarray(surfaces.bandwidth, dtype=float)
+        block[2 * targets :] = np.asarray(
+            surfaces.max_n2, dtype=float
+        ).reshape(-1)
+        descriptor = SurfaceDescriptor(
+            shm_name=shm.name,
+            schema=SURFACE_SCHEMA,
+            params_json=json.dumps(_params_to_dict(surfaces.params)),
+            service_rate=float(surfaces.service_rate),
+            targets=targets,
+            populations=populations,
+        )
+        return cls(shm, descriptor, surfaces, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: SurfaceDescriptor) -> "SharedSurfaces":
+        """Map the published grids (shard side), refusing stale schemas."""
+        if descriptor.schema != SURFACE_SCHEMA:
+            raise ValueError(
+                f"unsupported surface schema {descriptor.schema!r} in shared "
+                f"segment {descriptor.shm_name} (expected {SURFACE_SCHEMA}); "
+                "restart the fleet from a rebuilt artifact"
+            )
+        shm = _attach(descriptor.shm_name)
+        targets = descriptor.targets
+        populations = descriptor.populations
+        block = np.ndarray(
+            (_grid_floats(targets, populations),), dtype=np.float64, buffer=shm.buf
+        )
+        surfaces = DecisionSurfaces(
+            params=_params_from_dict(json.loads(descriptor.params_json)),
+            service_rate=descriptor.service_rate,
+            delay_targets=block[:targets],
+            max_n2=block[2 * targets :].reshape(targets, populations),
+            bandwidth=block[targets : 2 * targets],
+        )
+        surfaces._validate()
+        return cls(shm, descriptor, surfaces, owner=False)
+
+    def close(self) -> None:
+        """Drop this mapping (the owner also unlinks the segment)."""
+        # The surfaces' arrays are views into shm.buf; drop them first so
+        # close() does not fail with exported-pointer errors.
+        self.surfaces = None
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Shared fleet counters
+# ----------------------------------------------------------------------
+class _CounterMirror:
+    """Single-writer counter sink for one shard's row of the fleet table."""
+
+    def __init__(self, row: np.ndarray):
+        self._row = row
+
+    def add(self, name: str, k: int = 1) -> None:
+        column = _FIELD_INDEX.get(name)
+        if column is not None:
+            self._row[column] += k
+
+
+class _FleetView:
+    """Read side of the counter table, exposed as ``service.fleet``."""
+
+    def __init__(self, table: np.ndarray, shard_index: int):
+        self._table = table
+        self.shard_index = shard_index
+
+    @property
+    def shards(self) -> int:
+        return int(self._table.shape[0])
+
+    def totals(self) -> dict[str, int]:
+        """Fleet-wide per-tier counters (sum over shard rows)."""
+        sums = self._table.sum(axis=0)
+        return {name: int(sums[i]) for i, name in enumerate(COUNTER_FIELDS)}
+
+    def per_shard(self) -> list[dict[str, int]]:
+        """One counter dict per shard row, in shard order."""
+        return [
+            {name: int(row[i]) for i, name in enumerate(COUNTER_FIELDS)}
+            for row in self._table
+        ]
+
+
+class FleetCounters:
+    """The shards x counters int64 table in shared memory.
+
+    Each shard writes only its own row (no cross-process locks on the
+    decision path); readers may observe a row mid-increment, which skews
+    a snapshot by at most the in-flight requests — fine for stats.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shards: int, owner: bool):
+        self._shm = shm
+        self.shards = shards
+        self._owner = owner
+        self.table = np.ndarray(
+            (shards, len(COUNTER_FIELDS)), dtype=np.int64, buffer=shm.buf
+        )
+        if owner:
+            self.table[:] = 0
+
+    @classmethod
+    def publish(cls, shards: int) -> "FleetCounters":
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=shards * len(COUNTER_FIELDS) * 8,
+            name=f"repro-fleet-{secrets.token_hex(4)}",
+        )
+        return cls(shm, shards, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, shards: int) -> "FleetCounters":
+        return cls(_attach(name), shards, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block name shards attach by."""
+        return self._shm.name
+
+    def mirror(self, shard_index: int) -> _CounterMirror:
+        """The single-writer increment handle for one shard's row."""
+        return _CounterMirror(self.table[shard_index])
+
+    def view(self, shard_index: int) -> _FleetView:
+        """A read-only aggregation view anchored at one shard."""
+        return _FleetView(self.table, shard_index)
+
+    def totals(self) -> dict[str, int]:
+        """Counter totals summed across every shard's row."""
+        return self.view(0).totals()
+
+    def close(self) -> None:
+        """Release the mapping; the publishing owner also unlinks it."""
+        self.table = None
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Shard worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a spawned shard needs, picklable for the spawn context."""
+
+    shard_index: int
+    shards: int
+    host: str
+    port: int
+    surface: SurfaceDescriptor
+    counters_name: str
+    solve_timeout: float = 10.0
+    solver_workers: int = 1
+    exact: bool = False
+    chaos_plan: object | None = None
+
+
+async def _shard_serve(service: AdmissionService, config: ShardConfig, ready) -> None:
+    server = await start_server(
+        service, host=config.host, port=config.port, reuse_port=True
+    )
+    ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+def _shard_main(config: ShardConfig, ready) -> None:
+    """Entry point of one shard process (module-level for spawn pickling)."""
+    if config.chaos_plan is not None:
+        chaos.activate(config.chaos_plan)
+    shared = SharedSurfaces.attach(config.surface)
+    counters = FleetCounters.attach(config.counters_name, config.shards)
+    service = AdmissionService(
+        shared.surfaces,
+        solve_timeout=config.solve_timeout,
+        solver_workers=config.solver_workers,
+        exact=config.exact,
+        counters_mirror=counters.mirror(config.shard_index),
+    )
+    service.fleet = counters.view(config.shard_index)
+    try:
+        asyncio.run(_shard_serve(service, config, ready))
+    except KeyboardInterrupt:  # pragma: no cover — supervisor terminate()
+        pass
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardSlot:
+    process: multiprocessing.process.BaseProcess
+    ready: object
+    attempts: int = 1
+    respawns: int = 0
+
+
+class ShardFleet:
+    """Supervisor for ``shards`` SO_REUSEPORT worker processes.
+
+    Use as a context manager::
+
+        with ShardFleet(surfaces, shards=4) as fleet:
+            host, port = fleet.address
+            ...  # point any number of clients at (host, port)
+
+    The supervisor thread respawns crashed shards on the
+    :class:`~repro.runtime.resilience.RetryPolicy` backoff schedule
+    (deterministic per ``(shard_index, attempt)``); when a shard exhausts
+    its attempts or the fleet-wide retry budget runs dry it stays down
+    and the survivors carry the traffic.
+    """
+
+    def __init__(
+        self,
+        surfaces: DecisionSurfaces,
+        shards: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        solve_timeout: float = 10.0,
+        solver_workers: int = 1,
+        exact: bool = False,
+        chaos_plan=None,
+        respawn_policy: RetryPolicy = DEFAULT_RESPAWN_POLICY,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover — linux CI
+            raise OSError("SO_REUSEPORT is not available on this platform")
+        self.shards = shards
+        self.host = host
+        self._requested_port = port
+        self.solve_timeout = float(solve_timeout)
+        self.solver_workers = int(solver_workers)
+        self.exact = bool(exact)
+        self.chaos_plan = chaos_plan
+        self.respawn_policy = respawn_policy
+        self._surfaces = surfaces
+        self._shared: SharedSurfaces | None = None
+        self.counters: FleetCounters | None = None
+        self._reservation: socket.socket | None = None
+        self._slots: list[_ShardSlot] = []
+        self._ctx = multiprocessing.get_context("spawn")
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._retries_spent = 0
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def _reserve_port(self) -> int:
+        """Bind (never listen) a SO_REUSEPORT socket to hold the address."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((self.host, self._requested_port))
+        self._reservation = sock
+        return sock.getsockname()[1]
+
+    def _config(self, shard_index: int) -> ShardConfig:
+        return ShardConfig(
+            shard_index=shard_index,
+            shards=self.shards,
+            host=self.host,
+            port=self.port,
+            surface=self._shared.descriptor,
+            counters_name=self.counters.name,
+            solve_timeout=self.solve_timeout,
+            solver_workers=self.solver_workers,
+            exact=self.exact,
+            chaos_plan=self.chaos_plan,
+        )
+
+    def _spawn(self, shard_index: int) -> tuple:
+        ready = self._ctx.Event()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(self._config(shard_index), ready),
+            name=f"repro-shard-{shard_index}",
+            daemon=True,
+        )
+        process.start()
+        return process, ready
+
+    def start(self, ready_timeout: float = 30.0) -> "ShardFleet":
+        """Publish shared state, spawn every shard, wait until all listen."""
+        if self._slots:
+            raise RuntimeError("fleet already started")
+        self.port = self._reserve_port()
+        self._shared = SharedSurfaces.publish(self._surfaces)
+        self.counters = FleetCounters.publish(self.shards)
+        try:
+            for index in range(self.shards):
+                process, ready = self._spawn(index)
+                self._slots.append(_ShardSlot(process=process, ready=ready))
+            deadline = time.monotonic() + ready_timeout
+            for index, slot in enumerate(self._slots):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not slot.ready.wait(remaining):
+                    raise TimeoutError(
+                        f"shard {index} did not start listening within "
+                        f"{ready_timeout:g}s"
+                    )
+        except BaseException:
+            self.stop()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The fleet's shared listening address."""
+        if self.port is None:
+            raise RuntimeError("fleet is not started")
+        return self.host, self.port
+
+    def pids(self) -> list[int | None]:
+        """Live shard PIDs in shard order (``None`` for a dead slot)."""
+        return [
+            slot.process.pid if slot.process.is_alive() else None
+            for slot in self._slots
+        ]
+
+    def alive(self) -> int:
+        """How many shards are currently listening-or-starting."""
+        return sum(1 for slot in self._slots if slot.process.is_alive())
+
+    # -- fault handling ------------------------------------------------
+    def kill_shard(self, shard_index: int) -> int:
+        """SIGKILL one shard (chaos harness hook); returns the old pid."""
+        process = self._slots[shard_index].process
+        pid = process.pid
+        if pid is not None and process.is_alive():
+            os.kill(pid, signal.SIGKILL)
+            process.join(timeout=10.0)
+        return pid
+
+    def _monitor_loop(self) -> None:
+        policy = self.respawn_policy
+        while not self._stop.wait(0.05):
+            for index, slot in enumerate(self._slots):
+                if slot.process.is_alive() or self._stop.is_set():
+                    continue
+                next_attempt = slot.attempts + 1
+                if next_attempt > policy.max_attempts:
+                    continue  # shard exhausted its attempts; stays down
+                if (
+                    policy.retry_budget is not None
+                    and self._retries_spent >= policy.retry_budget
+                ):
+                    continue  # fleet-wide budget dry
+                delay = policy.backoff_delay(index, next_attempt)
+                if delay > 0.0 and self._stop.wait(delay):
+                    return
+                if self._stop.is_set():
+                    return
+                slot.process.join(timeout=0.1)
+                process, ready = self._spawn(index)
+                slot.process = process
+                slot.ready = ready
+                slot.attempts = next_attempt
+                slot.respawns += 1
+                self._retries_spent += 1
+
+    def respawns(self) -> int:
+        """Total successful respawn dispatches since start."""
+        return sum(slot.respawns for slot in self._slots)
+
+    def stop(self) -> None:
+        """Terminate every shard and release all shared state."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+            self._monitor = None
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.terminate()
+        for slot in self._slots:
+            slot.process.join(timeout=10.0)
+            if slot.process.is_alive():  # pragma: no cover — stuck worker
+                slot.process.kill()
+                slot.process.join(timeout=5.0)
+        self._slots = []
+        if self.counters is not None:
+            self.counters.close()
+            self.counters = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+
+    def __enter__(self) -> "ShardFleet":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
+import zipfile
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
@@ -51,9 +53,11 @@ __all__ = [
     "DecisionSurfaces",
     "SURFACE_SCHEMA",
     "SurfaceBound",
+    "binary_sidecar_path",
     "build_decision_surfaces",
     "load_surfaces",
     "save_surfaces",
+    "save_surfaces_binary",
 ]
 
 #: Artifact schema identifier; bump on incompatible layout changes.
@@ -217,6 +221,32 @@ class DecisionSurfaces:
             )
         bounds = self.max_n2[rows, n1.astype(np.intp)]
         return n2 <= bounds
+
+    def grid_mask(self, n1: np.ndarray, delay_target: np.ndarray) -> np.ndarray:
+        """Vectorized tier classifier: which query rows sit exactly on grid.
+
+        The batched protocol verb splits a mixed-tier request with this
+        mask: ``True`` rows answer through :meth:`admit_batch` in one
+        vectorized pass, the rest route through the interpolation/solve
+        tiers row by row — so only true misses ever reach the solver pool.
+        """
+        n1 = np.asarray(n1, dtype=float)
+        delay_target = np.asarray(delay_target, dtype=float)
+        rows = np.clip(
+            np.searchsorted(self.delay_targets, delay_target),
+            0,
+            len(self.delay_targets) - 1,
+        )
+        on_grid_delay = np.isclose(
+            self.delay_targets[rows], delay_target, rtol=_GRID_RTOL, atol=0.0
+        )
+        # Mirror grid_bound exactly: a delay marginally past the hull edge
+        # is a miss there (covers() runs first), so it must be one here.
+        in_hull = (delay_target >= self.delay_targets[0]) & (
+            delay_target <= self.delay_targets[-1]
+        )
+        integral_n1 = (n1 == np.floor(n1)) & (n1 >= 0) & (n1 <= self.max_population)
+        return on_grid_delay & in_hull & integral_n1
 
     def grid_bound(self, n1: float, delay_target: float) -> float | None:
         """Exact-grid boundary value, or ``None`` when the query is off-grid."""
@@ -468,6 +498,113 @@ def save_surfaces(surfaces: DecisionSurfaces, path: str | Path) -> Path:
     return path
 
 
-def load_surfaces(path: str | Path) -> DecisionSurfaces:
-    """Load a :func:`save_surfaces` artifact (schema-checked)."""
-    return DecisionSurfaces.from_json(Path(path).read_text())
+def binary_sidecar_path(path: str | Path) -> Path:
+    """The ``.npz`` sidecar next to a JSON artifact (``foo.json`` → ``foo.npz``)."""
+    return Path(path).with_suffix(".npz")
+
+
+def save_surfaces_binary(surfaces: DecisionSurfaces, path: str | Path) -> Path:
+    """Write the binary ``.npz`` sidecar of the artifact.
+
+    Grids are stored as raw float64 arrays (bit-identical to the in-memory
+    surfaces, unlike the JSON round-trip which is only value-identical
+    through ``repr``), the parameter set as a JSON blob, and the same
+    versioned schema string the JSON artifact carries — the refusal
+    contract applies to both transports.  A fleet boot memory-maps this
+    file (or the shared-memory segment built from it) instead of parsing
+    JSON once per shard.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        schema=np.array(SURFACE_SCHEMA),
+        params_json=np.array(json.dumps(_params_to_dict(surfaces.params))),
+        service_rate=np.array(surfaces.service_rate, dtype=float),
+        delay_targets=np.asarray(surfaces.delay_targets, dtype=float),
+        max_n2=np.asarray(surfaces.max_n2, dtype=float),
+        bandwidth=np.asarray(surfaces.bandwidth, dtype=float),
+    )
+    return path
+
+
+def _load_surfaces_binary(path: Path) -> DecisionSurfaces:
+    """Load a :func:`save_surfaces_binary` sidecar, refusing stale schemas.
+
+    Raises ``ValueError`` on an unreadable/truncated file or (separately
+    worded, so callers can tell refusal from corruption) on a
+    missing/unknown schema string.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            members = set(archive.files)
+            schema = (
+                str(archive["schema"][()]) if "schema" in members else None
+            )
+            if schema != SURFACE_SCHEMA:
+                raise _StaleSchemaError(
+                    f"unsupported surface schema {schema!r} in binary sidecar "
+                    f"{path} (expected {SURFACE_SCHEMA}); rebuild with "
+                    "`cli build-surfaces --binary`"
+                )
+            surfaces = DecisionSurfaces(
+                params=_params_from_dict(
+                    json.loads(str(archive["params_json"][()]))
+                ),
+                service_rate=float(archive["service_rate"][()]),
+                delay_targets=np.array(archive["delay_targets"], dtype=float),
+                max_n2=np.array(archive["max_n2"], dtype=float),
+                bandwidth=np.array(archive["bandwidth"], dtype=float),
+            )
+    except _StaleSchemaError:
+        raise
+    except (
+        OSError,
+        EOFError,
+        KeyError,
+        ValueError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+    ) as error:
+        raise ValueError(
+            f"binary surface sidecar {path} is unreadable or truncated: "
+            f"{error}"
+        ) from error
+    surfaces._validate()
+    return surfaces
+
+
+class _StaleSchemaError(ValueError):
+    """A sidecar whose schema is wrong — refuse, never fall back silently."""
+
+
+def load_surfaces(path: str | Path, prefer_binary: bool = True) -> DecisionSurfaces:
+    """Load a surface artifact (schema-checked), preferring the sidecar.
+
+    ``path`` may point at either transport:
+
+    * a ``.npz`` sidecar — loaded directly (no JSON fallback);
+    * a JSON artifact — when ``prefer_binary`` and the ``.npz`` sidecar
+      from :func:`save_surfaces_binary` exists next to it, the sidecar is
+      loaded instead (no JSON parse).  A *torn or truncated* sidecar falls
+      back to the JSON artifact with a ``RuntimeWarning``; a sidecar with
+      a *stale schema* refuses outright — a wrong-layout grid must never
+      be silently shadowed by a differently-versioned twin.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        return _load_surfaces_binary(path)
+    if prefer_binary:
+        sidecar = binary_sidecar_path(path)
+        if sidecar.exists():
+            try:
+                return _load_surfaces_binary(sidecar)
+            except _StaleSchemaError:
+                raise
+            except ValueError as error:
+                warnings.warn(
+                    f"falling back to JSON artifact {path}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return DecisionSurfaces.from_json(path.read_text())

@@ -10,8 +10,17 @@ import pytest
 
 from repro.runtime import chaos
 from repro.runtime.chaos import ChaosPlan
-from repro.service.client import AdmissionClient, generate_queries, run_load
-from repro.service.server import AdmissionService, start_server
+from repro.service.client import (
+    AdmissionClient,
+    _percentile,
+    generate_queries,
+    run_load,
+)
+from repro.service.server import (
+    MAX_BATCH_ROWS,
+    AdmissionService,
+    start_server,
+)
 
 
 def _run(coro):
@@ -265,5 +274,172 @@ class TestLoadGenerator:
             assert report.p50_latency_ms <= report.p99_latency_ms
             assert report.p99_latency_ms <= report.max_latency_ms
             assert "decisions" in report.describe()
+
+        _run(scenario())
+
+
+class TestPercentile:
+    def test_nearest_rank_rounds_half_up(self):
+        # round() rounds half-to-even: round(0.5) == 0 would report 10 as
+        # the median of [10, 20]; explicit round-half-up reports 20.
+        assert _percentile([10.0, 20.0], 0.50) == 20.0
+        # q*(n-1) = 2.5 is another half-way case: banker's rounding picks
+        # index 2, round-half-up picks index 3.
+        assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.50) == 4.0
+
+    def test_endpoints_and_empty(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 5.0
+        assert _percentile(values, 0.99) == 5.0
+        assert _percentile([], 0.5) == 0.0
+
+    def test_exact_ranks_unchanged(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _percentile(values, 0.50) == 3.0
+        assert _percentile(values, 0.25) == 2.0
+
+
+class TestRunLoadEdgeCases:
+    def test_empty_queries_reports_zero(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                server = await start_server(service)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    report = await run_load(host, port, [], connections=4)
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            assert report.requests == 0
+            assert report.decisions_per_sec == 0.0
+            assert report.elapsed_s == 0.0
+            assert report.p50_latency_ms == 0.0
+            assert report.tiers == {}
+
+        _run(scenario())
+
+    def test_more_connections_than_queries(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                server = await start_server(service)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    queries = generate_queries(surfaces, "cached", 3)
+                    report = await run_load(
+                        host, port, queries, connections=16
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            assert report.requests == 3
+            assert report.admitted + report.denied == 3
+
+        _run(scenario())
+
+    def test_negative_batch_size_rejected(self, surfaces):
+        async def scenario():
+            with pytest.raises(ValueError, match="batch_size"):
+                await run_load("127.0.0.1", 1, [(1.0, 1.0, 0.9)], batch_size=-1)
+
+        _run(scenario())
+
+
+class TestBatchVerb:
+    def test_batch_matches_per_query_decisions_and_counters(self, surfaces):
+        queries = (
+            generate_queries(surfaces, "cached", 10, seed=2)
+            + generate_queries(surfaces, "interpolated", 5, seed=2)
+            + generate_queries(surfaces, "miss", 2, seed=2)
+        )
+        n1s, n2s, targets = (list(column) for column in zip(*queries))
+
+        async def scenario():
+            with AdmissionService(surfaces, solve_timeout=30.0) as single:
+                expected = [
+                    await single.admit(n1, n2, target)
+                    for n1, n2, target in queries
+                ]
+                with AdmissionService(surfaces, solve_timeout=30.0) as batched:
+                    batch = await batched.admit_batch(n1s, n2s, targets)
+                    assert batch.rows == len(queries)
+                    for row, decision in enumerate(expected):
+                        assert batch.admit[row] == decision.admit
+                        assert batch.tier[row] == decision.tier
+                        assert batch.max_n2[row] == decision.max_n2
+                        assert batch.estimate[row] == decision.estimate
+                    assert batched.counters == single.counters
+
+        _run(scenario())
+
+    def test_empty_batch(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                batch = await service.admit_batch([], [], [])
+                assert batch.rows == 0
+                assert service.counters["surface"] == 0
+
+        _run(scenario())
+
+    def test_batch_validation(self, surfaces):
+        import numpy as np
+
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                with pytest.raises(ValueError, match="equal lengths"):
+                    await service.admit_batch([1.0], [1.0, 2.0], [0.9])
+                with pytest.raises(ValueError, match="1-D"):
+                    await service.admit_batch(
+                        [[1.0]], [[1.0]], [[0.9]]
+                    )
+                with pytest.raises(ValueError, match="finite and non-negative"):
+                    await service.admit_batch([-1.0], [1.0], [0.9])
+                with pytest.raises(ValueError, match="finite and positive"):
+                    await service.admit_batch([1.0], [1.0], [0.0])
+                oversized = np.ones(MAX_BATCH_ROWS + 1)
+                with pytest.raises(ValueError, match="protocol limit"):
+                    await service.admit_batch(oversized, oversized, oversized)
+
+        _run(scenario())
+
+    def test_batch_over_protocol(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                server = await start_server(service)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    client = await AdmissionClient.open(host, port)
+                    try:
+                        answer = await client.admit_batch(
+                            [2.0, 0.5], [1.0, 1.0], [0.9, 0.9]
+                        )
+                        assert answer["rows"] == 2
+                        assert answer["tier"] == ["surface", "interpolated"]
+                        single = await client.admit(2.0, 1.0, 0.9)
+                        assert answer["admit"][0] == single["admit"]
+                    finally:
+                        await client.close()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        _run(scenario())
+
+    def test_run_load_batched_counts_rows(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                server = await start_server(service)
+                host, port = server.sockets[0].getsockname()[:2]
+                try:
+                    queries = generate_queries(surfaces, "cached", 50)
+                    report = await run_load(
+                        host, port, queries, connections=2, batch_size=10
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            assert report.requests == 50
+            assert report.tiers == {"surface": 50}
+            assert report.admitted + report.denied == 50
 
         _run(scenario())

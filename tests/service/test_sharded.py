@@ -1,0 +1,258 @@
+"""Tests for the SO_REUSEPORT shard fleet and its shared-memory transports.
+
+The fleet tests spawn real worker processes; one module-scoped fleet is
+shared by the read-only tests, and the chaos test (which kills a shard)
+boots its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.chaos import ChaosPlan
+from repro.service.client import AdmissionClient, generate_queries, run_load
+from repro.service.server import AdmissionService
+from repro.service.sharded import (
+    COUNTER_FIELDS,
+    FleetCounters,
+    ShardFleet,
+    SharedSurfaces,
+)
+
+
+def _run(coro):
+    """Drive a coroutine to completion (pytest-asyncio is not available)."""
+    return asyncio.run(coro)
+
+
+class TestSharedSurfaces:
+    def test_attach_is_bit_identical(self, surfaces):
+        published = SharedSurfaces.publish(surfaces)
+        try:
+            attached = SharedSurfaces.attach(published.descriptor)
+            try:
+                twin = attached.surfaces
+                assert np.array_equal(twin.delay_targets, surfaces.delay_targets)
+                assert np.array_equal(twin.max_n2, surfaces.max_n2)
+                assert np.array_equal(twin.bandwidth, surfaces.bandwidth)
+                assert twin.service_rate == surfaces.service_rate
+                assert twin.params == surfaces.params
+            finally:
+                attached.close()
+        finally:
+            published.close()
+
+    def test_attached_grids_are_views_not_copies(self, surfaces):
+        published = SharedSurfaces.publish(surfaces)
+        try:
+            attached = SharedSurfaces.attach(published.descriptor)
+            try:
+                # Zero-copy: the attached arrays live in the shared buffer,
+                # not in per-process heap copies of the grids.
+                assert not attached.surfaces.max_n2.flags["OWNDATA"]
+                assert not attached.surfaces.delay_targets.flags["OWNDATA"]
+            finally:
+                attached.close()
+        finally:
+            published.close()
+
+    def test_stale_schema_descriptor_refused(self, surfaces):
+        published = SharedSurfaces.publish(surfaces)
+        try:
+            stale = dataclasses.replace(
+                published.descriptor, schema="repro-admission-surface/0"
+            )
+            with pytest.raises(ValueError, match="unsupported surface schema"):
+                SharedSurfaces.attach(stale)
+        finally:
+            published.close()
+
+
+class TestFleetCounters:
+    def test_mirror_rows_sum_into_totals(self):
+        counters = FleetCounters.publish(shards=3)
+        try:
+            counters.mirror(0).add("surface", 5)
+            counters.mirror(2).add("surface", 2)
+            counters.mirror(2).add("denied", 7)
+            attached = FleetCounters.attach(counters.name, shards=3)
+            try:
+                view = attached.view(1)
+                assert view.shards == 3
+                totals = view.totals()
+                assert totals["surface"] == 7
+                assert totals["denied"] == 7
+                per_shard = view.per_shard()
+                assert per_shard[0]["surface"] == 5
+                assert per_shard[1]["surface"] == 0
+                assert per_shard[2]["denied"] == 7
+                assert set(totals) == set(COUNTER_FIELDS)
+            finally:
+                attached.close()
+        finally:
+            counters.close()
+
+    def test_unknown_counter_name_ignored(self):
+        counters = FleetCounters.publish(shards=1)
+        try:
+            counters.mirror(0).add("not-a-tier", 3)
+            assert sum(counters.totals().values()) == 0
+        finally:
+            counters.close()
+
+
+@pytest.fixture(scope="module")
+def fleet(surfaces):
+    """A live 2-shard fleet shared by the read-only fleet tests."""
+    with ShardFleet(surfaces, shards=2, solve_timeout=30.0) as running:
+        yield running
+
+
+class TestFleetServing:
+    def test_fleet_answers_match_single_process(self, surfaces, fleet):
+        """Every sharded answer == the single-process answer, per tier."""
+        queries = (
+            generate_queries(surfaces, "cached", 6, seed=3)
+            + generate_queries(surfaces, "interpolated", 6, seed=3)
+            + generate_queries(surfaces, "miss", 3, seed=3)
+        )
+
+        async def scenario():
+            host, port = fleet.address
+            with AdmissionService(surfaces, solve_timeout=30.0) as reference:
+                client = await AdmissionClient.open(host, port)
+                try:
+                    for n1, n2, target in queries:
+                        expected = await reference.admit(n1, n2, target)
+                        answer = await client.admit(n1, n2, target)
+                        assert answer["admit"] == expected.admit
+                        assert answer["tier"] == expected.tier
+                        assert answer["max_n2"] == expected.max_n2
+                finally:
+                    await client.close()
+
+        _run(scenario())
+
+    def test_batch_verb_matches_single_queries(self, surfaces, fleet):
+        queries = (
+            generate_queries(surfaces, "cached", 8, seed=5)
+            + generate_queries(surfaces, "interpolated", 4, seed=5)
+        )
+        n1s, n2s, targets = (list(column) for column in zip(*queries))
+
+        async def scenario():
+            host, port = fleet.address
+            client = await AdmissionClient.open(host, port)
+            try:
+                batch = await client.admit_batch(n1s, n2s, targets)
+                assert batch["rows"] == len(queries)
+                for row, (n1, n2, target) in enumerate(queries):
+                    single = await client.admit(n1, n2, target)
+                    assert batch["admit"][row] == single["admit"]
+                    assert batch["tier"][row] == single["tier"]
+                    assert batch["max_n2"][row] == single["max_n2"]
+            finally:
+                await client.close()
+
+        _run(scenario())
+
+    def test_fleet_stats_aggregate_across_shards(self, surfaces, fleet):
+        async def scenario():
+            host, port = fleet.address
+            before = None
+            client = await AdmissionClient.open(host, port)
+            try:
+                response = await client.request(
+                    {"op": "stats", "scope": "fleet"}
+                )
+                before = response["stats"]
+                assert response["scope"] == "fleet"
+                assert response["shards"] == 2
+                assert len(response["per_shard"]) == 2
+            finally:
+                await client.close()
+            # Many short connections spread across shards by the kernel;
+            # the fleet scope must still account for every one of them.
+            queries = generate_queries(surfaces, "cached", 30, seed=9)
+            for n1, n2, target in queries:
+                client = await AdmissionClient.open(host, port)
+                try:
+                    await client.admit(n1, n2, target)
+                finally:
+                    await client.close()
+            client = await AdmissionClient.open(host, port)
+            try:
+                after = await client.stats(scope="fleet")
+            finally:
+                await client.close()
+            assert after["surface"] - before["surface"] == 30
+
+        _run(scenario())
+
+    def test_run_load_drives_the_fleet(self, surfaces, fleet):
+        async def scenario():
+            host, port = fleet.address
+            queries = generate_queries(surfaces, "cached", 40, seed=11)
+            report = await run_load(host, port, queries, connections=4)
+            assert report.requests == 40
+            assert report.tiers == {"surface": 40}
+            batched = await run_load(
+                host, port, queries, connections=2, batch_size=8
+            )
+            assert batched.requests == 40
+            assert batched.tiers == {"surface": 40}
+            assert batched.admitted == report.admitted
+
+        _run(scenario())
+
+
+class TestShardKillChaos:
+    def test_killed_shard_respawns_and_fleet_stays_conservative(self, surfaces):
+        """SIGKILL one shard mid-load: no hang, no loosened admit, rejoin."""
+        plan = ChaosPlan(poison=("admission-solve:solution2",))
+        miss_target = float(surfaces.delay_targets[-1]) * 3.0
+
+        async def ask_with_retry(host, port):
+            for _ in range(40):
+                try:
+                    client = await AdmissionClient.open(host, port)
+                    try:
+                        return await client.admit(1.0, 1.0, miss_target)
+                    finally:
+                        await client.close()
+                except (ConnectionError, OSError):
+                    await asyncio.sleep(0.05)
+            raise ConnectionError("fleet unreachable")
+
+        with ShardFleet(
+            surfaces, shards=2, solve_timeout=5.0, chaos_plan=plan
+        ) as fleet:
+            host, port = fleet.address
+
+            async def scenario():
+                answers = []
+                for index in range(6):
+                    if index == 3:
+                        fleet.kill_shard(0)
+                    answers.append(await ask_with_retry(host, port))
+                return answers
+
+            answers = _run(scenario())
+            assert len(answers) == 6
+            # The poisoned ladder degrades every miss: always a deny.
+            assert all(a["tier"] == "degraded" for a in answers)
+            assert not any(a["admit"] for a in answers)
+            deadline = time.monotonic() + 30.0
+            while fleet.alive() < 2 and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert fleet.alive() == 2
+            assert fleet.respawns() >= 1
+
+    def test_rejects_bad_shard_count(self, surfaces):
+        with pytest.raises(ValueError, match="shards must be at least 1"):
+            ShardFleet(surfaces, shards=0)

@@ -17,9 +17,11 @@ from repro.control.admission_table import (
 from repro.service.surfaces import (
     SURFACE_SCHEMA,
     DecisionSurfaces,
+    binary_sidecar_path,
     build_decision_surfaces,
     load_surfaces,
     save_surfaces,
+    save_surfaces_binary,
 )
 
 
@@ -223,3 +225,105 @@ class TestArtifact:
         with pytest.raises(ValueError, match="strictly increasing"):
             DecisionSurfaces.from_json(json.dumps(document))
         assert SURFACE_SCHEMA.startswith("repro-admission-surface/")
+
+
+class TestBinaryArtifact:
+    def test_sidecar_round_trip_is_bit_identical(self, surfaces, tmp_path):
+        path = save_surfaces_binary(surfaces, tmp_path / "surfaces.npz")
+        loaded = load_surfaces(path)
+        # Bit-identical, not merely close: the grids travel as raw float64.
+        assert np.array_equal(loaded.delay_targets, surfaces.delay_targets)
+        assert np.array_equal(loaded.max_n2, surfaces.max_n2)
+        assert np.array_equal(loaded.bandwidth, surfaces.bandwidth)
+        assert loaded.service_rate == surfaces.service_rate
+        assert loaded.params == surfaces.params
+
+    def test_sidecar_matches_json_artifact(self, surfaces, tmp_path):
+        json_path = save_surfaces(surfaces, tmp_path / "surfaces.json")
+        sidecar = save_surfaces_binary(surfaces, binary_sidecar_path(json_path))
+        assert sidecar == tmp_path / "surfaces.npz"
+        from_json = DecisionSurfaces.from_json(json_path.read_text())
+        from_binary = load_surfaces(sidecar)
+        assert np.array_equal(from_json.max_n2, from_binary.max_n2)
+        assert np.array_equal(from_json.delay_targets, from_binary.delay_targets)
+        assert np.array_equal(from_json.bandwidth, from_binary.bandwidth)
+
+    def test_json_path_prefers_existing_sidecar(self, surfaces, tmp_path):
+        json_path = save_surfaces(surfaces, tmp_path / "surfaces.json")
+        save_surfaces_binary(surfaces, binary_sidecar_path(json_path))
+        # Corrupting the JSON proves the sidecar is what actually loads.
+        json_path.write_text("definitely not json")
+        loaded = load_surfaces(json_path)
+        assert np.array_equal(loaded.max_n2, surfaces.max_n2)
+        with pytest.raises(ValueError):
+            load_surfaces(json_path, prefer_binary=False)
+
+    def test_stale_schema_sidecar_refused_not_shadowed(self, surfaces, tmp_path):
+        json_path = save_surfaces(surfaces, tmp_path / "surfaces.json")
+        sidecar = binary_sidecar_path(json_path)
+        stale = {
+            "schema": np.array("repro-admission-surface/0"),
+            "params_json": np.array("{}"),
+            "service_rate": np.array(1.0),
+            "delay_targets": np.asarray(surfaces.delay_targets),
+            "max_n2": np.asarray(surfaces.max_n2),
+            "bandwidth": np.asarray(surfaces.bandwidth),
+        }
+        np.savez(sidecar, **stale)
+        # Refusal, not silent JSON fallback: a wrong-layout sidecar next
+        # to a healthy artifact must stop the boot.
+        with pytest.raises(ValueError, match="unsupported surface schema"):
+            load_surfaces(json_path)
+        with pytest.raises(ValueError, match="unsupported surface schema"):
+            load_surfaces(sidecar)
+
+    def test_torn_sidecar_falls_back_to_json_with_warning(
+        self, surfaces, tmp_path
+    ):
+        json_path = save_surfaces(surfaces, tmp_path / "surfaces.json")
+        sidecar = save_surfaces_binary(surfaces, binary_sidecar_path(json_path))
+        payload = sidecar.read_bytes()
+        sidecar.write_bytes(payload[: len(payload) // 2])  # torn write
+        with pytest.warns(RuntimeWarning, match="falling back to JSON"):
+            loaded = load_surfaces(json_path)
+        assert np.array_equal(loaded.max_n2, surfaces.max_n2)
+
+    def test_torn_sidecar_loaded_directly_raises(self, surfaces, tmp_path):
+        sidecar = save_surfaces_binary(surfaces, tmp_path / "surfaces.npz")
+        sidecar.write_bytes(sidecar.read_bytes()[:40])
+        with pytest.raises(ValueError, match="unreadable or truncated"):
+            load_surfaces(sidecar)
+
+
+class TestGridMask:
+    def test_mask_agrees_with_scalar_grid_bound(self, surfaces):
+        targets = surfaces.delay_targets
+        probe_n1 = np.array([0.0, 2.0, 2.5, 8.0, 9.0, 3.0, 1.0, -1.0])
+        probe_delay = np.array(
+            [
+                targets[0],
+                targets[1],
+                targets[1],
+                targets[-1],
+                targets[0],
+                (targets[0] + targets[1]) / 2.0,
+                targets[-1] * 2.0,
+                targets[0],
+            ]
+        )
+        mask = surfaces.grid_mask(probe_n1, probe_delay)
+        for n1, delay, on_grid in zip(probe_n1, probe_delay, mask):
+            scalar = surfaces.grid_bound(float(n1), float(delay))
+            assert bool(on_grid) == (scalar is not None), (n1, delay)
+
+    def test_masked_rows_satisfy_admit_batch(self, surfaces):
+        n1 = np.array([1.0, 4.0, 6.5])
+        delay = np.array(
+            [surfaces.delay_targets[0], surfaces.delay_targets[2], 0.7]
+        )
+        mask = surfaces.grid_mask(n1, delay)
+        assert mask.tolist() == [True, True, False]
+        admits = surfaces.admit_batch(
+            n1[mask], np.zeros(mask.sum()), delay[mask]
+        )
+        assert admits.shape == (2,)

@@ -176,7 +176,9 @@ class TestBitIdentityProperty:
             assert_rows_bit_identical(sequential, row, f"seed={seed} ")
 
     @given(
-        rate=st.floats(min_value=0.0, max_value=20.0),
+        # Subnormal rates overflow the 1/rate exponential mean to inf;
+        # exact 0.0 stays in (the handled no-arrivals edge).
+        rate=st.floats(min_value=0.0, max_value=20.0, allow_subnormal=False),
         horizon=st.floats(min_value=40.0, max_value=400.0),
         block_size=st.integers(min_value=8, max_value=128),
         chunk_size=st.integers(min_value=1, max_value=512),

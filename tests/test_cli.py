@@ -386,6 +386,67 @@ class TestServiceCommands:
         assert "admit=False" in text
         assert "admit=True" not in text
 
+    def test_build_surfaces_binary_writes_sidecar(self, tmp_path):
+        path = tmp_path / "surfaces.json"
+        code, text = run_cli(
+            ["build-surfaces", *self.SURFACE, "--output", str(path),
+             "--binary"]
+        )
+        assert code == 0
+        assert "binary sidecar" in text
+        sidecar = tmp_path / "surfaces.npz"
+        assert sidecar.exists()
+        from repro.service.surfaces import load_surfaces
+
+        # The JSON path now prefers the sidecar; both must agree.
+        assert load_surfaces(sidecar).max_population == 4
+        assert load_surfaces(path).max_population == 4
+
+    def test_serve_rejects_bad_shard_count(self):
+        code, text = run_cli(
+            ["serve", *self.SURFACE, "--shards", "0", "--smoke",
+             "--port", "0"]
+        )
+        assert code == 2
+        assert "shards" in text
+
+    def test_serve_sharded_smoke(self):
+        code, text = run_cli(
+            ["serve", *self.SURFACE, "--shards", "2", "--smoke",
+             "--port", "0"]
+        )
+        assert code == 0
+        assert "2 shards, SO_REUSEPORT" in text
+        assert "tier=surface" in text
+        assert "batch" in text
+        assert "fleet stats" in text
+        assert "shards=2" in text
+        assert "healthy" in text
+
+    def test_bench_serve_batched(self):
+        code, text = run_cli(
+            [
+                "bench-serve", *self.SURFACE, "--tier", "cached",
+                "--requests", "60", "--connections", "2", "--batch", "20",
+            ]
+        )
+        assert code == 0
+        assert "[batch=20]" in text
+        assert "60 decisions" in text
+
+    def test_chaos_fleet_survives_shard_kill(self):
+        code, text = run_cli(
+            [
+                "chaos", *SMALL, "--target", "fleet", "--shards", "2",
+                "--requests", "4", "--deadline", "1.0",
+            ]
+        )
+        assert code == 0
+        assert "killed" in text
+        assert "conservative fleet degradation holds" in text
+        assert "respawn rejoined: True" in text
+        assert "admit=True" not in text
+
 
 class TestConfigFingerprintFlags:
     def test_mismatched_rng_mode_resume_exits_2(self, tmp_path):
