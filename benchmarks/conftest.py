@@ -11,7 +11,7 @@ quick smoke pass, 4 gives tighter statistics than EXPERIMENTS.md used.
 Perf trajectory: every ``run_once`` call registers (wall-clock,
 ``Simulator.events_processed``, events/sec, worker count, peak RSS) for
 its benchmark, and the session writes them as one JSON document —
-``BENCH_9.json`` at the repo root by default, or wherever
+``BENCH_10.json`` at the repo root by default, or wherever
 ``REPRO_BENCH_JSON`` points.  "Events" are whatever unit the benchmark
 processes: simulator events for the campaigns, interarrival-grid
 evaluations for the analytic-kernel and scale-ladder benchmarks,
@@ -37,8 +37,8 @@ from repro.experiments.configs import bench_scale
 
 _REPORTS: list[tuple[str, str]] = []
 
-#: Default perf-trajectory output: BENCH_9.json next to this repo's root.
-_DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_9.json"
+#: Default perf-trajectory output: BENCH_10.json next to this repo's root.
+_DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_10.json"
 
 
 @pytest.fixture

@@ -24,6 +24,18 @@ Two rungs cover the PR-9 serving work:
   round-trips, so it must beat BENCH_7's scalar cached figure even on
   one core.
 
+Two more cover the PR-10 overload hardening:
+
+* **overload shed** — the same cached workload at 4x the connections
+  with 5% live-solve queries against a one-worker solver behind a
+  single-slot in-flight bound; excess solves shed as instant
+  conservative denies, and *goodput* (accepted answers/sec) must stay
+  within 20% of the uncontended cached rung while the accepted-request
+  p99 stays bounded.
+* **rolling restart** — a 2-shard fleet keeps answering a retried
+  cached closed loop while every shard is drained and replaced one at a
+  time; zero failed queries is the availability bar.
+
 Request counts are floored well above ``REPRO_BENCH_SCALE`` quick runs:
 throughput over a few hundred requests is dominated by connection setup
 and would gate noise, not the service.
@@ -35,13 +47,15 @@ import asyncio
 import gc
 import os
 import threading
+import time
 import warnings
 
 from _util import run_once
 
 from repro.core.params import HAPParameters
+from repro.runtime.resilience import RetryPolicy
 from repro.service.client import generate_queries, run_load
-from repro.service.server import AdmissionService, start_server
+from repro.service.server import AdmissionService, OverloadPolicy, start_server
 from repro.service.sharded import ShardFleet
 from repro.service.surfaces import build_decision_surfaces
 
@@ -120,15 +134,18 @@ def _load_without_gc(host, port, queries, connections, batch_size):
             gc.enable()
 
 
-def _drive(tier: str, requests: int, connections: int = 4, batch_size: int = 0):
+def _serve_and_load(
+    service: AdmissionService,
+    queries: list,
+    connections: int,
+    batch_size: int = 0,
+):
     """Serve on a dedicated thread/event loop; drive clients from this one.
 
     Sharing one loop between server and load generator halves the apparent
     throughput (every request pays both sides' scheduling on one loop); two
     loops is also what a real deployment looks like.
     """
-    surfaces = _surfaces()
-    service = AdmissionService(surfaces)
     ready = threading.Event()
     box: dict = {}
 
@@ -149,7 +166,6 @@ def _drive(tier: str, requests: int, connections: int = 4, batch_size: int = 0):
     thread.start()
     ready.wait()
     try:
-        queries = generate_queries(surfaces, tier, requests)
         report = _load_without_gc(
             "127.0.0.1", box["port"], queries, connections, batch_size
         )
@@ -157,6 +173,16 @@ def _drive(tier: str, requests: int, connections: int = 4, batch_size: int = 0):
         box["loop"].call_soon_threadsafe(box["stop"].set)
         thread.join()
         service.close()
+    return report
+
+
+def _drive(tier: str, requests: int, connections: int = 4, batch_size: int = 0):
+    """One single-tier closed loop against an unbounded service."""
+    surfaces = _surfaces()
+    queries = generate_queries(surfaces, tier, requests)
+    report = _serve_and_load(
+        AdmissionService(surfaces), queries, connections, batch_size
+    )
     return _ServiceBenchResult(report)
 
 
@@ -262,3 +288,198 @@ def test_service_batch_cached_decisions(benchmark, report, scale):
     # Strictly better than BENCH_7's scalar cached rung: amortizing the
     # protocol round-trip must pay for itself even on one core.
     assert load.decisions_per_sec > BENCH7_CACHED_DECISIONS_PER_SEC
+
+
+#: One live-solve query per this many in the overload mix.  5% misses
+#: saturate a one-worker solver many times over (solves are milliseconds,
+#: cached answers are tens of microseconds) while leaving goodput head-
+#: room: shed answers do not count toward goodput, so a heavier miss
+#: fraction would cap the gated ratio structurally, not behaviorally.
+_MISS_EVERY = 20
+
+
+def _overload_mix(surfaces, requests: int) -> list:
+    """Deterministic cached/miss interleave for the overload rung.
+
+    Every ``_MISS_EVERY``-th query is a live solve, so the one-worker
+    solver saturates immediately and the bounded in-flight queue must
+    shed — while the rest keep answering from the surface lookup.
+    """
+    misses = max(1, requests // _MISS_EVERY)
+    cached = generate_queries(surfaces, "cached", requests - misses)
+    miss = generate_queries(surfaces, "miss", misses)
+    mix: list = []
+    next_cached = next_miss = 0
+    for index in range(requests):
+        if index % _MISS_EVERY == _MISS_EVERY - 1 and next_miss < len(miss):
+            mix.append(miss[next_miss])
+            next_miss += 1
+        else:
+            mix.append(cached[next_cached])
+            next_cached += 1
+    return mix
+
+
+class _OverloadBenchResult(_ServiceBenchResult):
+    """Goodput adapter: events = accepted (non-shed) answers.
+
+    ``events_per_sec`` therefore reads as shed-mode *goodput*, which is
+    what the BENCH gate pins; the uncontended cached rate measured in the
+    same run rides along for the in-test ratio assert.
+    """
+
+    def __init__(self, report, uncontended_per_sec: float):
+        super().__init__(report)
+        self.events_processed = report.requests - report.shed
+        self.uncontended_per_sec = uncontended_per_sec
+
+
+def _drive_overload_shed(requests: int):
+    """Uncontended cached reference, then the same box at 4x connections.
+
+    A warmup pass runs the exact miss set first so the measured phases
+    see a steady-state service (cold first solves would charge one-time
+    numpy setup to the overload phase), and each side keeps the better
+    of two runs: the gated ratio compares steady states, not scheduler
+    noise on a sub-second closed loop.
+    """
+    surfaces = _surfaces()
+    _serve_and_load(
+        AdmissionService(surfaces, solve_timeout=5.0, solver_workers=1),
+        generate_queries(surfaces, "miss", max(1, requests // _MISS_EVERY))
+        + generate_queries(surfaces, "cached", 1000),
+        connections=8,
+    )
+    reference = max(
+        (
+            _serve_and_load(
+                AdmissionService(surfaces),
+                generate_queries(surfaces, "cached", requests),
+                connections=8,
+            )
+            for _ in range(2)
+        ),
+        key=lambda r: r.decisions_per_sec,
+    )
+    # 4x the connections, 5% live-solve queries, one solver worker, and a
+    # single-slot solve queue: excess misses must shed as instant
+    # conservative denies instead of queuing behind the solver.
+    best = None
+    best_goodput = 0.0
+    for _ in range(2):
+        candidate = _serve_and_load(
+            AdmissionService(
+                surfaces,
+                solve_timeout=5.0,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1),
+            ),
+            _overload_mix(surfaces, requests),
+            connections=32,
+        )
+        goodput = (candidate.requests - candidate.shed) / candidate.elapsed_s
+        if best is None or goodput > best_goodput:
+            best, best_goodput = candidate, goodput
+    return _OverloadBenchResult(best, reference.decisions_per_sec)
+
+
+def test_service_overload_shed(benchmark, report, scale):
+    requests = max(10_000, int(24_000 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive_overload_shed(requests),
+        extra=lambda r: {
+            **_latency_extra(r),
+            "p99_accepted_ms": round(r.report.p99_accepted_ms, 3),
+            "shed_requests": r.report.shed,
+            "uncontended_per_sec": round(r.uncontended_per_sec, 1),
+        },
+    )
+    load = result.report
+    goodput = (load.requests - load.shed) / load.elapsed_s
+    report(
+        "Service: shed-mode goodput under 4x overload (32 conns, 5% misses)",
+        load.describe()
+        + f"\ngoodput {goodput:,.1f}/s vs uncontended "
+        f"{result.uncontended_per_sec:,.1f}/s",
+    )
+    assert load.failed == 0
+    assert load.shed > 0  # the overload actually bit
+    assert load.tiers.get("shed", 0) == load.shed
+    # The headline gate: shedding keeps goodput within 20% of the
+    # uncontended cached rung instead of letting queues collapse it.
+    assert goodput >= 0.8 * result.uncontended_per_sec
+    # Accepted answers keep a bounded tail — shed answers are instant and
+    # excluded, live solves are capped by the 4-deep queue.
+    assert load.p99_accepted_ms < 500.0
+
+
+class _RestartBenchResult:
+    """run_once adapter for the rolling-restart availability smoke."""
+
+    def __init__(self, totals: dict, cycled: int, rounds: int, elapsed_s: float):
+        self.requests = totals["requests"]
+        self.failed = totals["failed"]
+        self.retried = totals["retried"]
+        self.cycled = cycled
+        self.rounds = rounds
+        self.events_processed = self.requests
+        self.wall_clock = elapsed_s
+
+
+def _drive_rolling_restart(requests_per_round: int):
+    """Hammer a 2-shard fleet with cached load across a rolling restart."""
+    surfaces = _surfaces()
+    totals = {"requests": 0, "failed": 0, "retried": 0}
+    with ShardFleet(surfaces, shards=2, solve_timeout=5.0) as fleet:
+        host, port = fleet.address
+
+        async def drive():
+            retry = RetryPolicy(max_attempts=6, timeout=2.0, backoff_base=0.05)
+            loop = asyncio.get_running_loop()
+            restart = loop.run_in_executor(None, fleet.rolling_restart)
+            started = time.perf_counter()
+            rounds = 0
+            while True:
+                queries = generate_queries(
+                    surfaces, "cached", requests_per_round, seed=rounds
+                )
+                round_report = await run_load(
+                    host, port, queries, connections=4, retry=retry
+                )
+                totals["requests"] += round_report.requests
+                totals["failed"] += round_report.failed
+                totals["retried"] += round_report.retried
+                rounds += 1
+                if restart.done():
+                    break
+            cycled = await restart
+            return cycled, rounds, time.perf_counter() - started
+
+        cycled, rounds, elapsed = asyncio.run(drive())
+    return _RestartBenchResult(totals, cycled, rounds, elapsed)
+
+
+def test_service_rolling_restart_availability(benchmark, report, scale):
+    per_round = max(200, int(800 * scale))
+    result = run_once(
+        benchmark,
+        lambda: _drive_rolling_restart(per_round),
+        extra=lambda r: {
+            "failed_requests": r.failed,
+            "retried_requests": r.retried,
+            "restarts_cycled": r.cycled,
+            "load_rounds": r.rounds,
+        },
+    )
+    report(
+        "Service: availability across a rolling restart (2 shards)",
+        f"{result.requests} cached answers over {result.rounds} round(s) "
+        f"while {result.cycled} shard(s) drained and respawned; "
+        f"{result.failed} failed, {result.retried} retried",
+    )
+    assert result.cycled == 2
+    # The availability bar: the fleet answered every query throughout —
+    # retries absorb the one-shard-down windows, nothing is lost.
+    assert result.failed == 0
+    assert result.requests > 0

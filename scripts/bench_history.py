@@ -4,7 +4,7 @@
 Usage::
 
     python scripts/bench_history.py                  # committed history
-    python scripts/bench_history.py --fresh BENCH_9.json
+    python scripts/bench_history.py --fresh BENCH_10.json
     python scripts/bench_history.py --metric events_per_sec
 
 Every PR that touches performance commits one ``BENCH_<n>.json`` snapshot
@@ -198,6 +198,24 @@ def main(argv: list[str] | None = None) -> int:
                 title="admission service throughput",
             )
         )
+        # Overload-resilience columns (PR 10): how much the shed tier
+        # carried, the latency tail of what was accepted, and whether the
+        # rolling restart dropped anything.  Snapshots predating the
+        # overload rungs simply render no rows here.
+        for extra_metric, extra_unit, extra_title in (
+            ("shed_requests", "requests", "overload: shed answers"),
+            ("p99_accepted_ms", "ms", "overload: accepted-request p99"),
+            ("failed_requests", "requests", "drain: failed requests"),
+        ):
+            sections.append(
+                render_table(
+                    snapshots,
+                    extra_metric,
+                    extra_unit,
+                    row_filter=lambda row: row.startswith("service_"),
+                    title=extra_title,
+                )
+            )
     text = "## Benchmark trajectory\n\n" + "\n".join(sections)
     if args.output is not None:
         args.output.write_text(text + "\n")

@@ -44,6 +44,15 @@ PR 2's issue).  The gates:
 * ``service_batch_cached_decisions`` — ``events_per_sec`` (higher),
   PR 9's ``admit_batch`` verb gate: batched cached decisions/sec, which
   must stay strictly above the scalar cached rung even on one core.
+* ``service_overload_shed`` — ``events_per_sec`` (higher) *and*
+  ``p99_accepted_ms`` (lower), PR 10's load-shedding gate: goodput
+  (accepted, non-shed answers/sec) under 4x saturating load with 5%
+  live-solve queries, and the latency tail of the answers that were
+  accepted (shed denies are instant and excluded).
+* ``service_rolling_restart_availability`` — ``failed_requests``
+  (lower, pinned at 0), PR 10's availability gate: a 2-shard fleet must
+  answer every retried query while a rolling restart drains and
+  replaces each shard in turn.
 
 After the gates, the script reports the heap-vs-columnar peak-RSS diff
 (``headline_replicated_campaign`` vs ``columnar_headline_campaign``; pick
@@ -100,6 +109,9 @@ GATES: tuple[tuple[str, str, str], ...] = (
     ("columnar_batched_headline_campaign", "events_per_sec", "higher"),
     ("service_sharded_cached_decisions", "events_per_sec", "higher"),
     ("service_batch_cached_decisions", "events_per_sec", "higher"),
+    ("service_overload_shed", "events_per_sec", "higher"),
+    ("service_overload_shed", "p99_accepted_ms", "lower"),
+    ("service_rolling_restart_availability", "failed_requests", "lower"),
 )
 
 #: Default record pair for the informational heap-vs-columnar RSS diff.

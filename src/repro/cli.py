@@ -359,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot, answer one query per tier through a loopback client, "
         "print the answers, and exit (CI self-test)",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        help="bound on requests parked on the live-solve path; beyond it "
+        "the service answers an immediate conservative deny with "
+        "tier='shed' (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=0,
+        help="cap on concurrent client connections; beyond it a connection "
+        "is answered one structured error line and closed (0 = uncapped)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds a draining shard may spend finishing in-flight "
+        "requests after SIGTERM before stragglers are cut",
+    )
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -448,14 +470,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--target",
-        choices=("campaign", "serve", "fleet"),
+        choices=("campaign", "serve", "fleet", "overload", "drain", "reload"),
         default="campaign",
         help="'campaign' (default) chaos-tests the replication runtime; "
         "'serve' chaos-tests the admission service: poisoned rungs and "
         "injected slow solves must degrade to conservative denies "
         "within the deadline; 'fleet' SIGKILLs a shard of a sharded "
         "fleet mid-load: survivors must keep answering conservatively "
-        "and the respawned shard must rejoin",
+        "and the respawned shard must rejoin; 'overload' saturates the "
+        "solve path: excess requests must shed (instant conservative "
+        "denies), cached traffic must keep answering, oversized frames "
+        "must answer errors without killing the connection; 'drain' "
+        "SIGTERMs a loaded shard: every in-flight request must be "
+        "answered before it exits, then a rolling restart must keep a "
+        "multi-shard fleet answering with zero failures; 'reload' hot-"
+        "swaps the decision surfaces mid-load: every answer must come "
+        "from exactly one surface generation",
     )
     chaos.add_argument(
         "--shards",
@@ -763,6 +793,12 @@ def _command_chaos(args: argparse.Namespace, out) -> int:
         return _chaos_serve_demo(args, kills, delays, poisons, out)
     if args.target == "fleet":
         return _chaos_fleet_demo(args, kills, delays, poisons, out)
+    if args.target == "overload":
+        return _chaos_overload_demo(args, out)
+    if args.target == "drain":
+        return _chaos_drain_demo(args, out)
+    if args.target == "reload":
+        return _chaos_reload_demo(args, out)
     if not (kills or delays or poisons):
         # Bare `cli chaos`: kill one worker mid-campaign by default.
         kills = ((args.seed + 1, 1),)
@@ -1034,6 +1070,434 @@ def _chaos_fleet_demo(args, kills, delays, poisons, out) -> int:
         return asyncio.run(drive(fleet))
 
 
+def _chaos_overload_demo(args, out) -> int:
+    """Saturate the solve path: excess load sheds, cached traffic flows.
+
+    Boots a loopback service with a deliberately tiny live-solve queue
+    (``max_inflight=2``, one solver thread) while a chaos wildcard delay
+    makes every live solve slow, then fires ``--requests`` miss-tier
+    queries concurrently alongside a stream of cached queries on another
+    connection, plus one oversized request frame followed by a valid
+    query on the same raw socket.  Verdict (exit 0) requires: every
+    query answered within deadline+margin (zero hangs), at least one
+    query shed, every shed answer a deny, every cached query answered
+    from the surface tier while the solver was saturated, and the
+    oversized frame answered with a structured error without killing its
+    connection.
+    """
+    import asyncio
+    import json
+    import time
+
+    from repro.runtime import chaos
+    from repro.service.client import AdmissionClient
+    from repro.service.server import (
+        AdmissionService,
+        OverloadPolicy,
+        start_server,
+    )
+    from repro.service.surfaces import build_decision_surfaces
+
+    slow = min(0.4, args.deadline / 2.0)
+    plan = chaos.ChaosPlan(delay=((chaos.ANY, 1, slow),))
+    print(
+        f"chaos plan           : every live solve sleeps {slow:g}s "
+        f"(wildcard seed), max_inflight=2, deadline={args.deadline:g}s",
+        file=out,
+    )
+    surfaces = build_decision_surfaces(
+        _service_params(args), (0.1, 0.2), max_population=6, max_workers=1
+    )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    miss_target = float(surfaces.delay_targets[-1]) * 3.0
+    grid_target = float(surfaces.delay_targets[0])
+    margin = args.deadline + max(1.0, args.deadline)
+    requests = max(4, args.requests)
+
+    async def drive() -> int:
+        service = AdmissionService(
+            surfaces,
+            solve_timeout=args.deadline,
+            solver_workers=1,
+            overload=OverloadPolicy(max_inflight=2, max_line_bytes=4096),
+        )
+        server = await start_server(service)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            with chaos.chaos_active(plan):
+                miss_clients = [
+                    await AdmissionClient.open(host, port)
+                    for _ in range(requests)
+                ]
+                cached_client = await AdmissionClient.open(host, port)
+                started = time.perf_counter()
+                try:
+                    miss_calls = [
+                        asyncio.create_task(
+                            client.admit(
+                                float(i % (surfaces.max_population + 1)),
+                                1.0,
+                                miss_target,
+                            )
+                        )
+                        for i, client in enumerate(miss_clients)
+                    ]
+                    cached = []
+                    for _ in range(50):
+                        cached.append(
+                            await cached_client.admit(1.0, 1.0, grid_target)
+                        )
+                    answers = await asyncio.gather(*miss_calls)
+                finally:
+                    for client in (*miss_clients, cached_client):
+                        await client.close()
+                elapsed = time.perf_counter() - started
+            for index, answer in enumerate(answers):
+                print(
+                    f"miss {index:<16}: tier={answer['tier']:<12} "
+                    f"admit={answer['admit']} "
+                    f"latency={answer['latency_us'] / 1e3:.1f}ms",
+                    file=out,
+                )
+            # One oversized frame, then a valid one, on the same socket:
+            # the server must answer a structured error and resync.
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(
+                    b'{"op": "ping", "pad": "' + b"x" * 8192 + b'"}\n'
+                )
+                writer.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                await writer.drain()
+                oversized = json.loads(await reader.readline())
+                followup = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            print(
+                f"oversized frame      : ok={oversized.get('ok')} "
+                f"error={oversized.get('error', '')!r}",
+                file=out,
+            )
+            print(
+                f"same-socket follow-up: pong={followup.get('pong')}",
+                file=out,
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+        sheds = [a for a in answers if a["tier"] == "shed"]
+        shed_admits = [a for a in sheds if a["admit"]]
+        cached_misrouted = [a for a in cached if a["tier"] != "surface"]
+        resynced = (
+            oversized.get("ok") is False
+            and "error" in oversized
+            and followup.get("pong") is True
+        )
+        hung = elapsed > margin
+        ok = (
+            len(answers) == requests
+            and not hung
+            and bool(sheds)
+            and not shed_admits
+            and not cached_misrouted
+            and resynced
+        )
+        print(
+            f"verdict              : {len(answers)}/{requests} miss answers "
+            f"in {elapsed:.2f}s (margin {margin:g}s), {len(sheds)} shed "
+            f"(all denies: {not shed_admits}), {len(cached)} cached served "
+            f"from surface tier: {not cached_misrouted}, oversized-frame "
+            f"resync: {resynced} — "
+            f"{'load shedding holds' if ok else 'OVERLOAD HANDLING BROKEN'}",
+            file=out,
+        )
+        return 0 if ok else 1
+
+    return asyncio.run(drive())
+
+
+def _chaos_drain_demo(args, out) -> int:
+    """SIGTERM a loaded shard: every in-flight answer lands before exit.
+
+    Phase 1 boots a single-shard fleet (every connection pinned to the
+    shard being drained), parks ``--requests`` slow live solves in
+    flight, and SIGTERMs the shard via
+    :meth:`~repro.service.sharded.ShardFleet.drain_shard`.  The drain
+    must deliver every in-flight answer, the shard must exit cleanly,
+    and the supervisor must not respawn it.  Phase 2 boots a
+    ``--shards`` fleet and performs a rolling restart while a retrying
+    client drives cached load: zero queries may fail.
+    """
+    import asyncio
+    import time
+
+    from repro.runtime import chaos
+    from repro.runtime.resilience import RetryPolicy
+    from repro.service.client import (
+        AdmissionClient,
+        generate_queries,
+        run_load,
+    )
+    from repro.service.sharded import ShardFleet
+    from repro.service.surfaces import build_decision_surfaces
+
+    surfaces = build_decision_surfaces(
+        _service_params(args), (0.1, 0.2), max_population=6, max_workers=1
+    )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    miss_target = float(surfaces.delay_targets[-1]) * 3.0
+    requests = max(2, args.requests)
+    slow = min(0.5, args.deadline / 2.0)
+    plan = chaos.ChaosPlan(delay=((chaos.ANY, 1, slow),))
+    print(
+        f"chaos plan           : every live solve sleeps {slow:g}s "
+        f"(wildcard seed), deadline={args.deadline:g}s",
+        file=out,
+    )
+
+    async def inflight_phase(fleet) -> bool:
+        host, port = fleet.address
+        clients = [
+            await AdmissionClient.open(host, port) for _ in range(requests)
+        ]
+        try:
+            calls = [
+                asyncio.create_task(
+                    client.admit(
+                        float(i % (surfaces.max_population + 1)),
+                        1.0,
+                        miss_target,
+                    )
+                )
+                for i, client in enumerate(clients)
+            ]
+            # Give every request time to reach the shard and park on the
+            # solver, then SIGTERM it mid-flight.
+            await asyncio.sleep(slow / 2.0)
+            loop = asyncio.get_running_loop()
+            drained = loop.run_in_executor(None, fleet.drain_shard, 0)
+            answers = await asyncio.gather(*calls, return_exceptions=True)
+            clean = await drained
+        finally:
+            for client in clients:
+                await client.close()
+        await asyncio.sleep(1.0)  # two monitor ticks: a respawn would land
+        lost = [a for a in answers if isinstance(a, BaseException)]
+        delivered = [a for a in answers if not isinstance(a, BaseException)]
+        respawned = fleet.alive() != 0
+        print(
+            f"drain phase          : {len(delivered)}/{requests} in-flight "
+            f"answers delivered, {len(lost)} lost, clean exit: {clean}, "
+            f"respawned after drain: {respawned}",
+            file=out,
+        )
+        return (
+            len(delivered) == requests
+            and all(a.get("ok") for a in delivered)
+            and clean
+            and not respawned
+        )
+
+    async def rolling_phase(fleet) -> bool:
+        host, port = fleet.address
+        retry = RetryPolicy(
+            max_attempts=6, timeout=args.deadline, backoff_base=0.05
+        )
+        loop = asyncio.get_running_loop()
+        restart = loop.run_in_executor(None, fleet.rolling_restart)
+        total = failed = retried = rounds = 0
+        while True:
+            queries = generate_queries(
+                surfaces, "cached", 400, seed=args.seed + rounds
+            )
+            report = await run_load(
+                host, port, queries, connections=4, retry=retry
+            )
+            total += report.requests
+            failed += report.failed
+            retried += report.retried
+            rounds += 1
+            if restart.done():
+                break
+        cycled = await restart
+        full = fleet.alive() == fleet.shards
+        print(
+            f"rolling phase        : {cycled}/{fleet.shards} shards cycled "
+            f"under load — {total} queries, {retried} retried, "
+            f"{failed} failed, fleet back to full strength: {full}",
+            file=out,
+        )
+        return failed == 0 and cycled == fleet.shards and full
+
+    inflight_fleet = ShardFleet(
+        surfaces,
+        shards=1,
+        solve_timeout=args.deadline,
+        solver_workers=requests,
+        chaos_plan=plan,
+    )
+    with inflight_fleet:
+        host, port = inflight_fleet.address
+        print(f"drain fleet          : 1 shard at {host}:{port}", file=out)
+        inflight_ok = asyncio.run(inflight_phase(inflight_fleet))
+
+    rolling_fleet = ShardFleet(
+        surfaces, shards=args.shards, solve_timeout=args.deadline
+    )
+    with rolling_fleet:
+        host, port = rolling_fleet.address
+        print(
+            f"rolling fleet        : {args.shards} shards at {host}:{port}",
+            file=out,
+        )
+        rolling_ok = asyncio.run(rolling_phase(rolling_fleet))
+
+    ok = inflight_ok and rolling_ok
+    print(
+        f"verdict              : in-flight drain: "
+        f"{'clean' if inflight_ok else 'LOST ANSWERS'}, rolling restart: "
+        f"{'zero failures' if rolling_ok else 'FAILURES'} — "
+        f"{'graceful drain holds' if ok else 'DRAIN HANDLING BROKEN'}",
+        file=out,
+    )
+    return 0 if ok else 1
+
+
+def _chaos_reload_demo(args, out) -> int:
+    """Hot-swap surfaces mid-load: every answer from exactly one generation.
+
+    Boots a ``--shards`` fleet, then publishes a tightened surface
+    generation (one that denies a probe mix the original admits) while
+    hammer tasks drive the same admit query over persistent connections.
+    Verdict (exit 0) requires: every answer's admit bit consistent with
+    the generation it reports (generation 0 admits the probe, generation
+    1 denies it), generations non-decreasing on every connection, every
+    answer after the reload returns on the new generation, and a batch
+    answer carrying a single generation.
+    """
+    import asyncio
+
+    from repro.service.client import AdmissionClient
+    from repro.service.sharded import ShardFleet
+    from repro.service.surfaces import build_decision_surfaces
+
+    surfaces = build_decision_surfaces(
+        _service_params(args), (0.1, 0.2), max_population=6, max_workers=1
+    )
+    print(f"surfaces             : {surfaces.describe()}", file=out)
+    # Pick an on-grid probe the original surfaces admit; the tightened
+    # generation pushes every boundary below zero, so the same probe
+    # flips to a deny the moment a shard answers from generation 1.
+    probe = None
+    for target in reversed(surfaces.delay_targets):
+        for n1 in range(int(surfaces.max_population) + 1):
+            bound = surfaces.grid_bound(float(n1), float(target))
+            if bound is not None and bound >= 0.0:
+                probe = (float(n1), 0.0, float(target))
+                break
+        if probe:
+            break
+    if probe is None:
+        print(
+            "error: surfaces admit nothing; no observable reload flip",
+            file=out,
+        )
+        return 2
+    tightened = surfaces.tightened(by=float(surfaces.max_population) + 2.0)
+    expected = {0: True, 1: False}
+    print(
+        f"probe                : n1={probe[0]:g} n2={probe[1]:g} "
+        f"target={probe[2]:g} (gen 0 admits, gen 1 denies)",
+        file=out,
+    )
+
+    async def drive(fleet) -> int:
+        host, port = fleet.address
+        clients = [
+            await AdmissionClient.open(host, port) for _ in range(4)
+        ]
+        answers: list[tuple[int, bool]] = []
+        violations: list[str] = []
+        stop = asyncio.Event()
+
+        async def hammer(client) -> int:
+            last_gen = -1
+            while not stop.is_set():
+                answer = await client.admit(*probe)
+                gen = int(answer["gen"])
+                admit = bool(answer["admit"])
+                answers.append((gen, admit))
+                if gen < last_gen:
+                    violations.append(
+                        f"generation went backwards ({last_gen} -> {gen})"
+                    )
+                if gen in expected and admit != expected[gen]:
+                    violations.append(
+                        f"gen {gen} answered admit={admit} "
+                        f"(expected {expected[gen]})"
+                    )
+                last_gen = gen
+            return last_gen
+        try:
+            tasks = [asyncio.create_task(hammer(c)) for c in clients]
+            await asyncio.sleep(0.2)  # observe generation-0 answers
+            loop = asyncio.get_running_loop()
+            generation = await loop.run_in_executor(
+                None, fleet.reload_surfaces, tightened
+            )
+            await asyncio.sleep(0.2)  # observe generation-1 answers
+            stop.set()
+            last_gens = await asyncio.gather(*tasks)
+            batch = await clients[0].admit_batch(
+                [probe[0], probe[0]], [probe[1], probe[1]],
+                [probe[2], probe[2]],
+            )
+        finally:
+            stop.set()
+            for client in clients:
+                await client.close()
+        gen0 = sum(1 for gen, _ in answers if gen == 0)
+        gen1 = sum(1 for gen, _ in answers if gen == generation)
+        settled = all(gen == generation for gen in last_gens)
+        batch_ok = (
+            batch.get("gen") == generation
+            and not any(batch["admit"])
+        )
+        ok = (
+            not violations
+            and generation == 1
+            and gen0 > 0
+            and gen1 > 0
+            and settled
+            and batch_ok
+        )
+        for violation in violations[:5]:
+            print(f"violation            : {violation}", file=out)
+        print(
+            f"verdict              : {len(answers)} answers "
+            f"({gen0} on gen 0, {gen1} on gen {generation}), "
+            f"0 mixed-generation answers: {not violations}, every "
+            f"connection settled on gen {generation}: {settled}, "
+            f"single-generation batch: {batch_ok} — "
+            f"{'hot reload holds' if ok else 'RELOAD HANDLING BROKEN'}",
+            file=out,
+        )
+        return 0 if ok else 1
+
+    fleet = ShardFleet(surfaces, shards=args.shards, solve_timeout=args.deadline)
+    with fleet:
+        host, port = fleet.address
+        print(
+            f"fleet                : {args.shards} shards at {host}:{port}",
+            file=out,
+        )
+        return asyncio.run(drive(fleet))
+
+
 def _chaos_poison_demo(hap, plan, out) -> int:
     """Show each targeted degradation chain answering below its poison."""
     import numpy as np
@@ -1216,7 +1680,23 @@ async def _fleet_smoke(fleet, surfaces, out) -> int:
     return status
 
 
-def _serve_fleet(args: argparse.Namespace, surfaces, out) -> int:
+def _overload_from_args(args: argparse.Namespace):
+    """Build the serve command's :class:`OverloadPolicy` (0 = unbounded)."""
+    from repro.service.server import OverloadPolicy
+
+    if args.max_inflight < 0:
+        raise ValueError("--max-inflight must be non-negative")
+    if args.max_connections < 0:
+        raise ValueError("--max-connections must be non-negative")
+    if args.drain_grace <= 0:
+        raise ValueError("--drain-grace must be positive")
+    return OverloadPolicy(
+        max_inflight=args.max_inflight or None,
+        max_connections=args.max_connections or None,
+    )
+
+
+def _serve_fleet(args: argparse.Namespace, surfaces, overload, out) -> int:
     import asyncio
     import time
 
@@ -1230,6 +1710,8 @@ def _serve_fleet(args: argparse.Namespace, surfaces, out) -> int:
         solve_timeout=args.solve_timeout,
         solver_workers=args.solver_workers,
         exact=args.exact,
+        overload=overload,
+        drain_grace=args.drain_grace,
     )
     with fleet:
         host, port = fleet.address
@@ -1266,6 +1748,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
     try:
         surfaces = _surfaces_from_args(args, out)
+        overload = _overload_from_args(args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=out)
         return 2
@@ -1273,12 +1756,13 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         print("error: --shards must be at least 1", file=out)
         return 2
     if args.shards > 1:
-        return _serve_fleet(args, surfaces, out)
+        return _serve_fleet(args, surfaces, overload, out)
     service = AdmissionService(
         surfaces,
         solve_timeout=args.solve_timeout,
         solver_workers=args.solver_workers,
         exact=args.exact,
+        overload=overload,
     )
     try:
         if args.smoke:

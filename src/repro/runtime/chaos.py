@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = [
+    "ANY",
     "ChaosPlan",
     "ChaosTask",
     "PoisonedRungError",
@@ -56,6 +57,13 @@ __all__ = [
 #: Exit status used for injected worker kills; 137 mirrors SIGKILL (128 + 9),
 #: the signature of an OOM-killed worker.
 KILL_EXIT_CODE = 137
+
+#: Wildcard seed for plan entries: a kill/delay keyed on ``ANY`` matches
+#: every seed at its attempt number.  How an overload scenario slows *all*
+#: live solves (request indices are unbounded) with one plan entry while
+#: staying deterministic — the fault set is still a pure function of the
+#: ``(seed, attempt)`` context.
+ANY = -1
 
 
 class PoisonedRungError(RuntimeError):
@@ -90,12 +98,15 @@ class ChaosPlan:
 
     def kills(self, seed: int, attempt: int) -> bool:
         """Whether this plan kills the worker running ``seed`` on ``attempt``."""
-        return (seed, attempt) in self.kill
+        return (seed, attempt) in self.kill or (ANY, attempt) in self.kill
 
     def delay_for(self, seed: int, attempt: int) -> float:
-        """Injected sleep (seconds) before ``seed``'s attempt; 0.0 if none."""
+        """Injected sleep (seconds) before ``seed``'s attempt; 0.0 if none.
+
+        Entries keyed on the :data:`ANY` wildcard seed match every seed.
+        """
         return sum(s for s_seed, s_attempt, s in self.delay
-                   if s_seed == seed and s_attempt == attempt)
+                   if s_seed in (seed, ANY) and s_attempt == attempt)
 
     def poisons(self, chain: str, rung: str) -> bool:
         """Whether ``rung`` of ``chain`` is poisoned."""

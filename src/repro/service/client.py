@@ -6,6 +6,15 @@ closed-loop (each sends its next query as soon as the previous answer lands)
 and reports decisions/sec with client-observed latency percentiles — the
 numbers behind ``cli bench-serve`` and ``benchmarks/test_bench_service.py``.
 
+Failures are accounted, never swallowed: :func:`run_load` optionally takes a
+:class:`~repro.runtime.resilience.RetryPolicy` — the same policy object the
+campaign runtime uses — and retries a query whose connection died or whose
+deadline expired, reconnecting with deterministic seeded backoff (keyed by
+the query's global index, so a replayed run backs off identically).  The
+:class:`LoadReport` then carries ``shed`` / ``retried`` / ``failed`` counts
+alongside the throughput numbers, which is how the rolling-restart and
+overload scenarios prove "the fleet kept answering" quantitatively.
+
 :func:`generate_queries` manufactures deterministic query mixes that pin a
 specific answer tier (``cached`` / ``interpolated`` / ``miss``), so the
 benchmarks measure one tier at a time instead of a blend.
@@ -20,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.resilience import RetryPolicy
 from repro.service.surfaces import DecisionSurfaces
 
 __all__ = [
@@ -74,36 +84,56 @@ class AdmissionClient:
             )
         return response
 
-    async def admit(self, n1: float, n2: float, delay_target: float) -> dict:
-        """Admit/deny the mix ``(n1, n2)`` under ``delay_target``."""
-        return await self.request(
-            {"op": "admit", "n1": n1, "n2": n2, "delay_target": delay_target}
-        )
+    async def admit(
+        self,
+        n1: float,
+        n2: float,
+        delay_target: float,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Admit/deny the mix ``(n1, n2)`` under ``delay_target``.
+
+        ``deadline_ms`` propagates the client's answer deadline to the
+        server, which sheds (conservative deny, tier ``"shed"``) any live
+        solve it could not finish in time instead of answering late.
+        """
+        payload = {"op": "admit", "n1": n1, "n2": n2, "delay_target": delay_target}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return await self.request(payload)
 
     async def admit_batch(
         self,
         n1: list[float],
         n2: list[float],
         delay_target: list[float],
+        deadline_ms: float | None = None,
     ) -> dict:
         """Answer many admit queries in one protocol round trip.
 
         The response carries parallel per-row arrays (``admit``, ``tier``,
         ``max_n2``, ``estimate``) plus ``rows``; each row is identical to
-        what the per-query :meth:`admit` would have answered.
+        what the per-query :meth:`admit` would have answered.  The whole
+        batch answers from one surface generation (``gen``).
         """
-        return await self.request(
-            {
-                "op": "admit_batch",
-                "n1": list(n1),
-                "n2": list(n2),
-                "delay_target": list(delay_target),
-            }
-        )
+        payload = {
+            "op": "admit_batch",
+            "n1": list(n1),
+            "n2": list(n2),
+            "delay_target": list(delay_target),
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return await self.request(payload)
 
-    async def bandwidth(self, delay_target: float) -> dict:
+    async def bandwidth(
+        self, delay_target: float, deadline_ms: float | None = None
+    ) -> dict:
         """Minimum bandwidth meeting ``delay_target`` (``null`` = refused)."""
-        return await self.request({"op": "bandwidth", "delay_target": delay_target})
+        payload = {"op": "bandwidth", "delay_target": delay_target}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return await self.request(payload)
 
     async def stats(self, scope: str = "shard") -> dict:
         """Per-tier counters; ``scope="fleet"`` sums every shard's row."""
@@ -193,10 +223,26 @@ class LoadReport:
     p50_latency_ms, p99_latency_ms, max_latency_ms:
         Client-observed per-request latency percentiles (milliseconds).
     admitted, denied:
-        Decision outcome counts.
+        Decision outcome counts (shed answers count as denied — they are).
+    shed:
+        Answers carrying tier ``"shed"`` — requests the server refused to
+        queue (load shed) rather than answer late.
+    retried:
+        Re-sent attempts: the connection died, the open failed, or the
+        per-query deadline expired, and the retry policy allowed another
+        go (reconnect + deterministic backoff).
+    failed:
+        Queries that never got an answer after exhausting their attempts.
+        Always zero without faults; the rolling-restart smoke asserts it
+        stays zero *with* them.
+    p99_accepted_ms:
+        p99 latency over accepted (non-shed) answers only — the latency
+        contract the overload bench gates (shed answers are near-instant
+        and would flatter the percentile).  Batched runs whose batch
+        contains any shed row are excluded from this percentile.
     tiers:
         Answer-tier histogram (``surface`` / ``interpolated`` / ``solve``
-        / ``degraded``) as reported per response.
+        / ``degraded`` / ``shed``) as reported per response.
     """
 
     requests: int
@@ -207,6 +253,10 @@ class LoadReport:
     max_latency_ms: float
     admitted: int
     denied: int
+    shed: int = 0
+    retried: int = 0
+    failed: int = 0
+    p99_accepted_ms: float = 0.0
     tiers: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
@@ -219,7 +269,9 @@ class LoadReport:
             f"({self.decisions_per_sec:,.0f}/s), latency p50 "
             f"{self.p50_latency_ms:.3f} ms / p99 {self.p99_latency_ms:.3f} ms "
             f"/ max {self.max_latency_ms:.3f} ms; "
-            f"{self.admitted} admitted, {self.denied} denied [{tier_text}]"
+            f"{self.admitted} admitted, {self.denied} denied, "
+            f"{self.shed} shed, {self.retried} retried, "
+            f"{self.failed} failed [{tier_text}]"
         )
 
 
@@ -249,6 +301,11 @@ _ZERO_REPORT = LoadReport(
     denied=0,
 )
 
+#: Transient faults worth a retry: the connection died under the query, the
+#: reconnect was refused (a shard mid-drain), or the deadline expired with
+#: the response still in flight (the stream is desynced either way).
+_RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError)
+
 
 async def run_load(
     host: str,
@@ -256,6 +313,8 @@ async def run_load(
     queries: list[tuple[float, float, float]],
     connections: int = 4,
     batch_size: int = 0,
+    retry: RetryPolicy | None = None,
+    deadline_ms: float | None = None,
 ) -> LoadReport:
     """Drive ``queries`` through the service closed-loop; aggregate a report.
 
@@ -272,6 +331,17 @@ async def run_load(
     latency percentiles then describe whole round trips (one batch each),
     not per-row service time.
 
+    ``retry`` (a campaign-grade :class:`RetryPolicy`) makes each query
+    survive transient faults: a dead connection or expired ``deadline_ms``
+    closes the stream, reconnects, sleeps the policy's deterministic
+    backoff (seeded by the query's global index), and re-sends — up to
+    ``retry.max_attempts`` total attempts.  Without a policy each query
+    gets exactly one attempt.  Either way a query that never answers is
+    *recorded* in ``LoadReport.failed``, not silently dropped.
+
+    ``deadline_ms`` doubles as the client-side per-query timeout and the
+    server-propagated shed deadline.
+
     An empty ``queries`` list reports all-zero (it used to divide by
     zero); ``connections`` beyond ``len(queries)`` is clamped so no dealt
     slice is empty.
@@ -280,59 +350,131 @@ async def run_load(
         return _ZERO_REPORT
     if batch_size < 0:
         raise ValueError("batch_size must be non-negative")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ValueError("deadline_ms must be positive (or None)")
     connections = max(1, min(connections, len(queries)))
     loop = asyncio.get_running_loop()
-    clients = [
-        await AdmissionClient.open(host, port) for _ in range(connections)
-    ]
-    shards: list[list[tuple[float, float, float]]] = [
-        queries[i::connections] for i in range(connections)
+    max_attempts = retry.max_attempts if retry is not None else 1
+    clients: list[AdmissionClient | None] = [None] * connections
+    indexed = list(enumerate(queries))
+    shards: list[list[tuple[int, tuple[float, float, float]]]] = [
+        indexed[i::connections] for i in range(connections)
     ]
     latencies: list[float] = []
+    accepted_latencies: list[float] = []
     tiers: dict[str, int] = {}
     requests = 0
-    admitted = denied = 0
+    admitted = denied = retried = failed = 0
 
-    async def drive(client: AdmissionClient, shard) -> None:
+    async def attempt(slot: int, index: int, attempt_no: int, send):
+        """One attempt of one query; returns the response or None (retryable).
+
+        ``send`` issues the request against an open client.  Reconnects
+        lazily; a failed attempt closes the slot's client so the next
+        attempt starts from a fresh connection.
+        """
+        nonlocal retried
+        if attempt_no > 1:
+            retried += 1
+            if retry is not None:
+                pause = retry.backoff_delay(index, attempt_no)
+                if pause > 0.0:
+                    await asyncio.sleep(pause)
+        try:
+            if clients[slot] is None:
+                clients[slot] = await AdmissionClient.open(host, port)
+            call = send(clients[slot])
+            if deadline_ms is not None:
+                return await asyncio.wait_for(call, timeout=deadline_ms / 1e3)
+            return await call
+        except _RETRYABLE:
+            broken, clients[slot] = clients[slot], None
+            if broken is not None:
+                await broken.close()
+            return None
+
+    def record(response: dict, latency: float) -> None:
+        """Fold one scalar answer into the aggregate counters."""
         nonlocal requests, admitted, denied
-        for n1, n2, delay_target in shard:
-            started = loop.time()
-            response = await client.admit(n1, n2, delay_target)
-            latencies.append(loop.time() - started)
-            requests += 1
-            tier = response.get("tier", "unknown")
-            tiers[tier] = tiers.get(tier, 0) + 1
-            if response.get("admit"):
-                admitted += 1
+        latencies.append(latency)
+        requests += 1
+        tier = response.get("tier", "unknown")
+        tiers[tier] = tiers.get(tier, 0) + 1
+        if tier != "shed":
+            accepted_latencies.append(latency)
+        if response.get("admit"):
+            admitted += 1
+        else:
+            denied += 1
+
+    async def drive(slot: int, shard) -> None:
+        nonlocal failed
+        for index, (n1, n2, delay_target) in shard:
+            for attempt_no in range(1, max_attempts + 1):
+                started = loop.time()
+                response = await attempt(
+                    slot,
+                    index,
+                    attempt_no,
+                    lambda client: client.admit(
+                        n1, n2, delay_target, deadline_ms=deadline_ms
+                    ),
+                )
+                if response is not None:
+                    record(response, loop.time() - started)
+                    break
             else:
-                denied += 1
+                failed += 1
 
-    async def drive_batched(client: AdmissionClient, shard) -> None:
-        nonlocal requests, admitted, denied
+    async def drive_batched(slot: int, shard) -> None:
+        nonlocal requests, admitted, denied, failed
         for start in range(0, len(shard), batch_size):
             chunk = shard[start : start + batch_size]
-            n1s, n2s, delays = (list(column) for column in zip(*chunk))
-            started = loop.time()
-            response = await client.admit_batch(n1s, n2s, delays)
-            latencies.append(loop.time() - started)
-            requests += int(response.get("rows", len(chunk)))
-            for tier in response.get("tier", []):
-                tiers[tier] = tiers.get(tier, 0) + 1
-            hits = sum(bool(a) for a in response.get("admit", []))
-            admitted += hits
-            denied += int(response.get("rows", len(chunk))) - hits
+            index = chunk[0][0]
+            n1s, n2s, delays = (
+                list(column) for column in zip(*(query for _, query in chunk))
+            )
+            for attempt_no in range(1, max_attempts + 1):
+                started = loop.time()
+                response = await attempt(
+                    slot,
+                    index,
+                    attempt_no,
+                    lambda client: client.admit_batch(
+                        n1s, n2s, delays, deadline_ms=deadline_ms
+                    ),
+                )
+                if response is None:
+                    continue
+                latency = loop.time() - started
+                latencies.append(latency)
+                rows = int(response.get("rows", len(chunk)))
+                requests += rows
+                row_tiers = response.get("tier", [])
+                for tier in row_tiers:
+                    tiers[tier] = tiers.get(tier, 0) + 1
+                if "shed" not in row_tiers:
+                    accepted_latencies.append(latency)
+                hits = sum(bool(a) for a in response.get("admit", []))
+                admitted += hits
+                denied += rows - hits
+                break
+            else:
+                failed += len(chunk)
 
     driver = drive_batched if batch_size > 0 else drive
     run_started = loop.time()
     try:
         await asyncio.gather(
-            *(driver(client, shard) for client, shard in zip(clients, shards))
+            *(driver(slot, shard) for slot, shard in enumerate(shards))
         )
     finally:
         for client in clients:
-            await client.close()
+            if client is not None:
+                await client.close()
     elapsed = max(loop.time() - run_started, 1e-9)
     latencies.sort()
+    accepted_latencies.sort()
     return LoadReport(
         requests=requests,
         elapsed_s=elapsed,
@@ -342,5 +484,9 @@ async def run_load(
         max_latency_ms=(latencies[-1] if latencies else 0.0) * 1e3,
         admitted=admitted,
         denied=denied,
+        shed=tiers.get("shed", 0),
+        retried=retried,
+        failed=failed,
+        p99_accepted_ms=_percentile(accepted_latencies, 0.99) * 1e3,
         tiers=tiers,
     )

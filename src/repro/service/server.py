@@ -20,9 +20,25 @@ Answer path for an ``admit(n1, n2, delay_target)`` query:
    "do not commit").  The service may under-admit under faults; it never
    over-admits and never hangs.
 
+Overload is a first-class operating mode, not an accident.  The only queue
+that can grow without bound is the live-solve path (tiers 1/2 answer
+synchronously in microseconds), so :class:`OverloadPolicy` bounds exactly
+that: when ``max_inflight`` requests are already parked on the solver, or a
+request's propagated deadline (``deadline_ms`` on the wire) cannot be met,
+the service answers an immediate structured conservative deny with tier
+**shed** instead of queueing.  Shedding trades an answer the client cannot
+use (late) for one it can (an instant deny) — the service stays within its
+latency contract under arbitrary miss pressure.  The TCP front end adds
+per-connection read limits (an oversized request line answers a JSON error
+and resyncs rather than killing the handler) and a max-connections cap.
+
 The TCP front end (:func:`start_server`) speaks newline-delimited JSON —
 one request object per line, one response object per line — the simplest
 protocol a 1993-style ATM interface shim or a modern sidecar can speak.
+It returns an :class:`AdmissionServer`, which proxies the asyncio server
+surface and adds :meth:`AdmissionServer.drain`: stop accepting, let every
+busy handler finish its current answer, then close — the building block
+for the sharded fleet's graceful SIGTERM drain and rolling restarts.
 """
 
 from __future__ import annotations
@@ -47,11 +63,13 @@ from repro.runtime.resilience import DegradationChain, DegradationError
 from repro.service.surfaces import DecisionSurfaces
 
 __all__ = [
+    "AdmissionServer",
     "AdmissionService",
     "BandwidthAnswer",
     "BatchDecision",
     "Decision",
     "MAX_BATCH_ROWS",
+    "OverloadPolicy",
     "start_server",
 ]
 
@@ -65,18 +83,58 @@ MAX_BATCH_ROWS = 65_536
 
 
 @dataclass(frozen=True)
+class OverloadPolicy:
+    """Explicit bounds the serving path enforces instead of best effort.
+
+    Attributes
+    ----------
+    max_inflight:
+        Most requests allowed to be simultaneously parked on the live-solve
+        path (the only queue in the service that can grow — surface and
+        interpolated answers are synchronous).  A request that would need a
+        solve while the queue is full answers an immediate ``tier="shed"``
+        conservative deny.  ``None`` leaves the queue unbounded.
+    max_connections:
+        Most concurrent client connections the front end will serve.  A
+        connection beyond the cap is answered one structured error line and
+        closed (counted under ``rejected``).  ``None`` = uncapped.
+    max_line_bytes:
+        Per-connection request-line byte cap.  An oversized frame answers a
+        JSON error and the reader resyncs at the next newline instead of
+        tearing the connection down (asyncio's own ``readline`` limit kills
+        the handler with no reply).  The default fits a full
+        ``MAX_BATCH_ROWS`` batch line with room to spare.
+    """
+
+    max_inflight: int | None = None
+    max_connections: int | None = None
+    max_line_bytes: int = 1 << 22
+
+    def __post_init__(self) -> None:
+        """Validate that every configured bound is positive."""
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1 (or None)")
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ValueError("max_connections must be at least 1 (or None)")
+        if self.max_line_bytes < 2:
+            raise ValueError("max_line_bytes must fit at least one byte + newline")
+
+
+@dataclass(frozen=True)
 class Decision:
     """One admit/deny answer with its provenance.
 
     Attributes
     ----------
     admit:
-        The decision.  Under degradation this is always ``False``.
+        The decision.  Under degradation or shedding this is always
+        ``False``.
     tier:
-        ``"surface"`` | ``"interpolated"`` | ``"solve"`` | ``"degraded"``.
+        ``"surface"`` | ``"interpolated"`` | ``"solve"`` | ``"degraded"``
+        | ``"shed"``.
     max_n2:
         The boundary value the decision compared against (``None`` on the
-        solve/degraded tiers, which probe the queried point directly).
+        solve/degraded/shed tiers, which probe the queried point directly).
     estimate:
         Bilinear boundary estimate (interpolated tier only) — planning
         data, never the decision.
@@ -84,6 +142,10 @@ class Decision:
         Service-side decision latency in seconds.
     detail:
         Human-readable context (degradation reason, solver rung, ...).
+    generation:
+        The surface generation that answered (bumped by hot reloads); every
+        row of a batch and every field of one answer comes from exactly
+        this generation.
     """
 
     admit: bool
@@ -92,6 +154,7 @@ class Decision:
     estimate: float | None
     latency_s: float
     detail: str = ""
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,7 +164,10 @@ class BatchDecision:
     Row ``i`` carries exactly what the per-query :class:`Decision` for the
     same ``(n1, n2, delay_target)`` would — same tier, same admit bit,
     same bound — the batch verb is a transport, not a different decision
-    procedure (locked by a differential test in ``tests/service``).
+    procedure (locked by a differential test in ``tests/service``).  The
+    whole batch answers from one surface ``generation``: the surfaces are
+    captured once at entry and threaded through the miss solves, so a hot
+    reload mid-batch never mixes generations within one answer.
     """
 
     admit: list[bool]
@@ -109,6 +175,7 @@ class BatchDecision:
     max_n2: list[float | None]
     estimate: list[float | None]
     latency_s: float
+    generation: int = 0
 
     @property
     def rows(self) -> int:
@@ -120,8 +187,9 @@ class BatchDecision:
 class BandwidthAnswer:
     """One bandwidth-for-delay-target answer.
 
-    ``bandwidth`` is ``inf`` on the degraded tier: a service that cannot
-    size a link refuses to commit capacity rather than under-provisioning.
+    ``bandwidth`` is ``inf`` on the degraded and shed tiers: a service that
+    cannot size a link refuses to commit capacity rather than
+    under-provisioning.
     """
 
     bandwidth: float
@@ -129,6 +197,7 @@ class BandwidthAnswer:
     tier: str
     latency_s: float
     detail: str = ""
+    generation: int = 0
 
 
 def _solve_admit_miss(
@@ -237,6 +306,9 @@ class AdmissionService:
         ``mirror.add(name, k)`` — how a sharded worker publishes its
         per-tier counters into the fleet's shared-memory block without
         the hot path ever taking a cross-process lock.
+    overload:
+        The :class:`OverloadPolicy` in force; the default leaves every
+        bound off except the request-line byte cap.
     """
 
     def __init__(
@@ -246,20 +318,28 @@ class AdmissionService:
         solver_workers: int = 1,
         exact: bool = False,
         counters_mirror=None,
+        overload: OverloadPolicy | None = None,
     ):
         if solve_timeout <= 0:
             raise ValueError("solve_timeout must be positive")
         if solver_workers < 1:
             raise ValueError("solver_workers must be at least 1")
         self.surfaces = surfaces
+        #: Surface generation the service is answering from; hot reloads
+        #: bump it via :meth:`set_surfaces` and every answer reports it.
+        self.generation = 0
         self.solve_timeout = float(solve_timeout)
         self.exact = bool(exact)
+        self.overload = overload if overload is not None else OverloadPolicy()
         self._pool = ThreadPoolExecutor(
             max_workers=solver_workers, thread_name_prefix="repro-solve"
         )
         self._qbd_warm: dict = {}
         self._request_index = count()
         self._mirror = counters_mirror
+        #: Requests currently parked on the live-solve path — the bounded
+        #: in-flight admission queue that :class:`OverloadPolicy` sheds on.
+        self._solves_inflight = 0
         #: Fleet-wide counter view (set by the sharded worker); ``None``
         #: on a single-process service, where ``stats`` answers locally.
         self.fleet = None
@@ -268,6 +348,8 @@ class AdmissionService:
             "interpolated": 0,
             "solve": 0,
             "degraded": 0,
+            "shed": 0,
+            "rejected": 0,
             "denied": 0,
             "admitted": 0,
         }
@@ -285,6 +367,18 @@ class AdmissionService:
         self._count("admitted" if decision.admit else "denied")
         return decision
 
+    def set_surfaces(self, surfaces: DecisionSurfaces, generation: int) -> None:
+        """Atomically swap in a new surface generation (hot reload).
+
+        Runs synchronously on the event loop (no await points), and every
+        decision method captures ``(surfaces, generation)`` once at entry,
+        so no in-flight answer ever mixes generations.  The QBD warm-start
+        cache is dropped — it belongs to the outgoing parameters.
+        """
+        self._qbd_warm.clear()
+        self.surfaces = surfaces
+        self.generation = int(generation)
+
     @staticmethod
     def _validate_admit_query(n1: float, n2: float, delay_target: float) -> None:
         for label, value in (("n1", n1), ("n2", n2)):
@@ -293,13 +387,74 @@ class AdmissionService:
         if not math.isfinite(delay_target) or delay_target <= 0:
             raise ValueError("delay_target must be finite and positive")
 
-    async def admit(self, n1: float, n2: float, delay_target: float) -> Decision:
-        """Admit or deny the mix ``(n1, n2)`` under ``delay_target``."""
+    def _shed_reason(self, deadline_s: float | None, started: float) -> str:
+        """Why a solve-path request must shed right now ("" = proceed)."""
+        limit = self.overload.max_inflight
+        if limit is not None and self._solves_inflight >= limit:
+            return (
+                f"live-solve queue full ({self._solves_inflight} in flight, "
+                f"max_inflight={limit}); conservative deny"
+            )
+        if deadline_s is not None:
+            remaining = deadline_s - (time.perf_counter() - started)
+            if remaining <= 0.0:
+                return (
+                    f"deadline ({deadline_s * 1e3:g}ms) exhausted before the "
+                    "solve could start; conservative deny"
+                )
+        return ""
+
+    def _solve_budget(self, deadline_s: float | None, started: float) -> float:
+        """Remaining wall budget for a solve under the request deadline."""
+        if deadline_s is None:
+            return self.solve_timeout
+        return min(
+            self.solve_timeout, deadline_s - (time.perf_counter() - started)
+        )
+
+    async def admit(
+        self,
+        n1: float,
+        n2: float,
+        delay_target: float,
+        deadline_s: float | None = None,
+    ) -> Decision:
+        """Admit or deny the mix ``(n1, n2)`` under ``delay_target``.
+
+        ``deadline_s`` is the client-propagated answer deadline measured
+        from now; it only governs the live-solve path (surface and
+        interpolated answers cost microseconds and are always returned).
+        A solve that cannot fit the remaining budget sheds conservatively.
+        """
         started = time.perf_counter()
         self._validate_admit_query(n1, n2, delay_target)
-        n1, n2, delay_target = float(n1), float(n2), float(delay_target)
+        return await self._admit_with(
+            self.surfaces,
+            self.generation,
+            float(n1),
+            float(n2),
+            float(delay_target),
+            deadline_s,
+            started,
+        )
 
-        bound = self.surfaces.grid_bound(n1, delay_target)
+    async def _admit_with(
+        self,
+        surfaces: DecisionSurfaces,
+        generation: int,
+        n1: float,
+        n2: float,
+        delay_target: float,
+        deadline_s: float | None,
+        started: float,
+    ) -> Decision:
+        """The admit path against an explicit surface generation.
+
+        ``admit`` and ``admit_batch`` capture ``(surfaces, generation)``
+        exactly once and delegate here, so answers stay single-generation
+        even when a hot reload lands while a miss solve is in flight.
+        """
+        bound = surfaces.grid_bound(n1, delay_target)
         if bound is not None:
             return self._finish(
                 Decision(
@@ -308,10 +463,11 @@ class AdmissionService:
                     max_n2=bound,
                     estimate=None,
                     latency_s=time.perf_counter() - started,
+                    generation=generation,
                 )
             )
 
-        interpolated = self.surfaces.interpolated_bound(n1, delay_target)
+        interpolated = surfaces.interpolated_bound(n1, delay_target)
         if interpolated is not None:
             return self._finish(
                 Decision(
@@ -321,17 +477,33 @@ class AdmissionService:
                     estimate=interpolated.estimate,
                     latency_s=time.perf_counter() - started,
                     detail="conservative corner bound",
+                    generation=generation,
+                )
+            )
+
+        shed = self._shed_reason(deadline_s, started)
+        if shed:
+            return self._finish(
+                Decision(
+                    admit=False,
+                    tier="shed",
+                    max_n2=None,
+                    estimate=None,
+                    latency_s=time.perf_counter() - started,
+                    detail=shed,
+                    generation=generation,
                 )
             )
 
         index = next(self._request_index)
         loop = asyncio.get_running_loop()
+        self._solves_inflight += 1
         try:
             delay, diagnostics = await asyncio.wait_for(
                 loop.run_in_executor(
                     self._pool,
                     _solve_admit_miss,
-                    self.surfaces,
+                    surfaces,
                     n1,
                     n2,
                     delay_target,
@@ -339,7 +511,7 @@ class AdmissionService:
                     self.exact,
                     self._qbd_warm,
                 ),
-                timeout=self.solve_timeout,
+                timeout=self._solve_budget(deadline_s, started),
             )
         except asyncio.TimeoutError:
             return self._finish(
@@ -351,6 +523,7 @@ class AdmissionService:
                     latency_s=time.perf_counter() - started,
                     detail=f"solve exceeded {self.solve_timeout:g}s deadline; "
                     "conservative deny",
+                    generation=generation,
                 )
             )
         except (DegradationError, Exception) as error:  # noqa: BLE001
@@ -362,8 +535,11 @@ class AdmissionService:
                     estimate=None,
                     latency_s=time.perf_counter() - started,
                     detail=f"solve failed ({error!r}); conservative deny",
+                    generation=generation,
                 )
             )
+        finally:
+            self._solves_inflight -= 1
         return self._finish(
             Decision(
                 admit=delay <= delay_target,
@@ -372,20 +548,27 @@ class AdmissionService:
                 estimate=delay,
                 latency_s=time.perf_counter() - started,
                 detail=f"live solve answered by rung {diagnostics.rung!r}",
+                generation=generation,
             )
         )
 
-    async def admit_batch(self, n1, n2, delay_target) -> BatchDecision:
+    async def admit_batch(
+        self, n1, n2, delay_target, deadline_s: float | None = None
+    ) -> BatchDecision:
         """Answer many admit queries in one call, splitting rows by tier.
 
         Exact-grid rows answer through the vectorized
         :meth:`~repro.service.surfaces.DecisionSurfaces.admit_batch` path
         in one numpy pass; in-hull off-grid rows take the conservative
         corner; only true misses reach the solver pool (concurrently, via
-        the per-query :meth:`admit` path so deadlines, degradation, and
-        chaos faults behave exactly as they do for single queries).
+        the per-query admit path so deadlines, degradation, shedding, and
+        chaos faults behave exactly as they do for single queries).  The
+        surfaces are captured once at entry: every row answers from the
+        same generation.
         """
         started = time.perf_counter()
+        surfaces = self.surfaces
+        generation = self.generation
         n1 = np.asarray(n1, dtype=float)
         n2 = np.asarray(n2, dtype=float)
         delay_target = np.asarray(delay_target, dtype=float)
@@ -406,6 +589,7 @@ class AdmissionService:
                 max_n2=[],
                 estimate=[],
                 latency_s=time.perf_counter() - started,
+                generation=generation,
             )
         for label, values in (("n1", n1), ("n2", n2)):
             if not bool(np.all(np.isfinite(values) & (values >= 0))):
@@ -418,20 +602,20 @@ class AdmissionService:
         max_n2: list[float | None] = [None] * rows
         estimate: list[float | None] = [None] * rows
 
-        on_grid = self.surfaces.grid_mask(n1, delay_target)
+        on_grid = surfaces.grid_mask(n1, delay_target)
         grid_rows = np.flatnonzero(on_grid)
         if grid_rows.size:
-            grid_admit = self.surfaces.admit_batch(
+            grid_admit = surfaces.admit_batch(
                 n1[grid_rows], n2[grid_rows], delay_target[grid_rows]
             )
             target_rows = np.clip(
                 np.searchsorted(
-                    self.surfaces.delay_targets, delay_target[grid_rows]
+                    surfaces.delay_targets, delay_target[grid_rows]
                 ),
                 0,
-                len(self.surfaces.delay_targets) - 1,
+                len(surfaces.delay_targets) - 1,
             )
-            bounds = self.surfaces.max_n2[
+            bounds = surfaces.max_n2[
                 target_rows, n1[grid_rows].astype(np.intp)
             ]
             for offset, row in enumerate(grid_rows):
@@ -446,7 +630,7 @@ class AdmissionService:
         misses: list[int] = []
         for row in np.flatnonzero(~on_grid):
             row = int(row)
-            bound = self.surfaces.interpolated_bound(
+            bound = surfaces.interpolated_bound(
                 float(n1[row]), float(delay_target[row])
             )
             if bound is None:
@@ -463,8 +647,14 @@ class AdmissionService:
         if misses:
             decisions = await asyncio.gather(
                 *(
-                    self.admit(
-                        float(n1[row]), float(n2[row]), float(delay_target[row])
+                    self._admit_with(
+                        surfaces,
+                        generation,
+                        float(n1[row]),
+                        float(n2[row]),
+                        float(delay_target[row]),
+                        deadline_s,
+                        started,
                     )
                     for row in misses
                 )
@@ -481,16 +671,21 @@ class AdmissionService:
             max_n2=max_n2,
             estimate=estimate,
             latency_s=time.perf_counter() - started,
+            generation=generation,
         )
 
-    async def bandwidth(self, delay_target: float) -> BandwidthAnswer:
+    async def bandwidth(
+        self, delay_target: float, deadline_s: float | None = None
+    ) -> BandwidthAnswer:
         """Minimum bandwidth meeting ``delay_target`` (``inf`` = refused)."""
         started = time.perf_counter()
+        surfaces = self.surfaces
+        generation = self.generation
         if not math.isfinite(delay_target) or delay_target <= 0:
             raise ValueError("delay_target must be finite and positive")
         delay_target = float(delay_target)
 
-        answer = self.surfaces.bandwidth_bound(delay_target)
+        answer = surfaces.bandwidth_bound(delay_target)
         if answer is not None:
             bound, estimate, exact = answer
             tier = "surface" if exact else "interpolated"
@@ -500,20 +695,34 @@ class AdmissionService:
                 estimate=estimate,
                 tier=tier,
                 latency_s=time.perf_counter() - started,
+                generation=generation,
+            )
+
+        shed = self._shed_reason(deadline_s, started)
+        if shed:
+            self._count("shed")
+            return BandwidthAnswer(
+                bandwidth=math.inf,
+                estimate=None,
+                tier="shed",
+                latency_s=time.perf_counter() - started,
+                detail=shed,
+                generation=generation,
             )
 
         index = next(self._request_index)
         loop = asyncio.get_running_loop()
+        self._solves_inflight += 1
         try:
             bandwidth, diagnostics = await asyncio.wait_for(
                 loop.run_in_executor(
                     self._pool,
                     _solve_bandwidth_miss,
-                    self.surfaces,
+                    surfaces,
                     delay_target,
                     index,
                 ),
-                timeout=self.solve_timeout,
+                timeout=self._solve_budget(deadline_s, started),
             )
         except asyncio.TimeoutError:
             self._count("degraded")
@@ -524,6 +733,7 @@ class AdmissionService:
                 latency_s=time.perf_counter() - started,
                 detail=f"solve exceeded {self.solve_timeout:g}s deadline; "
                 "refusing to size the link",
+                generation=generation,
             )
         except (DegradationError, Exception) as error:  # noqa: BLE001
             self._count("degraded")
@@ -533,7 +743,10 @@ class AdmissionService:
                 tier="degraded",
                 latency_s=time.perf_counter() - started,
                 detail=f"solve failed ({error!r}); refusing to size the link",
+                generation=generation,
             )
+        finally:
+            self._solves_inflight -= 1
         self._count("solve")
         return BandwidthAnswer(
             bandwidth=bandwidth,
@@ -541,6 +754,7 @@ class AdmissionService:
             tier="solve",
             latency_s=time.perf_counter() - started,
             detail=f"live solve answered by rung {diagnostics.rung!r}",
+            generation=generation,
         )
 
     def stats(self) -> dict[str, int]:
@@ -563,6 +777,245 @@ class AdmissionService:
 # ----------------------------------------------------------------------
 # TCP front end (newline-delimited JSON)
 # ----------------------------------------------------------------------
+class _LineTooLong(Exception):
+    """An incoming request frame exceeded the per-line byte cap."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"request line exceeds the {limit}-byte limit; frame discarded"
+        )
+        self.limit = limit
+
+
+class _LineReader:
+    """Newline framing over ``StreamReader.read`` with an explicit byte cap.
+
+    asyncio's own ``readline()`` raises on overrun *and clears its buffer*,
+    so the stream can never resync to the next frame — the connection dies
+    with no reply.  This reader raises :class:`_LineTooLong` exactly once
+    per oversized frame, discards through the frame's terminating newline,
+    and keeps the connection usable for the next request.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, reader: asyncio.StreamReader, limit: int):
+        self._reader = reader
+        self._limit = int(limit)
+        self._buffer = bytearray()
+        self._discarding = False
+
+    async def readline(self) -> bytes:
+        """The next newline-terminated frame (``b""`` at EOF).
+
+        Raises :class:`_LineTooLong` when a frame exceeds the cap; calling
+        again resumes at the frame after the oversized one.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                if self._discarding:
+                    # Tail of a frame already reported oversized: drop it
+                    # silently and parse the next frame.
+                    self._discarding = False
+                    continue
+                if len(line) > self._limit:
+                    raise _LineTooLong(self._limit)
+                return line
+            if self._discarding:
+                self._buffer.clear()
+            elif len(self._buffer) > self._limit:
+                self._discarding = True
+                self._buffer.clear()
+                raise _LineTooLong(self._limit)
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                return b""
+            self._buffer.extend(chunk)
+
+
+class _Connection:
+    """Drain bookkeeping for one live client connection.
+
+    ``busy`` is flipped around request processing with *no await points*
+    between a frame becoming available and the flag being set — so a drain
+    pass observing ``busy=False`` knows the handler is parked waiting for
+    bytes and can close the connection without losing an answer.
+    """
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.busy = False
+
+
+class AdmissionServer:
+    """The bound TCP front end plus its overload and drain machinery.
+
+    Wraps the underlying :class:`asyncio.Server` and proxies its surface
+    (``sockets``, ``close``, ``wait_closed``, ``serve_forever``, async
+    context manager) so existing call sites keep working, while owning the
+    connection registry that overload capping and :meth:`drain` need.
+    """
+
+    def __init__(self, service: AdmissionService):
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    async def _start(self, host: str, port: int, reuse_port: bool) -> None:
+        """Bind the listening socket and start accepting."""
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port, reuse_port=reuse_port or None
+        )
+
+    # -- asyncio.Server proxy ------------------------------------------
+    @property
+    def sockets(self):
+        """The listening sockets (``sockets[0].getsockname()`` = address)."""
+        return self._server.sockets
+
+    def is_serving(self) -> bool:
+        """Whether the server is currently accepting connections."""
+        return self._server.is_serving()
+
+    def close(self) -> None:
+        """Stop accepting new connections (in-flight handlers continue)."""
+        self._server.close()
+
+    async def wait_closed(self) -> None:
+        """Wait until the listening socket is fully closed."""
+        await self._server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled or :meth:`close` is called."""
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "AdmissionServer":
+        """Async-context entry (returns the server)."""
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        """Async-context exit: close and wait for the listener."""
+        self.close()
+        await self.wait_closed()
+
+    # -- overload / drain ----------------------------------------------
+    @property
+    def connections(self) -> int:
+        """Number of currently-open client connections."""
+        return len(self._connections)
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish all in-flight work.
+
+        Stops accepting, immediately closes idle connections (their
+        handlers are parked waiting for bytes — no answer is pending), and
+        waits up to ``timeout`` seconds for every busy handler to write its
+        current answer and notice the drain.  Returns ``True`` when every
+        connection closed cleanly within the budget; on timeout the
+        stragglers are force-closed and ``False`` is returned.
+        """
+        self._draining = True
+        self._server.close()
+        for conn in list(self._connections):
+            if not conn.busy:
+                conn.writer.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            clean = True
+        except asyncio.TimeoutError:
+            clean = False
+            for conn in list(self._connections):
+                conn.writer.close()
+        await self._server.wait_closed()
+        return clean
+
+    async def _refuse(self, writer: asyncio.StreamWriter, error: str) -> None:
+        """Answer one structured error line and close the connection."""
+        try:
+            writer.write(
+                json.dumps({"ok": False, "error": error, "shed": True}).encode()
+                + b"\n"
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: a request line in, a response line out."""
+        service = self.service
+        policy = service.overload
+        if self._draining:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            return
+        cap = policy.max_connections
+        if cap is not None and len(self._connections) >= cap:
+            service._count("rejected")
+            await self._refuse(
+                writer, f"connection limit ({cap}) reached; retry later"
+            )
+            return
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        self._idle.clear()
+        lines = _LineReader(reader, policy.max_line_bytes)
+        try:
+            while True:
+                try:
+                    line = await lines.readline()
+                except _LineTooLong as error:
+                    response = {"ok": False, "error": str(error)}
+                else:
+                    if not line:
+                        break
+                    conn.busy = True
+                    try:
+                        request = json.loads(line)
+                        if not isinstance(request, dict):
+                            raise ValueError("request must be a JSON object")
+                        response = await _handle_request(service, request)
+                    except Exception as error:  # noqa: BLE001 — protocol errors answer, not kill
+                        response = {"ok": False, "error": str(error)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                conn.busy = False
+                if self._draining:
+                    break
+        except (ConnectionError, OSError):
+            # The peer vanished mid-read or mid-write (or a drain closed an
+            # idle connection under us); nothing left to answer.
+            pass
+        finally:
+            self._connections.discard(conn)
+            if not self._connections:
+                self._idle.set()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Server shutdown cancels handlers mid-close; the connection
+                # is going away either way, so end the task cleanly.
+                pass
+
+
 def _decision_payload(decision: Decision) -> dict:
     return {
         "ok": True,
@@ -572,6 +1025,7 @@ def _decision_payload(decision: Decision) -> dict:
         "estimate": decision.estimate,
         "latency_us": round(decision.latency_s * 1e6, 1),
         "detail": decision.detail,
+        "gen": decision.generation,
     }
 
 
@@ -583,6 +1037,7 @@ def _bandwidth_payload(answer: BandwidthAnswer) -> dict:
         "tier": answer.tier,
         "latency_us": round(answer.latency_s * 1e6, 1),
         "detail": answer.detail,
+        "gen": answer.generation,
     }
 
 
@@ -595,6 +1050,7 @@ def _batch_payload(batch: BatchDecision) -> dict:
         "max_n2": batch.max_n2,
         "estimate": batch.estimate,
         "latency_us": round(batch.latency_s * 1e6, 1),
+        "gen": batch.generation,
     }
 
 
@@ -607,8 +1063,26 @@ def _stats_payload(service: AdmissionService, request: dict) -> dict:
             "scope": "fleet",
             "shards": service.fleet.shards,
             "per_shard": service.fleet.per_shard(),
+            "gen": service.generation,
         }
-    return {"ok": True, "stats": service.stats(), "scope": "shard", "shards": 1}
+    return {
+        "ok": True,
+        "stats": service.stats(),
+        "scope": "shard",
+        "shards": 1,
+        "gen": service.generation,
+    }
+
+
+def _deadline_seconds(request: dict) -> float | None:
+    """The request's propagated deadline in seconds, if it carries one."""
+    deadline_ms = request.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    deadline_ms = float(deadline_ms)
+    if not math.isfinite(deadline_ms):
+        raise ValueError("deadline_ms must be finite")
+    return deadline_ms / 1e3
 
 
 async def _handle_request(service: AdmissionService, request: dict) -> dict:
@@ -618,15 +1092,21 @@ async def _handle_request(service: AdmissionService, request: dict) -> dict:
             float(request["n1"]),
             float(request["n2"]),
             float(request["delay_target"]),
+            deadline_s=_deadline_seconds(request),
         )
         return _decision_payload(decision)
     if op == "admit_batch":
         batch = await service.admit_batch(
-            request["n1"], request["n2"], request["delay_target"]
+            request["n1"],
+            request["n2"],
+            request["delay_target"],
+            deadline_s=_deadline_seconds(request),
         )
         return _batch_payload(batch)
     if op == "bandwidth":
-        answer = await service.bandwidth(float(request["delay_target"]))
+        answer = await service.bandwidth(
+            float(request["delay_target"]), deadline_s=_deadline_seconds(request)
+        )
         return _bandwidth_payload(answer)
     if op == "stats":
         return _stats_payload(service, request)
@@ -635,42 +1115,12 @@ async def _handle_request(service: AdmissionService, request: dict) -> dict:
     raise ValueError(f"unknown op {op!r}")
 
 
-async def _handle_connection(
-    service: AdmissionService,
-    reader: asyncio.StreamReader,
-    writer: asyncio.StreamWriter,
-) -> None:
-    """One client connection: a request line in, a response line out."""
-    try:
-        while True:
-            line = await reader.readline()
-            if not line:
-                break
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                response = await _handle_request(service, request)
-            except Exception as error:  # noqa: BLE001 — protocol errors answer, not kill
-                response = {"ok": False, "error": str(error)}
-            writer.write(json.dumps(response).encode() + b"\n")
-            await writer.drain()
-    finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError, asyncio.CancelledError):
-            # Server shutdown cancels handlers mid-close; the connection is
-            # going away either way, so end the task cleanly.
-            pass
-
-
 async def start_server(
     service: AdmissionService,
     host: str = "127.0.0.1",
     port: int = 0,
     reuse_port: bool = False,
-) -> asyncio.AbstractServer:
+) -> AdmissionServer:
     """Bind the TCP front end; ``port=0`` picks an ephemeral port.
 
     ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several processes
@@ -678,13 +1128,10 @@ async def start_server(
     accepted connections across them — the sharded fleet's front end
     (:mod:`repro.service.sharded`).
 
-    Returns the asyncio server (not yet ``serve_forever``-ed); the bound
-    address is ``server.sockets[0].getsockname()``.
+    Returns an :class:`AdmissionServer` already accepting connections; the
+    bound address is ``server.sockets[0].getsockname()`` and graceful
+    shutdown is :meth:`AdmissionServer.drain`.
     """
-
-    async def handler(reader, writer):
-        await _handle_connection(service, reader, writer)
-
-    return await asyncio.start_server(
-        handler, host=host, port=port, reuse_port=reuse_port or None
-    )
+    server = AdmissionServer(service)
+    await server._start(host, port, reuse_port)
+    return server

@@ -35,6 +35,19 @@ budget that bound worst-case work under repeated faults in campaign runs.
 While a shard is down the survivors keep answering (the kernel only
 balances across *live* listening sockets); the conservative-deny
 contract is per-process and therefore unaffected by fleet membership.
+
+Shards die gracefully as well as violently.  Each shard installs a
+SIGTERM handler that drains its server — stop accepting, answer every
+in-flight request, then exit 0 — and the monitor treats exit code 0 as
+intentional (no respawn), so :meth:`ShardFleet.drain_shard` /
+:meth:`ShardFleet.rolling_restart` can cycle the fleet one shard at a
+time without ever losing an accepted request or all capacity at once.
+A per-shard control pipe carries hot surface reloads: the supervisor
+publishes a new :class:`SharedSurfaces` generation, every shard attaches
+(schema-refused on mismatch, exactly like the JSON loader) and flips its
+service atomically between requests, and only after all shards ack does
+the supervisor unlink the old generation's segment (POSIX keeps mapped
+pages alive for any solve still reading them).
 """
 
 from __future__ import annotations
@@ -55,7 +68,7 @@ import numpy as np
 
 from repro.runtime import chaos
 from repro.runtime.resilience import RetryPolicy
-from repro.service.server import AdmissionService, start_server
+from repro.service.server import AdmissionService, OverloadPolicy, start_server
 from repro.service.surfaces import (
     SURFACE_SCHEMA,
     DecisionSurfaces,
@@ -81,6 +94,8 @@ COUNTER_FIELDS = (
     "degraded",
     "denied",
     "admitted",
+    "shed",
+    "rejected",
 )
 
 _FIELD_INDEX = {name: column for column, name in enumerate(COUNTER_FIELDS)}
@@ -132,6 +147,10 @@ class SurfaceDescriptor:
     service_rate: float
     targets: int
     populations: int
+    #: Monotonic reload generation; 0 is the boot artifact, each hot
+    #: reload publishes the next number and every answer reports which
+    #: generation produced it.
+    generation: int = 0
 
 
 def _grid_floats(targets: int, populations: int) -> int:
@@ -163,8 +182,14 @@ class SharedSurfaces:
         self._owner = owner
 
     @classmethod
-    def publish(cls, surfaces: DecisionSurfaces) -> "SharedSurfaces":
-        """Copy ``surfaces``' grids into a new shared segment (supervisor)."""
+    def publish(
+        cls, surfaces: DecisionSurfaces, generation: int = 0
+    ) -> "SharedSurfaces":
+        """Copy ``surfaces``' grids into a new shared segment (supervisor).
+
+        ``generation`` stamps the descriptor so shards and answers can
+        name which reload produced them.
+        """
         targets = len(surfaces.delay_targets)
         populations = surfaces.max_population + 1
         shm = shared_memory.SharedMemory(
@@ -187,6 +212,7 @@ class SharedSurfaces:
             service_rate=float(surfaces.service_rate),
             targets=targets,
             populations=populations,
+            generation=int(generation),
         )
         return cls(shm, descriptor, surfaces, owner=True)
 
@@ -331,7 +357,12 @@ class FleetCounters:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardConfig:
-    """Everything a spawned shard needs, picklable for the spawn context."""
+    """Everything a spawned shard needs, picklable for the spawn context.
+
+    ``control`` is the shard's end of a duplex :func:`multiprocessing.Pipe`
+    (connections pickle across ``spawn`` via fd passing); the supervisor
+    sends hot-reload messages down it and reads the acks back.
+    """
 
     shard_index: int
     shards: int
@@ -343,15 +374,92 @@ class ShardConfig:
     solver_workers: int = 1
     exact: bool = False
     chaos_plan: object | None = None
+    overload: OverloadPolicy | None = None
+    control: object | None = None
+    drain_grace: float = 30.0
 
 
-async def _shard_serve(service: AdmissionService, config: ShardConfig, ready) -> None:
+def _handle_control(service: AdmissionService, control, message, attachments) -> None:
+    """Service one supervisor control message inside the shard.
+
+    ``("reload", descriptor, generation)`` attaches the new shared
+    generation (refusing a stale schema exactly like boot attach does) and
+    flips the service atomically between requests; the ack —
+    ``("ok", generation)`` or ``("error", reason)`` — goes back up the
+    pipe.  ``attachments`` pins every mapped generation for the process
+    lifetime so numpy views held by in-flight solves never lose their
+    pages.
+    """
+    kind = message[0]
+    if kind == "reload":
+        _, descriptor, generation = message
+        try:
+            attached = SharedSurfaces.attach(descriptor)
+        except (ValueError, FileNotFoundError) as error:
+            control.send(("error", str(error)))
+            return
+        attachments.append(attached)
+        service.set_surfaces(attached.surfaces, generation)
+        control.send(("ok", generation))
+    else:
+        control.send(("error", f"unknown control verb {kind!r}"))
+
+
+async def _shard_serve(
+    service: AdmissionService, config: ShardConfig, ready, attachments
+) -> None:
+    """One shard's serve loop: accept until SIGTERM, then drain and exit.
+
+    SIGTERM (what :meth:`ShardFleet.drain_shard` and ``process.terminate``
+    send) triggers :meth:`~repro.service.server.AdmissionServer.drain`:
+    the listener closes, every in-flight request is answered, then the
+    loop exits cleanly — the process leaves with exit code 0, which the
+    fleet monitor reads as "intentional, do not respawn".  The control
+    pipe (hot reloads) is serviced on the event loop via ``add_reader``.
+    """
     server = await start_server(
         service, host=config.host, port=config.port, reuse_port=True
     )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+
+    async def drain_and_exit() -> None:
+        await server.drain(config.drain_grace)
+        stop.set()
+
+    def on_sigterm() -> None:
+        asyncio.ensure_future(drain_and_exit())
+
+    loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+
+    control = config.control
+
+    def on_control() -> None:
+        try:
+            while control.poll():
+                _handle_control(service, control, control.recv(), attachments)
+        except (EOFError, OSError):
+            # The supervisor closed its end (respawn or shutdown).
+            loop.remove_reader(control.fileno())
+
+    if control is not None:
+        loop.add_reader(control.fileno(), on_control)
+    # Signal readiness only once the SIGTERM handler is installed: the
+    # supervisor may legitimately drain a shard the instant it reports
+    # ready, and a SIGTERM landing before the handler exists would kill
+    # the process on the default disposition (exit -15, read as a crash).
     ready.set()
-    async with server:
-        await server.serve_forever()
+    try:
+        await stop.wait()
+    finally:
+        if control is not None:
+            try:
+                loop.remove_reader(control.fileno())
+            except (OSError, ValueError):  # pragma: no cover — fd already gone
+                pass
+        loop.remove_signal_handler(signal.SIGTERM)
+        server.close()
+        await server.wait_closed()
 
 
 def _shard_main(config: ShardConfig, ready) -> None:
@@ -366,11 +474,14 @@ def _shard_main(config: ShardConfig, ready) -> None:
         solver_workers=config.solver_workers,
         exact=config.exact,
         counters_mirror=counters.mirror(config.shard_index),
+        overload=config.overload,
     )
+    service.generation = config.surface.generation
     service.fleet = counters.view(config.shard_index)
+    attachments = [shared]
     try:
-        asyncio.run(_shard_serve(service, config, ready))
-    except KeyboardInterrupt:  # pragma: no cover — supervisor terminate()
+        asyncio.run(_shard_serve(service, config, ready, attachments))
+    except KeyboardInterrupt:  # pragma: no cover — operator ^C
         pass
     finally:
         service.close()
@@ -383,8 +494,11 @@ def _shard_main(config: ShardConfig, ready) -> None:
 class _ShardSlot:
     process: multiprocessing.process.BaseProcess
     ready: object
+    control: object | None = None
     attempts: int = 1
     respawns: int = 0
+    #: Intentionally down or being cycled — the monitor must not respawn.
+    parked: bool = False
 
 
 class ShardFleet:
@@ -414,9 +528,13 @@ class ShardFleet:
         exact: bool = False,
         chaos_plan=None,
         respawn_policy: RetryPolicy = DEFAULT_RESPAWN_POLICY,
+        overload: OverloadPolicy | None = None,
+        drain_grace: float = 30.0,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        if drain_grace <= 0:
+            raise ValueError("drain_grace must be positive")
         if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover — linux CI
             raise OSError("SO_REUSEPORT is not available on this platform")
         self.shards = shards
@@ -427,7 +545,10 @@ class ShardFleet:
         self.exact = bool(exact)
         self.chaos_plan = chaos_plan
         self.respawn_policy = respawn_policy
+        self.overload = overload
+        self.drain_grace = float(drain_grace)
         self._surfaces = surfaces
+        self._generation = 0
         self._shared: SharedSurfaces | None = None
         self.counters: FleetCounters | None = None
         self._reservation: socket.socket | None = None
@@ -447,7 +568,7 @@ class ShardFleet:
         self._reservation = sock
         return sock.getsockname()[1]
 
-    def _config(self, shard_index: int) -> ShardConfig:
+    def _config(self, shard_index: int, control) -> ShardConfig:
         return ShardConfig(
             shard_index=shard_index,
             shards=self.shards,
@@ -459,30 +580,37 @@ class ShardFleet:
             solver_workers=self.solver_workers,
             exact=self.exact,
             chaos_plan=self.chaos_plan,
+            overload=self.overload,
+            control=control,
+            drain_grace=self.drain_grace,
         )
 
     def _spawn(self, shard_index: int) -> tuple:
         ready = self._ctx.Event()
+        parent_end, child_end = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_main,
-            args=(self._config(shard_index), ready),
+            args=(self._config(shard_index, child_end), ready),
             name=f"repro-shard-{shard_index}",
             daemon=True,
         )
         process.start()
-        return process, ready
+        child_end.close()  # the shard holds the only live copy now
+        return process, ready, parent_end
 
     def start(self, ready_timeout: float = 30.0) -> "ShardFleet":
         """Publish shared state, spawn every shard, wait until all listen."""
         if self._slots:
             raise RuntimeError("fleet already started")
         self.port = self._reserve_port()
-        self._shared = SharedSurfaces.publish(self._surfaces)
+        self._shared = SharedSurfaces.publish(self._surfaces, self._generation)
         self.counters = FleetCounters.publish(self.shards)
         try:
             for index in range(self.shards):
-                process, ready = self._spawn(index)
-                self._slots.append(_ShardSlot(process=process, ready=ready))
+                process, ready, control = self._spawn(index)
+                self._slots.append(
+                    _ShardSlot(process=process, ready=ready, control=control)
+                )
             deadline = time.monotonic() + ready_timeout
             for index, slot in enumerate(self._slots):
                 remaining = deadline - time.monotonic()
@@ -532,7 +660,13 @@ class ShardFleet:
         policy = self.respawn_policy
         while not self._stop.wait(0.05):
             for index, slot in enumerate(self._slots):
-                if slot.process.is_alive() or self._stop.is_set():
+                if slot.parked or slot.process.is_alive() or self._stop.is_set():
+                    continue
+                if slot.process.exitcode == 0:
+                    # A clean exit is a graceful drain, not a crash: the
+                    # shard answered everything it accepted and left on
+                    # purpose.  Park the slot; restart_shard() revives it.
+                    slot.parked = True
                     continue
                 next_attempt = slot.attempts + 1
                 if next_attempt > policy.max_attempts:
@@ -548,9 +682,12 @@ class ShardFleet:
                 if self._stop.is_set():
                     return
                 slot.process.join(timeout=0.1)
-                process, ready = self._spawn(index)
+                if slot.control is not None:
+                    slot.control.close()
+                process, ready, control = self._spawn(index)
                 slot.process = process
                 slot.ready = ready
+                slot.control = control
                 slot.attempts = next_attempt
                 slot.respawns += 1
                 self._retries_spent += 1
@@ -558,6 +695,136 @@ class ShardFleet:
     def respawns(self) -> int:
         """Total successful respawn dispatches since start."""
         return sum(slot.respawns for slot in self._slots)
+
+    # -- graceful drain / rolling restart ------------------------------
+    def drain_shard(self, shard_index: int, timeout: float = 30.0) -> bool:
+        """Gracefully drain one shard: SIGTERM, wait for its clean exit.
+
+        The shard stops accepting, answers every request it had in flight,
+        and exits 0; the slot is parked so the monitor never respawns it
+        (use :meth:`restart_shard` to revive it).  Survivor shards keep
+        answering throughout — the kernel only balances connections across
+        live listeners.  Returns ``True`` when the shard exited cleanly
+        within ``timeout``.
+        """
+        slot = self._slots[shard_index]
+        slot.parked = True
+        process = slot.process
+        if process.is_alive():
+            process.terminate()  # SIGTERM → in-shard drain handler
+            process.join(timeout)
+        return (not process.is_alive()) and process.exitcode == 0
+
+    def restart_shard(self, shard_index: int, ready_timeout: float = 30.0) -> None:
+        """Spawn a fresh process into a parked/dead slot; wait until it listens.
+
+        The replacement attaches the *current* surface generation (a drain
+        + restart after a hot reload comes back on the new surfaces) and
+        its attempt counter resets — a deliberate restart is not a crash.
+        """
+        slot = self._slots[shard_index]
+        if slot.process.is_alive():
+            raise RuntimeError(
+                f"shard {shard_index} is still running; drain it first"
+            )
+        if slot.control is not None:
+            slot.control.close()
+        process, ready, control = self._spawn(shard_index)
+        slot.process = process
+        slot.ready = ready
+        slot.control = control
+        slot.attempts = 1
+        if not ready.wait(ready_timeout):
+            raise TimeoutError(
+                f"restarted shard {shard_index} did not start listening "
+                f"within {ready_timeout:g}s"
+            )
+        slot.parked = False
+
+    def rolling_restart(
+        self, drain_timeout: float = 30.0, ready_timeout: float = 30.0
+    ) -> int:
+        """Drain and replace every shard, one at a time.
+
+        At most one shard is down at any moment, so an ``shards >= 2``
+        fleet keeps answering throughout — the availability property the
+        chaos drain scenario and the rolling-restart bench assert.
+        Returns the number of shards cycled; raises on the first shard
+        that fails to drain cleanly or to come back listening.
+        """
+        cycled = 0
+        for index in range(self.shards):
+            if not self.drain_shard(index, timeout=drain_timeout):
+                raise RuntimeError(
+                    f"shard {index} did not drain cleanly within "
+                    f"{drain_timeout:g}s; aborting rolling restart"
+                )
+            self.restart_shard(index, ready_timeout=ready_timeout)
+            cycled += 1
+        return cycled
+
+    # -- hot surface reload --------------------------------------------
+    def reload_surfaces(
+        self, surfaces: DecisionSurfaces, timeout: float = 30.0
+    ) -> int:
+        """Publish a new surface generation and flip every shard to it.
+
+        The sequence is publish → broadcast → ack → unlink-old: the new
+        grids go into a fresh shared segment, every live shard attaches it
+        (schema-refused on mismatch, exactly like boot) and swaps its
+        service atomically between requests, and only after *all* shards
+        ack does the supervisor unlink the old generation — whose mapped
+        pages POSIX keeps alive for any in-flight solve still reading
+        them.  On any refusal or timeout the new segment is unlinked and
+        the fleet stays on the old generation (the schema check is
+        deterministic, so a refusal is unanimous — no shard flips).
+        Returns the new generation number.
+        """
+        generation = self._generation + 1
+        shared = SharedSurfaces.publish(surfaces, generation)
+        try:
+            self._broadcast_reload(shared.descriptor, generation, timeout)
+        except BaseException:
+            shared.close()
+            raise
+        old = self._shared
+        self._shared = shared
+        self._surfaces = surfaces
+        self._generation = generation
+        if old is not None:
+            old.close()
+        return generation
+
+    def _broadcast_reload(
+        self, descriptor: SurfaceDescriptor, generation: int, timeout: float
+    ) -> None:
+        """Send one reload to every live shard and collect every ack."""
+        deadline = time.monotonic() + timeout
+        live = [
+            (index, slot)
+            for index, slot in enumerate(self._slots)
+            if slot.process.is_alive() and slot.control is not None
+        ]
+        for _, slot in live:
+            slot.control.send(("reload", descriptor, generation))
+        refusals = []
+        for index, slot in live:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            if not slot.control.poll(remaining):
+                raise TimeoutError(
+                    f"shard {index} did not ack the surface reload within "
+                    f"{timeout:g}s"
+                )
+            answer = slot.control.recv()
+            if answer[0] != "ok" or answer[1] != generation:
+                refusals.append(f"shard {index}: {answer[1]}")
+        if refusals:
+            raise RuntimeError("surface reload refused: " + "; ".join(refusals))
+
+    @property
+    def generation(self) -> int:
+        """The surface generation the fleet is currently serving."""
+        return self._generation
 
     def stop(self) -> None:
         """Terminate every shard and release all shared state."""
@@ -573,6 +840,8 @@ class ShardFleet:
             if slot.process.is_alive():  # pragma: no cover — stuck worker
                 slot.process.kill()
                 slot.process.join(timeout=5.0)
+            if slot.control is not None:
+                slot.control.close()
         self._slots = []
         if self.counters is not None:
             self.counters.close()

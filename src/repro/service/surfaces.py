@@ -189,6 +189,27 @@ class DecisionSurfaces:
             and self.delay_targets[0] <= delay_target <= self.delay_targets[-1]
         )
 
+    def tightened(self, by: float = 1.0) -> "DecisionSurfaces":
+        """A strictly more conservative copy: every boundary lowered ``by``.
+
+        ``max_n2`` drops by ``by`` (floored at ``-1``, "admit nothing");
+        the bandwidth rows are kept as-is — only the admission boundary
+        tightens.  The primary use is hot-reload
+        drills and emergency throttling: an operator can publish a
+        tightened generation fleet-wide without rebuilding surfaces, and
+        because the new boundary is everywhere at or below the old one the
+        swap can only under-admit, never over-admit.
+        """
+        if by < 0:
+            raise ValueError("by must be non-negative")
+        return DecisionSurfaces(
+            params=self.params,
+            service_rate=self.service_rate,
+            delay_targets=self.delay_targets,
+            max_n2=np.maximum(self.max_n2 - float(by), -1.0),
+            bandwidth=self.bandwidth,
+        )
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------

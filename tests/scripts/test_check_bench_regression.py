@@ -30,6 +30,8 @@ def _record(key: str, events_per_sec=1000.0, wall=10.0, rss=100.0) -> dict:
         "wall_clock_s": wall,
         "peak_rss_mb": rss,
         "p99_latency_ms": 5.0,
+        "p99_accepted_ms": 5.0,
+        "failed_requests": 0,
     }
 
 

@@ -1,0 +1,382 @@
+"""Overload-hardening tests: shedding, read limits, drain, generations.
+
+Every scenario here is deterministic: chaos wildcard delays make solves
+slow on purpose, queue limits are tiny on purpose, and the assertions are
+about *invariants* (shed answers deny, drains lose nothing, generations
+never mix) rather than timings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime import chaos
+from repro.runtime.chaos import ANY, ChaosPlan
+from repro.service.client import AdmissionClient, generate_queries, run_load
+from repro.service.server import (
+    AdmissionService,
+    OverloadPolicy,
+    start_server,
+)
+
+
+def _run(coro):
+    """Drive a coroutine to completion (pytest-asyncio is not available)."""
+    return asyncio.run(coro)
+
+
+def _miss_target(surfaces) -> float:
+    """A delay target beyond the grid: always a live-solve query."""
+    return float(surfaces.delay_targets[-1]) * 3.0
+
+
+SLOW_SOLVES = ChaosPlan(delay=((ANY, 1, 0.3),))
+
+
+class TestOverloadPolicy:
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_inflight=0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_connections=-1)
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_line_bytes=1)
+
+    def test_defaults_leave_queues_unbounded(self):
+        policy = OverloadPolicy()
+        assert policy.max_inflight is None
+        assert policy.max_connections is None
+        assert policy.max_line_bytes == 1 << 22
+
+
+class TestInflightShedding:
+    def test_excess_solves_shed_as_conservative_denies(self, surfaces):
+        async def scenario():
+            with AdmissionService(
+                surfaces,
+                solve_timeout=5.0,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1),
+            ) as service:
+                with chaos.chaos_active(SLOW_SOLVES):
+                    decisions = await asyncio.gather(
+                        *(
+                            service.admit(1.0, 1.0, _miss_target(surfaces))
+                            for _ in range(4)
+                        )
+                    )
+                tiers = [d.tier for d in decisions]
+                sheds = [d for d in decisions if d.tier == "shed"]
+                assert "solve" in tiers
+                assert sheds, f"no shed answers in {tiers}"
+                assert all(not d.admit for d in sheds)
+                assert all("queue full" in d.detail for d in sheds)
+                # Shed answers are instant — no queue wait rode along.
+                assert all(d.latency_s < 0.2 for d in sheds)
+                assert service.counters["shed"] == len(sheds)
+
+        _run(scenario())
+
+    def test_cached_answers_flow_while_solver_is_saturated(self, surfaces):
+        async def scenario():
+            with AdmissionService(
+                surfaces,
+                solve_timeout=5.0,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1),
+            ) as service:
+                with chaos.chaos_active(SLOW_SOLVES):
+                    parked = asyncio.ensure_future(
+                        service.admit(1.0, 1.0, _miss_target(surfaces))
+                    )
+                    await asyncio.sleep(0.05)  # the solve now holds the slot
+                    cached = [
+                        await service.admit(2.0, 1.0, 0.9) for _ in range(20)
+                    ]
+                    assert all(d.tier == "surface" for d in cached)
+                    assert all(d.latency_s < 0.1 for d in cached)
+                    decision = await parked
+                    assert decision.tier == "solve"
+
+        _run(scenario())
+
+    def test_exhausted_deadline_sheds_before_solving(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                decision = await service.admit(
+                    1.0, 1.0, _miss_target(surfaces), deadline_s=1e-9
+                )
+                assert decision.tier == "shed"
+                assert not decision.admit
+                assert "deadline" in decision.detail
+                # Cached tiers ignore the deadline: they cost microseconds.
+                cached = await service.admit(2.0, 1.0, 0.9, deadline_s=1e-9)
+                assert cached.tier == "surface"
+
+        _run(scenario())
+
+    def test_wire_deadline_ms_propagates_to_shed(self, surfaces):
+        async def scenario():
+            service = AdmissionService(surfaces)
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                client = await AdmissionClient.open(host, port)
+                try:
+                    answer = await client.admit(
+                        1.0, 1.0, _miss_target(surfaces), deadline_ms=1e-6
+                    )
+                    assert answer["tier"] == "shed"
+                    assert answer["admit"] is False
+                finally:
+                    await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        _run(scenario())
+
+    def test_bandwidth_sheds_at_inflight_limit(self, surfaces):
+        async def scenario():
+            with AdmissionService(
+                surfaces,
+                solve_timeout=5.0,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1),
+            ) as service:
+                with chaos.chaos_active(SLOW_SOLVES):
+                    target = _miss_target(surfaces)
+                    first = asyncio.ensure_future(service.bandwidth(target))
+                    await asyncio.sleep(0.05)
+                    second = await service.bandwidth(target * 1.1)
+                    assert second.tier == "shed"
+                    assert second.bandwidth == float("inf")
+                    assert (await first).tier == "solve"
+
+        _run(scenario())
+
+
+class TestReadLimits:
+    def test_oversized_line_answers_error_and_resyncs(self, surfaces):
+        async def scenario():
+            service = AdmissionService(
+                surfaces, overload=OverloadPolicy(max_line_bytes=512)
+            )
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                # An oversized frame spanning multiple reader chunks, then
+                # a valid request pipelined on the same socket.
+                writer.write(
+                    b'{"op": "ping", "pad": "' + b"x" * 200_000 + b'"}\n'
+                )
+                writer.write(json.dumps({"op": "ping"}).encode() + b"\n")
+                await writer.drain()
+                oversized = json.loads(await reader.readline())
+                followup = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                assert oversized["ok"] is False
+                assert "512-byte limit" in oversized["error"]
+                assert followup == {"ok": True, "pong": True}
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        _run(scenario())
+
+    def test_connection_cap_refuses_with_structured_error(self, surfaces):
+        async def scenario():
+            service = AdmissionService(
+                surfaces, overload=OverloadPolicy(max_connections=1)
+            )
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                first = await AdmissionClient.open(host, port)
+                try:
+                    assert (await first.ping())["pong"] is True
+                    reader, writer = await asyncio.open_connection(host, port)
+                    refusal = json.loads(await reader.readline())
+                    assert refusal["ok"] is False
+                    assert refusal["shed"] is True
+                    assert "connection limit" in refusal["error"]
+                    assert await reader.readline() == b""  # server hung up
+                    writer.close()
+                    # The capped connection never displaced the first one.
+                    assert (await first.ping())["pong"] is True
+                    assert service.counters["rejected"] == 1
+                finally:
+                    await first.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        _run(scenario())
+
+    def test_slow_loris_blocks_nobody(self, surfaces):
+        async def scenario():
+            service = AdmissionService(
+                surfaces,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1, max_line_bytes=4096),
+            )
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                # A stalled client: half a request line, then silence.
+                _, loris = await asyncio.open_connection(host, port)
+                loris.write(b'{"op": "admit", "n1"')
+                await loris.drain()
+                healthy = await AdmissionClient.open(host, port)
+                try:
+                    for _ in range(5):
+                        answer = await asyncio.wait_for(
+                            healthy.admit(2.0, 1.0, 0.9), timeout=2.0
+                        )
+                        assert answer["tier"] == "surface"
+                    # The stalled partial frame holds no solve slot: a live
+                    # solve still runs (nothing sheds at max_inflight=1).
+                    miss = await healthy.admit(1.0, 1.0, _miss_target(surfaces))
+                    assert miss["tier"] == "solve"
+                finally:
+                    await healthy.close()
+                loris.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        _run(scenario())
+
+
+class TestDrain:
+    def test_drain_answers_inflight_then_refuses_new_connections(
+        self, surfaces
+    ):
+        async def scenario():
+            service = AdmissionService(
+                surfaces, solve_timeout=5.0, solver_workers=2
+            )
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            with chaos.chaos_active(SLOW_SOLVES):
+                clients = [
+                    await AdmissionClient.open(host, port) for _ in range(2)
+                ]
+                try:
+                    calls = [
+                        asyncio.ensure_future(
+                            client.admit(1.0, 1.0, _miss_target(surfaces))
+                        )
+                        for client in clients
+                    ]
+                    await asyncio.sleep(0.05)  # both solves now in flight
+                    clean = await server.drain(timeout=5.0)
+                    answers = await asyncio.gather(*calls)
+                    assert clean is True
+                    assert [a["tier"] for a in answers] == ["solve", "solve"]
+                    with pytest.raises(OSError):
+                        await asyncio.open_connection(host, port)
+                finally:
+                    for client in clients:
+                        await client.close()
+            service.close()
+
+        _run(scenario())
+
+    def test_drain_of_idle_server_is_immediate(self, surfaces):
+        async def scenario():
+            service = AdmissionService(surfaces)
+            server = await start_server(service)
+            assert await server.drain(timeout=1.0) is True
+            service.close()
+
+        _run(scenario())
+
+
+class TestGenerations:
+    def test_answers_report_generation_and_reload_flips_it(self, surfaces):
+        async def scenario():
+            with AdmissionService(surfaces) as service:
+                before = await service.admit(2.0, 0.0, 0.9)
+                assert before.generation == 0
+                assert before.admit
+                tightened = surfaces.tightened(
+                    by=float(surfaces.max_population) + 2.0
+                )
+                service.set_surfaces(tightened, 3)
+                after = await service.admit(2.0, 0.0, 0.9)
+                assert after.generation == 3
+                assert not after.admit  # every boundary now sits below zero
+                batch = await service.admit_batch(
+                    [2.0, 2.5], [1.0, 0.0], [0.9, 1.0]
+                )
+                assert batch.generation == 3
+
+        _run(scenario())
+
+    def test_tightened_only_lowers_boundaries(self, surfaces):
+        import numpy as np
+
+        tightened = surfaces.tightened(by=1.0)
+        assert np.all(tightened.max_n2 <= surfaces.max_n2)
+        assert np.all(tightened.max_n2 >= -1.0)
+        assert tightened.params == surfaces.params
+        with pytest.raises(ValueError):
+            surfaces.tightened(by=-0.5)
+
+
+class TestRunLoadFailureAccounting:
+    def test_dead_server_is_counted_failed_not_swallowed(self, surfaces):
+        async def scenario():
+            service = AdmissionService(surfaces)
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            server.close()
+            await server.wait_closed()
+            service.close()
+            queries = generate_queries(surfaces, "cached", 8, seed=3)
+            report = await run_load(host, port, queries, connections=2)
+            assert report.failed == len(queries)
+            assert report.requests == 0
+
+        _run(scenario())
+
+    def test_shed_answers_are_counted_and_excluded_from_accepted_p99(
+        self, surfaces
+    ):
+        async def scenario():
+            service = AdmissionService(
+                surfaces,
+                solve_timeout=5.0,
+                solver_workers=1,
+                overload=OverloadPolicy(max_inflight=1),
+            )
+            server = await start_server(service)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                with chaos.chaos_active(SLOW_SOLVES):
+                    target = _miss_target(surfaces)
+                    queries = [(1.0, 1.0, target)] * 6
+                    report = await run_load(
+                        host, port, queries, connections=6
+                    )
+                assert report.shed > 0
+                assert report.shed == report.tiers.get("shed")
+                assert report.failed == 0
+                # Accepted-only p99 ignores the near-instant shed answers.
+                assert report.p99_accepted_ms >= 250.0
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        _run(scenario())

@@ -256,3 +256,154 @@ class TestShardKillChaos:
     def test_rejects_bad_shard_count(self, surfaces):
         with pytest.raises(ValueError, match="shards must be at least 1"):
             ShardFleet(surfaces, shards=0)
+
+
+class TestGracefulDrain:
+    def test_drain_shard_answers_inflight_and_is_not_respawned(self, surfaces):
+        miss_target = float(surfaces.delay_targets[-1]) * 3.0
+        plan = ChaosPlan(delay=((-1, 1, 0.4),))  # every solve sleeps 0.4 s
+        with ShardFleet(
+            surfaces,
+            shards=1,
+            solve_timeout=5.0,
+            solver_workers=3,
+            chaos_plan=plan,
+        ) as fleet:
+            host, port = fleet.address
+
+            async def scenario():
+                clients = [
+                    await AdmissionClient.open(host, port) for _ in range(3)
+                ]
+                try:
+                    calls = [
+                        asyncio.ensure_future(
+                            client.admit(1.0, 1.0, miss_target)
+                        )
+                        for client in clients
+                    ]
+                    await asyncio.sleep(0.15)  # all three solves in flight
+                    loop = asyncio.get_running_loop()
+                    drained = loop.run_in_executor(None, fleet.drain_shard, 0)
+                    answers = await asyncio.gather(*calls)
+                    return answers, await drained
+                finally:
+                    for client in clients:
+                        await client.close()
+
+            answers, clean = _run(scenario())
+            assert clean is True
+            assert len(answers) == 3
+            assert all(a["ok"] for a in answers)
+            assert all(a["tier"] == "solve" for a in answers)
+            # A clean exit is intentional: the monitor must park the slot,
+            # never respawn it.
+            time.sleep(0.5)
+            assert fleet.alive() == 0
+            assert fleet.respawns() == 0
+
+    def test_rolling_restart_keeps_fleet_answering(self, surfaces):
+        from repro.runtime.resilience import RetryPolicy
+
+        with ShardFleet(surfaces, shards=2, solve_timeout=5.0) as fleet:
+            host, port = fleet.address
+
+            async def scenario():
+                retry = RetryPolicy(
+                    max_attempts=6, timeout=5.0, backoff_base=0.05
+                )
+                loop = asyncio.get_running_loop()
+                restart = loop.run_in_executor(None, fleet.rolling_restart)
+                total = failed = 0
+                rounds = 0
+                while True:
+                    queries = generate_queries(
+                        surfaces, "cached", 300, seed=rounds
+                    )
+                    report = await run_load(
+                        host, port, queries, connections=4, retry=retry
+                    )
+                    total += report.requests
+                    failed += report.failed
+                    rounds += 1
+                    if restart.done():
+                        break
+                return total, failed, await restart
+
+            total, failed, cycled = _run(scenario())
+            assert cycled == 2
+            assert failed == 0
+            assert total >= 300
+            assert fleet.alive() == 2
+
+    def test_restart_refuses_live_shard(self, surfaces):
+        with ShardFleet(surfaces, shards=1, solve_timeout=5.0) as fleet:
+            with pytest.raises(RuntimeError, match="still running"):
+                fleet.restart_shard(0)
+
+
+class TestHotReload:
+    def test_reload_flips_generation_and_unlinks_old_segment(self, surfaces):
+        tightened = surfaces.tightened(
+            by=float(surfaces.max_population) + 2.0
+        )
+        with ShardFleet(surfaces, shards=2, solve_timeout=5.0) as fleet:
+            host, port = fleet.address
+            old_descriptor = fleet._shared.descriptor
+
+            async def probe():
+                client = await AdmissionClient.open(host, port)
+                try:
+                    return await client.admit(2.0, 0.0, 0.9)
+                finally:
+                    await client.close()
+
+            before = _run(probe())
+            assert before["gen"] == 0
+            assert before["admit"] is True
+
+            generation = fleet.reload_surfaces(tightened)
+            assert generation == 1
+            assert fleet.generation == 1
+
+            after = _run(probe())
+            assert after["gen"] == 1
+            assert after["admit"] is False  # boundaries now all below zero
+
+            # Publish→broadcast→ack→unlink: with every shard flipped, the
+            # old generation's segment name must be gone.
+            with pytest.raises(FileNotFoundError):
+                SharedSurfaces.attach(old_descriptor)
+
+            # A drained-and-restarted shard comes back on the new surfaces.
+            assert fleet.drain_shard(0) is True
+            fleet.restart_shard(0)
+            revived = _run(probe())
+            assert revived["gen"] == 1
+
+    def test_reload_refused_on_schema_mismatch_keeps_old_generation(
+        self, surfaces
+    ):
+        with ShardFleet(surfaces, shards=1, solve_timeout=5.0) as fleet:
+            shared = SharedSurfaces.publish(surfaces, generation=1)
+            try:
+                stale = dataclasses.replace(
+                    shared.descriptor, schema="repro-admission-surface/0"
+                )
+                with pytest.raises(RuntimeError, match="reload refused"):
+                    fleet._broadcast_reload(stale, 1, timeout=10.0)
+            finally:
+                shared.close()
+            assert fleet.generation == 0
+            host, port = fleet.address
+
+            async def probe():
+                client = await AdmissionClient.open(host, port)
+                try:
+                    return await client.admit(2.0, 0.0, 0.9)
+                finally:
+                    await client.close()
+
+            answer = _run(probe())
+            assert answer["gen"] == 0
+            assert answer["admit"] is True

@@ -447,6 +447,57 @@ class TestServiceCommands:
         assert "respawn rejoined: True" in text
         assert "admit=True" not in text
 
+    def test_chaos_overload_sheds_and_keeps_cached_goodput(self):
+        code, text = run_cli(
+            [
+                "chaos", *SMALL, "--target", "overload",
+                "--requests", "5", "--deadline", "1.5",
+            ]
+        )
+        assert code == 0
+        assert "load shedding holds" in text
+        assert "tier=shed" in text
+        assert "oversized frame" in text
+        assert "pong=True" in text
+
+    def test_chaos_drain_loses_no_inflight_answers(self):
+        code, text = run_cli(
+            [
+                "chaos", *SMALL, "--target", "drain", "--shards", "2",
+                "--requests", "3", "--deadline", "1.5",
+            ]
+        )
+        assert code == 0
+        assert "graceful drain holds" in text
+        assert "0 lost" in text
+        assert "0 failed" in text
+
+    def test_chaos_reload_never_mixes_generations(self):
+        code, text = run_cli(
+            [
+                "chaos", *SMALL, "--target", "reload", "--shards", "2",
+            ]
+        )
+        assert code == 0
+        assert "hot reload holds" in text
+        assert "0 mixed-generation answers: True" in text
+
+    def test_serve_smoke_accepts_overload_flags(self):
+        code, text = run_cli(
+            ["serve", *self.SURFACE, "--smoke", "--port", "0",
+             "--max-inflight", "4", "--max-connections", "32"]
+        )
+        assert code == 0
+        assert "healthy" in text
+
+    def test_serve_rejects_negative_overload_bounds(self):
+        code, text = run_cli(
+            ["serve", *self.SURFACE, "--smoke", "--port", "0",
+             "--max-inflight", "-1"]
+        )
+        assert code == 2
+        assert "max-inflight" in text
+
 
 class TestConfigFingerprintFlags:
     def test_mismatched_rng_mode_resume_exits_2(self, tmp_path):
